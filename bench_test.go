@@ -1,0 +1,334 @@
+// Package hydra_test holds the benchmark harness: one testing.B benchmark
+// per table/figure of the paper's evaluation (regenerating the same rows/
+// series), plus ablation benches for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench prints its tables once (on the first iteration) and
+// reports headline numbers as custom metrics so `-bench` output is
+// meaningful on its own.
+package hydra_test
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/dstree"
+	"hydra/internal/eval"
+	"hydra/internal/imi"
+	"hydra/internal/isax"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/vafile"
+)
+
+// benchSuite keeps `go test -bench=.` tractable on a laptop; raise via
+// HYDRA_BENCH_N / HYDRA_BENCH_LEN env vars for larger runs.
+func benchSuite() eval.SuiteConfig {
+	cfg := eval.SuiteConfig{N: 1500, Length: 64, Queries: 8, K: 5, Seed: 42, HistogramPairs: 1500}
+	if v, err := strconv.Atoi(os.Getenv("HYDRA_BENCH_N")); err == nil && v > 0 {
+		cfg.N = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("HYDRA_BENCH_LEN")); err == nil && v > 0 {
+		cfg.Length = v
+	}
+	return cfg
+}
+
+// benchOut prints tables only on the first bench iteration.
+func benchOut(b *testing.B, i int) io.Writer {
+	if i == 0 && testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func printTables(w io.Writer, tables []*eval.Table) {
+	for _, t := range tables {
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table1()
+		t.Fprint(benchOut(b, i))
+		if len(t.Rows) != 10 {
+			b.Fatalf("capability matrix has %d rows", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkFig2Indexing(b *testing.B) {
+	cfg := benchSuite()
+	sizes := []int{cfg.N / 2, cfg.N, cfg.N * 2}
+	methods := []string{"DSTree", "iSAX2+", "VA+file", "HNSW", "IMI", "SRS", "QALSH", "FLANN"}
+	for i := 0; i < b.N; i++ {
+		tables, err := eval.Fig2(cfg, sizes, methods)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables(benchOut(b, i), tables)
+	}
+}
+
+func BenchmarkFig3InMemory(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tables, err := eval.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables(benchOut(b, i), tables)
+	}
+}
+
+func BenchmarkFig4OnDisk(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tables, err := eval.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables(benchOut(b, i), tables)
+	}
+}
+
+func BenchmarkFig5Measures(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Fprint(benchOut(b, i))
+	}
+}
+
+func BenchmarkFig6BestMethods(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tables, err := eval.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables(benchOut(b, i), tables)
+	}
+}
+
+func BenchmarkFig7EffectOfK(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Fprint(benchOut(b, i))
+	}
+}
+
+func BenchmarkFig8Epsilon(b *testing.B) {
+	cfg := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tables, err := eval.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables(benchOut(b, i), tables)
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDSTreeSplit compares the full DSTree split policy
+// (vertical + horizontal, QoS-driven) against a horizontal-only variant
+// (MaxSegments = InitialSegments), reporting leaves visited per exact query.
+func BenchmarkAblationDSTreeSplit(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	run := func(b *testing.B, dcfg dstree.Config) {
+		st := storage.NewSeriesStore(w.Data, 0)
+		tree, err := dstree.Build(st, dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var leaves int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			leaves = 0
+			for qi := 0; qi < w.Queries.Size(); qi++ {
+				res, err := tree.Search(core.Query{Series: w.Queries.At(qi), K: cfg.K, Mode: core.ModeExact})
+				if err != nil {
+					b.Fatal(err)
+				}
+				leaves += res.LeavesVisited
+			}
+		}
+		b.ReportMetric(float64(leaves)/float64(w.Queries.Size()), "leaves/query")
+	}
+	b.Run("full-policy", func(b *testing.B) {
+		run(b, dstree.Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 16})
+	})
+	b.Run("horizontal-only", func(b *testing.B) {
+		run(b, dstree.Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 4})
+	})
+}
+
+// BenchmarkAblationISAXLeaf sweeps the iSAX2+ leaf capacity, reporting
+// random I/O per exact query — the mechanism behind Fig. 6's bottom row
+// (iSAX2+'s many small leaves cost random I/O).
+func BenchmarkAblationISAXLeaf(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, leaf := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("leaf=%d", leaf), func(b *testing.B) {
+			st := storage.NewSeriesStore(w.Data, 0)
+			icfg := isax.DefaultConfig()
+			icfg.LeafCapacity = leaf
+			icfg.Segments = 8
+			tree, err := isax.Build(st, icfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seeks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seeks = 0
+				for qi := 0; qi < w.Queries.Size(); qi++ {
+					res, err := tree.Search(core.Query{Series: w.Queries.At(qi), K: cfg.K, Mode: core.ModeExact})
+					if err != nil {
+						b.Fatal(err)
+					}
+					seeks += res.IO.RandomSeeks
+				}
+			}
+			b.ReportMetric(float64(seeks)/float64(w.Queries.Size()), "randIO/query")
+		})
+	}
+}
+
+// BenchmarkAblationVABits sweeps the VA+file bit budget, reporting raw
+// series visited per exact query (more bits = tighter bounds = less raw
+// data touched).
+func BenchmarkAblationVABits(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, bits := range []int{16, 48, 96} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			st := storage.NewSeriesStore(w.Data, 0)
+			f, err := vafile.Build(st, vafile.Config{Coeffs: 16, TotalBits: bits, TrainSamples: 2048})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var visits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				visits = 0
+				for qi := 0; qi < w.Queries.Size(); qi++ {
+					res, err := f.Search(core.Query{Series: w.Queries.At(qi), K: cfg.K, Mode: core.ModeExact})
+					if err != nil {
+						b.Fatal(err)
+					}
+					visits += res.LeavesVisited
+				}
+			}
+			b.ReportMetric(float64(visits)/float64(w.Queries.Size()), "rawVisits/query")
+		})
+	}
+}
+
+// BenchmarkAblationHistogram sweeps the r_δ histogram sample size,
+// reporting the δ-ε query MAP (the paper's observation: the histogram
+// approximation of r_δ limits how useful δ is).
+func BenchmarkAblationHistogram(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, pairs := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			st := storage.NewSeriesStore(w.Data, 0)
+			tree, err := dstree.Build(st, dstree.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			tree.SetHistogram(core.BuildHistogram(w.Data, pairs, cfg.Seed))
+			var mapSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := eval.Run(tree, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 0.95}, storage.CostModel{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mapSum = out.Metrics.MAP
+			}
+			b.ReportMetric(mapSum, "MAP")
+		})
+	}
+}
+
+// BenchmarkAblationIMITrain sweeps the IMI training size, reporting recall,
+// reproducing the paper's training-size discussion.
+func BenchmarkAblationIMITrain(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, train := range []int{50, 500, 0} {
+		name := fmt.Sprintf("train=%d", train)
+		if train == 0 {
+			name = "train=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			icfg := imi.DefaultConfig()
+			icfg.TrainSamples = train
+			idx, err := imi.Build(w.Data, icfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var recall float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := eval.Run(idx, w, core.Query{Mode: core.ModeNG, NProbe: 32}, storage.CostModel{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = out.Metrics.AvgRecall
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationEarlyAbandon compares the early-abandoning distance
+// kernel against the plain one inside a serial scan.
+func BenchmarkAblationEarlyAbandon(b *testing.B) {
+	cfg := benchSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length*2, cfg.Queries, 1, cfg.Seed)
+	q := w.Queries.At(0)
+	b.Run("early-abandon", func(b *testing.B) {
+		st := storage.NewSeriesStore(w.Data, 0)
+		s := scan.New(st)
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Search(core.Query{Series: q, K: 1, Mode: core.ModeExact}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-distance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best := math.Inf(1)
+			for j := 0; j < w.Data.Size(); j++ {
+				if d := series.SquaredDist(q, w.Data.At(j)); d < best {
+					best = d
+				}
+			}
+			_ = best
+		}
+	})
+}

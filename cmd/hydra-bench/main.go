@@ -1,0 +1,117 @@
+// Command hydra-bench regenerates the paper's experiments.
+//
+// Usage:
+//
+//	hydra-bench -experiment fig3 [-n 4000] [-length 128] [-queries 20] [-k 10]
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, all.
+// Raising -n / -length / -queries approaches the paper's original scale;
+// the defaults finish in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hydra/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|all")
+		n          = flag.Int("n", 4000, "series per dataset")
+		length     = flag.Int("length", 128, "series length")
+		queries    = flag.Int("queries", 20, "queries per workload")
+		k          = flag.Int("k", 10, "neighbours per query")
+		seed       = flag.Int64("seed", 42, "master seed")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultSuite()
+	cfg.N = *n
+	cfg.Length = *length
+	cfg.Queries = *queries
+	cfg.K = *k
+	cfg.Seed = *seed
+
+	if err := run(strings.ToLower(*experiment), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg eval.SuiteConfig) error {
+	printAll := func(tables []*eval.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	}
+	printOne := func(t *eval.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	sizes := []int{cfg.N / 4, cfg.N / 2, cfg.N, cfg.N * 2}
+
+	switch experiment {
+	case "table1":
+		return printOne(eval.Table1(), nil)
+	case "fig2":
+		t, err := eval.Fig2(cfg, sizes, eval.MethodNames[:len(eval.MethodNames)-1])
+		return printAll(t, err)
+	case "fig3":
+		t, err := eval.Fig3(cfg)
+		return printAll(t, err)
+	case "fig4":
+		t, err := eval.Fig4(cfg)
+		return printAll(t, err)
+	case "fig5":
+		t, err := eval.Fig5(cfg)
+		return printOne(t, err)
+	case "fig6":
+		t, err := eval.Fig6(cfg)
+		return printAll(t, err)
+	case "fig7":
+		t, err := eval.Fig7(cfg)
+		return printOne(t, err)
+	case "fig8":
+		t, err := eval.Fig8(cfg)
+		return printAll(t, err)
+	case "all":
+		if err := printOne(eval.Table1(), nil); err != nil {
+			return err
+		}
+		if t, err := eval.Fig2(cfg, sizes, eval.MethodNames[:len(eval.MethodNames)-1]); err != nil {
+			return err
+		} else if err := printAll(t, nil); err != nil {
+			return err
+		}
+		for name, f := range map[string]func(eval.SuiteConfig) ([]*eval.Table, error){
+			"fig3": eval.Fig3, "fig4": eval.Fig4, "fig6": eval.Fig6, "fig8": eval.Fig8,
+		} {
+			tables, err := f(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if err := printAll(tables, nil); err != nil {
+				return err
+			}
+		}
+		if err := printOne(eval.Fig5(cfg)); err != nil {
+			return err
+		}
+		return printOne(eval.Fig7(cfg))
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

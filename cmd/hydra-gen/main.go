@@ -1,0 +1,76 @@
+// Command hydra-gen generates synthetic datasets and query workloads in the
+// hydra binary format.
+//
+// Usage:
+//
+//	hydra-gen -kind walk -n 100000 -length 256 -out data.bin
+//	hydra-gen -kind walk -n 100 -length 256 -queries-for data.bin -out queries.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+)
+
+func main() {
+	var (
+		kindName   = flag.String("kind", "walk", "generator: walk|clustered|seismic|smooth")
+		n          = flag.Int("n", 10000, "number of series")
+		length     = flag.Int("length", 256, "series length")
+		seed       = flag.Int64("seed", 1, "random seed")
+		clusters   = flag.Int("clusters", 64, "cluster count (clustered kind)")
+		znorm      = flag.Bool("znorm", false, "z-normalise every series")
+		out        = flag.String("out", "", "output file (required)")
+		queriesFor = flag.String("queries-for", "", "generate a query workload for this dataset file instead of a dataset")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hydra-gen: -out is required")
+		os.Exit(2)
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-gen: %v\n", err)
+		os.Exit(2)
+	}
+
+	var ds *series.Dataset
+	if *queriesFor != "" {
+		base, err := series.LoadFile(*queriesFor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-gen: %v\n", err)
+			os.Exit(1)
+		}
+		ds = dataset.Queries(base, kind, *n, *seed)
+	} else {
+		ds = dataset.Generate(dataset.Config{
+			Kind: kind, Count: *n, Length: *length, Seed: *seed,
+			Clusters: *clusters, ZNorm: *znorm,
+		})
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d series of length %d to %s\n", ds.Size(), ds.Length(), *out)
+}
+
+func parseKind(s string) (dataset.Kind, error) {
+	switch strings.ToLower(s) {
+	case "walk":
+		return dataset.KindWalk, nil
+	case "clustered":
+		return dataset.KindClustered, nil
+	case "seismic":
+		return dataset.KindSeismic, nil
+	case "smooth":
+		return dataset.KindSmooth, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", s)
+	}
+}

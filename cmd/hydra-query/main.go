@@ -1,0 +1,109 @@
+// Command hydra-query builds an index over a dataset file and answers a
+// workload of k-NN queries, printing per-query answers and summary
+// statistics.
+//
+// Usage:
+//
+//	hydra-query -data data.bin -queries queries.bin -method dstree \
+//	            -mode delta-epsilon -epsilon 1 -delta 0.99 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hydra/internal/core"
+	"hydra/internal/eval"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file (required)")
+		queryPath = flag.String("queries", "", "query workload file (required)")
+		method    = flag.String("method", "DSTree", "method name (see hydra-bench)")
+		mode      = flag.String("mode", "exact", "exact|ng|epsilon|delta-epsilon")
+		epsilon   = flag.Float64("epsilon", 0, "epsilon bound")
+		delta     = flag.Float64("delta", 1, "delta probability")
+		nprobe    = flag.Int("nprobe", 8, "probe budget for ng mode")
+		k         = flag.Int("k", 10, "neighbours per query")
+		truth     = flag.Bool("truth", true, "compute exact ground truth and report accuracy")
+	)
+	flag.Parse()
+	if *dataPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "hydra-query: -data and -queries are required")
+		os.Exit(2)
+	}
+	if err := run(*dataPath, *queryPath, *method, *mode, *epsilon, *delta, *nprobe, *k, *truth); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-query: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, nprobe, k int, wantTruth bool) error {
+	data, err := series.LoadFile(dataPath)
+	if err != nil {
+		return err
+	}
+	queries, err := series.LoadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	if queries.Length() != data.Length() {
+		return fmt.Errorf("query length %d != data length %d", queries.Length(), data.Length())
+	}
+	var qmode core.Mode
+	switch strings.ToLower(modeName) {
+	case "exact":
+		qmode = core.ModeExact
+	case "ng":
+		qmode = core.ModeNG
+	case "epsilon":
+		qmode = core.ModeEpsilon
+	case "delta-epsilon":
+		qmode = core.ModeDeltaEpsilon
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	w := eval.Workload{Data: data, Queries: queries, K: k}
+	if wantTruth {
+		w.Truth = scan.GroundTruth(data, queries, k)
+	}
+	cfg := eval.DefaultSuite()
+	built, err := eval.BuildMethod(method, w, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s over %d series (%.2fs, footprint %d bytes)\n",
+		built.Method.Name(), data.Size(), built.BuildSeconds, built.Footprint)
+
+	template := core.Query{Mode: qmode, Epsilon: epsilon, Delta: delta, NProbe: nprobe}
+	for qi := 0; qi < queries.Size(); qi++ {
+		q := template
+		q.Series = queries.At(qi)
+		q.K = k
+		res, err := built.Method.Search(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %3d:", qi)
+		for _, nb := range res.Neighbors {
+			fmt.Printf(" (%d, %.4f)", nb.ID, nb.Dist)
+		}
+		fmt.Println()
+	}
+	if wantTruth {
+		out, err := eval.Run(built.Method, w, template, storage.DefaultCostModel())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload: MAP=%.4f AvgRecall=%.4f MRE=%.4f randIO=%d bytes=%d\n",
+			out.Metrics.MAP, out.Metrics.AvgRecall, out.Metrics.MRE, out.IO.RandomSeeks, out.IO.BytesRead)
+	}
+	return nil
+}

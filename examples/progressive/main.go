@@ -1,0 +1,61 @@
+// Progressive & incremental search: the two follow-up directions the
+// paper's discussion proposes for δ-ε methods, demonstrated on a DSTree.
+//
+//   - progressive: stream intermediate best-so-far answers with increasing
+//     accuracy until the exact result;
+//   - incremental: pull neighbours one by one, paying only for what is
+//     consumed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/dstree"
+	"hydra/internal/storage"
+)
+
+func main() {
+	data := dataset.Generate(dataset.Config{
+		Kind: dataset.KindWalk, Count: 20000, Length: 256, Seed: 21,
+	})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := dstree.Build(store, dstree.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := dataset.Queries(data, dataset.KindWalk, 1, 22).At(0)
+
+	fmt.Println("progressive 5-NN (each line is an improved answer):")
+	_, err = tree.SearchProgressive(
+		core.Query{Series: query, K: 5, Mode: core.ModeExact},
+		func(u core.ProgressiveUpdate) bool {
+			tag := "intermediate"
+			if u.Final {
+				tag = "FINAL (exact)"
+			}
+			fmt.Printf("  after %3d leaves: k-th dist %.4f  [%s]\n",
+				u.LeavesVisited, u.Neighbors[len(u.Neighbors)-1].Dist, tag)
+			return true // keep refining
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nincremental iteration (neighbours pulled on demand):")
+	inc, err := tree.Incremental(query, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		nb, ok := inc.Next()
+		if !ok {
+			break
+		}
+		calcs, leaves := inc.Stats()
+		fmt.Printf("  #%d: id=%d dist=%.4f (cumulative: %d dist calcs, %d leaves)\n",
+			i+1, nb.ID, nb.Dist, calcs, leaves)
+	}
+}

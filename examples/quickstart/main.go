@@ -1,0 +1,66 @@
+// Quickstart: build a DSTree over random-walk data, then answer the same
+// query exactly, ng-approximately, and with a δ-ε guarantee, showing the
+// accuracy/cost trade-off the benchmark studies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/dstree"
+	"hydra/internal/storage"
+)
+
+func main() {
+	// 1. Generate a dataset of 10,000 random-walk series of length 256 (the
+	//    paper's Rand generator) and a query from the same process.
+	data := dataset.Generate(dataset.Config{
+		Kind: dataset.KindWalk, Count: 10000, Length: 256, Seed: 1,
+	})
+	queries := dataset.Queries(data, dataset.KindWalk, 1, 2)
+	query := queries.At(0)
+
+	// 2. Wrap the data in a paged store (gives us I/O accounting) and build
+	//    the DSTree, the paper's overall best performer.
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := dstree.Build(store, dstree.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A distance histogram enables δ-ε-approximate queries.
+	tree.SetHistogram(core.BuildHistogram(data, 10000, 3))
+
+	// 3. Exact 10-NN (Algorithm 1).
+	exact, err := tree.Search(core.Query{Series: query, K: 10, Mode: core.ModeExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact:    1-NN dist %.4f | leaves visited %d | bytes read %d\n",
+		exact.Neighbors[0].Dist, exact.LeavesVisited, exact.IO.BytesRead)
+
+	// 4. ng-approximate: visit a single leaf (the classic "approximate
+	//    search" of the data series literature).
+	ng, err := tree.Search(core.Query{Series: query, K: 10, Mode: core.ModeNG, NProbe: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ng(1):    1-NN dist %.4f | leaves visited %d | bytes read %d\n",
+		ng.Neighbors[0].Dist, ng.LeavesVisited, ng.IO.BytesRead)
+
+	// 5. δ-ε-approximate: distances within (1+1)× of exact with prob. 0.99
+	//    (Algorithm 2). Typically almost exact at a fraction of the work.
+	de, err := tree.Search(core.Query{
+		Series: query, K: 10, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("d-e(1,.99): 1-NN dist %.4f | leaves visited %d | bytes read %d\n",
+		de.Neighbors[0].Dist, de.LeavesVisited, de.IO.BytesRead)
+
+	// The ε-approximate answer can never be worse than (1+ε)× the exact.
+	bound := (1 + 1.0) * exact.Neighbors[0].Dist
+	fmt.Printf("guarantee: %.4f <= %.4f ? %v\n", de.Neighbors[0].Dist, bound, de.Neighbors[0].Dist <= bound)
+}

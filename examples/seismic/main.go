@@ -1,0 +1,52 @@
+// Seismic workload: pattern matching over bursty earthquake-like series
+// (the paper's Seismic100GB analogue). Compares the three disk-capable
+// data series methods on ng-approximate queries, reporting the measures
+// the paper uses for on-disk evaluation: accuracy, % of data accessed and
+// random I/O.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/eval"
+	"hydra/internal/storage"
+)
+
+func main() {
+	const (
+		n       = 8000
+		length  = 256
+		queries = 10
+		k       = 10
+	)
+	w := eval.NewWorkload(dataset.KindSeismic, n, length, queries, k, 7)
+	fmt.Printf("seismic-analogue: %d series of length %d, %d queries, k=%d\n\n",
+		n, length, queries, k)
+
+	cfg := eval.DefaultSuite()
+	model := storage.DefaultCostModel()
+	table := &eval.Table{
+		Title:   "ng-approximate pattern matching on the seismic analogue",
+		Columns: []string{"Method", "nprobe", "MAP", "%data", "RandIO/query", "Qrs/min(model)"},
+	}
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file"} {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, nprobe := range []int{1, 4, 16, 64} {
+			out, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeNG, NProbe: nprobe}, model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pct := 100 * float64(out.IO.BytesRead) / float64(b.Store.TotalBytes()) / float64(queries)
+			table.AddRow(name, fmt.Sprint(nprobe), eval.F(out.Metrics.MAP), eval.F(pct),
+				eval.I(out.IO.RandomSeeks/int64(queries)),
+				eval.F(eval.QueriesPerMinute(out.ModelSeconds, queries)))
+		}
+	}
+	fmt.Print(table.String())
+}

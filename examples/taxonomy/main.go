@@ -1,0 +1,59 @@
+// Taxonomy: classify query configurations into the paper's guarantee
+// classes (Figure 1) and print the method capability matrix (Table 1).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hydra/internal/core"
+	"hydra/internal/eval"
+)
+
+func main() {
+	fmt.Println("Query configurations and their guarantee class (paper Fig. 1):")
+	configs := []struct {
+		desc  string
+		delta float64
+		eps   float64
+	}{
+		{"delta=0.9, eps=1  (probabilistic)", 0.9, 1},
+		{"delta=1,   eps=1  (deterministic bound)", 1, 1},
+		{"delta=1,   eps=0  (exact)", 1, 0},
+		{"delta=0.5, eps=0  (probabilistic exact)", 0.5, 0},
+	}
+	for _, c := range configs {
+		fmt.Printf("  %-42s -> %s\n", c.desc, core.Classify(c.delta, c.eps))
+	}
+
+	fmt.Println("\nQuery-mode classification:")
+	qs := []core.Query{
+		{Mode: core.ModeNG, NProbe: 4, K: 1},
+		{Mode: core.ModeEpsilon, Epsilon: 2, K: 1},
+		{Mode: core.ModeDeltaEpsilon, Epsilon: 2, Delta: 0.99, K: 1},
+		{Mode: core.ModeExact, K: 1},
+	}
+	for _, q := range qs {
+		fmt.Printf("  mode=%-14s eps=%-4g delta=%-4g -> %s\n",
+			q.Mode, q.Epsilon, q.Delta, core.ClassifyQuery(q))
+	}
+
+	fmt.Println()
+	eval.Table1().Fprint(os.Stdout)
+
+	fmt.Println("\nRecommendations (paper Fig. 9 decision matrix):")
+	scenarios := []struct {
+		desc string
+		s    eval.Scenario
+	}{
+		{"in-memory, query-only, accuracy flexible", eval.Scenario{InMemory: true}},
+		{"in-memory, MAP must reach 1", eval.Scenario{InMemory: true, HighAccuracy: true}},
+		{"on-disk with guarantees", eval.Scenario{NeedGuarantees: true}},
+		{"no index yet, 100-query workload", eval.Scenario{CountIndexing: true}},
+		{"no index yet, 10K-query workload", eval.Scenario{CountIndexing: true, LargeWorkload: true}},
+	}
+	for _, sc := range scenarios {
+		method, why := eval.Recommend(sc.s)
+		fmt.Printf("  %-42s -> %-7s (%s)\n", sc.desc, method, why)
+	}
+}

@@ -1,0 +1,167 @@
+// Cross-method integration tests: every method is driven through the same
+// workload and the invariants that must hold across implementations are
+// asserted — exact methods agree bit-for-bit with the scan oracle, graded
+// approximate configurations produce graded accuracy, and the harness's
+// accounting stays consistent.
+package hydra_test
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/eval"
+	"hydra/internal/storage"
+)
+
+func integrationSuite() eval.SuiteConfig {
+	return eval.SuiteConfig{N: 1200, Length: 64, Queries: 6, K: 8, Seed: 77, HistogramPairs: 1200}
+}
+
+func TestIntegrationExactMethodsAgree(t *testing.T) {
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file", "MTree", "SerialScan"} {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for qi := 0; qi < w.Queries.Size(); qi++ {
+			res, err := b.Method.Search(core.Query{Series: w.Queries.At(qi), K: cfg.K, Mode: core.ModeExact})
+			if err != nil {
+				t.Fatalf("%s query %d: %v", name, qi, err)
+			}
+			if len(res.Neighbors) != cfg.K {
+				t.Fatalf("%s query %d: %d results", name, qi, len(res.Neighbors))
+			}
+			for i, nb := range res.Neighbors {
+				if math.Abs(nb.Dist-w.Truth[qi][i].Dist) > 1e-6 {
+					t.Fatalf("%s query %d rank %d: %v, oracle %v", name, qi, i, nb.Dist, w.Truth[qi][i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationEpsilonBoundAllMethods(t *testing.T) {
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+1)
+	eps := 2.0
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file", "MTree"} {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for qi := 0; qi < w.Queries.Size(); qi++ {
+			res, err := b.Method.Search(core.Query{Series: w.Queries.At(qi), K: cfg.K, Mode: core.ModeEpsilon, Epsilon: eps})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			bound := (1 + eps) * w.Truth[qi][cfg.K-1].Dist
+			for _, nb := range res.Neighbors {
+				if nb.Dist > bound+1e-6 {
+					t.Fatalf("%s query %d: %v exceeds (1+eps) bound %v", name, qi, nb.Dist, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationNGAccuracyGradesWithBudget(t *testing.T) {
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+2)
+	for _, name := range []string{"DSTree", "iSAX2+", "HNSW", "FLANN", "HD-index", "SRS", "QALSH"} {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lo, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeNG, NProbe: 2}, storage.CostModel{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hi, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeNG, NProbe: 600}, storage.CostModel{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hi.Metrics.AvgRecall+0.05 < lo.Metrics.AvgRecall {
+			t.Errorf("%s: recall fell with budget: %.3f -> %.3f", name, lo.Metrics.AvgRecall, hi.Metrics.AvgRecall)
+		}
+	}
+}
+
+func TestIntegrationDeltaEpsilonMethods(t *testing.T) {
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+3)
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file", "MTree", "SRS", "QALSH"} {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9}, storage.CostModel{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Metrics.AvgRecall <= 0 {
+			t.Errorf("%s: zero recall under delta-epsilon", name)
+		}
+	}
+}
+
+func TestIntegrationRecallOrderingMatchesPaper(t *testing.T) {
+	// The broad in-memory finding: at generous ng budgets, the graph method
+	// and the data series trees reach (near-)perfect accuracy while IMI is
+	// capped by compressed ranking.
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+4)
+	recallAt := func(name string, nprobe int) float64 {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeNG, NProbe: nprobe}, storage.CostModel{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out.Metrics.AvgRecall
+	}
+	hnsw := recallAt("HNSW", 256)
+	dstree := recallAt("DSTree", 40)
+	imi := recallAt("IMI", 256)
+	if hnsw < 0.9 {
+		t.Errorf("HNSW recall %v at large ef", hnsw)
+	}
+	if dstree < 0.9 {
+		t.Errorf("DSTree recall %v at large nprobe", dstree)
+	}
+	if imi >= hnsw {
+		t.Errorf("IMI (%v) should trail HNSW (%v): compressed ranking caps it", imi, hnsw)
+	}
+}
+
+func TestIntegrationIOAccountingConsistent(t *testing.T) {
+	cfg := integrationSuite()
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+5)
+	for _, name := range eval.DiskMethodNames {
+		b, err := eval.BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := eval.Run(b.Method, w, core.Query{Mode: core.ModeNG, NProbe: 4}, storage.DefaultCostModel())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "IMI" {
+			if out.IO.BytesRead != 0 {
+				t.Errorf("IMI read %d raw bytes — it must only use summaries", out.IO.BytesRead)
+			}
+			continue
+		}
+		if out.IO.BytesRead <= 0 {
+			t.Errorf("%s: disk method charged no raw reads", name)
+		}
+		if out.IO.RandomSeeks < 0 || out.IO.SequentialPages < 0 {
+			t.Errorf("%s: negative counters %+v", name, out.IO)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func TestQueryValidate(t *testing.T) {
+	q := series.Series{1, 2, 3}
+	cases := []struct {
+		name string
+		in   Query
+		ok   bool
+	}{
+		{"exact ok", Query{Series: q, K: 1, Mode: ModeExact}, true},
+		{"empty series", Query{K: 1, Mode: ModeExact}, false},
+		{"zero k", Query{Series: q, Mode: ModeExact}, false},
+		{"ng needs nprobe", Query{Series: q, K: 1, Mode: ModeNG}, false},
+		{"ng ok", Query{Series: q, K: 1, Mode: ModeNG, NProbe: 2}, true},
+		{"negative eps", Query{Series: q, K: 1, Mode: ModeEpsilon, Epsilon: -1}, false},
+		{"eps ok", Query{Series: q, K: 1, Mode: ModeEpsilon, Epsilon: 2}, true},
+		{"delta out of range", Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Delta: 1.5}, false},
+		{"delta ok", Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Delta: 0.9}, true},
+		{"bad mode", Query{Series: q, K: 1, Mode: Mode(42)}, false},
+	}
+	for _, c := range cases {
+		err := c.in.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeExact.String() != "exact" || ModeNG.String() != "ng" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestKNNSetBasics(t *testing.T) {
+	s := NewKNNSet(3)
+	if s.Full() {
+		t.Error("fresh set should not be full")
+	}
+	if !math.IsInf(s.Worst(), 1) {
+		t.Error("Worst of non-full set should be +Inf")
+	}
+	s.Offer(1, 5)
+	s.Offer(2, 3)
+	s.Offer(3, 7)
+	if !s.Full() || s.Worst() != 7 {
+		t.Errorf("Full=%v Worst=%v", s.Full(), s.Worst())
+	}
+	// Improvement replaces the worst.
+	if !s.Offer(4, 1) {
+		t.Error("improving offer rejected")
+	}
+	if s.Worst() != 5 {
+		t.Errorf("Worst = %v, want 5", s.Worst())
+	}
+	// Non-improving offer rejected.
+	if s.Offer(5, 100) {
+		t.Error("non-improving offer accepted")
+	}
+	got := s.Sorted()
+	want := []Neighbor{{4, 1}, {2, 3}, {1, 5}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sorted[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKNNSetDedup(t *testing.T) {
+	s := NewKNNSet(2)
+	s.Offer(7, 1)
+	if s.Offer(7, 0.5) {
+		t.Error("duplicate id accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestKNNSetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		n := k + rng.Intn(200)
+		dists := make([]float64, n)
+		s := NewKNNSet(k)
+		for i := 0; i < n; i++ {
+			dists[i] = rng.Float64() * 100
+			s.Offer(i, dists[i])
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		got := s.Sorted()
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results", trial, len(got))
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Dist-sorted[i]) > 1e-12 {
+				t.Fatalf("trial %d: rank %d dist %v want %v", trial, i, got[i].Dist, sorted[i])
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(0.5, 1) != GuaranteeDeltaEpsilon {
+		t.Error("delta<1 should be delta-epsilon")
+	}
+	if Classify(1, 1) != GuaranteeEpsilon {
+		t.Error("delta=1 eps>0 should be epsilon")
+	}
+	if Classify(1, 0) != GuaranteeExact {
+		t.Error("delta=1 eps=0 should be exact")
+	}
+}
+
+func TestClassifyQuery(t *testing.T) {
+	q := series.Series{1}
+	cases := []struct {
+		in   Query
+		want Guarantee
+	}{
+		{Query{Series: q, K: 1, Mode: ModeExact}, GuaranteeExact},
+		{Query{Series: q, K: 1, Mode: ModeNG, NProbe: 1}, GuaranteeNG},
+		{Query{Series: q, K: 1, Mode: ModeEpsilon, Epsilon: 1}, GuaranteeEpsilon},
+		{Query{Series: q, K: 1, Mode: ModeEpsilon, Epsilon: 0}, GuaranteeExact},
+		{Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Epsilon: 1, Delta: 0.5}, GuaranteeDeltaEpsilon},
+		{Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Epsilon: 1, Delta: 1}, GuaranteeEpsilon},
+		{Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Epsilon: 0, Delta: 1}, GuaranteeExact},
+	}
+	for i, c := range cases {
+		if got := ClassifyQuery(c.in); got != c.want {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCapabilitiesMatchTable1(t *testing.T) {
+	caps := Capabilities()
+	byName := map[string]Capability{}
+	for _, c := range caps {
+		byName[c.Name] = c
+	}
+	// The three data series methods support everything and live on disk.
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file"} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s missing from capability matrix", name)
+		}
+		if !(c.Exact && c.NG && c.Epsilon && c.DeltaEpsilon && c.DiskResident && c.Modified) {
+			t.Errorf("%s capabilities wrong: %+v", name, c)
+		}
+	}
+	// LSH methods: delta-epsilon only.
+	for _, name := range []string{"SRS", "QALSH"} {
+		c := byName[name]
+		if c.Exact || c.NG || c.Epsilon || !c.DeltaEpsilon {
+			t.Errorf("%s capabilities wrong: %+v", name, c)
+		}
+	}
+	// Graph methods: ng only, in-memory.
+	for _, name := range []string{"HNSW", "NSG"} {
+		c := byName[name]
+		if !c.NG || c.Exact || c.DiskResident {
+			t.Errorf("%s capabilities wrong: %+v", name, c)
+		}
+	}
+	if !byName["IMI"].DiskResident {
+		t.Error("IMI should support disk-resident data")
+	}
+}
+
+func TestSupportsMode(t *testing.T) {
+	c := Capability{Exact: true, NG: true}
+	if !c.SupportsMode(ModeExact) || !c.SupportsMode(ModeNG) {
+		t.Error("supported modes rejected")
+	}
+	if c.SupportsMode(ModeEpsilon) || c.SupportsMode(Mode(9)) {
+		t.Error("unsupported modes accepted")
+	}
+}
+
+func TestHistogramQuantileAndCDF(t *testing.T) {
+	h := NewHistogramFromDistances([]float64{1, 2, 3, 4, 5})
+	if h.Quantile(0) != 1 || h.Quantile(1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := h.CDF(3); got != 0.6 {
+		t.Errorf("CDF(3) = %v, want 0.6", got)
+	}
+	if got := h.CDF(0.5); got != 0 {
+		t.Errorf("CDF(0.5) = %v, want 0", got)
+	}
+	if got := h.CDF(10); got != 1 {
+		t.Errorf("CDF(10) = %v, want 1", got)
+	}
+}
+
+func TestRDeltaSemantics(t *testing.T) {
+	h := NewHistogramFromDistances([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if !math.IsInf(h.RDelta(0, 100), 1) {
+		t.Error("delta=0 should give +Inf radius")
+	}
+	if h.RDelta(1, 100) != 0 {
+		t.Error("delta=1 should give 0 radius")
+	}
+	// Monotone: higher delta => smaller radius (harder emptiness demand).
+	r1 := h.RDelta(0.5, 100)
+	r2 := h.RDelta(0.99, 100)
+	if r2 > r1 {
+		t.Errorf("RDelta not monotone: δ=0.5 -> %v, δ=0.99 -> %v", r1, r2)
+	}
+	// Larger dataset => smaller radius (more points make emptiness harder).
+	ra := h.RDelta(0.9, 10)
+	rb := h.RDelta(0.9, 10000)
+	if rb > ra {
+		t.Errorf("RDelta should shrink with n: n=10 -> %v, n=10000 -> %v", ra, rb)
+	}
+}
+
+func TestBuildHistogramFromDataset(t *testing.T) {
+	d := series.NewDataset(4)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		s := make(series.Series, 4)
+		for j := range s {
+			s[j] = float32(rng.NormFloat64())
+		}
+		d.Append(s)
+	}
+	h := BuildHistogram(d, 500, 1)
+	if len(h.sorted) != 500 {
+		t.Fatalf("sample count %d", len(h.sorted))
+	}
+	for _, v := range h.sorted {
+		if v <= 0 {
+			t.Fatal("distances must be positive for distinct random series")
+		}
+	}
+	// Deterministic under seed.
+	h2 := BuildHistogram(d, 500, 1)
+	if h.Quantile(0.5) != h2.Quantile(0.5) {
+		t.Error("histogram not deterministic")
+	}
+}
+
+func TestGuaranteeString(t *testing.T) {
+	if GuaranteeExact.String() != "exact" || GuaranteeNG.String() != "ng-approximate" {
+		t.Error("guarantee names wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"container/heap"
+)
+
+// TreeCursor is the per-query view of a hierarchical index that the generic
+// engine drives. A tree method (DSTree, iSAX2+) implements Begin(query) to
+// precompute its query-side summarisation once, then hands back a cursor.
+//
+// All distances exchanged with the engine are actual Euclidean distances
+// (not squared): the ε-relaxation divides by (1+ε) in distance space.
+type TreeCursor interface {
+	// Roots returns the root node(s) of the index.
+	Roots() []NodeRef
+	// MinDist returns the lower-bounding distance from the query to node n.
+	MinDist(n NodeRef) float64
+	// IsLeaf reports whether n is a leaf.
+	IsLeaf(n NodeRef) bool
+	// Children returns the children of internal node n.
+	Children(n NodeRef) []NodeRef
+	// ScanLeaf computes the true distance from the query to every series in
+	// leaf n, invoking visit for each. limit supplies the current pruning
+	// threshold so implementations can early-abandon; they may report a
+	// distance larger than the true one when it exceeds limit().
+	ScanLeaf(n NodeRef, limit func() float64, visit func(id int, dist float64))
+}
+
+// NodeRef identifies a node; implementations use their own node pointers.
+// Values must be usable as map keys (the engine deduplicates leaf visits).
+type NodeRef interface{}
+
+// nodeItem is a priority-queue entry ordered by lower-bound distance.
+type nodeItem struct {
+	node NodeRef
+	lb   float64
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].lb < q[j].lb }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// SearchTree runs the paper's search algorithms over any hierarchical index
+// exposed as a TreeCursor.
+//
+//   - ModeExact implements Algorithm 1 (optimal exact NN search via a
+//     priority queue of lower bounds, seeded by an ng-approximate descent).
+//   - ModeNG visits up to q.NProbe leaves in best-first order and stops.
+//   - ModeEpsilon implements Algorithm 2 with δ=1: pruning compares lower
+//     bounds against bsf/(1+ε).
+//   - ModeDeltaEpsilon additionally stops early once
+//     bsf <= (1+ε)·r_δ(Q), with r_δ estimated by hist (which may be nil,
+//     in which case the stop never triggers, matching δ=1).
+//
+// The engine generalises Algorithm 2 to k >= 1 by using the k-th best
+// distance as bsf, exactly as the paper's implementations do.
+func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize int) Result {
+	kset := NewKNNSet(q.K)
+	res := Result{}
+	epsFactor := q.epsilonFactor()
+
+	rDelta := 0.0 // bsf <= 0 never holds: the stop is disabled by default
+	if q.Mode == ModeDeltaEpsilon && q.Delta < 1 && hist != nil {
+		rDelta = hist.RDelta(q.Delta, datasetSize)
+	}
+	stopDist := (1 + q.Epsilon) * rDelta // early-stop threshold on bsf
+
+	pq := &nodeQueue{}
+	heap.Init(pq)
+	visited := make(map[NodeRef]struct{})
+
+	scan := func(n NodeRef) {
+		if _, ok := visited[n]; ok {
+			return
+		}
+		visited[n] = struct{}{}
+		cur.ScanLeaf(n, kset.Worst, func(id int, dist float64) {
+			res.DistCalcs++
+			kset.Offer(id, dist)
+		})
+		res.LeavesVisited++
+	}
+
+	// ng-approximate seeding descent (Algorithm 1 line 6): follow the most
+	// promising child from the best root down to one leaf.
+	roots := cur.Roots()
+	if len(roots) > 0 {
+		best := roots[0]
+		bestLB := cur.MinDist(best)
+		for _, r := range roots[1:] {
+			if lb := cur.MinDist(r); lb < bestLB {
+				best, bestLB = r, lb
+			}
+		}
+		n := best
+		for !cur.IsLeaf(n) {
+			children := cur.Children(n)
+			if len(children) == 0 {
+				break
+			}
+			c := children[0]
+			cLB := cur.MinDist(c)
+			for _, cc := range children[1:] {
+				if lb := cur.MinDist(cc); lb < cLB {
+					c, cLB = cc, lb
+				}
+			}
+			n = c
+		}
+		if cur.IsLeaf(n) {
+			scan(n)
+		}
+	}
+	if q.Mode == ModeNG && res.LeavesVisited >= q.NProbe {
+		res.Neighbors = kset.Sorted()
+		return res
+	}
+	if q.Mode == ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
+		res.Neighbors = kset.Sorted()
+		return res
+	}
+
+	for _, r := range roots {
+		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		res.NodesPopped++
+		if it.lb > kset.Worst()/epsFactor {
+			break // all remaining nodes have larger lower bounds
+		}
+		if cur.IsLeaf(it.node) {
+			scan(it.node)
+			if q.Mode == ModeNG && res.LeavesVisited >= q.NProbe {
+				break
+			}
+			if q.Mode == ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
+				break
+			}
+			continue
+		}
+		for _, c := range cur.Children(it.node) {
+			lb := cur.MinDist(c)
+			if lb < kset.Worst()/epsFactor {
+				heap.Push(pq, nodeItem{node: c, lb: lb})
+			}
+		}
+	}
+	res.Neighbors = kset.Sorted()
+	return res
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+// mockTree is a balanced binary tree over a dataset, partitioned by id
+// ranges, with per-node lower bounds computed from the true minimum
+// distance in the node scaled down by a looseness factor — a valid lower
+// bound by construction, letting the engine tests verify exactness and
+// ε/δ semantics against brute force.
+type mockTree struct {
+	data   *series.Dataset
+	q      series.Series
+	loose  float64 // lb = loose * trueMin, loose in (0,1]
+	root   *mockNode
+	scans  int
+	charge func(int)
+}
+
+type mockNode struct {
+	lo, hi   int // series id range [lo,hi)
+	children []*mockNode
+}
+
+func buildMockTree(data *series.Dataset, leafSize int) *mockNode {
+	var build func(lo, hi int) *mockNode
+	build = func(lo, hi int) *mockNode {
+		n := &mockNode{lo: lo, hi: hi}
+		if hi-lo <= leafSize {
+			return n
+		}
+		mid := (lo + hi) / 2
+		n.children = []*mockNode{build(lo, mid), build(mid, hi)}
+		return n
+	}
+	return build(0, data.Size())
+}
+
+func (t *mockTree) Roots() []NodeRef { return []NodeRef{t.root} }
+
+func (t *mockTree) MinDist(n NodeRef) float64 {
+	node := n.(*mockNode)
+	best := math.Inf(1)
+	for i := node.lo; i < node.hi; i++ {
+		if d := series.Dist(t.q, t.data.At(i)); d < best {
+			best = d
+		}
+	}
+	return best * t.loose
+}
+
+func (t *mockTree) IsLeaf(n NodeRef) bool { return len(n.(*mockNode).children) == 0 }
+
+func (t *mockTree) Children(n NodeRef) []NodeRef {
+	node := n.(*mockNode)
+	out := make([]NodeRef, len(node.children))
+	for i, c := range node.children {
+		out[i] = c
+	}
+	return out
+}
+
+func (t *mockTree) ScanLeaf(n NodeRef, limit func() float64, visit func(id int, dist float64)) {
+	node := n.(*mockNode)
+	t.scans++
+	for i := node.lo; i < node.hi; i++ {
+		visit(i, series.Dist(t.q, t.data.At(i)))
+	}
+}
+
+func mockSetup(t *testing.T, n, length, leafSize int, loose float64, seed int64) (*mockTree, series.Series) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := series.NewDataset(length)
+	for i := 0; i < n; i++ {
+		s := make(series.Series, length)
+		for j := range s {
+			s[j] = float32(rng.NormFloat64())
+		}
+		data.Append(s)
+	}
+	q := make(series.Series, length)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	tree := &mockTree{data: data, q: q, loose: loose}
+	tree.root = buildMockTree(data, leafSize)
+	return tree, q
+}
+
+func bruteKNN(data *series.Dataset, q series.Series, k int) []Neighbor {
+	out := make([]Neighbor, 0, data.Size())
+	for i := 0; i < data.Size(); i++ {
+		out = append(out, Neighbor{ID: i, Dist: series.Dist(q, data.At(i))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out[:k]
+}
+
+func TestSearchTreeExactMatchesBruteForce(t *testing.T) {
+	for _, loose := range []float64{1.0, 0.7, 0.3} {
+		tree, q := mockSetup(t, 300, 16, 8, loose, 5)
+		for _, k := range []int{1, 5, 20} {
+			res := SearchTree(tree, Query{Series: q, K: k, Mode: ModeExact}, nil, 300)
+			want := bruteKNN(tree.data, q, k)
+			if len(res.Neighbors) != k {
+				t.Fatalf("loose=%v k=%d: %d results", loose, k, len(res.Neighbors))
+			}
+			for i := range want {
+				if math.Abs(res.Neighbors[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("loose=%v k=%d rank %d: %v vs %v", loose, k, i, res.Neighbors[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchTreeExactPrunes(t *testing.T) {
+	// With tight lower bounds (loose=1), the exact search must scan far
+	// fewer leaves than the total.
+	tree, q := mockSetup(t, 1024, 8, 8, 1.0, 7)
+	res := SearchTree(tree, Query{Series: q, K: 1, Mode: ModeExact}, nil, 1024)
+	totalLeaves := 1024 / 8
+	if res.LeavesVisited >= totalLeaves/2 {
+		t.Errorf("exact search visited %d of %d leaves — no pruning", res.LeavesVisited, totalLeaves)
+	}
+	if res.DistCalcs == 0 || res.NodesPopped == 0 {
+		t.Error("work counters not recorded")
+	}
+}
+
+func TestSearchTreeNGVisitsAtMostNProbe(t *testing.T) {
+	tree, q := mockSetup(t, 512, 8, 8, 0.5, 11)
+	for _, nprobe := range []int{1, 3, 10} {
+		tree.scans = 0
+		res := SearchTree(tree, Query{Series: q, K: 5, Mode: ModeNG, NProbe: nprobe}, nil, 512)
+		if res.LeavesVisited > nprobe {
+			t.Errorf("nprobe=%d: visited %d leaves", nprobe, res.LeavesVisited)
+		}
+		if len(res.Neighbors) == 0 {
+			t.Errorf("nprobe=%d: no results", nprobe)
+		}
+	}
+}
+
+func TestSearchTreeNGAccuracyImprovesWithNProbe(t *testing.T) {
+	tree, q := mockSetup(t, 800, 8, 4, 0.4, 13)
+	want := bruteKNN(tree.data, q, 10)
+	recall := func(nprobe int) float64 {
+		res := SearchTree(tree, Query{Series: q, K: 10, Mode: ModeNG, NProbe: nprobe}, nil, 800)
+		trueIDs := map[int]struct{}{}
+		for _, w := range want {
+			trueIDs[w.ID] = struct{}{}
+		}
+		hits := 0
+		for _, nb := range res.Neighbors {
+			if _, ok := trueIDs[nb.ID]; ok {
+				hits++
+			}
+		}
+		return float64(hits) / 10
+	}
+	r1, rAll := recall(1), recall(200)
+	if rAll < r1 {
+		t.Errorf("recall decreased with more probes: %v -> %v", r1, rAll)
+	}
+	if rAll < 0.999 {
+		t.Errorf("visiting every leaf should find everything, recall=%v", rAll)
+	}
+}
+
+func TestSearchTreeEpsilonGuarantee(t *testing.T) {
+	// ε-approximate results must satisfy dist <= (1+ε) * true kth distance.
+	for _, eps := range []float64{0.5, 1, 3} {
+		for trial := int64(0); trial < 5; trial++ {
+			tree, q := mockSetup(t, 400, 8, 8, 0.6, 100+trial)
+			k := 5
+			res := SearchTree(tree, Query{Series: q, K: k, Mode: ModeEpsilon, Epsilon: eps}, nil, 400)
+			want := bruteKNN(tree.data, q, k)
+			bound := (1 + eps) * want[k-1].Dist
+			for _, nb := range res.Neighbors {
+				if nb.Dist > bound+1e-9 {
+					t.Fatalf("eps=%v: result dist %v exceeds bound %v", eps, nb.Dist, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchTreeEpsilonZeroIsExact(t *testing.T) {
+	tree, q := mockSetup(t, 300, 8, 8, 0.5, 23)
+	resE := SearchTree(tree, Query{Series: q, K: 3, Mode: ModeEpsilon, Epsilon: 0}, nil, 300)
+	want := bruteKNN(tree.data, q, 3)
+	for i := range want {
+		if math.Abs(resE.Neighbors[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("epsilon=0 rank %d: %v vs %v", i, resE.Neighbors[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestSearchTreeEpsilonReducesWork(t *testing.T) {
+	tree, q := mockSetup(t, 2048, 8, 8, 0.9, 31)
+	exact := SearchTree(tree, Query{Series: q, K: 1, Mode: ModeExact}, nil, 2048)
+	approx := SearchTree(tree, Query{Series: q, K: 1, Mode: ModeEpsilon, Epsilon: 5}, nil, 2048)
+	if approx.LeavesVisited > exact.LeavesVisited {
+		t.Errorf("eps=5 visited %d leaves vs exact %d", approx.LeavesVisited, exact.LeavesVisited)
+	}
+}
+
+func TestSearchTreeDeltaOneEqualsEpsilon(t *testing.T) {
+	tree, q := mockSetup(t, 300, 8, 8, 0.5, 37)
+	h := NewHistogramFromDistances([]float64{1, 2, 3})
+	rd := SearchTree(tree, Query{Series: q, K: 3, Mode: ModeDeltaEpsilon, Epsilon: 1, Delta: 1}, h, 300)
+	re := SearchTree(tree, Query{Series: q, K: 3, Mode: ModeEpsilon, Epsilon: 1}, nil, 300)
+	for i := range re.Neighbors {
+		if rd.Neighbors[i] != re.Neighbors[i] {
+			t.Fatalf("delta=1 differs from epsilon mode at rank %d", i)
+		}
+	}
+}
+
+func TestSearchTreeDeltaEarlyStop(t *testing.T) {
+	// A histogram of huge distances makes r_δ enormous, so the early stop
+	// triggers after the first leaf — mimicking an easy query.
+	tree, q := mockSetup(t, 2048, 8, 8, 1.0, 41)
+	big := NewHistogramFromDistances([]float64{1e9, 1e9 + 1})
+	res := SearchTree(tree, Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Epsilon: 0, Delta: 0.5}, big, 2048)
+	if res.LeavesVisited > 1 {
+		t.Errorf("huge r_delta should stop after first leaf, visited %d", res.LeavesVisited)
+	}
+	// A histogram of tiny distances makes r_δ ~ 0: search equals exact.
+	tiny := NewHistogramFromDistances([]float64{1e-12, 2e-12})
+	resTiny := SearchTree(tree, Query{Series: q, K: 1, Mode: ModeDeltaEpsilon, Epsilon: 0, Delta: 0.99}, tiny, 2048)
+	want := bruteKNN(tree.data, q, 1)
+	if math.Abs(resTiny.Neighbors[0].Dist-want[0].Dist) > 1e-9 {
+		t.Errorf("tiny r_delta should behave exactly: %v vs %v", resTiny.Neighbors[0].Dist, want[0].Dist)
+	}
+}
+
+func TestSearchTreeNilHistogramSafe(t *testing.T) {
+	tree, q := mockSetup(t, 100, 8, 8, 0.5, 43)
+	res := SearchTree(tree, Query{Series: q, K: 2, Mode: ModeDeltaEpsilon, Epsilon: 0.5, Delta: 0.5}, nil, 100)
+	if len(res.Neighbors) != 2 {
+		t.Fatalf("nil histogram search failed: %d results", len(res.Neighbors))
+	}
+}
+
+func TestSearchTreeSingleLeafTree(t *testing.T) {
+	tree, q := mockSetup(t, 10, 8, 16, 1.0, 47) // whole dataset in one leaf
+	res := SearchTree(tree, Query{Series: q, K: 3, Mode: ModeExact}, nil, 10)
+	want := bruteKNN(tree.data, q, 3)
+	for i := range want {
+		if res.Neighbors[i].ID != want[i].ID {
+			t.Fatalf("rank %d: id %d want %d", i, res.Neighbors[i].ID, want[i].ID)
+		}
+	}
+	if res.LeavesVisited != 1 {
+		t.Errorf("visited %d leaves in a 1-leaf tree", res.LeavesVisited)
+	}
+}

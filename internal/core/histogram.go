@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hydra/internal/series"
+)
+
+// DistanceHistogram approximates F(·), the overall distance distribution of
+// a dataset: the CDF of the distance between a random query point and a
+// random data point. The δ-ε-approximate extension (paper Algorithm 2,
+// following Ciaccia & Patella's PAC-NN) uses it to estimate r_δ(Q): the
+// largest radius around the query that is empty with probability δ.
+//
+// The paper approximates r_δ "with density histograms on a 100K data series
+// sample"; here the histogram is built from sampled pairwise distances and
+// r_δ is derived analytically: for n independent points, the ball of radius
+// r is empty with probability (1−F(r))^n >= δ, so
+//
+//	r_δ = F⁻¹(1 − δ^{1/n}).
+type DistanceHistogram struct {
+	sorted []float64 // ascending sample distances
+}
+
+// BuildHistogram samples `pairs` random (a, b) pairs from the dataset and
+// records their distances. Sampling is deterministic under seed.
+func BuildHistogram(data *series.Dataset, pairs int, seed int64) *DistanceHistogram {
+	if data.Size() < 2 {
+		panic("core: histogram needs at least 2 series")
+	}
+	if pairs <= 0 {
+		panic(fmt.Sprintf("core: invalid histogram sample size %d", pairs))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dists := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(data.Size())
+		b := rng.Intn(data.Size())
+		for b == a {
+			b = rng.Intn(data.Size())
+		}
+		dists = append(dists, series.Dist(data.At(a), data.At(b)))
+	}
+	sort.Float64s(dists)
+	return &DistanceHistogram{sorted: dists}
+}
+
+// NewHistogramFromDistances builds a histogram directly from precomputed
+// distances (used by tests and by methods that already have samples).
+func NewHistogramFromDistances(dists []float64) *DistanceHistogram {
+	if len(dists) == 0 {
+		panic("core: empty distance sample")
+	}
+	sorted := append([]float64(nil), dists...)
+	sort.Float64s(sorted)
+	return &DistanceHistogram{sorted: sorted}
+}
+
+// Quantile returns the empirical p-quantile of the sampled distances,
+// clamping p to [0,1].
+func (h *DistanceHistogram) Quantile(p float64) float64 {
+	if p <= 0 {
+		return h.sorted[0]
+	}
+	if p >= 1 {
+		return h.sorted[len(h.sorted)-1]
+	}
+	pos := p * float64(len(h.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(h.sorted) {
+		return h.sorted[len(h.sorted)-1]
+	}
+	return h.sorted[lo]*(1-frac) + h.sorted[lo+1]*frac
+}
+
+// CDF returns the empirical F(r): the fraction of sampled distances <= r.
+func (h *DistanceHistogram) CDF(r float64) float64 {
+	idx := sort.SearchFloat64s(h.sorted, math.Nextafter(r, math.Inf(1)))
+	return float64(idx) / float64(len(h.sorted))
+}
+
+// RDelta estimates r_δ for a dataset of n series: the radius such that a
+// ball of that radius around a random query is empty with probability δ.
+// δ=0 returns +Inf (the stopping condition always fires immediately) and
+// δ>=1 returns 0 (never fires), matching the semantics of Algorithm 2.
+func (h *DistanceHistogram) RDelta(delta float64, n int) float64 {
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	if delta >= 1 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := 1 - math.Pow(delta, 1/float64(n))
+	return h.Quantile(p)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file implements the two research directions the paper's discussion
+// calls out as follow-up work to the δ-ε extensions:
+//
+//   - incremental approximate k-NN: "returning the neighbors one by one as
+//     they are found", instead of all at once — implemented by Incremental,
+//     a pull-based iterator built on the classic Hjaltason–Samet ranked
+//     traversal (the same optimal ordering Algorithm 1 relies on);
+//   - progressive query answering: "return intermediate results with
+//     increasing accuracy until the exact answers are found" — implemented
+//     by SearchTreeProgressive, which invokes a callback every time the
+//     best-so-far answer improves, tagging the final invocation as exact.
+
+// Incremental iterates the neighbours of a query in increasing distance
+// order, lazily: each Next() does only the work needed to certify the next
+// neighbour. With eps > 0 certification is relaxed to the (1+ε) bound.
+type Incremental struct {
+	cur     TreeCursor
+	eps     float64
+	pq      *nodeQueue // unexplored nodes by lower bound
+	cand    *resultHeap
+	distOps int64
+	leaves  int
+}
+
+// resultHeap is a min-heap of confirmed-but-unreported candidates.
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewIncremental starts an incremental traversal. eps = 0 yields the exact
+// neighbour order; eps > 0 allows each reported neighbour to be up to
+// (1+ε) farther than the true next one, in exchange for less work.
+func NewIncremental(cur TreeCursor, eps float64) *Incremental {
+	inc := &Incremental{cur: cur, eps: eps, pq: &nodeQueue{}, cand: &resultHeap{}}
+	heap.Init(inc.pq)
+	heap.Init(inc.cand)
+	for _, r := range cur.Roots() {
+		heap.Push(inc.pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	}
+	return inc
+}
+
+// Next returns the next neighbour in (approximately) increasing distance
+// order. ok is false when the index is exhausted.
+func (inc *Incremental) Next() (nb Neighbor, ok bool) {
+	relax := 1 + inc.eps
+	for {
+		// A candidate is certified once no unexplored node could contain
+		// anything closer (relaxed by 1+ε).
+		if inc.cand.Len() > 0 {
+			head := (*inc.cand)[0]
+			if inc.pq.Len() == 0 || (*inc.pq)[0].lb >= head.Dist/relax {
+				return heap.Pop(inc.cand).(Neighbor), true
+			}
+		}
+		if inc.pq.Len() == 0 {
+			return Neighbor{}, false
+		}
+		it := heap.Pop(inc.pq).(nodeItem)
+		if inc.cur.IsLeaf(it.node) {
+			inc.leaves++
+			inc.cur.ScanLeaf(it.node, func() float64 { return math.Inf(1) }, func(id int, dist float64) {
+				inc.distOps++
+				heap.Push(inc.cand, Neighbor{ID: id, Dist: dist})
+			})
+			continue
+		}
+		for _, c := range inc.cur.Children(it.node) {
+			heap.Push(inc.pq, nodeItem{node: c, lb: inc.cur.MinDist(c)})
+		}
+	}
+}
+
+// Stats reports the work done so far.
+func (inc *Incremental) Stats() (distCalcs int64, leavesVisited int) {
+	return inc.distOps, inc.leaves
+}
+
+// ProgressiveUpdate is one intermediate answer of a progressive search.
+type ProgressiveUpdate struct {
+	Neighbors []Neighbor // current best k, sorted
+	// LeavesVisited at the time of the update.
+	LeavesVisited int
+	// Final marks the last update: the result is exact.
+	Final bool
+}
+
+// SearchTreeProgressive runs an exact k-NN search that reports every
+// improvement of the best-so-far answer through onUpdate, ending with a
+// Final update carrying the exact result. Returning false from onUpdate
+// stops the search early (the last delivered answer is then ng-approximate).
+func SearchTreeProgressive(cur TreeCursor, q Query, onUpdate func(ProgressiveUpdate) bool) Result {
+	kset := NewKNNSet(q.K)
+	res := Result{}
+	pq := &nodeQueue{}
+	heap.Init(pq)
+	for _, r := range cur.Roots() {
+		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	}
+	stopped := false
+	for pq.Len() > 0 && !stopped {
+		it := heap.Pop(pq).(nodeItem)
+		res.NodesPopped++
+		if it.lb > kset.Worst() {
+			break
+		}
+		if cur.IsLeaf(it.node) {
+			improved := false
+			cur.ScanLeaf(it.node, kset.Worst, func(id int, dist float64) {
+				res.DistCalcs++
+				if kset.Offer(id, dist) {
+					improved = true
+				}
+			})
+			res.LeavesVisited++
+			if improved && kset.Full() {
+				if !onUpdate(ProgressiveUpdate{Neighbors: kset.Sorted(), LeavesVisited: res.LeavesVisited}) {
+					stopped = true
+				}
+			}
+			continue
+		}
+		for _, c := range cur.Children(it.node) {
+			lb := cur.MinDist(c)
+			if lb < kset.Worst() {
+				heap.Push(pq, nodeItem{node: c, lb: lb})
+			}
+		}
+	}
+	res.Neighbors = kset.Sorted()
+	if !stopped {
+		onUpdate(ProgressiveUpdate{Neighbors: res.Neighbors, LeavesVisited: res.LeavesVisited, Final: true})
+	}
+	return res
+}

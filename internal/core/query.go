@@ -1,0 +1,230 @@
+// Package core defines the query model shared by every similarity search
+// method in the benchmark, the generic hierarchical-index search engine
+// implementing the paper's Algorithms 1 and 2, the distance-distribution
+// histogram used to estimate r_δ(Q), and the taxonomy of guarantees
+// (paper Figure 1 and Table 1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// Mode selects the query-answering regime (paper Section 2 definitions).
+type Mode int
+
+const (
+	// ModeExact returns the true k nearest neighbours (δ=1, ε=0).
+	ModeExact Mode = iota
+	// ModeNG is ng-approximate search: no guarantees; tree methods visit up
+	// to NProbe leaves, other methods use their native heuristics.
+	ModeNG
+	// ModeEpsilon is ε-approximate search: every returned distance is at
+	// most (1+ε) times the true k-th NN distance (δ=1).
+	ModeEpsilon
+	// ModeDeltaEpsilon is δ-ε-approximate search: the ε bound holds with
+	// probability at least δ.
+	ModeDeltaEpsilon
+)
+
+// String names the mode as used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeNG:
+		return "ng"
+	case ModeEpsilon:
+		return "epsilon"
+	case ModeDeltaEpsilon:
+		return "delta-epsilon"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Query is a k-NN whole-matching similarity query.
+type Query struct {
+	Series  series.Series
+	K       int
+	Mode    Mode
+	Epsilon float64 // relative error bound ε >= 0 (ModeEpsilon / ModeDeltaEpsilon)
+	Delta   float64 // probability δ in [0,1] (ModeDeltaEpsilon)
+	NProbe  int     // leaves/lists/candidates to probe (ModeNG); method-specific unit
+}
+
+// Validate checks parameter sanity for the selected mode.
+func (q Query) Validate() error {
+	if len(q.Series) == 0 {
+		return fmt.Errorf("core: empty query series")
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", q.K)
+	}
+	switch q.Mode {
+	case ModeExact:
+	case ModeNG:
+		if q.NProbe <= 0 {
+			return fmt.Errorf("core: ng-approximate query needs NProbe >= 1, got %d", q.NProbe)
+		}
+	case ModeEpsilon:
+		if q.Epsilon < 0 {
+			return fmt.Errorf("core: epsilon must be >= 0, got %v", q.Epsilon)
+		}
+	case ModeDeltaEpsilon:
+		if q.Epsilon < 0 {
+			return fmt.Errorf("core: epsilon must be >= 0, got %v", q.Epsilon)
+		}
+		if q.Delta < 0 || q.Delta > 1 {
+			return fmt.Errorf("core: delta must be in [0,1], got %v", q.Delta)
+		}
+	default:
+		return fmt.Errorf("core: unknown mode %d", int(q.Mode))
+	}
+	return nil
+}
+
+// epsilonFactor returns the pruning relaxation 1+ε for the mode (1 when the
+// mode does not use ε).
+func (q Query) epsilonFactor() float64 {
+	switch q.Mode {
+	case ModeEpsilon, ModeDeltaEpsilon:
+		return 1 + q.Epsilon
+	default:
+		return 1
+	}
+}
+
+// Neighbor is one answer of a k-NN query.
+type Neighbor struct {
+	ID   int     // identifier of the data series within its dataset
+	Dist float64 // Euclidean distance to the query
+}
+
+// Result carries the answers plus per-query work counters.
+type Result struct {
+	Neighbors []Neighbor
+	// DistCalcs counts true (raw-data) distance computations.
+	DistCalcs int64
+	// LeavesVisited counts leaf nodes (or candidate lists) scanned.
+	LeavesVisited int
+	// NodesPopped counts priority-queue pops in tree searches.
+	NodesPopped int
+	// IO is the raw-data access activity charged during the query.
+	IO storage.Stats
+}
+
+// Method is the uniform interface the harness drives. Every technique in
+// the benchmark implements it.
+type Method interface {
+	// Name returns the method's display name (e.g. "DSTree").
+	Name() string
+	// Search answers a k-NN query according to its mode.
+	Search(q Query) (Result, error)
+	// Footprint estimates the in-memory size of the index structure in
+	// bytes (excluding the raw data when the method keeps it on disk).
+	Footprint() int64
+}
+
+// KNNSet maintains the k best candidates seen so far as a bounded max-heap
+// keyed on distance; the root is the current worst member, i.e. the pruning
+// threshold once the set is full.
+type KNNSet struct {
+	k     int
+	heap  []Neighbor // max-heap on Dist
+	seen  map[int]struct{}
+	dedup bool
+}
+
+// NewKNNSet creates a result set of capacity k that ignores duplicate IDs.
+func NewKNNSet(k int) *KNNSet {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: knn set capacity %d", k))
+	}
+	return &KNNSet{k: k, heap: make([]Neighbor, 0, k), seen: make(map[int]struct{}, k), dedup: true}
+}
+
+// Full reports whether k candidates are held.
+func (s *KNNSet) Full() bool { return len(s.heap) == s.k }
+
+// Len returns the number of candidates currently held.
+func (s *KNNSet) Len() int { return len(s.heap) }
+
+// Worst returns the current pruning threshold: the k-th best distance when
+// full, +Inf otherwise.
+func (s *KNNSet) Worst() float64 {
+	if !s.Full() {
+		return math.Inf(1)
+	}
+	return s.heap[0].Dist
+}
+
+// Offer inserts the candidate if it improves the set; returns true if the
+// set changed. Duplicate IDs are ignored.
+func (s *KNNSet) Offer(id int, dist float64) bool {
+	if s.dedup {
+		if _, ok := s.seen[id]; ok {
+			return false
+		}
+	}
+	if !s.Full() {
+		s.heap = append(s.heap, Neighbor{ID: id, Dist: dist})
+		s.up(len(s.heap) - 1)
+		s.seen[id] = struct{}{}
+		return true
+	}
+	if dist >= s.heap[0].Dist {
+		return false
+	}
+	delete(s.seen, s.heap[0].ID)
+	s.heap[0] = Neighbor{ID: id, Dist: dist}
+	s.down(0)
+	s.seen[id] = struct{}{}
+	return true
+}
+
+func (s *KNNSet) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Dist >= s.heap[i].Dist {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *KNNSet) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s.heap[l].Dist > s.heap[big].Dist {
+			big = l
+		}
+		if r < n && s.heap[r].Dist > s.heap[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.heap[i], s.heap[big] = s.heap[big], s.heap[i]
+		i = big
+	}
+}
+
+// Sorted returns the candidates ordered by increasing distance.
+func (s *KNNSet) Sorted() []Neighbor {
+	out := make([]Neighbor, len(s.heap))
+	copy(out, s.heap)
+	// Simple insertion sort: k is small (<= a few hundred).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Dist < out[j-1].Dist; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

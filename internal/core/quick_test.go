@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the core data structures.
+
+func TestKNNSetQuickTopK(t *testing.T) {
+	// Property: for arbitrary distance multisets, the set holds the k
+	// smallest values (as a multiset of distances).
+	f := func(raw []float32, kSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := 1 + int(kSeed)%10
+		s := NewKNNSet(k)
+		dists := make([]float64, len(raw))
+		for i, v := range raw {
+			d := math.Abs(float64(v))
+			dists[i] = d
+			s.Offer(i, d)
+		}
+		sort.Float64s(dists)
+		got := s.Sorted()
+		want := k
+		if len(raw) < k {
+			want = len(raw)
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-dists[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNNSetQuickWorstIsMax(t *testing.T) {
+	// Property: Worst() always equals the max of the held distances when
+	// full, +Inf otherwise.
+	f := func(raw []float32) bool {
+		k := 5
+		s := NewKNNSet(k)
+		for i, v := range raw {
+			s.Offer(i, math.Abs(float64(v)))
+			if s.Full() {
+				maxHeld := 0.0
+				for _, nb := range s.Sorted() {
+					if nb.Dist > maxHeld {
+						maxHeld = nb.Dist
+					}
+				}
+				if math.Abs(s.Worst()-maxHeld) > 1e-12 {
+					return false
+				}
+			} else if !math.IsInf(s.Worst(), 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuickQuantileMonotone(t *testing.T) {
+	// Property: quantiles are monotone in p and bounded by the sample
+	// extremes.
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		dists := make([]float64, len(raw))
+		for i, v := range raw {
+			dists[i] = math.Abs(float64(v))
+		}
+		h := NewHistogramFromDistances(dists)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := h.Quantile(p)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		sort.Float64s(dists)
+		return h.Quantile(0) == dists[0] && h.Quantile(1) == dists[len(dists)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuickCDFInverse(t *testing.T) {
+	// Property: CDF(Quantile(p)) >= p (up to sample granularity).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(500)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = rng.Float64() * 100
+		}
+		h := NewHistogramFromDistances(dists)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			if got := h.CDF(h.Quantile(p)); got < p-2.0/float64(n) {
+				t.Fatalf("trial %d: CDF(Quantile(%v)) = %v", trial, p, got)
+			}
+		}
+	}
+}
+
+func TestRDeltaQuickMonotone(t *testing.T) {
+	// Property: r_δ is non-increasing in both δ and n.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(200)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = rng.Float64() * 50
+		}
+		h := NewHistogramFromDistances(dists)
+		prev := math.Inf(1)
+		for _, d := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+			r := h.RDelta(d, 1000)
+			if r > prev+1e-12 {
+				t.Fatalf("trial %d: RDelta not monotone in delta", trial)
+			}
+			prev = r
+		}
+		prevN := math.Inf(1)
+		for _, size := range []int{10, 100, 1000, 100000} {
+			r := h.RDelta(0.9, size)
+			if r > prevN+1e-12 {
+				t.Fatalf("trial %d: RDelta not monotone in n", trial)
+			}
+			prevN = r
+		}
+	}
+}

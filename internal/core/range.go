@@ -1,0 +1,91 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hydra/internal/storage"
+)
+
+// RangeQuery is an r-range whole-matching query (paper Definition 2): it
+// retrieves every series within distance Radius of the query. The
+// ε-approximate relaxation (Definition 5) permits results up to
+// (1+ε)·Radius; pruning uses Radius directly, so with ε > 0 the engine
+// still returns every true result plus possibly some within the relaxed
+// bound.
+type RangeQuery struct {
+	Series  []float32
+	Radius  float64
+	Epsilon float64 // ε >= 0; 0 = exact range search
+}
+
+// Validate checks parameter sanity.
+func (q RangeQuery) Validate() error {
+	if len(q.Series) == 0 {
+		return fmt.Errorf("core: empty range query series")
+	}
+	if q.Radius < 0 {
+		return fmt.Errorf("core: negative radius %v", q.Radius)
+	}
+	if q.Epsilon < 0 {
+		return fmt.Errorf("core: negative epsilon %v", q.Epsilon)
+	}
+	return nil
+}
+
+// RangeResult carries range-query answers and work counters.
+type RangeResult struct {
+	Neighbors     []Neighbor // all matches, sorted by distance
+	DistCalcs     int64
+	LeavesVisited int
+	IO            storage.Stats
+}
+
+// SearchTreeRange answers a range query over any hierarchical index: a
+// node is visited iff its lower bound is at most the radius (Definition 2
+// semantics); within leaves, every series with distance <= (1+ε)·Radius is
+// reported. With ε = 0 the result is exact and complete.
+func SearchTreeRange(cur TreeCursor, q RangeQuery) RangeResult {
+	res := RangeResult{}
+	accept := (1 + q.Epsilon) * q.Radius
+	pq := &nodeQueue{}
+	heap.Init(pq)
+	for _, r := range cur.Roots() {
+		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	}
+	limit := func() float64 { return accept }
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.lb > q.Radius {
+			break
+		}
+		if cur.IsLeaf(it.node) {
+			cur.ScanLeaf(it.node, limit, func(id int, dist float64) {
+				res.DistCalcs++
+				if dist <= accept {
+					res.Neighbors = append(res.Neighbors, Neighbor{ID: id, Dist: dist})
+				}
+			})
+			res.LeavesVisited++
+			continue
+		}
+		for _, c := range cur.Children(it.node) {
+			lb := cur.MinDist(c)
+			if lb <= q.Radius {
+				heap.Push(pq, nodeItem{node: c, lb: lb})
+			}
+		}
+	}
+	sortNeighbors(res.Neighbors)
+	return res
+}
+
+// sortNeighbors orders by increasing distance (insertion sort: result sets
+// are small relative to the collection).
+func sortNeighbors(nbrs []Neighbor) {
+	for i := 1; i < len(nbrs); i++ {
+		for j := i; j > 0 && nbrs[j].Dist < nbrs[j-1].Dist; j-- {
+			nbrs[j], nbrs[j-1] = nbrs[j-1], nbrs[j]
+		}
+	}
+}

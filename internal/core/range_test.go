@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func TestRangeQueryValidate(t *testing.T) {
+	good := RangeQuery{Series: []float32{1, 2}, Radius: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	for i, q := range []RangeQuery{
+		{Radius: 1},
+		{Series: []float32{1}, Radius: -1},
+		{Series: []float32{1}, Radius: 1, Epsilon: -1},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func bruteRange(data *series.Dataset, q series.Series, r float64) []Neighbor {
+	var out []Neighbor
+	for i := 0; i < data.Size(); i++ {
+		if d := series.Dist(q, data.At(i)); d <= r {
+			out = append(out, Neighbor{ID: i, Dist: d})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+func TestSearchTreeRangeExact(t *testing.T) {
+	for _, loose := range []float64{1.0, 0.5} {
+		tree, q := mockSetup(t, 500, 8, 8, loose, 71)
+		// Pick a radius that captures a handful of series.
+		all := bruteRange(tree.data, q, math.Inf(1))
+		r := all[10].Dist
+		want := bruteRange(tree.data, q, r)
+		got := SearchTreeRange(tree, RangeQuery{Series: q, Radius: r})
+		if len(got.Neighbors) != len(want) {
+			t.Fatalf("loose=%v: %d results, want %d", loose, len(got.Neighbors), len(want))
+		}
+		for i := range want {
+			if got.Neighbors[i].ID != want[i].ID {
+				t.Fatalf("loose=%v rank %d: id %d want %d", loose, i, got.Neighbors[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestSearchTreeRangeEpsilonSuperset(t *testing.T) {
+	tree, q := mockSetup(t, 400, 8, 8, 0.7, 73)
+	all := bruteRange(tree.data, q, math.Inf(1))
+	r := all[5].Dist
+	exact := bruteRange(tree.data, q, r)
+	got := SearchTreeRange(tree, RangeQuery{Series: q, Radius: r, Epsilon: 0.5})
+	// Every exact result present; every returned result within (1+ε)r.
+	ids := map[int]struct{}{}
+	for _, nb := range got.Neighbors {
+		ids[nb.ID] = struct{}{}
+		if nb.Dist > 1.5*r+1e-9 {
+			t.Fatalf("result %v outside relaxed radius %v", nb.Dist, 1.5*r)
+		}
+	}
+	for _, nb := range exact {
+		if _, ok := ids[nb.ID]; !ok {
+			t.Fatalf("exact member %d missing from relaxed result", nb.ID)
+		}
+	}
+}
+
+func TestSearchTreeRangeEmpty(t *testing.T) {
+	tree, q := mockSetup(t, 100, 8, 8, 1.0, 79)
+	got := SearchTreeRange(tree, RangeQuery{Series: q, Radius: 1e-9})
+	if len(got.Neighbors) != 0 {
+		t.Errorf("tiny radius returned %d results", len(got.Neighbors))
+	}
+	if got.LeavesVisited > 2 {
+		t.Errorf("tiny radius visited %d leaves", got.LeavesVisited)
+	}
+}
+
+func TestSearchTreeRangePrunes(t *testing.T) {
+	tree, q := mockSetup(t, 2048, 8, 8, 1.0, 83)
+	all := bruteRange(tree.data, q, math.Inf(1))
+	got := SearchTreeRange(tree, RangeQuery{Series: q, Radius: all[3].Dist})
+	if got.LeavesVisited >= 2048/8/2 {
+		t.Errorf("range search visited %d leaves — no pruning", got.LeavesVisited)
+	}
+}
+
+func TestIncrementalExactOrder(t *testing.T) {
+	tree, q := mockSetup(t, 300, 8, 8, 0.6, 89)
+	want := bruteKNN(tree.data, q, 300)
+	inc := NewIncremental(tree, 0)
+	for i := 0; i < 20; i++ {
+		nb, ok := inc.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d", i)
+		}
+		if math.Abs(nb.Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: dist %v want %v", i, nb.Dist, want[i].Dist)
+		}
+	}
+	calcs, leaves := inc.Stats()
+	if calcs == 0 || leaves == 0 {
+		t.Error("work counters empty")
+	}
+}
+
+func TestIncrementalExhaustsExactly(t *testing.T) {
+	tree, _ := mockSetup(t, 64, 8, 8, 1.0, 97)
+	inc := NewIncremental(tree, 0)
+	seen := map[int]struct{}{}
+	count := 0
+	for {
+		nb, ok := inc.Next()
+		if !ok {
+			break
+		}
+		if _, dup := seen[nb.ID]; dup {
+			t.Fatalf("duplicate id %d", nb.ID)
+		}
+		seen[nb.ID] = struct{}{}
+		count++
+	}
+	if count != 64 {
+		t.Errorf("iterator yielded %d of 64", count)
+	}
+}
+
+func TestIncrementalLazyWork(t *testing.T) {
+	// Pulling 1 neighbour must cost far less than pulling all of them.
+	tree, _ := mockSetup(t, 2048, 8, 8, 1.0, 101)
+	inc := NewIncremental(tree, 0)
+	inc.Next()
+	calls1, _ := inc.Stats()
+	for {
+		if _, ok := inc.Next(); !ok {
+			break
+		}
+	}
+	callsAll, _ := inc.Stats()
+	if calls1 >= callsAll/2 {
+		t.Errorf("first pull cost %d of %d total distance calcs — not lazy", calls1, callsAll)
+	}
+}
+
+func TestIncrementalEpsilonRelaxed(t *testing.T) {
+	tree, q := mockSetup(t, 500, 8, 8, 0.8, 103)
+	want := bruteKNN(tree.data, q, 1)
+	inc := NewIncremental(tree, 1.0)
+	nb, ok := inc.Next()
+	if !ok {
+		t.Fatal("no neighbour")
+	}
+	if nb.Dist > 2*want[0].Dist+1e-9 {
+		t.Errorf("relaxed first neighbour %v exceeds (1+eps)*true %v", nb.Dist, 2*want[0].Dist)
+	}
+}
+
+func TestProgressiveReachesExact(t *testing.T) {
+	tree, q := mockSetup(t, 600, 8, 8, 0.7, 107)
+	want := bruteKNN(tree.data, q, 5)
+	var updates []ProgressiveUpdate
+	res := SearchTreeProgressive(tree, Query{Series: q, K: 5, Mode: ModeExact}, func(u ProgressiveUpdate) bool {
+		updates = append(updates, u)
+		return true
+	})
+	if len(updates) == 0 {
+		t.Fatal("no progressive updates")
+	}
+	last := updates[len(updates)-1]
+	if !last.Final {
+		t.Error("last update not marked final")
+	}
+	for i := range want {
+		if math.Abs(res.Neighbors[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("final result rank %d: %v want %v", i, res.Neighbors[i].Dist, want[i].Dist)
+		}
+	}
+	// Intermediate answers never get worse.
+	for i := 1; i < len(updates); i++ {
+		prev := updates[i-1].Neighbors[len(updates[i-1].Neighbors)-1].Dist
+		cur := updates[i].Neighbors[len(updates[i].Neighbors)-1].Dist
+		if cur > prev+1e-9 {
+			t.Fatalf("update %d regressed: %v -> %v", i, prev, cur)
+		}
+	}
+}
+
+func TestProgressiveEarlyStop(t *testing.T) {
+	tree, q := mockSetup(t, 2048, 8, 8, 0.9, 109)
+	count := 0
+	res := SearchTreeProgressive(tree, Query{Series: q, K: 3, Mode: ModeExact}, func(u ProgressiveUpdate) bool {
+		count++
+		return false // stop after the first update
+	})
+	if count != 1 {
+		t.Errorf("%d updates after early stop", count)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Errorf("early-stopped search returned %d results", len(res.Neighbors))
+	}
+}
+
+func TestIncrementalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(300)
+		tree, q := mockSetup(t, n, 8, 4+rng.Intn(12), 0.3+rng.Float64()*0.7, int64(200+trial))
+		want := bruteKNN(tree.data, q, n)
+		inc := NewIncremental(tree, 0)
+		for i := 0; i < 10 && i < n; i++ {
+			nb, ok := inc.Next()
+			if !ok {
+				t.Fatalf("trial %d: exhausted early", trial)
+			}
+			if math.Abs(nb.Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v want %v", trial, i, nb.Dist, want[i].Dist)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// Guarantee is the leaf of the paper's taxonomy (Figure 1) that a query
+// configuration falls into.
+type Guarantee int
+
+const (
+	// GuaranteeNG: no deterministic or probabilistic error bound.
+	GuaranteeNG Guarantee = iota
+	// GuaranteeDeltaEpsilon: ε error bound holding with probability δ < 1.
+	GuaranteeDeltaEpsilon
+	// GuaranteeEpsilon: deterministic ε error bound (δ = 1, ε > 0).
+	GuaranteeEpsilon
+	// GuaranteeExact: correct and complete answers (δ = 1, ε = 0).
+	GuaranteeExact
+)
+
+// String names the guarantee class.
+func (g Guarantee) String() string {
+	switch g {
+	case GuaranteeNG:
+		return "ng-approximate"
+	case GuaranteeDeltaEpsilon:
+		return "delta-epsilon-approximate"
+	case GuaranteeEpsilon:
+		return "epsilon-approximate"
+	case GuaranteeExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Guarantee(%d)", int(g))
+	}
+}
+
+// Classify maps a (δ, ε) configuration onto the taxonomy: δ = 1 collapses
+// δ-ε-approximate to ε-approximate, and ε = 0 collapses further to exact
+// (paper Section 2: "when δ = 1, a δ-ε-approximate method becomes
+// ε-approximate, and when ε = 0, an ε-approximate method becomes exact").
+func Classify(delta, epsilon float64) Guarantee {
+	if delta < 1 {
+		return GuaranteeDeltaEpsilon
+	}
+	if epsilon > 0 {
+		return GuaranteeEpsilon
+	}
+	return GuaranteeExact
+}
+
+// ClassifyQuery maps a Query onto the taxonomy.
+func ClassifyQuery(q Query) Guarantee {
+	switch q.Mode {
+	case ModeExact:
+		return GuaranteeExact
+	case ModeNG:
+		return GuaranteeNG
+	case ModeEpsilon:
+		return Classify(1, q.Epsilon)
+	case ModeDeltaEpsilon:
+		return Classify(q.Delta, q.Epsilon)
+	default:
+		return GuaranteeNG
+	}
+}
+
+// Capability records what a method supports — one row of the paper's
+// Table 1, with "•" marking the paper's (and our) modifications to the
+// original methods.
+type Capability struct {
+	Name           string
+	Exact          bool
+	NG             bool
+	Epsilon        bool
+	DeltaEpsilon   bool
+	DiskResident   bool
+	Representation string
+	Modified       bool // approximate guarantees added by the paper/this repo
+}
+
+// Capabilities returns the method capability matrix (paper Table 1).
+func Capabilities() []Capability {
+	return []Capability{
+		{Name: "HNSW", NG: true, Representation: "raw (graph)"},
+		{Name: "NSG", NG: true, Representation: "raw (graph)"},
+		{Name: "IMI", NG: true, Representation: "OPQ", DiskResident: true},
+		{Name: "QALSH", DeltaEpsilon: true, Representation: "signatures"},
+		{Name: "SRS", DeltaEpsilon: true, Representation: "signatures"},
+		{Name: "VA+file", Exact: true, NG: true, Epsilon: true, DeltaEpsilon: true, Representation: "DFT", DiskResident: true, Modified: true},
+		{Name: "Flann", NG: true, Representation: "raw (trees)"},
+		{Name: "DSTree", Exact: true, NG: true, Epsilon: true, DeltaEpsilon: true, Representation: "EAPCA", DiskResident: true, Modified: true},
+		{Name: "HD-index", NG: true, Representation: "Hilbert keys", DiskResident: true},
+		{Name: "iSAX2+", Exact: true, NG: true, Epsilon: true, DeltaEpsilon: true, Representation: "iSAX", DiskResident: true, Modified: true},
+	}
+}
+
+// SupportsMode reports whether the capability row allows the given mode.
+func (c Capability) SupportsMode(m Mode) bool {
+	switch m {
+	case ModeExact:
+		return c.Exact
+	case ModeNG:
+		return c.NG
+	case ModeEpsilon:
+		return c.Epsilon
+	case ModeDeltaEpsilon:
+		return c.DeltaEpsilon
+	default:
+		return false
+	}
+}

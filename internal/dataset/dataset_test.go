@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, kind := range []Kind{KindWalk, KindClustered, KindSeismic, KindSmooth} {
+		d := Generate(Config{Kind: kind, Count: 20, Length: 64, Seed: 1})
+		if d.Size() != 20 || d.Length() != 64 {
+			t.Errorf("%v: shape %dx%d, want 20x64", kind, d.Size(), d.Length())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Kind: KindWalk, Count: 5, Length: 32, Seed: 99})
+	b := Generate(Config{Kind: KindWalk, Count: 5, Length: 32, Seed: 99})
+	for i := 0; i < a.Size(); i++ {
+		for j := 0; j < a.Length(); j++ {
+			if a.At(i)[j] != b.At(i)[j] {
+				t.Fatalf("same seed diverges at [%d][%d]", i, j)
+			}
+		}
+	}
+	c := Generate(Config{Kind: KindWalk, Count: 5, Length: 32, Seed: 100})
+	same := true
+	for j := 0; j < a.Length(); j++ {
+		if a.At(0)[j] != c.At(0)[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first series")
+	}
+}
+
+func TestWalkIsASummingProcess(t *testing.T) {
+	// Successive differences of a random walk should be N(0,1): their mean
+	// near 0, variance near 1.
+	d := Generate(Config{Kind: KindWalk, Count: 50, Length: 256, Seed: 7})
+	var sum, sumSq float64
+	var n int
+	for i := 0; i < d.Size(); i++ {
+		s := d.At(i)
+		for j := 1; j < len(s); j++ {
+			step := float64(s[j] - s[j-1])
+			sum += step
+			sumSq += step * step
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("step mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("step variance = %v, want ~1", variance)
+	}
+}
+
+func TestClusteredHasClusterStructure(t *testing.T) {
+	// With few clusters and tight spread, intra-cluster distances should be
+	// far smaller than typical inter-cluster distances. Verify via the
+	// nearest-neighbour distance distribution: for clustered data the mean
+	// 1-NN distance is much below the mean pairwise distance.
+	d := Generate(Config{Kind: KindClustered, Count: 200, Length: 32, Seed: 3, Clusters: 8})
+	var nnSum, pairSum float64
+	var pairN int
+	for i := 0; i < d.Size(); i++ {
+		best := math.Inf(1)
+		for j := 0; j < d.Size(); j++ {
+			if i == j {
+				continue
+			}
+			dist := series.Dist(d.At(i), d.At(j))
+			if dist < best {
+				best = dist
+			}
+			if j > i {
+				pairSum += dist
+				pairN++
+			}
+		}
+		nnSum += best
+	}
+	nnMean := nnSum / float64(d.Size())
+	pairMean := pairSum / float64(pairN)
+	if nnMean > pairMean/2 {
+		t.Errorf("clustered data lacks structure: nnMean=%v pairMean=%v", nnMean, pairMean)
+	}
+}
+
+func TestSmoothIsCompressible(t *testing.T) {
+	// A smooth series should be well approximated by a coarse piecewise
+	// mean: reconstruction error per point must be small relative to the
+	// series variance.
+	d := Generate(Config{Kind: KindSmooth, Count: 20, Length: 128, Seed: 5})
+	segs := 16
+	segLen := 128 / segs
+	var errSum, varSum float64
+	for i := 0; i < d.Size(); i++ {
+		s := d.At(i)
+		mean := s.Mean()
+		for seg := 0; seg < segs; seg++ {
+			var m float64
+			for j := seg * segLen; j < (seg+1)*segLen; j++ {
+				m += float64(s[j])
+			}
+			m /= float64(segLen)
+			for j := seg * segLen; j < (seg+1)*segLen; j++ {
+				e := float64(s[j]) - m
+				errSum += e * e
+				v := float64(s[j]) - mean
+				varSum += v * v
+			}
+		}
+	}
+	if errSum > 0.25*varSum {
+		t.Errorf("smooth data not compressible: PAA error %.1f%% of variance", 100*errSum/varSum)
+	}
+}
+
+func TestSeismicHasBursts(t *testing.T) {
+	// Seismic series should have maximum absolute amplitude well above the
+	// background noise level (bursty), unlike plain AR(1).
+	d := Generate(Config{Kind: KindSeismic, Count: 30, Length: 256, Seed: 11})
+	bursty := 0
+	for i := 0; i < d.Size(); i++ {
+		s := d.At(i)
+		var maxAbs float64
+		for _, v := range s {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 3*s.Stdev() {
+			bursty++
+		}
+	}
+	if bursty < d.Size()/3 {
+		t.Errorf("only %d/%d seismic series look bursty", bursty, d.Size())
+	}
+}
+
+func TestZNormOption(t *testing.T) {
+	d := Generate(Config{Kind: KindWalk, Count: 10, Length: 64, Seed: 2, ZNorm: true})
+	for i := 0; i < d.Size(); i++ {
+		if m := d.At(i).Mean(); math.Abs(m) > 1e-4 {
+			t.Errorf("series %d mean = %v after znorm", i, m)
+		}
+	}
+}
+
+func TestQueriesWalk(t *testing.T) {
+	d := Generate(Config{Kind: KindWalk, Count: 10, Length: 64, Seed: 1})
+	q := Queries(d, KindWalk, 7, 2)
+	if q.Size() != 7 || q.Length() != 64 {
+		t.Fatalf("queries shape %dx%d", q.Size(), q.Length())
+	}
+}
+
+func TestQueriesNoiseGraded(t *testing.T) {
+	d := Generate(Config{Kind: KindClustered, Count: 100, Length: 32, Seed: 1, Clusters: 4})
+	q := Queries(d, KindClustered, 20, 9)
+	if q.Size() != 20 {
+		t.Fatalf("query count = %d", q.Size())
+	}
+	// Early queries (low noise) should be closer to their nearest dataset
+	// series than late queries (high noise), on average.
+	nn := func(s series.Series) float64 {
+		best := math.Inf(1)
+		for i := 0; i < d.Size(); i++ {
+			if dist := series.Dist(s, d.At(i)); dist < best {
+				best = dist
+			}
+		}
+		return best
+	}
+	var early, late float64
+	for i := 0; i < 5; i++ {
+		early += nn(q.At(i))
+		late += nn(q.At(q.Size() - 1 - i))
+	}
+	if early >= late {
+		t.Errorf("noise grading not monotone: early=%v late=%v", early, late)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWalk.String() != "Walk" || KindClustered.String() != "Clustered" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestGenerateInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid config")
+		}
+	}()
+	Generate(Config{Kind: KindWalk, Count: 0, Length: 10})
+}
+
+func TestSlidingWindows(t *testing.T) {
+	long := series.NewDataset(10)
+	s := make(series.Series, 10)
+	for i := range s {
+		s[i] = float32(i)
+	}
+	long.Append(s)
+	windows, refs, err := SlidingWindows(long, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offsets 0,2,4,6 -> 4 windows.
+	if windows.Size() != 4 || len(refs) != 4 {
+		t.Fatalf("%d windows, %d refs", windows.Size(), len(refs))
+	}
+	if windows.At(1)[0] != 2 {
+		t.Errorf("second window starts with %v, want 2", windows.At(1)[0])
+	}
+	if refs[2] != (WindowRef{Source: 0, Offset: 4}) {
+		t.Errorf("ref[2] = %+v", refs[2])
+	}
+}
+
+func TestSlidingWindowsZNorm(t *testing.T) {
+	long := Generate(Config{Kind: KindSeismic, Count: 3, Length: 128, Seed: 1})
+	windows, _, err := SlidingWindows(long, 32, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < windows.Size(); i++ {
+		if m := windows.At(i).Mean(); math.Abs(m) > 1e-4 {
+			t.Fatalf("window %d mean %v after znorm", i, m)
+		}
+	}
+}
+
+func TestSlidingWindowsValidation(t *testing.T) {
+	long := Generate(Config{Kind: KindWalk, Count: 1, Length: 16, Seed: 1})
+	if _, _, err := SlidingWindows(long, 0, 1, false); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, _, err := SlidingWindows(long, 32, 1, false); err == nil {
+		t.Error("window > length accepted")
+	}
+	if _, _, err := SlidingWindows(long, 8, 0, false); err == nil {
+		t.Error("stride 0 accepted")
+	}
+}
+
+func TestSlidingWindowsEnableSMviaWM(t *testing.T) {
+	// End-to-end: SM query answered through the WM conversion. The best
+	// window of the long series should be locatable via the refs.
+	long := Generate(Config{Kind: KindSmooth, Count: 5, Length: 256, Seed: 9})
+	windows, refs, err := SlidingWindows(long, 64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query is an exact window: the converted dataset must contain it
+	// at distance 0.
+	q := long.At(3)[40 : 40+64]
+	best, bestD := -1, math.Inf(1)
+	for i := 0; i < windows.Size(); i++ {
+		if d := series.Dist(series.Series(q), windows.At(i)); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if bestD > 1e-6 {
+		t.Fatalf("exact window not found: best distance %v", bestD)
+	}
+	if refs[best].Source != 3 || refs[best].Offset != 40 {
+		t.Errorf("provenance wrong: %+v", refs[best])
+	}
+}

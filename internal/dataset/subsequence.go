@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hydra/internal/series"
+)
+
+// Subsequence-matching support. The paper (Section 2) distinguishes whole
+// matching (WM) from subsequence matching (SM) and notes that "a SM query
+// can be converted to WM" by materialising the sliding windows of the long
+// series as a whole-matching collection (the ULISSE line of work). These
+// helpers perform that conversion, so any index in this repository can
+// answer SM queries over long recordings.
+
+// WindowRef locates a window in its source series.
+type WindowRef struct {
+	// Source is the index of the long series the window came from.
+	Source int
+	// Offset is the window's start position within the source.
+	Offset int
+}
+
+// SlidingWindows converts a collection of long series into a WM dataset of
+// all length-`window` subsequences taken every `stride` points, plus the
+// provenance of each window. Set znorm to z-normalise every window (the
+// standard practice for similarity search over subsequences).
+func SlidingWindows(long *series.Dataset, window, stride int, znorm bool) (*series.Dataset, []WindowRef, error) {
+	if window <= 0 || window > long.Length() {
+		return nil, nil, fmt.Errorf("dataset: window %d out of [1,%d]", window, long.Length())
+	}
+	if stride <= 0 {
+		return nil, nil, fmt.Errorf("dataset: stride %d must be positive", stride)
+	}
+	out := series.NewDataset(window)
+	var refs []WindowRef
+	for i := 0; i < long.Size(); i++ {
+		src := long.At(i)
+		for off := 0; off+window <= len(src); off += stride {
+			w := src[off : off+window].Clone()
+			if znorm {
+				w.ZNormalize()
+			}
+			out.Append(w)
+			refs = append(refs, WindowRef{Source: i, Offset: off})
+		}
+	}
+	if out.Size() == 0 {
+		return nil, nil, fmt.Errorf("dataset: no windows produced (window %d, stride %d)", window, stride)
+	}
+	return out, refs, nil
+}

@@ -1,0 +1,401 @@
+// Package dstree implements the DSTree (Wang et al., PVLDB 2013): a
+// dynamic-segmentation tree index over EAPCA summaries, extended — per the
+// benchmark paper — with ng-, ε- and δ-ε-approximate k-NN search via the
+// generic engine in internal/core.
+//
+// Every node carries its own segmentation and a synopsis holding, per
+// segment, the [min,max] range of member means and standard deviations.
+// When a leaf overflows it picks the best split according to a QoS measure
+// (how much the children's synopsis ranges tighten):
+//
+//   - a horizontal split partitions members on the mean or the standard
+//     deviation of one existing segment;
+//   - a vertical split first subdivides a segment (refining the
+//     segmentation for the subtree) and then partitions on a sub-segment
+//     mean — the distinguishing feature of the DSTree ("allows tree nodes
+//     to split vertically and horizontally, unlike the other data series
+//     indexes").
+package dstree
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/eapca"
+)
+
+// Config controls index shape.
+type Config struct {
+	// LeafCapacity is the maximum number of series per leaf before a split
+	// (paper setup: 100K for the 25–250GB datasets; scale accordingly).
+	LeafCapacity int
+	// InitialSegments is the segmentation width of the root.
+	InitialSegments int
+	// MaxSegments caps segmentation growth from vertical splits.
+	MaxSegments int
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{LeafCapacity: 128, InitialSegments: 4, MaxSegments: 16}
+}
+
+func (c Config) validate(length int) error {
+	if c.LeafCapacity < 2 {
+		return fmt.Errorf("dstree: leaf capacity %d < 2", c.LeafCapacity)
+	}
+	if c.InitialSegments < 1 || c.InitialSegments > length {
+		return fmt.Errorf("dstree: initial segments %d out of [1,%d]", c.InitialSegments, length)
+	}
+	if c.MaxSegments < c.InitialSegments {
+		return fmt.Errorf("dstree: max segments %d < initial %d", c.MaxSegments, c.InitialSegments)
+	}
+	return nil
+}
+
+// splitKind discriminates split rules.
+type splitKind int
+
+const (
+	splitMean splitKind = iota
+	splitStd
+)
+
+// splitRule routes a series to the left or right child.
+type splitRule struct {
+	childSeg  eapca.Segmentation // segmentation used by the children
+	segIdx    int                // segment index within childSeg
+	kind      splitKind
+	threshold float64
+	vertical  bool
+}
+
+func (r splitRule) goesLeft(stats []eapca.Stat) bool {
+	v := stats[r.segIdx].Mean
+	if r.kind == splitStd {
+		v = stats[r.segIdx].Std
+	}
+	return v <= r.threshold
+}
+
+type node struct {
+	seg eapca.Segmentation
+	syn *eapca.Synopsis
+	// Leaf state.
+	ids          []int
+	memberStats  [][]eapca.Stat // stats of members under seg, parallel to ids
+	unsplittable bool
+	// Internal state.
+	rule        splitRule
+	left, right *node
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a DSTree index over a series store.
+type Tree struct {
+	store *storage.SeriesStore
+	cfg   Config
+	root  *node
+	size  int
+	hist  *core.DistanceHistogram
+
+	nodeCount int
+	leafCount int
+	splits    int
+	vsplits   int
+}
+
+// Build constructs a DSTree over every series in the store.
+func Build(store *storage.SeriesStore, cfg Config) (*Tree, error) {
+	if err := cfg.validate(store.Length()); err != nil {
+		return nil, err
+	}
+	t := &Tree{store: store, cfg: cfg}
+	t.root = &node{
+		seg: eapca.Uniform(store.Length(), cfg.InitialSegments),
+		syn: eapca.NewSynopsis(cfg.InitialSegments),
+	}
+	t.nodeCount, t.leafCount = 1, 1
+	for i := 0; i < store.Size(); i++ {
+		t.insert(i)
+	}
+	return t, nil
+}
+
+// SetHistogram installs the distance-distribution histogram used by
+// δ-ε-approximate search (built once per dataset by the harness).
+func (t *Tree) SetHistogram(h *core.DistanceHistogram) { t.hist = h }
+
+// Name implements core.Method.
+func (t *Tree) Name() string { return "DSTree" }
+
+// Size returns the number of indexed series.
+func (t *Tree) Size() int { return t.size }
+
+// Stats exposes structural counters (tests, reports).
+func (t *Tree) Stats() (nodes, leaves, splits, verticalSplits int) {
+	return t.nodeCount, t.leafCount, t.splits, t.vsplits
+}
+
+// Footprint implements core.Method: synopsis + bookkeeping per node, plus
+// the member stat cache held at leaves.
+func (t *Tree) Footprint() int64 {
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		total += int64(len(n.seg))*8 + int64(4*len(n.syn.MinMean))*8 + 64
+		if n.isLeaf() {
+			total += int64(len(n.ids)) * 8
+			for _, st := range n.memberStats {
+				total += int64(len(st)) * 16
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return total
+}
+
+func (t *Tree) insert(id int) {
+	p := eapca.NewPrefix(t.store.Peek(id))
+	n := t.root
+	for {
+		stats := eapca.ComputeFromPrefix(p, n.seg)
+		n.syn.Update(stats)
+		if n.isLeaf() {
+			n.ids = append(n.ids, id)
+			n.memberStats = append(n.memberStats, stats)
+			if len(n.ids) > t.cfg.LeafCapacity && !n.unsplittable {
+				t.split(n)
+			}
+			t.size++
+			return
+		}
+		if n.rule.goesLeft(eapca.ComputeFromPrefix(p, n.rule.childSeg)) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+}
+
+// candidate is one potential split with its evaluated quality.
+type candidate struct {
+	rule  splitRule
+	score float64
+	lSyn  *eapca.Synopsis
+	rSyn  *eapca.Synopsis
+	lIdx  []int // indexes into the leaf's member arrays
+	rIdx  []int
+}
+
+// split turns leaf n into an internal node with two children, choosing the
+// best split by QoS. If no candidate separates the members (identical
+// series), the leaf is marked unsplittable and allowed to exceed capacity.
+func (t *Tree) split(n *node) {
+	prefixes := make([]eapca.Prefix, len(n.ids))
+	for i, id := range n.ids {
+		prefixes[i] = eapca.NewPrefix(t.store.Peek(id))
+	}
+
+	best := candidate{score: math.Inf(1)}
+	consider := func(rule splitRule) {
+		statsUnder := make([][]eapca.Stat, len(prefixes))
+		for i := range prefixes {
+			statsUnder[i] = eapca.ComputeFromPrefix(prefixes[i], rule.childSeg)
+		}
+		lSyn := eapca.NewSynopsis(len(rule.childSeg))
+		rSyn := eapca.NewSynopsis(len(rule.childSeg))
+		var lIdx, rIdx []int
+		for i, st := range statsUnder {
+			if rule.goesLeft(st) {
+				lSyn.Update(st)
+				lIdx = append(lIdx, i)
+			} else {
+				rSyn.Update(st)
+				rIdx = append(rIdx, i)
+			}
+		}
+		if len(lIdx) == 0 || len(rIdx) == 0 {
+			return
+		}
+		score := float64(len(lIdx))*lSyn.QoS(rule.childSeg) + float64(len(rIdx))*rSyn.QoS(rule.childSeg)
+		if score < best.score {
+			best = candidate{rule: rule, score: score, lSyn: lSyn, rSyn: rSyn, lIdx: lIdx, rIdx: rIdx}
+		}
+	}
+
+	for i := range n.seg {
+		// Horizontal splits on the existing segmentation.
+		consider(splitRule{
+			childSeg: n.seg, segIdx: i, kind: splitMean,
+			threshold: (n.syn.MinMean[i] + n.syn.MaxMean[i]) / 2,
+		})
+		consider(splitRule{
+			childSeg: n.seg, segIdx: i, kind: splitStd,
+			threshold: (n.syn.MinStd[i] + n.syn.MaxStd[i]) / 2,
+		})
+		// Vertical split: refine segment i, then split on either half's mean.
+		if len(n.seg) < t.cfg.MaxSegments && n.seg.CanSplit(i) {
+			refined := n.seg.SplitSegment(i)
+			for _, sub := range []int{i, i + 1} {
+				lo, hi := refined.Bounds(sub)
+				// Threshold from the members' value range on the sub-segment.
+				minM, maxM := math.Inf(1), math.Inf(-1)
+				for _, p := range prefixes {
+					m := p.Range(lo, hi).Mean
+					if m < minM {
+						minM = m
+					}
+					if m > maxM {
+						maxM = m
+					}
+				}
+				consider(splitRule{
+					childSeg: refined, segIdx: sub, kind: splitMean,
+					threshold: (minM + maxM) / 2, vertical: true,
+				})
+			}
+		}
+	}
+
+	if math.IsInf(best.score, 1) {
+		n.unsplittable = true
+		return
+	}
+
+	left := &node{seg: best.rule.childSeg, syn: best.lSyn}
+	right := &node{seg: best.rule.childSeg, syn: best.rSyn}
+	for _, i := range best.lIdx {
+		left.ids = append(left.ids, n.ids[i])
+		left.memberStats = append(left.memberStats, eapca.ComputeFromPrefix(prefixes[i], best.rule.childSeg))
+	}
+	for _, i := range best.rIdx {
+		right.ids = append(right.ids, n.ids[i])
+		right.memberStats = append(right.memberStats, eapca.ComputeFromPrefix(prefixes[i], best.rule.childSeg))
+	}
+	n.rule = best.rule
+	n.left, n.right = left, right
+	n.ids, n.memberStats = nil, nil
+	t.nodeCount += 2
+	t.leafCount++ // one leaf became two
+	t.splits++
+	if best.rule.vertical {
+		t.vsplits++
+	}
+}
+
+// cursor adapts a query to the generic engine.
+type cursor struct {
+	t      *Tree
+	q      series.Series
+	prefix eapca.Prefix
+	cache  map[*node][]eapca.Stat
+}
+
+func (c *cursor) statsFor(n *node) []eapca.Stat {
+	if st, ok := c.cache[n]; ok {
+		return st
+	}
+	st := eapca.ComputeFromPrefix(c.prefix, n.seg)
+	c.cache[n] = st
+	return st
+}
+
+// Roots implements core.TreeCursor.
+func (c *cursor) Roots() []core.NodeRef { return []core.NodeRef{c.t.root} }
+
+// MinDist implements core.TreeCursor.
+func (c *cursor) MinDist(ref core.NodeRef) float64 {
+	n := ref.(*node)
+	return math.Sqrt(n.syn.LowerBound2(c.statsFor(n), n.seg))
+}
+
+// IsLeaf implements core.TreeCursor.
+func (c *cursor) IsLeaf(ref core.NodeRef) bool { return ref.(*node).isLeaf() }
+
+// Children implements core.TreeCursor.
+func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
+	n := ref.(*node)
+	return []core.NodeRef{n.left, n.right}
+}
+
+// ScanLeaf implements core.TreeCursor: reads the leaf cluster (charged as
+// one contiguous read) and refines with early-abandoning distances.
+func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
+	n := ref.(*node)
+	raw := c.t.store.ReadLeafCluster(n.ids)
+	for i, s := range raw {
+		lim := limit()
+		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
+		d := 0.0
+		if d2 > 0 {
+			d = math.Sqrt(d2)
+		}
+		visit(n.ids[i], d)
+	}
+}
+
+// Search implements core.Method.
+func (t *Tree) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("dstree: %w", err)
+	}
+	if len(q.Series) != t.store.Length() {
+		return core.Result{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
+	}
+	before := t.store.Accountant().Snapshot()
+	cur := &cursor{t: t, q: q.Series, prefix: eapca.NewPrefix(q.Series), cache: make(map[*node][]eapca.Stat)}
+	res := core.SearchTree(cur, q, t.hist, t.size)
+	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}
+
+// SearchRange answers an r-range query (paper Definition 2), exactly when
+// q.Epsilon is 0.
+func (t *Tree) SearchRange(q core.RangeQuery) (core.RangeResult, error) {
+	if err := q.Validate(); err != nil {
+		return core.RangeResult{}, fmt.Errorf("dstree: %w", err)
+	}
+	if len(q.Series) != t.store.Length() {
+		return core.RangeResult{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
+	}
+	before := t.store.Accountant().Snapshot()
+	s := series.Series(q.Series)
+	cur := &cursor{t: t, q: s, prefix: eapca.NewPrefix(s), cache: make(map[*node][]eapca.Stat)}
+	res := core.SearchTreeRange(cur, q)
+	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}
+
+// Incremental starts an incremental neighbour iteration (exact order when
+// eps is 0); see core.Incremental.
+func (t *Tree) Incremental(q series.Series, eps float64) (*core.Incremental, error) {
+	if len(q) != t.store.Length() {
+		return nil, fmt.Errorf("dstree: query length %d != dataset length %d", len(q), t.store.Length())
+	}
+	cur := &cursor{t: t, q: q, prefix: eapca.NewPrefix(q), cache: make(map[*node][]eapca.Stat)}
+	return core.NewIncremental(cur, eps), nil
+}
+
+// SearchProgressive runs an exact search that streams improving answers
+// through onUpdate; see core.SearchTreeProgressive.
+func (t *Tree) SearchProgressive(q core.Query, onUpdate func(core.ProgressiveUpdate) bool) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("dstree: %w", err)
+	}
+	if len(q.Series) != t.store.Length() {
+		return core.Result{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
+	}
+	before := t.store.Accountant().Snapshot()
+	cur := &cursor{t: t, q: q.Series, prefix: eapca.NewPrefix(q.Series), cache: make(map[*node][]eapca.Stat)}
+	res := core.SearchTreeProgressive(cur, q, onUpdate)
+	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}

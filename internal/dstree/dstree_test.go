@@ -1,0 +1,260 @@
+package dstree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestTree(t *testing.T, n, length int, cfg Config, kind dataset.Kind, seed int64) (*Tree, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, kind, 5, seed+100)
+	return tree, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 32, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	bad := []Config{
+		{LeafCapacity: 1, InitialSegments: 4, MaxSegments: 8},
+		{LeafCapacity: 10, InitialSegments: 0, MaxSegments: 8},
+		{LeafCapacity: 10, InitialSegments: 40, MaxSegments: 80},
+		{LeafCapacity: 10, InitialSegments: 4, MaxSegments: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTreeGrows(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 1000, 64, Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 1)
+	nodes, leaves, splits, _ := tree.Stats()
+	if tree.Size() != 1000 {
+		t.Errorf("Size = %d", tree.Size())
+	}
+	if leaves < 1000/32 {
+		t.Errorf("only %d leaves for 1000 series at capacity 32", leaves)
+	}
+	if nodes != 2*leaves-1 {
+		t.Errorf("binary tree invariant violated: %d nodes, %d leaves", nodes, leaves)
+	}
+	if splits == 0 {
+		t.Error("no splits recorded")
+	}
+	if tree.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestVerticalSplitsHappen(t *testing.T) {
+	// Walk data has long-range structure; with a tight MaxSegments budget
+	// vs initial, vertical splits should fire at least once on a decent
+	// dataset.
+	tree, _, _ := buildTestTree(t, 2000, 64, Config{LeafCapacity: 16, InitialSegments: 2, MaxSegments: 16}, dataset.KindWalk, 3)
+	_, _, _, vsplits := tree.Stats()
+	if vsplits == 0 {
+		t.Error("expected at least one vertical split")
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, DefaultConfig(), dataset.KindWalk, 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) != 10 {
+			t.Fatalf("query %d: %d results", qi, len(res.Neighbors))
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i].Dist, gt[qi][i].Dist)
+			}
+		}
+	}
+}
+
+func TestExactSearchPrunes(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 4000, 64, Config{LeafCapacity: 64, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 7)
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.BytesRead >= tree.store.TotalBytes() {
+		t.Errorf("exact search read %d bytes of %d — no pruning", res.IO.BytesRead, tree.store.TotalBytes())
+	}
+}
+
+func TestNGApproximateVisitsNProbeLeaves(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 2000, 64, Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 9)
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 3 {
+		t.Errorf("visited %d leaves, nprobe=3", res.LeavesVisited)
+	}
+	if len(res.Neighbors) != 5 {
+		t.Errorf("%d results", len(res.Neighbors))
+	}
+}
+
+func TestNGAccuracyImprovesWithNProbe(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 2000, 64, Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 11)
+	gt := scan.GroundTruth(data, queries, 10)
+	recallAt := func(nprobe int) float64 {
+		var hits, total int
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := tree.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: nprobe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trueIDs := map[int]struct{}{}
+			for _, nb := range gt[qi] {
+				trueIDs[nb.ID] = struct{}{}
+			}
+			for _, nb := range res.Neighbors {
+				if _, ok := trueIDs[nb.ID]; ok {
+					hits++
+				}
+			}
+			total += 10
+		}
+		return float64(hits) / float64(total)
+	}
+	r1, r16 := recallAt(1), recallAt(16)
+	if r16 < r1 {
+		t.Errorf("recall fell with more probes: %v -> %v", r1, r16)
+	}
+	if r16 == 0 {
+		t.Error("recall at nprobe=16 is zero")
+	}
+}
+
+func TestEpsilonGuaranteeHolds(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 1000, 64, DefaultConfig(), dataset.KindWalk, 13)
+	k := 5
+	gt := scan.GroundTruth(data, queries, k)
+	for _, eps := range []float64{0.5, 2} {
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := tree.Search(core.Query{Series: queries.At(qi), K: k, Mode: core.ModeEpsilon, Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := (1 + eps) * gt[qi][k-1].Dist
+			for _, nb := range res.Neighbors {
+				if nb.Dist > bound+1e-6 {
+					t.Fatalf("eps=%v query %d: dist %v > bound %v", eps, qi, nb.Dist, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestEpsilonReducesIO(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 4000, 64, Config{LeafCapacity: 64, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 15)
+	var exactBytes, approxBytes int64
+	for qi := 0; qi < queries.Size(); qi++ {
+		re, _ := tree.Search(core.Query{Series: queries.At(qi), K: 1, Mode: core.ModeExact})
+		ra, _ := tree.Search(core.Query{Series: queries.At(qi), K: 1, Mode: core.ModeEpsilon, Epsilon: 5})
+		exactBytes += re.IO.BytesRead
+		approxBytes += ra.IO.BytesRead
+	}
+	if approxBytes > exactBytes {
+		t.Errorf("eps=5 read more (%d) than exact (%d)", approxBytes, exactBytes)
+	}
+}
+
+func TestDeltaEpsilonRuns(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 1000, 64, DefaultConfig(), dataset.KindWalk, 17)
+	tree.SetHistogram(core.BuildHistogram(data, 2000, 99))
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Fatalf("%d results", len(res.Neighbors))
+	}
+	// δ=1, ε=0 must equal exact.
+	rd, _ := tree.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 1})
+	gt := scan.GroundTruth(data, queries, 3)
+	for i := range gt[0] {
+		if math.Abs(rd.Neighbors[i].Dist-gt[0][i].Dist) > 1e-6 {
+			t.Fatalf("delta=1 eps=0 rank %d: %v vs %v", i, rd.Neighbors[i].Dist, gt[0][i].Dist)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 100, 32, DefaultConfig(), dataset.KindWalk, 19)
+	if _, err := tree.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := tree.Search(core.Query{Series: make(series.Series, 7), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("wrong-length query accepted")
+	}
+}
+
+func TestIdenticalSeriesDoNotLoop(t *testing.T) {
+	// A dataset of identical series can never be split; the build must
+	// terminate with an overfull, unsplittable leaf.
+	data := series.NewDataset(16)
+	one := make(series.Series, 16)
+	for j := range one {
+		one[j] = float32(j)
+	}
+	for i := 0; i < 50; i++ {
+		data.Append(one)
+	}
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, Config{LeafCapacity: 8, InitialSegments: 2, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 50 {
+		t.Errorf("Size = %d", tree.Size())
+	}
+	res, err := tree.Search(core.Query{Series: one, K: 5, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 5 || res.Neighbors[0].Dist != 0 {
+		t.Errorf("identical-data search wrong: %+v", res.Neighbors)
+	}
+}
+
+func TestClusteredDataExact(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 600, 32, DefaultConfig(), dataset.KindClustered, 21)
+	gt := scan.GroundTruth(data, queries, 5)
+	res, err := tree.Search(core.Query{Series: queries.At(2), K: 5, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gt[2] {
+		if math.Abs(res.Neighbors[i].Dist-gt[2][i].Dist) > 1e-6 {
+			t.Fatalf("rank %d: %v vs %v", i, res.Neighbors[i].Dist, gt[2][i].Dist)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 50, 16, DefaultConfig(), dataset.KindWalk, 23)
+	if tree.Name() != "DSTree" {
+		t.Error("name wrong")
+	}
+}

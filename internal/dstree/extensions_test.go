@@ -1,0 +1,97 @@
+package dstree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+)
+
+func TestSearchRangeMatchesBruteForce(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 600, 64, DefaultConfig(), dataset.KindWalk, 31)
+	q := queries.At(0)
+	gt := scan.GroundTruth(data, queries, 20)
+	r := gt[0][10].Dist
+	res, err := tree.SearchRange(core.RangeQuery{Series: q, Radius: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force within r.
+	want := 0
+	for i := 0; i < data.Size(); i++ {
+		if series.Dist(q, data.At(i)) <= r {
+			want++
+		}
+	}
+	if len(res.Neighbors) != want {
+		t.Fatalf("range returned %d, brute force %d", len(res.Neighbors), want)
+	}
+	for _, nb := range res.Neighbors {
+		if nb.Dist > r+1e-9 {
+			t.Fatalf("result outside radius: %v > %v", nb.Dist, r)
+		}
+	}
+}
+
+func TestSearchRangeValidation(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 100, 32, DefaultConfig(), dataset.KindWalk, 33)
+	if _, err := tree.SearchRange(core.RangeQuery{Series: queries.At(0), Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := tree.SearchRange(core.RangeQuery{Series: make([]float32, 5), Radius: 1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestIncrementalMatchesExactOrder(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 500, 64, DefaultConfig(), dataset.KindWalk, 35)
+	q := queries.At(1)
+	gt := scan.GroundTruth(data, queries, 15)
+	inc, err := tree.Incremental(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		nb, ok := inc.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if math.Abs(nb.Dist-gt[1][i].Dist) > 1e-6 {
+			t.Fatalf("rank %d: %v want %v", i, nb.Dist, gt[1][i].Dist)
+		}
+	}
+}
+
+func TestIncrementalWrongLength(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 100, 32, DefaultConfig(), dataset.KindWalk, 37)
+	if _, err := tree.Incremental(make(series.Series, 5), 0); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestProgressiveConvergesToExact(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, DefaultConfig(), dataset.KindWalk, 39)
+	q := queries.At(0)
+	gt := scan.GroundTruth(data, queries, 5)
+	var sawFinal bool
+	res, err := tree.SearchProgressive(core.Query{Series: q, K: 5, Mode: core.ModeExact}, func(u core.ProgressiveUpdate) bool {
+		if u.Final {
+			sawFinal = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawFinal {
+		t.Error("no final update")
+	}
+	for i := range gt[0] {
+		if math.Abs(res.Neighbors[i].Dist-gt[0][i].Dist) > 1e-6 {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package dstree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hydra/internal/storage"
+	"hydra/internal/summaries/eapca"
+)
+
+// Persistence: the index structure (segmentations, synopses, split rules
+// and leaf id lists) round-trips through encoding/gob, so an index built
+// once can be reopened against the same dataset — the paper's
+// build-once / query-many workflow. The raw data itself stays in the
+// series store and is not duplicated into the index file.
+
+type synSnap struct {
+	MinMean, MaxMean []float64
+	MinStd, MaxStd   []float64
+	Count            int
+}
+
+type ruleSnap struct {
+	ChildSeg  []int
+	SegIdx    int
+	Std       bool
+	Threshold float64
+	Vertical  bool
+}
+
+type nodeSnap struct {
+	Seg          []int
+	Syn          synSnap
+	IDs          []int
+	MemberStats  [][]eapca.Stat
+	Unsplittable bool
+	Rule         *ruleSnap
+	Left, Right  *nodeSnap
+}
+
+type treeSnap struct {
+	Version   int
+	Cfg       Config
+	Size      int
+	NodeCount int
+	LeafCount int
+	Splits    int
+	VSplits   int
+	Root      *nodeSnap
+}
+
+const persistVersion = 1
+
+func snapshotNode(n *node) *nodeSnap {
+	s := &nodeSnap{
+		Seg: append([]int(nil), n.seg...),
+		Syn: synSnap{
+			MinMean: n.syn.MinMean, MaxMean: n.syn.MaxMean,
+			MinStd: n.syn.MinStd, MaxStd: n.syn.MaxStd, Count: n.syn.Count,
+		},
+		IDs:          n.ids,
+		MemberStats:  n.memberStats,
+		Unsplittable: n.unsplittable,
+	}
+	if !n.isLeaf() {
+		s.Rule = &ruleSnap{
+			ChildSeg:  append([]int(nil), n.rule.childSeg...),
+			SegIdx:    n.rule.segIdx,
+			Std:       n.rule.kind == splitStd,
+			Threshold: n.rule.threshold,
+			Vertical:  n.rule.vertical,
+		}
+		s.Left = snapshotNode(n.left)
+		s.Right = snapshotNode(n.right)
+	}
+	return s
+}
+
+func restoreNode(s *nodeSnap) *node {
+	n := &node{
+		seg: eapca.Segmentation(s.Seg),
+		syn: &eapca.Synopsis{
+			MinMean: s.Syn.MinMean, MaxMean: s.Syn.MaxMean,
+			MinStd: s.Syn.MinStd, MaxStd: s.Syn.MaxStd, Count: s.Syn.Count,
+		},
+		ids:          s.IDs,
+		memberStats:  s.MemberStats,
+		unsplittable: s.Unsplittable,
+	}
+	if s.Rule != nil {
+		kind := splitMean
+		if s.Rule.Std {
+			kind = splitStd
+		}
+		n.rule = splitRule{
+			childSeg:  eapca.Segmentation(s.Rule.ChildSeg),
+			segIdx:    s.Rule.SegIdx,
+			kind:      kind,
+			threshold: s.Rule.Threshold,
+			vertical:  s.Rule.Vertical,
+		}
+		n.left = restoreNode(s.Left)
+		n.right = restoreNode(s.Right)
+	}
+	return n
+}
+
+// Save serialises the index structure to w.
+func (t *Tree) Save(w io.Writer) error {
+	snap := treeSnap{
+		Version:   persistVersion,
+		Cfg:       t.cfg,
+		Size:      t.size,
+		NodeCount: t.nodeCount,
+		LeafCount: t.leafCount,
+		Splits:    t.splits,
+		VSplits:   t.vsplits,
+		Root:      snapshotNode(t.root),
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("dstree: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index saved with Save and attaches it to the store holding
+// the same dataset the index was built over.
+func Load(store *storage.SeriesStore, r io.Reader) (*Tree, error) {
+	var snap treeSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dstree: decoding: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("dstree: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Size != store.Size() {
+		return nil, fmt.Errorf("dstree: snapshot indexed %d series, store holds %d", snap.Size, store.Size())
+	}
+	t := &Tree{
+		store:     store,
+		cfg:       snap.Cfg,
+		size:      snap.Size,
+		nodeCount: snap.NodeCount,
+		leafCount: snap.LeafCount,
+		splits:    snap.Splits,
+		vsplits:   snap.VSplits,
+		root:      restoreNode(snap.Root),
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package dstree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, Config{LeafCapacity: 32, InitialSegments: 4, MaxSegments: 16}, dataset.KindWalk, 61)
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store2 := storage.NewSeriesStore(data, 0)
+	loaded, err := Load(store2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure preserved.
+	n1, l1, s1, v1 := tree.Stats()
+	n2, l2, s2, v2 := loaded.Stats()
+	if n1 != n2 || l1 != l2 || s1 != s2 || v1 != v2 {
+		t.Fatalf("structure differs: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", n1, l1, s1, v1, n2, l2, s2, v2)
+	}
+	// Identical exact answers on every query.
+	for qi := 0; qi < queries.Size(); qi++ {
+		q := core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact}
+		a, err := tree.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Neighbors {
+			if a.Neighbors[i].ID != b.Neighbors[i].ID ||
+				math.Abs(a.Neighbors[i].Dist-b.Neighbors[i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d differs after reload", qi, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongStore(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 100, 32, DefaultConfig(), dataset.KindWalk, 63)
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 50, Length: 32, Seed: 1})
+	if _, err := Load(storage.NewSeriesStore(other, 0), &buf); err == nil {
+		t.Error("loading against a differently-sized store should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	if _, err := Load(storage.NewSeriesStore(data, 0), bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+}

@@ -1,0 +1,560 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/dstree"
+	"hydra/internal/flann"
+	"hydra/internal/hdindex"
+	"hydra/internal/hnsw"
+	"hydra/internal/imi"
+	"hydra/internal/isax"
+	"hydra/internal/mtree"
+	"hydra/internal/qalsh"
+	"hydra/internal/scan"
+	"hydra/internal/srs"
+	"hydra/internal/storage"
+	"hydra/internal/vafile"
+)
+
+// SuiteConfig scales every experiment. The defaults regenerate all figures
+// in minutes on a laptop; raising N/Length/Queries approaches the paper's
+// original scale.
+type SuiteConfig struct {
+	N       int   // series per dataset
+	Length  int   // series length for the "short" series experiments
+	Queries int   // queries per workload
+	K       int   // neighbours per query
+	Seed    int64 // master seed
+	// HistogramPairs is the sample size for the r_δ histogram (paper: 100K
+	// sample).
+	HistogramPairs int
+}
+
+// DefaultSuite returns the laptop-scale configuration.
+func DefaultSuite() SuiteConfig {
+	return SuiteConfig{N: 4000, Length: 128, Queries: 20, K: 10, Seed: 42, HistogramPairs: 4000}
+}
+
+// MethodNames lists every method the suite can build.
+var MethodNames = []string{"DSTree", "iSAX2+", "ADS+", "VA+file", "HNSW", "NSG", "IMI", "SRS", "QALSH", "FLANN", "HD-index", "MTree", "SerialScan"}
+
+// DiskMethodNames lists the methods that support disk-resident data
+// (Table 1, last column).
+var DiskMethodNames = []string{"DSTree", "iSAX2+", "VA+file", "IMI", "SRS", "HD-index", "SerialScan"}
+
+// Built is a constructed method with its build cost.
+type Built struct {
+	Method       core.Method
+	Store        *storage.SeriesStore // nil for purely in-memory methods
+	BuildSeconds float64
+	Footprint    int64
+}
+
+// NewWorkload generates a dataset + queries + ground truth for a kind.
+func NewWorkload(kind dataset.Kind, n, length, queries, k int, seed int64) Workload {
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	qs := dataset.Queries(data, kind, queries, seed+1000)
+	return Workload{Data: data, Queries: qs, Truth: scan.GroundTruth(data, qs, k), K: k}
+}
+
+// BuildMethod constructs one method by name over the workload's dataset.
+// Tree/scan/VA methods get a private paged store so their I/O accounting is
+// independent. Methods supporting δ-ε search receive a histogram built
+// from the dataset.
+func BuildMethod(name string, w Workload, cfg SuiteConfig) (Built, error) {
+	newStore := func() *storage.SeriesStore { return storage.NewSeriesStore(w.Data, 0) }
+	leafCap := w.Data.Size() / 48
+	if leafCap < 16 {
+		leafCap = 16
+	}
+	start := time.Now()
+	var b Built
+	switch name {
+	case "DSTree":
+		st := newStore()
+		dcfg := dstree.DefaultConfig()
+		dcfg.LeafCapacity = leafCap
+		t, err := dstree.Build(st, dcfg)
+		if err != nil {
+			return Built{}, err
+		}
+		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
+		b = Built{Method: t, Store: st}
+	case "iSAX2+":
+		st := newStore()
+		icfg := isax.DefaultConfig()
+		icfg.LeafCapacity = leafCap
+		if icfg.Segments > w.Data.Length() {
+			icfg.Segments = w.Data.Length()
+		}
+		t, err := isax.Build(st, icfg)
+		if err != nil {
+			return Built{}, err
+		}
+		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
+		b = Built{Method: t, Store: st}
+	case "VA+file":
+		st := newStore()
+		vcfg := vafile.DefaultConfig()
+		if vcfg.Coeffs > w.Data.Length() {
+			vcfg.Coeffs = w.Data.Length()
+		}
+		f, err := vafile.Build(st, vcfg)
+		if err != nil {
+			return Built{}, err
+		}
+		f.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
+		b = Built{Method: f, Store: st}
+	case "HNSW":
+		g, err := hnsw.Build(w.Data, hnsw.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: g}
+	case "NSG":
+		ncfg := hnsw.DefaultConfig()
+		ncfg.Flat = true
+		g, err := hnsw.Build(w.Data, ncfg)
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: g}
+	case "IMI":
+		idx, err := imi.Build(w.Data, imi.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: idx}
+	case "SRS":
+		st := newStore()
+		idx, err := srs.Build(st, srs.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: idx, Store: st}
+	case "QALSH":
+		st := newStore()
+		idx, err := qalsh.Build(st, qalsh.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: idx, Store: st}
+	case "FLANN":
+		idx, err := flann.Build(w.Data, flann.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: idx}
+	case "HD-index":
+		st := newStore()
+		idx, err := hdindex.Build(st, hdindex.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		b = Built{Method: idx, Store: st}
+	case "ADS+":
+		st := newStore()
+		acfg := isax.DefaultConfig()
+		acfg.LeafCapacity = leafCap * 8
+		acfg.AdaptiveLeafCapacity = leafCap
+		if acfg.Segments > w.Data.Length() {
+			acfg.Segments = w.Data.Length()
+		}
+		t, err := isax.Build(st, acfg)
+		if err != nil {
+			return Built{}, err
+		}
+		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
+		b = Built{Method: t, Store: st}
+	case "MTree":
+		st := newStore()
+		m, err := mtree.Build(st, mtree.DefaultConfig())
+		if err != nil {
+			return Built{}, err
+		}
+		m.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
+		b = Built{Method: m, Store: st}
+	case "SerialScan":
+		st := newStore()
+		b = Built{Method: scan.New(st), Store: st}
+	default:
+		return Built{}, fmt.Errorf("eval: unknown method %q", name)
+	}
+	b.BuildSeconds = time.Since(start).Seconds()
+	b.Footprint = b.Method.Footprint()
+	return b, nil
+}
+
+// queryPlans returns the (label, query-template) sweep for a method: tree
+// and VA methods sweep ε for δ-ε plots and nprobe for ng plots; graph/IMI/
+// FLANN/HD-index sweep their candidate budgets; LSH methods sweep ε.
+func queryPlans(name string, ng bool) []struct {
+	Label string
+	Query core.Query
+} {
+	type plan = struct {
+		Label string
+		Query core.Query
+	}
+	if ng {
+		probes := []int{1, 2, 4, 8, 16, 64}
+		if name == "HNSW" || name == "NSG" || name == "FLANN" || name == "HD-index" {
+			probes = []int{8, 32, 128, 512}
+		}
+		out := make([]plan, 0, len(probes))
+		for _, p := range probes {
+			out = append(out, plan{Label: fmt.Sprintf("nprobe=%d", p), Query: core.Query{Mode: core.ModeNG, NProbe: p}})
+		}
+		return out
+	}
+	epsilons := []float64{5, 2, 1, 0.5, 0}
+	out := make([]plan, 0, len(epsilons))
+	for _, e := range epsilons {
+		out = append(out, plan{
+			Label: fmt.Sprintf("eps=%.1f", e),
+			Query: core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: e, Delta: 1},
+		})
+	}
+	return out
+}
+
+// ngMethods / deltaMethods report which sweeps apply (paper Table 1).
+func supportsNG(name string) bool {
+	switch name {
+	case "DSTree", "iSAX2+", "ADS+", "VA+file", "HNSW", "NSG", "IMI", "FLANN", "HD-index", "MTree", "SerialScan", "QALSH", "SRS":
+		return true
+	}
+	return false
+}
+
+func supportsDelta(name string) bool {
+	switch name {
+	case "DSTree", "iSAX2+", "ADS+", "VA+file", "MTree", "SRS", "QALSH":
+		return true
+	}
+	return false
+}
+
+// Table1 renders the method capability matrix.
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: similarity search methods (matching accuracy / representation / disk)",
+		Columns: []string{"Method", "Exact", "ng", "eps", "delta-eps", "Representation", "Disk", "Modified"},
+	}
+	tick := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, c := range core.Capabilities() {
+		t.AddRow(c.Name, tick(c.Exact), tick(c.NG), tick(c.Epsilon), tick(c.DeltaEpsilon), c.Representation, tick(c.DiskResident), tick(c.Modified))
+	}
+	return t
+}
+
+// Fig2 measures indexing scalability: build time and footprint vs dataset
+// size, for every method (paper Fig. 2a/2b).
+func Fig2(cfg SuiteConfig, sizes []int, methods []string) ([]*Table, error) {
+	timeT := &Table{Title: "Fig 2a: indexing time (seconds) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
+	footT := &Table{Title: "Fig 2b: index footprint (bytes) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
+	for _, name := range methods {
+		timeRow := []string{name}
+		footRow := []string{name}
+		for _, n := range sizes {
+			w := NewWorkload(dataset.KindWalk, n, cfg.Length, 1, 1, cfg.Seed)
+			b, err := BuildMethod(name, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			timeRow = append(timeRow, F(b.BuildSeconds))
+			footRow = append(footRow, I(b.Footprint))
+		}
+		timeT.AddRow(timeRow...)
+		footT.AddRow(footRow...)
+	}
+	return []*Table{timeT, footT}, nil
+}
+
+func sizeLabels(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("n=%d", s)
+	}
+	return out
+}
+
+// efficiencyAccuracy runs the throughput-vs-MAP sweep of Fig. 3/4 for one
+// workload. If model is non-zero the modelled I/O time is included in the
+// timing (the on-disk setting); methods lacking a store simply add zero.
+func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []string, ng bool, model storage.CostModel) (*Table, error) {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"Method", "Config", "MAP", "AvgRecall", "MRE", "Qrs/min", "Idx+100q(min)", "Idx+10Kq(min)", "%data", "RandIO"},
+	}
+	for _, name := range methods {
+		if ng && !supportsNG(name) {
+			continue
+		}
+		if !ng && !supportsDelta(name) {
+			continue
+		}
+		b, err := BuildMethod(name, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, plan := range queryPlans(name, ng) {
+			out, err := Run(b.Method, w, plan.Query, model)
+			if err != nil {
+				return nil, err
+			}
+			qpm := QueriesPerMinute(out.ModelSeconds, w.Queries.Size())
+			// Combined costs use the paper's trimmed extrapolation from the
+			// measured workload to 100 / 10K queries.
+			idx100 := (b.BuildSeconds + TrimmedExtrapolate(out.PerQueryModelSeconds, 100)) / 60
+			idx10k := (b.BuildSeconds + TrimmedExtrapolate(out.PerQueryModelSeconds, 10000)) / 60
+			pctData := 0.0
+			if b.Store != nil && b.Store.TotalBytes() > 0 {
+				pctData = 100 * float64(out.IO.BytesRead) / float64(b.Store.TotalBytes()) / float64(w.Queries.Size())
+			}
+			t.AddRow(name, plan.Label, F(out.Metrics.MAP), F(out.Metrics.AvgRecall), F(out.Metrics.MRE),
+				F(qpm), F(idx100), F(idx10k), F(pctData), I(out.IO.RandomSeeks/int64(w.Queries.Size())))
+		}
+	}
+	return t, nil
+}
+
+// Fig3 reproduces the in-memory efficiency/accuracy panels: short Walk
+// series, long Walk series, and the two vector-dataset analogues, for both
+// ng-approximate and δ-ε-approximate query answering.
+func Fig3(cfg SuiteConfig) ([]*Table, error) {
+	inMem := storage.CostModel{} // in-memory: wall time only
+	methodsAll := []string{"DSTree", "iSAX2+", "VA+file", "HNSW", "IMI", "FLANN", "SRS", "QALSH"}
+	var tables []*Table
+
+	short := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	tt, err := efficiencyAccuracy("Fig 3a-f: Walk short series, in-memory (ng sweep)", short, cfg, methodsAll, true, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+	tt, err = efficiencyAccuracy("Fig 3a-f: Walk short series, in-memory (delta-eps sweep)", short, cfg, methodsAll, false, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+
+	long := NewWorkload(dataset.KindWalk, cfg.N/4, cfg.Length*8, cfg.Queries, cfg.K, cfg.Seed+1)
+	longMethods := []string{"DSTree", "iSAX2+", "VA+file", "SRS"}
+	tt, err = efficiencyAccuracy("Fig 3g-l: Walk long series, in-memory (ng sweep)", long, cfg, longMethods, true, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+	tt, err = efficiencyAccuracy("Fig 3g-l: Walk long series, in-memory (delta-eps sweep)", long, cfg, longMethods, false, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+
+	sift := NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+2)
+	tt, err = efficiencyAccuracy("Fig 3m-r: Sift-analogue (clustered vectors), in-memory (ng sweep)", sift, cfg, methodsAll, true, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+	tt, err = efficiencyAccuracy("Fig 3m-r: Sift-analogue, in-memory (delta-eps sweep)", sift, cfg, methodsAll, false, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+
+	deep := NewWorkload(dataset.KindClustered, cfg.N, 96, cfg.Queries, cfg.K, cfg.Seed+3)
+	tt, err = efficiencyAccuracy("Fig 3s-x: Deep-analogue (96-dim clustered), in-memory (ng sweep)", deep, cfg, methodsAll, true, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+	tt, err = efficiencyAccuracy("Fig 3s-x: Deep-analogue, in-memory (delta-eps sweep)", deep, cfg, methodsAll, false, inMem)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tt)
+	return tables, nil
+}
+
+// Fig4 reproduces the on-disk panels: disk-capable methods with the I/O
+// cost model included in timings, on the large Walk and vector analogues.
+func Fig4(cfg SuiteConfig) ([]*Table, error) {
+	model := storage.DefaultCostModel()
+	methods := []string{"DSTree", "iSAX2+", "VA+file", "IMI", "SRS"}
+	var tables []*Table
+	for _, spec := range []struct {
+		name string
+		kind dataset.Kind
+		len  int
+	}{
+		{"Walk (Rand250GB-analogue)", dataset.KindWalk, cfg.Length},
+		{"Sift-analogue", dataset.KindClustered, cfg.Length},
+		{"Deep-analogue", dataset.KindClustered, 96},
+	} {
+		w := NewWorkload(spec.kind, cfg.N*2, spec.len, cfg.Queries, cfg.K, cfg.Seed+10)
+		tt, err := efficiencyAccuracy("Fig 4: "+spec.name+" on-disk (ng sweep)", w, cfg, methods, true, model)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tt)
+		tt, err = efficiencyAccuracy("Fig 4: "+spec.name+" on-disk (delta-eps sweep)", w, cfg, methods, false, model)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tt)
+	}
+	return tables, nil
+}
+
+// Fig5 compares the three accuracy measures on the Sift-analogue
+// (paper Fig. 5a/5b): for each method/configuration it reports MAP,
+// Avg Recall and MRE side by side.
+func Fig5(cfg SuiteConfig) (*Table, error) {
+	w := NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+20)
+	t := &Table{
+		Title:   "Fig 5: accuracy measure comparison on Sift-analogue (Recall vs MAP vs MRE)",
+		Columns: []string{"Method", "Config", "MAP", "AvgRecall", "MRE", "Recall==MAP?"},
+	}
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file", "HNSW", "IMI", "SRS", "QALSH", "FLANN"} {
+		b, err := BuildMethod(name, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plans := queryPlans(name, supportsNG(name))
+		// One mid-sweep configuration per method keeps the table readable.
+		plan := plans[len(plans)/2]
+		out, err := Run(b.Method, w, plan.Query, storage.CostModel{})
+		if err != nil {
+			return nil, err
+		}
+		same := "yes"
+		if diff := out.Metrics.AvgRecall - out.Metrics.MAP; diff > 0.02 || diff < -0.02 {
+			same = "no"
+		}
+		t.AddRow(name, plan.Label, F(out.Metrics.MAP), F(out.Metrics.AvgRecall), F(out.Metrics.MRE), same)
+	}
+	return t, nil
+}
+
+// Fig6 compares the two best methods (DSTree, iSAX2+) across all five
+// dataset analogues under an ε sweep, reporting throughput, % of data
+// accessed and random I/O per query (paper Fig. 6 panels).
+func Fig6(cfg SuiteConfig) ([]*Table, error) {
+	model := storage.DefaultCostModel()
+	var tables []*Table
+	specs := []struct {
+		name string
+		kind dataset.Kind
+		len  int
+	}{
+		{"Rand-analogue", dataset.KindWalk, cfg.Length},
+		{"Sift-analogue", dataset.KindClustered, cfg.Length},
+		{"Deep-analogue", dataset.KindClustered, 96},
+		{"Sald-analogue", dataset.KindSmooth, cfg.Length},
+		{"Seismic-analogue", dataset.KindSeismic, cfg.Length * 2},
+	}
+	for _, spec := range specs {
+		w := NewWorkload(spec.kind, cfg.N, spec.len, cfg.Queries, cfg.K, cfg.Seed+30)
+		t := &Table{
+			Title:   "Fig 6: best methods on " + spec.name + " (eps sweep, on-disk model)",
+			Columns: []string{"Method", "eps", "MAP", "Qrs/min", "%data", "RandIO/query"},
+		}
+		for _, name := range []string{"DSTree", "iSAX2+"} {
+			b, err := BuildMethod(name, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, eps := range []float64{5, 2, 1, 0.5, 0} {
+				out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model)
+				if err != nil {
+					return nil, err
+				}
+				pct := 100 * float64(out.IO.BytesRead) / float64(b.Store.TotalBytes()) / float64(w.Queries.Size())
+				t.AddRow(name, F(eps), F(out.Metrics.MAP), F(QueriesPerMinute(out.ModelSeconds, w.Queries.Size())),
+					F(pct), I(out.IO.RandomSeeks/int64(w.Queries.Size())))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig7 measures total workload time vs k (paper Fig. 7): the first
+// neighbour dominates the cost; additional neighbours are nearly free.
+func Fig7(cfg SuiteConfig) (*Table, error) {
+	model := storage.DefaultCostModel()
+	t := &Table{
+		Title:   "Fig 7: total time vs k (eps-approximate, eps=1)",
+		Columns: []string{"Dataset", "Method", "k", "Total(min)", "MAP"},
+	}
+	for _, spec := range []struct {
+		name string
+		kind dataset.Kind
+	}{
+		{"Walk", dataset.KindWalk},
+		{"Sift-analogue", dataset.KindClustered},
+	} {
+		for _, name := range []string{"DSTree", "iSAX2+"} {
+			for _, k := range []int{1, 10, 100} {
+				w := NewWorkload(spec.kind, cfg.N, cfg.Length, cfg.Queries, k, cfg.Seed+40)
+				b, err := BuildMethod(name, w, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}, model)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(spec.name, name, I(int64(k)), F(out.ModelSeconds/60), F(out.Metrics.MAP))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig8 sweeps ε (δ=1) and δ (ε=0) for the extended tree methods
+// (paper Fig. 8a–e).
+func Fig8(cfg SuiteConfig) ([]*Table, error) {
+	model := storage.DefaultCostModel()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+50)
+	epsT := &Table{
+		Title:   "Fig 8a-c: throughput / MAP / MRE vs eps (delta=1)",
+		Columns: []string{"Method", "eps", "Qrs/min", "MAP", "MRE"},
+	}
+	deltaT := &Table{
+		Title:   "Fig 8d-e: throughput / MAP vs delta (eps=0)",
+		Columns: []string{"Method", "delta", "Qrs/min", "MAP"},
+	}
+	for _, name := range []string{"DSTree", "iSAX2+"} {
+		b, err := BuildMethod(name, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range []float64{0, 1, 2, 3, 4, 5, 6} {
+			out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model)
+			if err != nil {
+				return nil, err
+			}
+			epsT.AddRow(name, F(eps), F(QueriesPerMinute(out.ModelSeconds, w.Queries.Size())), F(out.Metrics.MAP), F(out.Metrics.MRE))
+		}
+		for _, delta := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 1} {
+			out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: delta}, model)
+			if err != nil {
+				return nil, err
+			}
+			deltaT.AddRow(name, F(delta), F(QueriesPerMinute(out.ModelSeconds, w.Queries.Size())), F(out.Metrics.MAP))
+		}
+	}
+	return []*Table{epsT, deltaT}, nil
+}

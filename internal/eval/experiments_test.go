@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+// tinySuite keeps experiment smoke tests fast.
+func tinySuite() SuiteConfig {
+	return SuiteConfig{N: 400, Length: 32, Queries: 4, K: 5, Seed: 7, HistogramPairs: 500}
+}
+
+func TestNewWorkloadShapes(t *testing.T) {
+	w := NewWorkload(dataset.KindWalk, 100, 16, 3, 5, 1)
+	if w.Data.Size() != 100 || w.Queries.Size() != 3 || len(w.Truth) != 3 {
+		t.Fatalf("workload shape wrong")
+	}
+	for _, tr := range w.Truth {
+		if len(tr) != 5 {
+			t.Fatalf("truth has %d neighbours", len(tr))
+		}
+	}
+}
+
+func TestBuildMethodAllNames(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, name := range MethodNames {
+		b, err := BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Method.Name() == "" {
+			t.Errorf("%s has empty name", name)
+		}
+		if b.BuildSeconds < 0 {
+			t.Errorf("%s negative build time", name)
+		}
+	}
+	if _, err := BuildMethod("nope", w, cfg); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	b, err := BuildMethod("DSTree", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(b.Method, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.MAP < 0.999 {
+		t.Errorf("exact search MAP = %v", out.Metrics.MAP)
+	}
+	if out.ModelSeconds < out.WallSeconds {
+		t.Error("model time should include wall time")
+	}
+	if len(out.Results) != cfg.Queries {
+		t.Errorf("%d results", len(out.Results))
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tbl := Table1()
+	s := tbl.String()
+	for _, name := range []string{"DSTree", "iSAX2+", "VA+file", "HNSW", "SRS"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestFig2Smoke(t *testing.T) {
+	cfg := tinySuite()
+	tables, err := Fig2(cfg, []int{100, 200}, []string{"DSTree", "iSAX2+", "VA+file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Errorf("fig2a has %d rows", len(tables[0].Rows))
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	cfg := tinySuite()
+	tbl, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Errorf("fig5 has %d rows", len(tbl.Rows))
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	cfg := tinySuite()
+	tables, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// ε=0 rows must have MAP = 1 (exact search).
+	for _, row := range tables[0].Rows {
+		if row[1] == "0" && row[3] != "1.00" {
+			t.Errorf("eps=0 row has MAP %s", row[3])
+		}
+	}
+}
+
+func TestEfficiencyAccuracySweepShape(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	tbl, err := efficiencyAccuracy("t", w, cfg, []string{"DSTree"}, false, storage.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 { // five ε values
+		t.Fatalf("%d rows in eps sweep", len(tbl.Rows))
+	}
+	// MAP must be non-increasing as ε grows (rows are eps=5..0, so MAP
+	// non-decreasing down the table), and the last row (ε=0) exact.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[2] != "1.00" {
+		t.Errorf("eps=0 MAP = %s", last[2])
+	}
+}
+
+func TestSupportsFlags(t *testing.T) {
+	if !supportsNG("HNSW") || !supportsDelta("SRS") {
+		t.Error("support flags wrong")
+	}
+	if supportsDelta("HNSW") {
+		t.Error("HNSW should not claim delta support")
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 smoke is seconds-long")
+	}
+	cfg := tinySuite()
+	tables, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("fig3 produced %d tables, want 8", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("empty table %q", tbl.Title)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 smoke is seconds-long")
+	}
+	cfg := tinySuite()
+	tables, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("fig4 produced %d tables, want 6", len(tables))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 smoke is seconds-long")
+	}
+	cfg := tinySuite()
+	tables, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 { // five dataset analogues
+		t.Fatalf("fig6 produced %d tables", len(tables))
+	}
+	// Each table: 2 methods x 5 epsilon values.
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 10 {
+			t.Errorf("%q has %d rows, want 10", tbl.Title, len(tbl.Rows))
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 smoke is seconds-long")
+	}
+	cfg := tinySuite()
+	tbl, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 { // 2 datasets x 2 methods x 3 k values
+		t.Fatalf("fig7 has %d rows", len(tbl.Rows))
+	}
+}
+
+func TestBuildMethodMTree(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	b, err := BuildMethod("MTree", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(b.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.MAP < 0.999 {
+		t.Errorf("MTree exact MAP = %v", out.Metrics.MAP)
+	}
+}

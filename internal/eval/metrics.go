@@ -1,0 +1,144 @@
+// Package eval provides the unified evaluation harness: the accuracy
+// measures of the paper's Section 4.1 (Avg Recall, MAP, MRE), the workload
+// runner with modelled on-disk timing, and the experiment drivers that
+// regenerate every figure of the evaluation.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+// Recall returns the fraction of true k-NN ids present in the result
+// (paper: "# true neighbors returned / k").
+func Recall(result []core.Neighbor, truth []core.Neighbor) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	trueIDs := make(map[int]struct{}, len(truth))
+	for _, nb := range truth {
+		trueIDs[nb.ID] = struct{}{}
+	}
+	hits := 0
+	for _, nb := range result {
+		if _, ok := trueIDs[nb.ID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// AveragePrecision computes AP as defined in the paper:
+// AP = (1/k) Σ_r P(r)·rel(r), where P(r) is the precision among the first r
+// returned elements and rel(r) = 1 iff the r-th returned element is a true
+// neighbour. Order-sensitive, unlike recall.
+func AveragePrecision(result []core.Neighbor, truth []core.Neighbor) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	trueIDs := make(map[int]struct{}, len(truth))
+	for _, nb := range truth {
+		trueIDs[nb.ID] = struct{}{}
+	}
+	hits := 0
+	var sum float64
+	for r, nb := range result {
+		if _, ok := trueIDs[nb.ID]; ok {
+			hits++
+			sum += float64(hits) / float64(r+1)
+		}
+	}
+	return sum / float64(len(truth))
+}
+
+// RelativeError computes RE: the mean, over ranks r = 1..k, of
+// (d(q, returned_r) − d(q, exact_r)) / d(q, exact_r), using true distances
+// recomputed from the raw data (so methods that report compressed distances,
+// like IMI, are measured on what they actually returned). Queries whose
+// exact distance is zero at some rank are skipped at that rank, following
+// the paper's convention of excluding d = 0 matches.
+//
+// Per the paper's footnote, ε upper-bounds this quantity for ε-approximate
+// results.
+func RelativeError(q series.Series, data *series.Dataset, result []core.Neighbor, truth []core.Neighbor) float64 {
+	n := len(result)
+	if n > len(truth) {
+		n = len(truth)
+	}
+	var sum float64
+	counted := 0
+	for r := 0; r < n; r++ {
+		exact := truth[r].Dist
+		if exact <= 0 {
+			continue
+		}
+		got := series.Dist(q, data.At(result[r].ID))
+		sum += (got - exact) / exact
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// QueryMetrics bundles the per-query accuracy values.
+type QueryMetrics struct {
+	Recall float64
+	AP     float64
+	RE     float64
+}
+
+// WorkloadMetrics aggregates a workload (paper: Avg Recall, MAP, MRE).
+type WorkloadMetrics struct {
+	AvgRecall float64
+	MAP       float64
+	MRE       float64
+}
+
+// Aggregate averages per-query metrics into workload metrics.
+func Aggregate(per []QueryMetrics) WorkloadMetrics {
+	if len(per) == 0 {
+		return WorkloadMetrics{}
+	}
+	var w WorkloadMetrics
+	for _, m := range per {
+		w.AvgRecall += m.Recall
+		w.MAP += m.AP
+		w.MRE += m.RE
+	}
+	n := float64(len(per))
+	w.AvgRecall /= n
+	w.MAP /= n
+	w.MRE /= n
+	return w
+}
+
+// Measure computes the accuracy of results against ground truth for a full
+// workload. queries and data provide the raw values needed to recompute
+// true distances.
+func Measure(data *series.Dataset, queries *series.Dataset, results []core.Result, truth [][]core.Neighbor) (WorkloadMetrics, error) {
+	if len(results) != queries.Size() || len(truth) != queries.Size() {
+		return WorkloadMetrics{}, fmt.Errorf("eval: %d results / %d truths for %d queries", len(results), len(truth), queries.Size())
+	}
+	per := make([]QueryMetrics, len(results))
+	for i := range results {
+		per[i] = QueryMetrics{
+			Recall: Recall(results[i].Neighbors, truth[i]),
+			AP:     AveragePrecision(results[i].Neighbors, truth[i]),
+			RE:     RelativeError(queries.At(i), data, results[i].Neighbors, truth[i]),
+		}
+	}
+	return Aggregate(per), nil
+}
+
+// sanitize guards against NaN leaking into reports.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

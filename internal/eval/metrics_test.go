@@ -1,0 +1,199 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+func nb(ids ...int) []core.Neighbor {
+	out := make([]core.Neighbor, len(ids))
+	for i, id := range ids {
+		out[i] = core.Neighbor{ID: id, Dist: float64(i + 1)}
+	}
+	return out
+}
+
+func TestRecall(t *testing.T) {
+	truth := nb(1, 2, 3, 4)
+	if got := Recall(nb(1, 2, 3, 4), truth); got != 1 {
+		t.Errorf("perfect recall = %v", got)
+	}
+	if got := Recall(nb(1, 2, 9, 8), truth); got != 0.5 {
+		t.Errorf("half recall = %v", got)
+	}
+	if got := Recall(nb(9, 8, 7, 6), truth); got != 0 {
+		t.Errorf("zero recall = %v", got)
+	}
+	if got := Recall(nil, nil); got != 0 {
+		t.Errorf("empty truth = %v", got)
+	}
+}
+
+func TestAveragePrecisionOrderSensitive(t *testing.T) {
+	truth := nb(1, 2)
+	// Correct items first: AP = (1/2)(1/1 + 2/2) = 1.
+	if got := AveragePrecision(nb(1, 2), truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AP perfect = %v", got)
+	}
+	// Correct items late: [9, 1]: hit at rank 2 -> P=0.5; AP = 0.5*0.5 = 0.25.
+	if got := AveragePrecision(nb(9, 1), truth); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("AP late = %v", got)
+	}
+	// Same set, different order => different AP (the reason the paper adds
+	// MAP next to recall).
+	a := AveragePrecision([]core.Neighbor{{ID: 1}, {ID: 9}, {ID: 2}}, truth)
+	b := AveragePrecision([]core.Neighbor{{ID: 9}, {ID: 1}, {ID: 2}}, truth)
+	if a <= b {
+		t.Errorf("earlier hits should give higher AP: %v vs %v", a, b)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	data := series.NewDataset(2)
+	data.Append(series.Series{0, 0}) // id 0
+	data.Append(series.Series{3, 4}) // id 1, dist 5 from origin query
+	data.Append(series.Series{6, 8}) // id 2, dist 10
+	q := series.Series{0, 0}
+	truth := []core.Neighbor{{ID: 0, Dist: 0.0001}, {ID: 1, Dist: 5}}
+	// Result returns id 1 then id 2: rank 1 skipped only if exact <= 0.
+	result := []core.Neighbor{{ID: 1}, {ID: 2}}
+	// rank0: exact 0.0001, got 5 -> huge; use truth with nonzero dists.
+	truth = []core.Neighbor{{ID: 1, Dist: 5}, {ID: 1, Dist: 5}}
+	re := RelativeError(q, data, result, truth)
+	// rank0: (5-5)/5 = 0; rank1: (10-5)/5 = 1 -> mean 0.5.
+	if math.Abs(re-0.5) > 1e-12 {
+		t.Errorf("RE = %v, want 0.5", re)
+	}
+	// Perfect result: RE 0.
+	if got := RelativeError(q, data, []core.Neighbor{{ID: 1}}, []core.Neighbor{{ID: 1, Dist: 5}}); got != 0 {
+		t.Errorf("perfect RE = %v", got)
+	}
+	// Zero exact distances are skipped.
+	if got := RelativeError(q, data, []core.Neighbor{{ID: 1}}, []core.Neighbor{{ID: 0, Dist: 0}}); got != 0 {
+		t.Errorf("zero-dist RE = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	per := []QueryMetrics{{Recall: 1, AP: 0.5, RE: 0.2}, {Recall: 0, AP: 0.5, RE: 0.4}}
+	w := Aggregate(per)
+	if w.AvgRecall != 0.5 || w.MAP != 0.5 || math.Abs(w.MRE-0.3) > 1e-12 {
+		t.Errorf("aggregate = %+v", w)
+	}
+	if z := Aggregate(nil); z.AvgRecall != 0 {
+		t.Error("empty aggregate should be zero")
+	}
+}
+
+func TestMeasureMismatchErrors(t *testing.T) {
+	data := series.NewDataset(2)
+	data.Append(series.Series{1, 2})
+	qs := series.NewDataset(2)
+	qs.Append(series.Series{1, 2})
+	if _, err := Measure(data, qs, nil, nil); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize(math.NaN()) != 0 || sanitize(math.Inf(1)) != 0 {
+		t.Error("sanitize should zero NaN/Inf")
+	}
+	if sanitize(1.5) != 1.5 {
+		t.Error("sanitize should pass numbers through")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	s := tbl.String()
+	if s == "" || len(tbl.Rows) != 2 {
+		t.Error("table rendering broken")
+	}
+	tbl.SortRowsBy(0)
+	if tbl.Rows[0][0] != "1" {
+		t.Errorf("numeric sort wrong: %v", tbl.Rows)
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	if F(0) != "0" {
+		t.Errorf("F(0) = %s", F(0))
+	}
+	if F(1234567) != "1.23e+06" {
+		t.Errorf("F(large) = %s", F(1234567))
+	}
+	if F(0.1234) != "0.1234" {
+		t.Errorf("F(small) = %s", F(0.1234))
+	}
+	if F(math.NaN()) != "0" {
+		t.Errorf("F(NaN) = %s", F(math.NaN()))
+	}
+}
+
+func TestQueriesPerMinute(t *testing.T) {
+	if got := QueriesPerMinute(60, 100); got != 100 {
+		t.Errorf("qpm = %v", got)
+	}
+	if got := QueriesPerMinute(0, 100); got != 0 {
+		t.Errorf("qpm at zero time = %v", got)
+	}
+}
+
+func TestTrimmedExtrapolate(t *testing.T) {
+	// 20 per-query times with two outliers; 5% trim drops one from each
+	// end, so the outliers vanish.
+	times := make([]float64, 20)
+	for i := range times {
+		times[i] = 1.0
+	}
+	times[3] = 100 // slow outlier
+	times[7] = 0.0001
+	got := TrimmedExtrapolate(times, 10000)
+	if math.Abs(got-10000) > 1 {
+		t.Errorf("extrapolation = %v, want ~10000", got)
+	}
+	if TrimmedExtrapolate(nil, 100) != 0 {
+		t.Error("empty input should give 0")
+	}
+	// Small workloads (n <= 2) keep everything.
+	if got := TrimmedExtrapolate([]float64{2, 4}, 10); math.Abs(got-30) > 1e-9 {
+		t.Errorf("untrimmed small workload = %v, want 30", got)
+	}
+}
+
+func TestRecommendMatrix(t *testing.T) {
+	cases := []struct {
+		s    Scenario
+		want string
+	}{
+		// Guarantees: DSTree, except small workloads with indexing counted.
+		{Scenario{NeedGuarantees: true}, "DSTree"},
+		{Scenario{NeedGuarantees: true, CountIndexing: true, LargeWorkload: false}, "iSAX2+"},
+		{Scenario{NeedGuarantees: true, CountIndexing: true, LargeWorkload: true}, "DSTree"},
+		// In-memory ng query-only: HNSW, unless MAP 1 is required.
+		{Scenario{InMemory: true}, "HNSW"},
+		{Scenario{InMemory: true, HighAccuracy: true}, "DSTree"},
+		// In-memory ng with indexing counted.
+		{Scenario{InMemory: true, CountIndexing: true, LargeWorkload: true}, "DSTree"},
+		{Scenario{InMemory: true, CountIndexing: true}, "iSAX2+"},
+		// On-disk.
+		{Scenario{}, "DSTree"},
+		{Scenario{CountIndexing: true}, "iSAX2+"},
+		{Scenario{CountIndexing: true, LargeWorkload: true}, "DSTree"},
+	}
+	for i, c := range cases {
+		got, rationale := Recommend(c.s)
+		if got != c.want {
+			t.Errorf("case %d (%+v): %s, want %s", i, c.s, got, c.want)
+		}
+		if rationale == "" {
+			t.Errorf("case %d: empty rationale", i)
+		}
+	}
+}

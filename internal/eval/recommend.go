@@ -1,0 +1,52 @@
+package eval
+
+// Recommendation implements the paper's Figure 9 decision matrix: the best
+// technique for answering a query workload, given whether the data fits in
+// memory, whether guarantees are required, and whether index-construction
+// time must be amortised.
+
+// Scenario describes a deployment situation.
+type Scenario struct {
+	// InMemory is true when the dataset fits in RAM.
+	InMemory bool
+	// NeedGuarantees is true when δ-ε (or ε) accuracy bounds are required.
+	NeedGuarantees bool
+	// CountIndexing is true when index-building time matters (no
+	// pre-existing index).
+	CountIndexing bool
+	// LargeWorkload is true when many queries will amortise the build
+	// (the paper's 10K-query setting, vs the 100-query setting).
+	LargeWorkload bool
+	// HighAccuracy is true when MAP close to 1 is required.
+	HighAccuracy bool
+}
+
+// Recommend returns the method name the paper's evaluation points to for
+// the scenario, plus the rationale.
+func Recommend(s Scenario) (method, rationale string) {
+	// With guarantees, only the extended data series methods are in play;
+	// DSTree wins everywhere with the small-workload exception for iSAX2+.
+	if s.NeedGuarantees {
+		if s.CountIndexing && !s.LargeWorkload {
+			return "iSAX2+", "guarantees with a small workload: iSAX2+'s cheap index amortises fastest (Fig. 3/4 combined-cost panels)"
+		}
+		return "DSTree", "guarantees: DSTree offers the best throughput/accuracy trade-off in and out of memory (Figs. 3, 4, 6)"
+	}
+	// No guarantees (ng-approximate).
+	if s.InMemory {
+		if !s.CountIndexing {
+			if s.HighAccuracy {
+				return "DSTree", "in-memory ng with MAP→1 required: graph methods plateau below exact accuracy; DSTree reaches MAP 1 (Fig. 3)"
+			}
+			return "HNSW", "in-memory ng query-only: HNSW has the best throughput at fixed accuracy (Fig. 3, paper §5)"
+		}
+		if s.LargeWorkload {
+			return "DSTree", "in-memory ng with indexing counted and a large workload: DSTree amortises best (Fig. 3 idx+10K panels)"
+		}
+		return "iSAX2+", "in-memory ng with indexing counted and a small workload: iSAX2+'s build speed wins (Fig. 3 idx+100 panels)"
+	}
+	if s.CountIndexing && !s.LargeWorkload {
+		return "iSAX2+", "on-disk ng with a small workload: iSAX2+ remains competitive when the build dominates (Fig. 4)"
+	}
+	return "DSTree", "on-disk: DSTree and iSAX2+ dominate; DSTree is the overall winner (Fig. 4, Fig. 9)"
+}

@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// Workload is a named set of queries against a dataset, with ground truth.
+type Workload struct {
+	Data    *series.Dataset
+	Queries *series.Dataset
+	Truth   [][]core.Neighbor // per query, k exact neighbours
+	K       int
+}
+
+// RunOutcome is the measured outcome of running a workload on one method
+// under one query configuration.
+type RunOutcome struct {
+	Metrics     WorkloadMetrics
+	WallSeconds float64       // measured CPU/wall time of the searches
+	IO          storage.Stats // summed raw-data access counters
+	DistCalcs   int64
+	// ModelSeconds is WallSeconds plus the cost model's I/O time; it is the
+	// number used for the on-disk experiments.
+	ModelSeconds float64
+	// PerQueryModelSeconds holds the modelled cost of each query, used by
+	// the paper's trimmed extrapolation to large workloads.
+	PerQueryModelSeconds []float64
+	Results              []core.Result
+}
+
+// TrimmedExtrapolate projects the cost of `target` queries from measured
+// per-query times following the paper's procedure: "we discard the 5 best
+// and 5 worst queries of the original 100 (in terms of total execution
+// time), and multiply the average of the 90 remaining queries" — scaled
+// here to the actual workload size (trim 5% from each end, at least one
+// query each when the workload allows).
+func TrimmedExtrapolate(perQuerySeconds []float64, target int) float64 {
+	n := len(perQuerySeconds)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), perQuerySeconds...)
+	sort.Float64s(sorted)
+	trim := n / 20
+	if trim == 0 && n > 2 {
+		trim = 1
+	}
+	kept := sorted[trim : n-trim]
+	var sum float64
+	for _, v := range kept {
+		sum += v
+	}
+	return sum / float64(len(kept)) * float64(target)
+}
+
+// QueriesPerMinute converts a per-workload time into the paper's
+// throughput measure.
+func QueriesPerMinute(seconds float64, queries int) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(queries) / (seconds / 60)
+}
+
+// Run executes every query of the workload against the method using the
+// template query (its Series field is replaced per query) and measures
+// accuracy and cost. model may be zero-valued for in-memory runs.
+func Run(m core.Method, w Workload, template core.Query, model storage.CostModel) (RunOutcome, error) {
+	out := RunOutcome{}
+	start := time.Now()
+	for qi := 0; qi < w.Queries.Size(); qi++ {
+		q := template
+		q.Series = w.Queries.At(qi)
+		q.K = w.K
+		qStart := time.Now()
+		res, err := m.Search(q)
+		if err != nil {
+			return RunOutcome{}, fmt.Errorf("eval: %s query %d: %w", m.Name(), qi, err)
+		}
+		out.PerQueryModelSeconds = append(out.PerQueryModelSeconds,
+			time.Since(qStart).Seconds()+model.Seconds(res.IO))
+		out.Results = append(out.Results, res)
+		out.IO = out.IO.Add(res.IO)
+		out.DistCalcs += res.DistCalcs
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	out.ModelSeconds = out.WallSeconds + model.Seconds(out.IO)
+	metrics, err := Measure(w.Data, w.Queries, out.Results, w.Truth)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	out.Metrics = metrics
+	return out, nil
+}
+
+// Table is a printable experiment result: a title, column names and rows.
+// Rows hold strings so callers control formatting.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(out io.Writer) {
+	fmt.Fprintf(out, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(out, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// SortRowsBy sorts rows by the given column index, numerically when both
+// cells parse as floats, lexicographically otherwise.
+func (t *Table) SortRowsBy(col int) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i][col], t.Rows[j][col]
+		var fa, fb float64
+		na, errA := fmt.Sscanf(a, "%g", &fa)
+		nb, errB := fmt.Sscanf(b, "%g", &fb)
+		if na == 1 && nb == 1 && errA == nil && errB == nil {
+			return fa < fb
+		}
+		return a < b
+	})
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	v = sanitize(v)
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// I formats an integer cell.
+func I(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,482 @@
+// Package flann implements a FLANN-style ensemble (Muja & Lowe, VISAPP
+// 2009) for ng-approximate nearest neighbour search: a forest of
+// randomized KD-trees and a hierarchical k-means tree, plus an auto-tuning
+// step that picks the better structure for a desired accuracy on a sample
+// workload — the defining feature of FLANN ("selects and auto-tunes the
+// most appropriate algorithm").
+//
+// Like the original, this is an in-memory method: raw vectors stay
+// resident and the storage accountant is untouched.
+package flann
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/quant"
+	"hydra/internal/series"
+)
+
+// Algorithm selects the index structure.
+type Algorithm int
+
+const (
+	// AlgoAuto lets Build pick between KD-trees and k-means on a sample.
+	AlgoAuto Algorithm = iota
+	// AlgoKDTrees forces the randomized KD-tree forest.
+	AlgoKDTrees
+	// AlgoKMeans forces the hierarchical k-means tree.
+	AlgoKMeans
+)
+
+// Config controls construction.
+type Config struct {
+	Algorithm Algorithm
+	// Trees is the number of randomized KD-trees in the forest.
+	Trees int
+	// Branching is the k-means tree fan-out.
+	Branching int
+	// LeafSize bounds points per leaf in both structures.
+	LeafSize int
+	// TargetRecall drives auto-tuning (sampled 1-NN recall).
+	TargetRecall float64
+	// Seed drives all randomised choices.
+	Seed int64
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{Algorithm: AlgoAuto, Trees: 4, Branching: 8, LeafSize: 32, TargetRecall: 0.9, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.Trees < 1 {
+		return fmt.Errorf("flann: trees %d < 1", c.Trees)
+	}
+	if c.Branching < 2 {
+		return fmt.Errorf("flann: branching %d < 2", c.Branching)
+	}
+	if c.LeafSize < 1 {
+		return fmt.Errorf("flann: leaf size %d < 1", c.LeafSize)
+	}
+	return nil
+}
+
+// kdNode is a node of a randomized KD-tree.
+type kdNode struct {
+	dim         int
+	threshold   float64
+	ids         []int // leaf
+	left, right *kdNode
+}
+
+// kmNode is a node of the hierarchical k-means tree.
+type kmNode struct {
+	center   []float64
+	ids      []int // leaf
+	children []*kmNode
+}
+
+// Index is a FLANN-style ensemble index.
+type Index struct {
+	data      *series.Dataset
+	cfg       Config
+	chosen    Algorithm // resolved algorithm after auto-tune
+	kd        []*kdNode
+	km        *kmNode
+	distCalcs int64
+}
+
+// Build constructs the index.
+func Build(data *series.Dataset, cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{data: data, cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	all := make([]int, data.Size())
+	for i := range all {
+		all[i] = i
+	}
+	buildKD := func() {
+		idx.kd = make([]*kdNode, cfg.Trees)
+		for t := range idx.kd {
+			ids := append([]int(nil), all...)
+			idx.kd[t] = idx.buildKDTree(ids, rng)
+		}
+	}
+	buildKM := func() {
+		idx.km = idx.buildKMTree(append([]int(nil), all...), rng)
+	}
+	switch cfg.Algorithm {
+	case AlgoKDTrees:
+		buildKD()
+		idx.chosen = AlgoKDTrees
+	case AlgoKMeans:
+		buildKM()
+		idx.chosen = AlgoKMeans
+	default:
+		buildKD()
+		buildKM()
+		idx.chosen = idx.autoTune(rng)
+	}
+	return idx, nil
+}
+
+// buildKDTree builds one randomized KD-tree: the split dimension is chosen
+// uniformly among the 5 highest-variance dimensions of the node's points.
+func (idx *Index) buildKDTree(ids []int, rng *rand.Rand) *kdNode {
+	if len(ids) <= idx.cfg.LeafSize {
+		return &kdNode{ids: ids}
+	}
+	dim := idx.randomHighVarianceDim(ids, rng)
+	vals := make([]float64, len(ids))
+	for i, id := range ids {
+		vals[i] = float64(idx.data.At(id)[dim])
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	threshold := sorted[len(sorted)/2]
+	var left, right []int
+	for i, id := range ids {
+		if vals[i] < threshold {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &kdNode{ids: ids} // degenerate dimension: stop splitting
+	}
+	return &kdNode{
+		dim:       dim,
+		threshold: threshold,
+		left:      idx.buildKDTree(left, rng),
+		right:     idx.buildKDTree(right, rng),
+	}
+}
+
+func (idx *Index) randomHighVarianceDim(ids []int, rng *rand.Rand) int {
+	length := idx.data.Length()
+	type dv struct {
+		dim int
+		v   float64
+	}
+	vars := make([]dv, length)
+	sample := ids
+	if len(sample) > 100 {
+		sample = sample[:100]
+	}
+	for d := 0; d < length; d++ {
+		var sum, sumSq float64
+		for _, id := range sample {
+			v := float64(idx.data.At(id)[d])
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(len(sample))
+		vars[d] = dv{dim: d, v: sumSq/float64(len(sample)) - mean*mean}
+	}
+	sort.Slice(vars, func(a, b int) bool { return vars[a].v > vars[b].v })
+	top := 5
+	if top > length {
+		top = length
+	}
+	return vars[rng.Intn(top)].dim
+}
+
+// buildKMTree builds the hierarchical k-means tree.
+func (idx *Index) buildKMTree(ids []int, rng *rand.Rand) *kmNode {
+	node := &kmNode{center: idx.centroidOf(ids)}
+	if len(ids) <= idx.cfg.LeafSize || len(ids) <= idx.cfg.Branching {
+		node.ids = ids
+		return node
+	}
+	vecs := make([][]float64, len(ids))
+	for i, id := range ids {
+		s := idx.data.At(id)
+		v := make([]float64, len(s))
+		for j, x := range s {
+			v[j] = float64(x)
+		}
+		vecs[i] = v
+	}
+	_, assign := quant.KMeans(vecs, idx.cfg.Branching, 8, rng.Int63())
+	groups := make(map[int][]int)
+	for i, c := range assign {
+		groups[c] = append(groups[c], ids[i])
+	}
+	if len(groups) < 2 {
+		node.ids = ids
+		return node
+	}
+	keys := make([]int, 0, len(groups))
+	for c := range groups {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for _, c := range keys {
+		node.children = append(node.children, idx.buildKMTree(groups[c], rng))
+	}
+	return node
+}
+
+func (idx *Index) centroidOf(ids []int) []float64 {
+	c := make([]float64, idx.data.Length())
+	for _, id := range ids {
+		s := idx.data.At(id)
+		for j, x := range s {
+			c[j] += float64(x)
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(ids))
+	}
+	return c
+}
+
+// autoTune measures sampled 1-NN recall vs examined points for both
+// structures at a modest budget and keeps the one that reaches the target
+// recall, preferring the faster (fewer distance computations) on a tie —
+// a lightweight rendition of FLANN's parameter search.
+func (idx *Index) autoTune(rng *rand.Rand) Algorithm {
+	n := idx.data.Size()
+	samples := 20
+	if samples > n {
+		samples = n
+	}
+	budget := n / 10
+	if budget < idx.cfg.LeafSize {
+		budget = idx.cfg.LeafSize
+	}
+	score := func(algo Algorithm) (recall float64, work int64) {
+		hits := 0
+		idx.distCalcs = 0
+		for s := 0; s < samples; s++ {
+			qid := rng.Intn(n)
+			q := idx.data.At(qid)
+			var got []core.Neighbor
+			if algo == AlgoKDTrees {
+				got = idx.searchKD(q, 2, budget)
+			} else {
+				got = idx.searchKM(q, 2, budget)
+			}
+			// True 1-NN excluding the query point itself.
+			best, bestD := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if i == qid {
+					continue
+				}
+				if d := series.SquaredDist(q, idx.data.At(i)); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			for _, nb := range got {
+				if nb.ID == best {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(samples), idx.distCalcs
+	}
+	kdRecall, kdWork := score(AlgoKDTrees)
+	kmRecall, kmWork := score(AlgoKMeans)
+	kdOK := kdRecall >= idx.cfg.TargetRecall
+	kmOK := kmRecall >= idx.cfg.TargetRecall
+	switch {
+	case kdOK && kmOK:
+		if kdWork <= kmWork {
+			return AlgoKDTrees
+		}
+		return AlgoKMeans
+	case kdOK:
+		return AlgoKDTrees
+	case kmOK:
+		return AlgoKMeans
+	default:
+		if kdRecall >= kmRecall {
+			return AlgoKDTrees
+		}
+		return AlgoKMeans
+	}
+}
+
+// Chosen reports the algorithm resolved at build time.
+func (idx *Index) Chosen() Algorithm { return idx.chosen }
+
+// Name implements core.Method.
+func (idx *Index) Name() string { return "FLANN" }
+
+// Size returns the number of indexed series.
+func (idx *Index) Size() int { return idx.data.Size() }
+
+// Footprint implements core.Method: both structures plus resident data.
+func (idx *Index) Footprint() int64 {
+	var total int64
+	var walkKD func(n *kdNode)
+	walkKD = func(n *kdNode) {
+		total += 48 + int64(len(n.ids))*8
+		if n.left != nil {
+			walkKD(n.left)
+			walkKD(n.right)
+		}
+	}
+	for _, t := range idx.kd {
+		walkKD(t)
+	}
+	var walkKM func(n *kmNode)
+	walkKM = func(n *kmNode) {
+		total += int64(len(n.center))*8 + int64(len(n.ids))*8 + 48
+		for _, c := range n.children {
+			walkKM(c)
+		}
+	}
+	if idx.km != nil {
+		walkKM(idx.km)
+	}
+	return total + idx.data.Bytes()
+}
+
+// branchItem is a deferred branch ordered by its distance bound.
+type branchItem struct {
+	kd *kdNode
+	km *kmNode
+	d  float64
+}
+
+type branchQueue []branchItem
+
+func (q branchQueue) Len() int            { return len(q) }
+func (q branchQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q branchQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *branchQueue) Push(x interface{}) { *q = append(*q, x.(branchItem)) }
+func (q *branchQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// searchKD performs the FLANN multi-tree priority search with a bound on
+// examined points ("checks").
+func (idx *Index) searchKD(q series.Series, k, checks int) []core.Neighbor {
+	kset := core.NewKNNSet(k)
+	pq := &branchQueue{}
+	heap.Init(pq)
+	examined := 0
+	var descend func(n *kdNode, bound float64)
+	descend = func(n *kdNode, bound float64) {
+		for n.left != nil {
+			diff := float64(q[n.dim]) - n.threshold
+			var near, far *kdNode
+			if diff < 0 {
+				near, far = n.left, n.right
+			} else {
+				near, far = n.right, n.left
+			}
+			heap.Push(pq, branchItem{kd: far, d: bound + diff*diff})
+			n = near
+		}
+		for _, id := range n.ids {
+			if examined >= checks && kset.Full() {
+				return
+			}
+			idx.distCalcs++
+			examined++
+			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
+		}
+	}
+	for _, t := range idx.kd {
+		descend(t, 0)
+	}
+	for pq.Len() > 0 && (examined < checks || !kset.Full()) {
+		it := heap.Pop(pq).(branchItem)
+		w := kset.Worst()
+		if it.d >= w*w {
+			continue
+		}
+		descend(it.kd, it.d)
+	}
+	return kset.Sorted()
+}
+
+// searchKM performs the hierarchical k-means priority search.
+func (idx *Index) searchKM(q series.Series, k, checks int) []core.Neighbor {
+	kset := core.NewKNNSet(k)
+	pq := &branchQueue{}
+	heap.Init(pq)
+	examined := 0
+	centerDist := func(n *kmNode) float64 {
+		var acc float64
+		for i, x := range q {
+			d := float64(x) - n.center[i]
+			acc += d * d
+		}
+		return acc
+	}
+	var descend func(n *kmNode)
+	descend = func(n *kmNode) {
+		for len(n.children) > 0 {
+			best, bestD := 0, math.Inf(1)
+			for i, c := range n.children {
+				d := centerDist(c)
+				idx.distCalcs++
+				if d < bestD {
+					best, bestD = i, d
+				}
+			}
+			for i, c := range n.children {
+				if i != best {
+					heap.Push(pq, branchItem{km: c, d: centerDist(c)})
+				}
+			}
+			n = n.children[best]
+		}
+		for _, id := range n.ids {
+			if examined >= checks && kset.Full() {
+				return
+			}
+			idx.distCalcs++
+			examined++
+			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
+		}
+	}
+	descend(idx.km)
+	for pq.Len() > 0 && (examined < checks || !kset.Full()) {
+		it := heap.Pop(pq).(branchItem)
+		descend(it.km)
+	}
+	return kset.Sorted()
+}
+
+// Search implements core.Method. FLANN supports ng-approximate queries;
+// NProbe is the "checks" budget (points examined).
+func (idx *Index) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("flann: %w", err)
+	}
+	if q.Mode != core.ModeNG {
+		return core.Result{}, fmt.Errorf("flann: %s search not supported (ng-approximate only)", q.Mode)
+	}
+	if len(q.Series) != idx.data.Length() {
+		return core.Result{}, fmt.Errorf("flann: query length %d != dataset length %d", len(q.Series), idx.data.Length())
+	}
+	checks := q.NProbe
+	if checks < q.K {
+		checks = q.K
+	}
+	idx.distCalcs = 0
+	var nbrs []core.Neighbor
+	if idx.chosen == AlgoKMeans {
+		nbrs = idx.searchKM(q.Series, q.K, checks)
+	} else {
+		nbrs = idx.searchKD(q.Series, q.K, checks)
+	}
+	return core.Result{Neighbors: nbrs, DistCalcs: idx.distCalcs, LeavesVisited: checks}, nil
+}

@@ -1,0 +1,164 @@
+package flann
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+)
+
+func buildTestIndex(t *testing.T, n, length int, cfg Config, kind dataset.Kind, seed int64) (*Index, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	idx, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, kind, 5, seed+100)
+	return idx, data, queries
+}
+
+func avgRecall(t *testing.T, idx *Index, queries *series.Dataset, gt [][]core.Neighbor, nprobe int) float64 {
+	t.Helper()
+	var total float64
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: nprobe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueIDs := map[int]struct{}{}
+		for _, nb := range gt[qi] {
+			trueIDs[nb.ID] = struct{}{}
+		}
+		for _, nb := range res.Neighbors {
+			if _, ok := trueIDs[nb.ID]; ok {
+				total++
+			}
+		}
+	}
+	return total / float64(10*queries.Size())
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	for i, cfg := range []Config{
+		{Trees: 0, Branching: 4, LeafSize: 8},
+		{Trees: 2, Branching: 1, LeafSize: 8},
+		{Trees: 2, Branching: 4, LeafSize: 0},
+	} {
+		if _, err := Build(data, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestKDTreesRecall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoKDTrees
+	idx, data, queries := buildTestIndex(t, 2000, 32, cfg, dataset.KindClustered, 1)
+	gt := scan.GroundTruth(data, queries, 10)
+	if r := avgRecall(t, idx, queries, gt, 500); r < 0.7 {
+		t.Errorf("KD forest recall %v at checks=500", r)
+	}
+}
+
+func TestKMeansTreeRecall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoKMeans
+	idx, data, queries := buildTestIndex(t, 2000, 32, cfg, dataset.KindClustered, 3)
+	gt := scan.GroundTruth(data, queries, 10)
+	if r := avgRecall(t, idx, queries, gt, 500); r < 0.7 {
+		t.Errorf("k-means tree recall %v at checks=500", r)
+	}
+}
+
+func TestAutoTunePicksSomething(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 1000, 32, DefaultConfig(), dataset.KindWalk, 5)
+	if idx.Chosen() != AlgoKDTrees && idx.Chosen() != AlgoKMeans {
+		t.Fatalf("auto-tune resolved to %v", idx.Chosen())
+	}
+	gt := scan.GroundTruth(data, queries, 10)
+	if r := avgRecall(t, idx, queries, gt, 400); r < 0.5 {
+		t.Errorf("auto-tuned recall %v", r)
+	}
+}
+
+func TestRecallImprovesWithChecks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoKDTrees
+	idx, data, queries := buildTestIndex(t, 3000, 32, cfg, dataset.KindWalk, 7)
+	gt := scan.GroundTruth(data, queries, 10)
+	lo := avgRecall(t, idx, queries, gt, 40)
+	hi := avgRecall(t, idx, queries, gt, 2000)
+	if hi < lo {
+		t.Errorf("recall fell with more checks: %v -> %v", lo, hi)
+	}
+	if hi < 0.8 {
+		t.Errorf("recall at checks=2000 is %v", hi)
+	}
+}
+
+func TestChecksBoundWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoKDTrees
+	idx, _, queries := buildTestIndex(t, 5000, 32, cfg, dataset.KindWalk, 9)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance computations should be in the same ballpark as checks, far
+	// below a full scan.
+	if res.DistCalcs > 2500 {
+		t.Errorf("checks=100 computed %d distances", res.DistCalcs)
+	}
+}
+
+func TestRejectsNonNGModes(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 200, 16, DefaultConfig(), dataset.KindWalk, 11)
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeEpsilon, core.ModeDeltaEpsilon} {
+		if _, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: mode, Epsilon: 1, Delta: 0.5}); err == nil {
+			t.Errorf("mode %v should be rejected", mode)
+		}
+	}
+}
+
+func TestIdenticalPointsDoNotLoop(t *testing.T) {
+	data := series.NewDataset(8)
+	one := make(series.Series, 8)
+	for i := 0; i < 100; i++ {
+		data.Append(one)
+	}
+	idx, err := Build(data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(core.Query{Series: one, K: 3, Mode: core.ModeNG, NProbe: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Errorf("%d results on degenerate data", len(res.Neighbors))
+	}
+}
+
+func TestNameFootprint(t *testing.T) {
+	idx, data, _ := buildTestIndex(t, 200, 16, DefaultConfig(), dataset.KindWalk, 13)
+	if idx.Name() != "FLANN" || idx.Size() != 200 {
+		t.Error("metadata wrong")
+	}
+	if idx.Footprint() <= data.Bytes() {
+		t.Error("footprint should include structures above raw data")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 100, 16, DefaultConfig(), dataset.KindWalk, 15)
+	if _, err := idx.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}

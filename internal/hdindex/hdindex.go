@@ -1,0 +1,227 @@
+// Package hdindex implements an HD-index-style method (Arora et al., PVLDB
+// 2018) for ng-approximate search: the dimensions are partitioned into
+// disjoint lower-dimensional groups; within each group, series are ordered
+// by the Hilbert key of their quantised sub-vector (the RDB-tree of the
+// original becomes a sorted key table — the same logarithmic lookup,
+// simpler machinery). A query probes each partition around its own key,
+// gathers candidates, cheaply screens them with per-partition sub-vector
+// distances (the role the original's triangle/Ptolemaic inequalities play),
+// and refines survivors against the raw data.
+package hdindex
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/hilbert"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// Config controls partitioning and probing.
+type Config struct {
+	// Partitions is the number of disjoint dimension groups.
+	Partitions int
+	// Bits is the per-dimension Hilbert quantisation precision.
+	Bits int
+	// RefineFactor multiplies NProbe to set how many screened candidates
+	// are refined against raw data.
+	RefineFactor int
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{Partitions: 4, Bits: 8, RefineFactor: 4}
+}
+
+func (c Config) validate(length int) error {
+	if c.Partitions < 1 || c.Partitions > length {
+		return fmt.Errorf("hdindex: partitions %d out of [1,%d]", c.Partitions, length)
+	}
+	if c.Bits < 1 || c.Bits > 16 {
+		return fmt.Errorf("hdindex: bits %d out of [1,16]", c.Bits)
+	}
+	if c.RefineFactor < 1 {
+		return fmt.Errorf("hdindex: refine factor %d < 1", c.RefineFactor)
+	}
+	return nil
+}
+
+// partition is one dimension group with its sorted Hilbert key table.
+type partition struct {
+	lo, hi int // dimension range [lo,hi)
+	curve  *hilbert.Curve
+	minV   float64 // quantisation range over the data
+	maxV   float64
+	keys   [][]byte // sorted
+	ids    []int    // aligned with keys
+}
+
+// Index is an HD-index over a series store.
+type Index struct {
+	store *storage.SeriesStore
+	cfg   Config
+	parts []partition
+}
+
+// Build constructs the index.
+func Build(store *storage.SeriesStore, cfg Config) (*Index, error) {
+	if err := cfg.validate(store.Length()); err != nil {
+		return nil, err
+	}
+	idx := &Index{store: store, cfg: cfg}
+	length := store.Length()
+	n := store.Size()
+	for p := 0; p < cfg.Partitions; p++ {
+		lo := p * length / cfg.Partitions
+		hi := (p + 1) * length / cfg.Partitions
+		part := partition{lo: lo, hi: hi, curve: hilbert.NewCurve(hi-lo, cfg.Bits)}
+		part.minV, part.maxV = math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			s := store.Peek(i)
+			for d := lo; d < hi; d++ {
+				v := float64(s[d])
+				if v < part.minV {
+					part.minV = v
+				}
+				if v > part.maxV {
+					part.maxV = v
+				}
+			}
+		}
+		type kv struct {
+			key []byte
+			id  int
+		}
+		pairs := make([]kv, n)
+		coords := make([]uint32, hi-lo)
+		for i := 0; i < n; i++ {
+			s := store.Peek(i)
+			for d := lo; d < hi; d++ {
+				coords[d-lo] = hilbert.Quantize(float64(s[d]), part.minV, part.maxV, cfg.Bits)
+			}
+			pairs[i] = kv{key: part.curve.Key(coords), id: i}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return bytes.Compare(pairs[a].key, pairs[b].key) < 0 })
+		part.keys = make([][]byte, n)
+		part.ids = make([]int, n)
+		for i, pr := range pairs {
+			part.keys[i] = pr.key
+			part.ids[i] = pr.id
+		}
+		idx.parts = append(idx.parts, part)
+	}
+	return idx, nil
+}
+
+// Name implements core.Method.
+func (idx *Index) Name() string { return "HD-index" }
+
+// Size returns the number of indexed series.
+func (idx *Index) Size() int { return idx.store.Size() }
+
+// Footprint implements core.Method: key tables per partition.
+func (idx *Index) Footprint() int64 {
+	var total int64
+	for _, p := range idx.parts {
+		for _, k := range p.keys {
+			total += int64(len(k))
+		}
+		total += int64(len(p.ids)) * 8
+	}
+	return total
+}
+
+// subDist computes the squared distance between the query's sub-vector and
+// series id restricted to partition p, using uncharged access (sub-vector
+// screens model the memory-resident reference distances of the original).
+func (idx *Index) subDist(q series.Series, p *partition, id int) float64 {
+	s := idx.store.Peek(id)
+	var acc float64
+	for d := p.lo; d < p.hi; d++ {
+		diff := float64(q[d]) - float64(s[d])
+		acc += diff * diff
+	}
+	return acc
+}
+
+// Search implements core.Method. HD-index supports ng-approximate queries;
+// NProbe is the probe window per partition (candidates gathered around the
+// query key on each side).
+func (idx *Index) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("hdindex: %w", err)
+	}
+	if q.Mode != core.ModeNG {
+		return core.Result{}, fmt.Errorf("hdindex: %s search not supported (ng-approximate only)", q.Mode)
+	}
+	if len(q.Series) != idx.store.Length() {
+		return core.Result{}, fmt.Errorf("hdindex: query length %d != dataset length %d", len(q.Series), idx.store.Length())
+	}
+	before := idx.store.Accountant().Snapshot()
+	res := core.Result{}
+
+	// Gather candidates from a window around the query key per partition.
+	type scored struct {
+		id    int
+		bound float64 // sum of screened sub-distances (full squared distance)
+	}
+	seen := make(map[int]float64)
+	for pi := range idx.parts {
+		p := &idx.parts[pi]
+		coords := make([]uint32, p.hi-p.lo)
+		for d := p.lo; d < p.hi; d++ {
+			coords[d-p.lo] = hilbert.Quantize(float64(q.Series[d]), p.minV, p.maxV, idx.cfg.Bits)
+		}
+		qkey := p.curve.Key(coords)
+		pos := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], qkey) >= 0 })
+		lo := pos - q.NProbe
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + q.NProbe
+		if hi > len(p.ids) {
+			hi = len(p.ids)
+		}
+		for i := lo; i < hi; i++ {
+			seen[p.ids[i]] = 0
+		}
+		res.LeavesVisited++ // one probed partition
+	}
+
+	// Screen: exact full squared distance assembled from per-partition
+	// sub-distances on the memory-resident summaries.
+	cands := make([]scored, 0, len(seen))
+	for id := range seen {
+		var bound float64
+		for pi := range idx.parts {
+			bound += idx.subDist(q.Series, &idx.parts[pi], id)
+		}
+		cands = append(cands, scored{id: id, bound: bound})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+
+	// Refine the best candidates against raw (charged) data.
+	refine := q.K * idx.cfg.RefineFactor
+	if refine > len(cands) {
+		refine = len(cands)
+	}
+	kset := core.NewKNNSet(q.K)
+	for _, c := range cands[:refine] {
+		raw := idx.store.Read(c.id)
+		lim := kset.Worst()
+		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		res.DistCalcs++
+		d := 0.0
+		if d2 > 0 {
+			d = math.Sqrt(d2)
+		}
+		kset.Offer(c.id, d)
+	}
+	res.Neighbors = kset.Sorted()
+	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}

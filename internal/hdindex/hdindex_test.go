@@ -1,0 +1,161 @@
+package hdindex
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestIndex(t *testing.T, n, length int, cfg Config, kind dataset.Kind, seed int64) (*Index, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	idx, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, kind, 5, seed+100)
+	return idx, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	for i, cfg := range []Config{
+		{Partitions: 0, Bits: 8, RefineFactor: 2},
+		{Partitions: 20, Bits: 8, RefineFactor: 2},
+		{Partitions: 2, Bits: 0, RefineFactor: 2},
+		{Partitions: 2, Bits: 32, RefineFactor: 2},
+		{Partitions: 2, Bits: 8, RefineFactor: 0},
+	} {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestPartitionsCoverAllDimensions(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 100, 33, Config{Partitions: 4, Bits: 6, RefineFactor: 2}, dataset.KindWalk, 1)
+	covered := 0
+	prev := 0
+	for _, p := range idx.parts {
+		if p.lo != prev {
+			t.Fatalf("partition gap at %d", p.lo)
+		}
+		covered += p.hi - p.lo
+		prev = p.hi
+	}
+	if covered != 33 {
+		t.Errorf("partitions cover %d of 33 dims", covered)
+	}
+}
+
+func TestKeyTablesSorted(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 300, 32, DefaultConfig(), dataset.KindClustered, 3)
+	for pi, p := range idx.parts {
+		for i := 1; i < len(p.keys); i++ {
+			if string(p.keys[i-1]) > string(p.keys[i]) {
+				t.Fatalf("partition %d keys unsorted at %d", pi, i)
+			}
+		}
+	}
+}
+
+func TestFindsReasonableNeighbors(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 2000, 32, DefaultConfig(), dataset.KindClustered, 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	var recallSum float64
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueIDs := map[int]struct{}{}
+		for _, nb := range gt[qi] {
+			trueIDs[nb.ID] = struct{}{}
+		}
+		for _, nb := range res.Neighbors {
+			if _, ok := trueIDs[nb.ID]; ok {
+				recallSum++
+			}
+		}
+	}
+	if avg := recallSum / float64(10*queries.Size()); avg < 0.4 {
+		t.Errorf("HD-index recall %v at wide probe", avg)
+	}
+}
+
+func TestRecallImprovesWithProbe(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 2000, 32, DefaultConfig(), dataset.KindWalk, 7)
+	gt := scan.GroundTruth(data, queries, 10)
+	at := func(nprobe int) float64 {
+		var total float64
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: nprobe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trueIDs := map[int]struct{}{}
+			for _, nb := range gt[qi] {
+				trueIDs[nb.ID] = struct{}{}
+			}
+			for _, nb := range res.Neighbors {
+				if _, ok := trueIDs[nb.ID]; ok {
+					total++
+				}
+			}
+		}
+		return total / float64(10*queries.Size())
+	}
+	lo, hi := at(5), at(500)
+	if hi < lo {
+		t.Errorf("recall fell with probe: %v -> %v", lo, hi)
+	}
+}
+
+func TestChargesOnlyRefinedReads(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 3000, 32, DefaultConfig(), dataset.KindWalk, 9)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistCalcs > int64(5*idx.cfg.RefineFactor) {
+		t.Errorf("refined %d raw candidates, cap %d", res.DistCalcs, 5*idx.cfg.RefineFactor)
+	}
+	if res.IO.BytesRead >= idx.store.TotalBytes()/2 {
+		t.Errorf("read half the dataset: %d bytes", res.IO.BytesRead)
+	}
+}
+
+func TestRejectsNonNGModes(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 200, 16, DefaultConfig(), dataset.KindWalk, 11)
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeEpsilon, core.ModeDeltaEpsilon} {
+		if _, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: mode, Epsilon: 1, Delta: 0.5}); err == nil {
+			t.Errorf("mode %v should be rejected", mode)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 100, 16, DefaultConfig(), dataset.KindWalk, 13)
+	if _, err := idx.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestNameFootprint(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 100, 16, DefaultConfig(), dataset.KindWalk, 15)
+	if idx.Name() != "HD-index" || idx.Size() != 100 {
+		t.Error("metadata wrong")
+	}
+	if idx.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}

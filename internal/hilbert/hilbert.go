@@ -1,0 +1,171 @@
+// Package hilbert implements d-dimensional Hilbert space-filling curve
+// keys, the partition-ordering substrate of HD-index: points close on the
+// Hilbert curve are close in space (the converse does not hold, which is
+// why HD-index refines candidates with distance inequalities).
+//
+// The implementation follows the classic Butz/Lawder bit-interleaving
+// transformation between d-dimensional coordinates quantised to b bits and
+// the Hilbert index of d·b bits, packed into a big-endian byte slice.
+package hilbert
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Curve maps d-dimensional points with b bits per coordinate onto a Hilbert
+// curve of order b.
+type Curve struct {
+	dims int
+	bits int
+}
+
+// NewCurve creates a Hilbert curve for the given dimensionality and
+// per-coordinate precision. dims*bits may exceed 64: keys are returned as
+// byte slices.
+func NewCurve(dims, bits int) *Curve {
+	if dims <= 0 || bits <= 0 || bits > 32 {
+		panic(fmt.Sprintf("hilbert: invalid curve dims=%d bits=%d", dims, bits))
+	}
+	return &Curve{dims: dims, bits: bits}
+}
+
+// Dims returns the dimensionality.
+func (c *Curve) Dims() int { return c.dims }
+
+// Bits returns the per-coordinate precision.
+func (c *Curve) Bits() int { return c.bits }
+
+// Key converts quantised coordinates (each in [0, 2^bits)) to the Hilbert
+// index as a big-endian byte slice of ceil(dims*bits/8) bytes. Keys compare
+// correctly with bytes.Compare.
+func (c *Curve) Key(coords []uint32) []byte {
+	if len(coords) != c.dims {
+		panic(fmt.Sprintf("hilbert: %d coords for %d dims", len(coords), c.dims))
+	}
+	x := make([]uint32, c.dims)
+	copy(x, coords)
+	hilbertTranspose(x, c.bits)
+	return packTranspose(x, c.dims, c.bits)
+}
+
+// Coords inverts Key: it reconstructs the quantised coordinates from a key
+// produced by the same curve.
+func (c *Curve) Coords(key []byte) []uint32 {
+	x := unpackTranspose(key, c.dims, c.bits)
+	hilbertUntranspose(x, c.bits)
+	return x
+}
+
+// hilbertTranspose converts coordinates in place into the "transposed"
+// Hilbert index form (Skilling's algorithm, AIP Conf. Proc. 707, 381).
+func hilbertTranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(1) << (bits - 1)
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// hilbertUntranspose is the inverse of hilbertTranspose.
+func hilbertUntranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				tt := (x[0] ^ x[i]) & p
+				x[0] ^= tt
+				x[i] ^= tt
+			}
+		}
+	}
+}
+
+// packTranspose interleaves the transposed form into a big-endian bit
+// string: bit (bits-1-b) of x[i] becomes bit position b*dims + i from the
+// most significant end.
+func packTranspose(x []uint32, dims, bits int) []byte {
+	total := dims * bits
+	out := make([]byte, (total+7)/8)
+	pos := 0
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < dims; i++ {
+			if x[i]&(1<<uint(b)) != 0 {
+				out[pos/8] |= 1 << uint(7-pos%8)
+			}
+			pos++
+		}
+	}
+	return out
+}
+
+// unpackTranspose is the inverse of packTranspose.
+func unpackTranspose(key []byte, dims, bits int) []uint32 {
+	x := make([]uint32, dims)
+	pos := 0
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < dims; i++ {
+			if key[pos/8]&(1<<uint(7-pos%8)) != 0 {
+				x[i] |= 1 << uint(b)
+			}
+			pos++
+		}
+	}
+	return x
+}
+
+// Compare orders two keys (thin wrapper over bytes.Compare for callers that
+// do not want to import bytes).
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Quantize maps a float value from [lo, hi] onto [0, 2^bits) uniformly,
+// clipping out-of-range values: the coordinate preprocessing HD-index
+// applies before computing keys.
+func Quantize(v, lo, hi float64, bits int) uint32 {
+	if hi <= lo {
+		return 0
+	}
+	max := (uint32(1) << bits) - 1
+	f := (v - lo) / (hi - lo)
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return max
+	}
+	return uint32(f * float64(max+1))
+}

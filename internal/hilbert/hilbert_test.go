@@ -1,0 +1,173 @@
+package hilbert
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKeyCoordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{1, 2, 3, 8} {
+		for _, bits := range []int{1, 4, 8, 16} {
+			c := NewCurve(dims, bits)
+			for trial := 0; trial < 50; trial++ {
+				coords := make([]uint32, dims)
+				for i := range coords {
+					coords[i] = uint32(rng.Intn(1 << bits))
+				}
+				key := c.Key(coords)
+				got := c.Coords(key)
+				for i := range coords {
+					if got[i] != coords[i] {
+						t.Fatalf("dims=%d bits=%d trial %d: round trip %v -> %v", dims, bits, trial, coords, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKeyLength(t *testing.T) {
+	c := NewCurve(3, 8) // 24 bits -> 3 bytes
+	key := c.Key([]uint32{1, 2, 3})
+	if len(key) != 3 {
+		t.Errorf("key length = %d, want 3", len(key))
+	}
+	c2 := NewCurve(5, 5) // 25 bits -> 4 bytes
+	if got := len(c2.Key([]uint32{0, 1, 2, 3, 4})); got != 4 {
+		t.Errorf("key length = %d, want 4", got)
+	}
+}
+
+func TestKeysAreUnique(t *testing.T) {
+	// In 2D order-4 (16x16 grid) every cell must get a distinct key.
+	c := NewCurve(2, 4)
+	seen := map[string][]uint32{}
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			k := string(c.Key([]uint32{x, y}))
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("key collision between %v and (%d,%d)", prev, x, y)
+			}
+			seen[k] = []uint32{x, y}
+		}
+	}
+	if len(seen) != 256 {
+		t.Fatalf("expected 256 keys, got %d", len(seen))
+	}
+}
+
+func TestCurveIsContinuous(t *testing.T) {
+	// Walking the 2D order-4 curve in key order must move exactly one grid
+	// step at a time — the defining Hilbert property.
+	c := NewCurve(2, 4)
+	type cell struct {
+		key []byte
+		x   uint32
+		y   uint32
+	}
+	cells := make([]cell, 0, 256)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			cells = append(cells, cell{c.Key([]uint32{x, y}), x, y})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return bytes.Compare(cells[i].key, cells[j].key) < 0 })
+	for i := 1; i < len(cells); i++ {
+		dx := int(cells[i].x) - int(cells[i-1].x)
+		dy := int(cells[i].y) - int(cells[i-1].y)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jumps from (%d,%d) to (%d,%d) at position %d",
+				cells[i-1].x, cells[i-1].y, cells[i].x, cells[i].y, i)
+		}
+	}
+}
+
+func TestLocalityPreservation(t *testing.T) {
+	// Points nearby on the curve should be nearby in space on average:
+	// compare mean spatial distance of key-adjacent pairs vs random pairs.
+	rng := rand.New(rand.NewSource(3))
+	c := NewCurve(4, 8)
+	n := 300
+	type item struct {
+		key    []byte
+		coords []uint32
+	}
+	items := make([]item, n)
+	for i := range items {
+		coords := make([]uint32, 4)
+		for j := range coords {
+			coords[j] = uint32(rng.Intn(256))
+		}
+		items[i] = item{c.Key(coords), coords}
+	}
+	sort.Slice(items, func(i, j int) bool { return bytes.Compare(items[i].key, items[j].key) < 0 })
+	dist := func(a, b []uint32) float64 {
+		var acc float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			acc += d * d
+		}
+		return math.Sqrt(acc)
+	}
+	var adjacent, random float64
+	for i := 1; i < n; i++ {
+		adjacent += dist(items[i-1].coords, items[i].coords)
+		random += dist(items[rng.Intn(n)].coords, items[rng.Intn(n)].coords)
+	}
+	if adjacent >= random {
+		t.Errorf("Hilbert adjacency not preserving locality: adjacent=%v random=%v", adjacent, random)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(-5, 0, 10, 8) != 0 {
+		t.Error("below-range should clip to 0")
+	}
+	if Quantize(15, 0, 10, 8) != 255 {
+		t.Error("above-range should clip to max")
+	}
+	if Quantize(5, 0, 10, 8) != 128 {
+		t.Errorf("midpoint = %d, want 128", Quantize(5, 0, 10, 8))
+	}
+	if Quantize(3, 3, 3, 4) != 0 {
+		t.Error("degenerate range should map to 0")
+	}
+	// Monotone in v.
+	prev := uint32(0)
+	for v := 0.0; v <= 10; v += 0.1 {
+		q := Quantize(v, 0, 10, 6)
+		if q < prev {
+			t.Fatalf("Quantize not monotone at %v", v)
+		}
+		prev = q
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare([]byte{1}, []byte{2}) >= 0 {
+		t.Error("Compare broken")
+	}
+}
+
+func TestNewCurveInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCurve(0, 8)
+}
+
+func TestKeyWrongDimsPanics(t *testing.T) {
+	c := NewCurve(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Key([]uint32{1})
+}

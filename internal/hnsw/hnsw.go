@@ -1,0 +1,376 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph
+// (Malkov & Yashunin) for ng-approximate nearest neighbour search, plus a
+// single-layer variant with a fixed medoid entry point that stands in for
+// NSG (both NSG and HNSW's neighbour-selection use the same relative-
+// neighbourhood pruning rule; the hierarchy is what distinguishes HNSW).
+//
+// HNSW is an in-memory method: it keeps all raw vectors resident and does
+// not touch the storage accountant, matching the paper's setup where
+// "HNSW, QALSH and FLANN store all raw data in-memory".
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+// Config controls graph construction.
+type Config struct {
+	// M is the number of bi-directional links created per node per layer
+	// (paper tuning: 4 for Rand25GB, 16 for Deep/Sift25GB).
+	M int
+	// EFConstruction is the candidate-pool size during insertion
+	// (paper tuning: 500).
+	EFConstruction int
+	// EFSearch is the default candidate-pool size during search when the
+	// query does not override it via NProbe.
+	EFSearch int
+	// Flat builds a single-layer graph with a medoid entry point (the
+	// NSG-style variant).
+	Flat bool
+	// Seed drives the level generator.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's mid-size tuning.
+func DefaultConfig() Config {
+	return Config{M: 16, EFConstruction: 128, EFSearch: 64, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.M < 2 {
+		return fmt.Errorf("hnsw: M %d < 2", c.M)
+	}
+	if c.EFConstruction < c.M {
+		return fmt.Errorf("hnsw: efConstruction %d < M %d", c.EFConstruction, c.M)
+	}
+	if c.EFSearch < 1 {
+		return fmt.Errorf("hnsw: efSearch %d < 1", c.EFSearch)
+	}
+	return nil
+}
+
+// Graph is an HNSW index.
+type Graph struct {
+	data      *series.Dataset
+	cfg       Config
+	mL        float64
+	rng       *rand.Rand
+	entry     int
+	top       int       // highest layer in use
+	links     [][][]int // links[level][node] = neighbour ids (nil above node's level)
+	level     []int     // level of each node
+	distCalcs int64
+}
+
+// Build constructs the graph over the dataset.
+func Build(data *series.Dataset, cfg Config) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		data:  data,
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		entry: -1,
+		top:   -1,
+	}
+	g.level = make([]int, data.Size())
+	for i := 0; i < data.Size(); i++ {
+		g.insert(i)
+	}
+	return g, nil
+}
+
+// Name implements core.Method.
+func (g *Graph) Name() string {
+	if g.cfg.Flat {
+		return "NSG"
+	}
+	return "HNSW"
+}
+
+// Size returns the number of indexed series.
+func (g *Graph) Size() int { return g.data.Size() }
+
+// Footprint implements core.Method: adjacency lists plus the resident raw
+// data (HNSW keeps the vectors in memory).
+func (g *Graph) Footprint() int64 {
+	var total int64
+	for _, layer := range g.links {
+		for _, nbrs := range layer {
+			total += int64(len(nbrs)) * 8
+		}
+	}
+	return total + g.data.Bytes()
+}
+
+func (g *Graph) dist(a, b int) float64 {
+	g.distCalcs++
+	return series.SquaredDist(g.data.At(a), g.data.At(b))
+}
+
+func (g *Graph) distTo(q series.Series, id int) float64 {
+	g.distCalcs++
+	return series.SquaredDist(q, g.data.At(id))
+}
+
+func (g *Graph) randomLevel() int {
+	if g.cfg.Flat {
+		return 0
+	}
+	return int(-math.Log(g.rng.Float64()) * g.mL)
+}
+
+// ensureLayers grows the layer slices to cover level l.
+func (g *Graph) ensureLayers(l int) {
+	for len(g.links) <= l {
+		g.links = append(g.links, make([][]int, g.data.Size()))
+	}
+}
+
+// maxDegree returns the degree cap at a layer.
+func (g *Graph) maxDegree(layer int) int {
+	if layer == 0 {
+		return 2 * g.cfg.M
+	}
+	return g.cfg.M
+}
+
+type heapItem struct {
+	id int
+	d  float64
+}
+
+// minHeap / maxHeap over heapItem.
+type itemHeap struct {
+	items []heapItem
+	max   bool
+}
+
+func (h *itemHeap) less(i, j int) bool {
+	if h.max {
+		return h.items[i].d > h.items[j].d
+	}
+	return h.items[i].d < h.items[j].d
+}
+
+func (h *itemHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) || !h.less(i, p) {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *itemHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.items) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.items) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}
+
+func (h *itemHeap) peek() heapItem { return h.items[0] }
+func (h *itemHeap) len() int       { return len(h.items) }
+
+// searchLayer runs the beam search at one layer from the given entry
+// points, returning up to ef closest candidates (squared distances).
+func (g *Graph) searchLayer(q series.Series, entries []heapItem, ef, layer int) []heapItem {
+	visited := make(map[int]struct{}, ef*4)
+	candidates := &itemHeap{} // min-heap by distance
+	best := &itemHeap{max: true}
+	for _, e := range entries {
+		if _, ok := visited[e.id]; ok {
+			continue
+		}
+		visited[e.id] = struct{}{}
+		candidates.push(e)
+		best.push(e)
+	}
+	for best.len() > ef {
+		best.pop()
+	}
+	for candidates.len() > 0 {
+		c := candidates.pop()
+		if best.len() >= ef && c.d > best.peek().d {
+			break
+		}
+		for _, nb := range g.links[layer][c.id] {
+			if _, ok := visited[nb]; ok {
+				continue
+			}
+			visited[nb] = struct{}{}
+			d := g.distTo(q, nb)
+			if best.len() < ef || d < best.peek().d {
+				candidates.push(heapItem{id: nb, d: d})
+				best.push(heapItem{id: nb, d: d})
+				if best.len() > ef {
+					best.pop()
+				}
+			}
+		}
+	}
+	out := make([]heapItem, best.len())
+	for i := best.len() - 1; i >= 0; i-- {
+		out[i] = best.pop()
+	}
+	return out // sorted ascending by distance
+}
+
+// selectNeighbors applies the HNSW heuristic (relative neighbourhood
+// pruning): a candidate is kept only if it is closer to the base point than
+// to every already-selected neighbour, which spreads edges directionally —
+// the same rule NSG uses for MRNG edge selection.
+func (g *Graph) selectNeighbors(base int, cands []heapItem, m int) []int {
+	selected := make([]int, 0, m)
+	for _, c := range cands {
+		if len(selected) == m {
+			break
+		}
+		keep := true
+		for _, s := range selected {
+			if g.dist(c.id, s) < c.d {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			selected = append(selected, c.id)
+		}
+	}
+	// Fill remaining slots with the nearest skipped candidates (keepPruned).
+	if len(selected) < m {
+		have := make(map[int]struct{}, len(selected))
+		for _, s := range selected {
+			have[s] = struct{}{}
+		}
+		for _, c := range cands {
+			if len(selected) == m {
+				break
+			}
+			if _, ok := have[c.id]; !ok {
+				selected = append(selected, c.id)
+			}
+		}
+	}
+	return selected
+}
+
+func (g *Graph) insert(id int) {
+	l := g.randomLevel()
+	g.level[id] = l
+	g.ensureLayers(l)
+	if g.entry < 0 {
+		g.entry = id
+		g.top = l
+		return
+	}
+	q := g.data.At(id)
+	ep := []heapItem{{id: g.entry, d: g.distTo(q, g.entry)}}
+	// Greedy descent through layers above l.
+	for layer := g.top; layer > l; layer-- {
+		ep = g.searchLayer(q, ep, 1, layer)
+	}
+	// Insert into layers min(l, top)..0.
+	start := l
+	if start > g.top {
+		start = g.top
+	}
+	for layer := start; layer >= 0; layer-- {
+		cands := g.searchLayer(q, ep, g.cfg.EFConstruction, layer)
+		m := g.cfg.M
+		nbrs := g.selectNeighbors(id, cands, m)
+		g.links[layer][id] = nbrs
+		for _, nb := range nbrs {
+			g.links[layer][nb] = append(g.links[layer][nb], id)
+			if cap := g.maxDegree(layer); len(g.links[layer][nb]) > cap {
+				// Re-select the neighbour's links.
+				items := make([]heapItem, 0, len(g.links[layer][nb]))
+				for _, x := range g.links[layer][nb] {
+					items = append(items, heapItem{id: x, d: g.dist(nb, x)})
+				}
+				sortItems(items)
+				g.links[layer][nb] = g.selectNeighbors(nb, items, cap)
+			}
+		}
+		ep = cands
+	}
+	if l > g.top {
+		g.top = l
+		g.entry = id
+	}
+}
+
+func sortItems(items []heapItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].d < items[j-1].d; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// Search implements core.Method. HNSW supports ng-approximate search only;
+// the candidate-pool size efs is max(NProbe, EFSearch config, k).
+func (g *Graph) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("hnsw: %w", err)
+	}
+	if q.Mode != core.ModeNG {
+		return core.Result{}, fmt.Errorf("hnsw: %s search not supported (ng-approximate only)", q.Mode)
+	}
+	if len(q.Series) != g.data.Length() {
+		return core.Result{}, fmt.Errorf("hnsw: query length %d != dataset length %d", len(q.Series), g.data.Length())
+	}
+	if g.entry < 0 {
+		return core.Result{}, fmt.Errorf("hnsw: empty graph")
+	}
+	ef := g.cfg.EFSearch
+	if q.NProbe > ef {
+		ef = q.NProbe
+	}
+	if q.K > ef {
+		ef = q.K
+	}
+	g.distCalcs = 0
+	ep := []heapItem{{id: g.entry, d: g.distTo(q.Series, g.entry)}}
+	for layer := g.top; layer > 0; layer-- {
+		ep = g.searchLayer(q.Series, ep, 1, layer)
+	}
+	found := g.searchLayer(q.Series, ep, ef, 0)
+	res := core.Result{DistCalcs: g.distCalcs, LeavesVisited: len(found)}
+	k := q.K
+	if k > len(found) {
+		k = len(found)
+	}
+	for _, it := range found[:k] {
+		res.Neighbors = append(res.Neighbors, core.Neighbor{ID: it.id, Dist: math.Sqrt(it.d)})
+	}
+	return res, nil
+}

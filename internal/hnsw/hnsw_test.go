@@ -1,0 +1,185 @@
+package hnsw
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+)
+
+func buildTestGraph(t *testing.T, n, length int, cfg Config, kind dataset.Kind, seed int64) (*Graph, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	g, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, kind, 5, seed+100)
+	return g, data, queries
+}
+
+func recall(res core.Result, truth []core.Neighbor) float64 {
+	trueIDs := map[int]struct{}{}
+	for _, nb := range truth {
+		trueIDs[nb.ID] = struct{}{}
+	}
+	hits := 0
+	for _, nb := range res.Neighbors {
+		if _, ok := trueIDs[nb.ID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	for i, cfg := range []Config{
+		{M: 1, EFConstruction: 10, EFSearch: 10},
+		{M: 4, EFConstruction: 2, EFSearch: 10},
+		{M: 4, EFConstruction: 10, EFSearch: 0},
+	} {
+		if _, err := Build(data, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestHighRecallOnClusteredData(t *testing.T) {
+	g, data, queries := buildTestGraph(t, 2000, 32, DefaultConfig(), dataset.KindClustered, 3)
+	gt := scan.GroundTruth(data, queries, 10)
+	var total float64
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := g.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += recall(res, gt[qi])
+	}
+	if avg := total / float64(queries.Size()); avg < 0.9 {
+		t.Errorf("HNSW recall %v < 0.9 on clustered data", avg)
+	}
+}
+
+func TestRecallImprovesWithEF(t *testing.T) {
+	g, data, queries := buildTestGraph(t, 3000, 32, Config{M: 8, EFConstruction: 64, EFSearch: 8, Seed: 1}, dataset.KindWalk, 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	at := func(ef int) float64 {
+		var total float64
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := g.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: ef})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += recall(res, gt[qi])
+		}
+		return total / float64(queries.Size())
+	}
+	lo, hi := at(10), at(256)
+	if hi < lo {
+		t.Errorf("recall fell with larger ef: %v -> %v", lo, hi)
+	}
+	if hi < 0.8 {
+		t.Errorf("recall at ef=256 is %v", hi)
+	}
+}
+
+func TestSearchTouchesFractionOfData(t *testing.T) {
+	g, _, queries := buildTestGraph(t, 5000, 32, DefaultConfig(), dataset.KindWalk, 7)
+	res, err := g.Search(core.Query{Series: queries.At(0), K: 10, Mode: core.ModeNG, NProbe: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistCalcs >= 5000 {
+		t.Errorf("graph search computed %d distances — degenerated to a scan", res.DistCalcs)
+	}
+}
+
+func TestRejectsNonNGModes(t *testing.T) {
+	g, _, queries := buildTestGraph(t, 200, 16, DefaultConfig(), dataset.KindWalk, 9)
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeEpsilon, core.ModeDeltaEpsilon} {
+		if _, err := g.Search(core.Query{Series: queries.At(0), K: 1, Mode: mode, Epsilon: 1, Delta: 0.5}); err == nil {
+			t.Errorf("mode %v should be rejected", mode)
+		}
+	}
+}
+
+func TestFlatVariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flat = true
+	g, data, queries := buildTestGraph(t, 1500, 32, cfg, dataset.KindClustered, 11)
+	if g.Name() != "NSG" {
+		t.Errorf("flat graph name = %s", g.Name())
+	}
+	if g.top != 0 {
+		t.Errorf("flat graph has %d layers", g.top+1)
+	}
+	gt := scan.GroundTruth(data, queries, 10)
+	res, err := g.Search(core.Query{Series: queries.At(0), K: 10, Mode: core.ModeNG, NProbe: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall(res, gt[0]) < 0.7 {
+		t.Errorf("flat graph recall %v", recall(res, gt[0]))
+	}
+}
+
+func TestHierarchyExists(t *testing.T) {
+	g, _, _ := buildTestGraph(t, 3000, 16, Config{M: 8, EFConstruction: 32, EFSearch: 16, Seed: 2}, dataset.KindWalk, 13)
+	if g.top < 1 {
+		t.Errorf("3000-node HNSW should have multiple layers, top=%d", g.top)
+	}
+}
+
+func TestDegreesBounded(t *testing.T) {
+	g, _, _ := buildTestGraph(t, 1000, 16, Config{M: 6, EFConstruction: 32, EFSearch: 16, Seed: 3}, dataset.KindWalk, 15)
+	for layer := range g.links {
+		cap := g.maxDegree(layer)
+		for id, nbrs := range g.links[layer] {
+			if len(nbrs) > cap {
+				t.Fatalf("layer %d node %d degree %d > cap %d", layer, id, len(nbrs), cap)
+			}
+		}
+	}
+}
+
+func TestGraphConnectedAtLayer0(t *testing.T) {
+	g, _, _ := buildTestGraph(t, 800, 16, DefaultConfig(), dataset.KindWalk, 17)
+	// BFS from entry at layer 0 should reach nearly everything.
+	seen := map[int]struct{}{g.entry: {}}
+	frontier := []int{g.entry}
+	for len(frontier) > 0 {
+		var next []int
+		for _, id := range frontier {
+			for _, nb := range g.links[0][id] {
+				if _, ok := seen[nb]; !ok {
+					seen[nb] = struct{}{}
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) < 790 {
+		t.Errorf("layer-0 reachable set %d of 800", len(seen))
+	}
+}
+
+func TestFootprintIncludesRawData(t *testing.T) {
+	g, data, _ := buildTestGraph(t, 300, 32, DefaultConfig(), dataset.KindWalk, 19)
+	if g.Footprint() <= data.Bytes() {
+		t.Errorf("footprint %d should exceed raw size %d", g.Footprint(), data.Bytes())
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	g, _, queries := buildTestGraph(t, 100, 16, DefaultConfig(), dataset.KindWalk, 21)
+	if _, err := g.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeNG, NProbe: 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := g.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeNG, NProbe: 1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}

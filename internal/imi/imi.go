@@ -1,0 +1,277 @@
+// Package imi implements the Inverted Multi-Index (Babenko & Lempitsky)
+// with OPQ-style rotation and product-quantization re-ranking, the
+// quantization-based state of the art in the benchmark.
+//
+// The vector space is split into two halves, each clustered into K
+// centroids; the index is the K×K grid of cells, each holding the inverted
+// list of vectors assigned to it. Queries traverse cells in increasing
+// (d(q₁,c₁)+d(q₂,c₂)) order via the multi-sequence algorithm, visiting
+// NProbe inverted lists, and rank the collected candidates by compressed
+// (PQ/ADC) distances only — IMI never reads raw data at query time, which
+// is exactly why the paper observes its MAP dropping below its recall
+// (Fig. 5a) and its accuracy collapsing when training is too small.
+package imi
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/quant"
+	"hydra/internal/series"
+)
+
+// Config controls index construction.
+type Config struct {
+	// K is the number of centroids per half-space (cells = K²).
+	K int
+	// M is the number of PQ sub-quantizers for the re-rank codes.
+	M int
+	// Ks is the number of centroids per PQ sub-quantizer.
+	Ks int
+	// TrainSamples caps the training set (0 = all). The paper shows IMI
+	// accuracy depends strongly on this.
+	TrainSamples int
+	// Rotate applies an OPQ-style random orthonormal rotation first.
+	Rotate bool
+	// KMeansIters bounds Lloyd iterations.
+	KMeansIters int
+	// Seed drives all randomised steps.
+	Seed int64
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{K: 32, M: 16, Ks: 64, TrainSamples: 4096, Rotate: true, KMeansIters: 15, Seed: 1}
+}
+
+func (c Config) validate(length int) error {
+	if c.K < 2 {
+		return fmt.Errorf("imi: K %d < 2", c.K)
+	}
+	if c.M < 1 || c.M > length {
+		return fmt.Errorf("imi: M %d out of [1,%d]", c.M, length)
+	}
+	if c.Ks < 2 {
+		return fmt.Errorf("imi: Ks %d < 2", c.Ks)
+	}
+	if length < 2 {
+		return fmt.Errorf("imi: series length %d < 2", length)
+	}
+	return nil
+}
+
+// Index is an inverted multi-index.
+type Index struct {
+	cfg    Config
+	length int
+	half   int
+	rot    *quant.Rotation
+	cb1    [][]float64 // K centroids of the first half
+	cb2    [][]float64
+	lists  map[int][]int // cell (c1*K + c2) -> ids
+	pq     *quant.Product
+	codes  [][]uint16 // PQ code per series
+	size   int
+}
+
+// Build constructs the index over the dataset.
+func Build(data *series.Dataset, cfg Config) (*Index, error) {
+	if err := cfg.validate(data.Length()); err != nil {
+		return nil, err
+	}
+	idx := &Index{cfg: cfg, length: data.Length(), half: data.Length() / 2, size: data.Size()}
+	if cfg.Rotate {
+		idx.rot = quant.NewRandomRotation(data.Length(), cfg.Seed)
+	}
+
+	n := data.Size()
+	train := n
+	if cfg.TrainSamples > 0 && cfg.TrainSamples < n {
+		train = cfg.TrainSamples
+	}
+
+	// Rotated copies. Training uses the first `train` vectors (datasets are
+	// generated in random order, so a prefix is an unbiased sample).
+	rotated := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rotated[i] = idx.rotate(data.At(i))
+	}
+	firstHalf := make([][]float64, train)
+	secondHalf := make([][]float64, train)
+	for i := 0; i < train; i++ {
+		firstHalf[i] = rotated[i][:idx.half]
+		secondHalf[i] = rotated[i][idx.half:]
+	}
+	idx.cb1, _ = quant.KMeans(firstHalf, cfg.K, cfg.KMeansIters, cfg.Seed+1)
+	idx.cb2, _ = quant.KMeans(secondHalf, cfg.K, cfg.KMeansIters, cfg.Seed+2)
+
+	// Assign every vector to its cell.
+	idx.lists = make(map[int][]int)
+	for i := 0; i < n; i++ {
+		c1 := nearest(idx.cb1, rotated[i][:idx.half])
+		c2 := nearest(idx.cb2, rotated[i][idx.half:])
+		cell := c1*len(idx.cb2) + c2
+		idx.lists[cell] = append(idx.lists[cell], i)
+	}
+
+	// PQ re-rank codes on the rotated vectors.
+	idx.pq = quant.TrainProduct(rotated[:train], cfg.M, cfg.Ks, cfg.KMeansIters, cfg.Seed+3)
+	idx.codes = make([][]uint16, n)
+	for i := 0; i < n; i++ {
+		idx.codes[i] = idx.pq.Encode(rotated[i])
+	}
+	return idx, nil
+}
+
+func (idx *Index) rotate(s series.Series) []float64 {
+	v := make([]float64, len(s))
+	for i, x := range s {
+		v[i] = float64(x)
+	}
+	if idx.rot != nil {
+		return idx.rot.Apply(v)
+	}
+	return v
+}
+
+func nearest(centroids [][]float64, v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		var d float64
+		for i := range v {
+			x := v[i] - cent[i]
+			d += x * x
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Name implements core.Method.
+func (idx *Index) Name() string { return "IMI" }
+
+// Size returns the number of indexed series.
+func (idx *Index) Size() int { return idx.size }
+
+// Footprint implements core.Method: codebooks, inverted lists and PQ codes
+// (IMI holds only summaries in memory).
+func (idx *Index) Footprint() int64 {
+	var total int64
+	total += int64(len(idx.cb1)+len(idx.cb2)) * int64(idx.half) * 8
+	for _, l := range idx.lists {
+		total += int64(len(l)) * 8
+	}
+	for _, c := range idx.codes {
+		total += int64(len(c)) * 2
+	}
+	return total
+}
+
+// cellItem drives the multi-sequence traversal.
+type cellItem struct {
+	i, j int
+	d    float64
+}
+
+type cellQueue []cellItem
+
+func (q cellQueue) Len() int            { return len(q) }
+func (q cellQueue) Less(a, b int) bool  { return q[a].d < q[b].d }
+func (q cellQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *cellQueue) Push(x interface{}) { *q = append(*q, x.(cellItem)) }
+func (q *cellQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Search implements core.Method. IMI supports ng-approximate queries only;
+// NProbe is the number of inverted lists visited (paper terminology).
+// Returned distances are the compressed (ADC) estimates: IMI does not read
+// raw data.
+func (idx *Index) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("imi: %w", err)
+	}
+	if q.Mode != core.ModeNG {
+		return core.Result{}, fmt.Errorf("imi: %s search not supported (ng-approximate only)", q.Mode)
+	}
+	if len(q.Series) != idx.length {
+		return core.Result{}, fmt.Errorf("imi: query length %d != dataset length %d", len(q.Series), idx.length)
+	}
+	rq := idx.rotate(q.Series)
+	q1, q2 := rq[:idx.half], rq[idx.half:]
+
+	// Distances to every centroid of each half, sorted ascending.
+	type cd struct {
+		c int
+		d float64
+	}
+	d1 := make([]cd, len(idx.cb1))
+	for c, cent := range idx.cb1 {
+		d1[c] = cd{c, sq(q1, cent)}
+	}
+	d2 := make([]cd, len(idx.cb2))
+	for c, cent := range idx.cb2 {
+		d2[c] = cd{c, sq(q2, cent)}
+	}
+	sort.Slice(d1, func(a, b int) bool { return d1[a].d < d1[b].d })
+	sort.Slice(d2, func(a, b int) bool { return d2[a].d < d2[b].d })
+
+	// Multi-sequence algorithm over the sorted grids.
+	pq := &cellQueue{}
+	heap.Init(pq)
+	heap.Push(pq, cellItem{0, 0, d1[0].d + d2[0].d})
+	pushed := map[[2]int]struct{}{{0, 0}: {}}
+	res := core.Result{}
+	var candidates []int
+	for pq.Len() > 0 && res.LeavesVisited < q.NProbe {
+		it := heap.Pop(pq).(cellItem)
+		cell := d1[it.i].c*len(idx.cb2) + d2[it.j].c
+		if ids, ok := idx.lists[cell]; ok {
+			candidates = append(candidates, ids...)
+		}
+		res.LeavesVisited++ // a visited inverted list, empty or not
+		if it.i+1 < len(d1) {
+			key := [2]int{it.i + 1, it.j}
+			if _, ok := pushed[key]; !ok {
+				pushed[key] = struct{}{}
+				heap.Push(pq, cellItem{it.i + 1, it.j, d1[it.i+1].d + d2[it.j].d})
+			}
+		}
+		if it.j+1 < len(d2) {
+			key := [2]int{it.i, it.j + 1}
+			if _, ok := pushed[key]; !ok {
+				pushed[key] = struct{}{}
+				heap.Push(pq, cellItem{it.i, it.j + 1, d1[it.i].d + d2[it.j+1].d})
+			}
+		}
+	}
+
+	// Rank candidates by compressed ADC distance only.
+	table := idx.pq.DistanceTable(rq)
+	kset := core.NewKNNSet(q.K)
+	for _, id := range candidates {
+		adc := quant.ADC(table, idx.codes[id])
+		res.DistCalcs++
+		kset.Offer(id, math.Sqrt(adc))
+	}
+	res.Neighbors = kset.Sorted()
+	return res, nil
+}
+
+func sq(a, b []float64) float64 {
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}

@@ -1,0 +1,185 @@
+package imi
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/quant"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+)
+
+func buildTestIndex(t *testing.T, n, length int, cfg Config, kind dataset.Kind, seed int64) (*Index, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
+	idx, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, kind, 5, seed+100)
+	return idx, data, queries
+}
+
+func recallOf(res core.Result, truth []core.Neighbor) float64 {
+	trueIDs := map[int]struct{}{}
+	for _, nb := range truth {
+		trueIDs[nb.ID] = struct{}{}
+	}
+	hits := 0
+	for _, nb := range res.Neighbors {
+		if _, ok := trueIDs[nb.ID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 20, Length: 16, Seed: 1})
+	for i, cfg := range []Config{
+		{K: 1, M: 2, Ks: 8},
+		{K: 4, M: 0, Ks: 8},
+		{K: 4, M: 2, Ks: 1},
+		{K: 4, M: 99, Ks: 8},
+	} {
+		if _, err := Build(data, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestCellsPartitionDataset(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 500, 32, DefaultConfig(), dataset.KindClustered, 1)
+	total := 0
+	for _, l := range idx.lists {
+		total += len(l)
+	}
+	if total != 500 {
+		t.Errorf("inverted lists hold %d ids, want 500", total)
+	}
+}
+
+func TestRecallImprovesWithNProbe(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 2000, 32, DefaultConfig(), dataset.KindClustered, 3)
+	gt := scan.GroundTruth(data, queries, 10)
+	at := func(nprobe int) float64 {
+		var total float64
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: nprobe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += recallOf(res, gt[qi])
+		}
+		return total / float64(queries.Size())
+	}
+	lo, hi := at(1), at(256)
+	if hi < lo {
+		t.Errorf("recall fell with nprobe: %v -> %v", lo, hi)
+	}
+	if hi < 0.5 {
+		t.Errorf("recall at nprobe=256 is %v", hi)
+	}
+}
+
+func TestVisitsAtMostNProbeLists(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 800, 32, DefaultConfig(), dataset.KindWalk, 5)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 7 {
+		t.Errorf("visited %d lists", res.LeavesVisited)
+	}
+}
+
+func TestDistancesAreCompressedEstimates(t *testing.T) {
+	// IMI returns ADC distances, not true distances: they must often differ
+	// from the exact ones (this is the Fig. 5a mechanism).
+	idx, data, queries := buildTestIndex(t, 500, 32, DefaultConfig(), dataset.KindWalk, 7)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 10, Mode: core.ModeNG, NProbe: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	differing := 0
+	for _, nb := range res.Neighbors {
+		trueD := series.Dist(queries.At(0), data.At(nb.ID))
+		if diff := nb.Dist - trueD; diff > 1e-9 || diff < -1e-9 {
+			differing++
+		}
+	}
+	if differing == 0 {
+		t.Error("every returned distance equals the true distance — not a compressed ranking")
+	}
+}
+
+func TestRejectsNonNGModes(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 200, 16, DefaultConfig(), dataset.KindWalk, 9)
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeEpsilon, core.ModeDeltaEpsilon} {
+		if _, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: mode, Epsilon: 1, Delta: 0.5}); err == nil {
+			t.Errorf("mode %v should be rejected", mode)
+		}
+	}
+}
+
+func TestTrainingSizeAffectsQuantizationError(t *testing.T) {
+	// The paper's discussion: small training sets hurt IMI. The mechanism
+	// is codebook fit — measure the mean PQ self-reconstruction error
+	// (ADC of a vector against its own code) under tiny vs full training.
+	cfgSmall := DefaultConfig()
+	cfgSmall.TrainSamples = 20
+	cfgFull := DefaultConfig()
+	cfgFull.TrainSamples = 0
+	idxSmall, data, _ := buildTestIndex(t, 3000, 32, cfgSmall, dataset.KindClustered, 11)
+	idxFull, err := Build(data, cfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := func(idx *Index) float64 {
+		var total float64
+		for i := 0; i < data.Size(); i++ {
+			v := idx.rotate(data.At(i))
+			total += quant.ADC(idx.pq.DistanceTable(v), idx.codes[i])
+		}
+		return total / float64(data.Size())
+	}
+	small, full := meanErr(idxSmall), meanErr(idxFull)
+	if full > small*1.05 {
+		t.Errorf("full training should quantize better: full=%v small=%v", full, small)
+	}
+}
+
+func TestRotationOff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rotate = false
+	idx, _, queries := buildTestIndex(t, 400, 32, cfg, dataset.KindWalk, 13)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) == 0 {
+		t.Error("no results without rotation")
+	}
+}
+
+func TestNameFootprintSize(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 300, 32, DefaultConfig(), dataset.KindWalk, 15)
+	if idx.Name() != "IMI" || idx.Size() != 300 {
+		t.Error("metadata wrong")
+	}
+	if idx.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestOddLengthSeries(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 300, 31, DefaultConfig(), dataset.KindWalk, 17)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeNG, NProbe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Errorf("%d results on odd-length series", len(res.Neighbors))
+	}
+}

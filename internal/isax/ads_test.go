@@ -1,0 +1,142 @@
+package isax
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/storage"
+)
+
+// adsConfig builds with big leaves and refines to small ones at query time.
+func adsConfig() Config {
+	return Config{LeafCapacity: 256, Segments: 8, MaxBits: 8, AdaptiveLeafCapacity: 32}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 32, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	bad := []Config{
+		{LeafCapacity: 64, Segments: 8, MaxBits: 8, AdaptiveLeafCapacity: -1},
+		{LeafCapacity: 64, Segments: 8, MaxBits: 8, AdaptiveLeafCapacity: 64},
+		{LeafCapacity: 64, Segments: 8, MaxBits: 8, AdaptiveLeafCapacity: 100},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 100, Length: 32, Seed: 1, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, adsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Name() != "ADS+" {
+		t.Errorf("adaptive index name = %s", tree.Name())
+	}
+}
+
+func TestAdaptiveBuildIsSmaller(t *testing.T) {
+	// ADS+'s point: building with big leaves creates far fewer nodes than
+	// eager building with small leaves.
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 3000, Length: 64, Seed: 3, ZNorm: true})
+	eager, err := Build(storage.NewSeriesStore(data, 0), Config{LeafCapacity: 32, Segments: 8, MaxBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Build(storage.NewSeriesStore(data, 0), adsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, _ := eager.Stats()
+	ln, _ := lazy.Stats()
+	if ln >= en {
+		t.Errorf("adaptive build has %d nodes, eager has %d — no build saving", ln, en)
+	}
+}
+
+func TestAdaptiveQueriesRefineTree(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 3000, Length: 64, Seed: 5, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, adsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := tree.Stats()
+	queries := dataset.Queries(data, dataset.KindWalk, 5, 99)
+	queries.ZNormalizeAll()
+	for qi := 0; qi < queries.Size(); qi++ {
+		if _, err := tree.Search(core.Query{Series: queries.At(qi), K: 5, Mode: core.ModeExact}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := tree.Stats()
+	if after <= before {
+		t.Errorf("queries did not refine the tree: %d -> %d nodes", before, after)
+	}
+	// Re-running the same workload splits little or nothing further
+	// (adaptation amortises).
+	for qi := 0; qi < queries.Size(); qi++ {
+		if _, err := tree.Search(core.Query{Series: queries.At(qi), K: 5, Mode: core.ModeExact}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, _ := tree.Stats()
+	if again-after > after-before {
+		t.Errorf("second pass split more (%d) than first (%d)", again-after, after-before)
+	}
+}
+
+func TestAdaptiveExactMatchesBruteForce(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 1500, Length: 64, Seed: 7, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, adsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, 101)
+	queries.ZNormalizeAll()
+	gt := scan.GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i].Dist, gt[qi][i].Dist)
+			}
+		}
+	}
+}
+
+func TestAdaptiveApproximateModes(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 1000, Length: 64, Seed: 9, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, adsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetHistogram(core.BuildHistogram(data, 1000, 11))
+	q := dataset.Queries(data, dataset.KindWalk, 1, 103)
+	q.ZNormalizeAll()
+	for _, query := range []core.Query{
+		{Series: q.At(0), K: 5, Mode: core.ModeNG, NProbe: 2},
+		{Series: q.At(0), K: 5, Mode: core.ModeEpsilon, Epsilon: 1},
+		{Series: q.At(0), K: 5, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9},
+	} {
+		res, err := tree.Search(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) != 5 {
+			t.Errorf("mode %v: %d results", query.Mode, len(res.Neighbors))
+		}
+	}
+}

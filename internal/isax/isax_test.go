@@ -1,0 +1,199 @@
+package isax
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestTree(t *testing.T, n, length int, cfg Config, seed int64) (*Tree, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+100)
+	queries.ZNormalizeAll()
+	return tree, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 32, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	bad := []Config{
+		{LeafCapacity: 1, Segments: 8, MaxBits: 8},
+		{LeafCapacity: 16, Segments: 0, MaxBits: 8},
+		{LeafCapacity: 16, Segments: 40, MaxBits: 8},
+		{LeafCapacity: 16, Segments: 8, MaxBits: 0},
+		{LeafCapacity: 16, Segments: 8, MaxBits: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTreeGrows(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 2000, 64, Config{LeafCapacity: 32, Segments: 8, MaxBits: 8}, 1)
+	nodes, leaves := tree.Stats()
+	if tree.Size() != 2000 {
+		t.Errorf("Size = %d", tree.Size())
+	}
+	if leaves < 2000/32 {
+		t.Errorf("only %d leaves", leaves)
+	}
+	if nodes < leaves {
+		t.Errorf("nodes %d < leaves %d", nodes, leaves)
+	}
+	if len(tree.roots) < 2 {
+		t.Errorf("root fan-out %d — z-normalised walks should spread over many 1-bit words", len(tree.roots))
+	}
+	if tree.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, Config{LeafCapacity: 64, Segments: 8, MaxBits: 8}, 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i].Dist, gt[qi][i].Dist)
+			}
+		}
+	}
+}
+
+func TestExactSearchPrunes(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 4000, 64, Config{LeafCapacity: 64, Segments: 8, MaxBits: 8}, 7)
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.BytesRead >= tree.store.TotalBytes() {
+		t.Errorf("exact search read everything (%d bytes)", res.IO.BytesRead)
+	}
+}
+
+func TestNGApproximate(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 2000, 64, Config{LeafCapacity: 32, Segments: 8, MaxBits: 8}, 9)
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 2 {
+		t.Errorf("visited %d leaves", res.LeavesVisited)
+	}
+	if len(res.Neighbors) != 5 {
+		t.Errorf("%d results", len(res.Neighbors))
+	}
+}
+
+func TestEpsilonGuaranteeHolds(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 1000, 64, Config{LeafCapacity: 64, Segments: 8, MaxBits: 8}, 11)
+	k := 5
+	gt := scan.GroundTruth(data, queries, k)
+	eps := 1.0
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: k, Mode: core.ModeEpsilon, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 + eps) * gt[qi][k-1].Dist
+		for _, nb := range res.Neighbors {
+			if nb.Dist > bound+1e-6 {
+				t.Fatalf("query %d: dist %v > bound %v", qi, nb.Dist, bound)
+			}
+		}
+	}
+}
+
+func TestDeltaEpsilonModes(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, Config{LeafCapacity: 64, Segments: 8, MaxBits: 8}, 13)
+	tree.SetHistogram(core.BuildHistogram(data, 1000, 3))
+	res, err := tree.Search(core.Query{Series: queries.At(1), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 0.5, Delta: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Fatalf("%d results", len(res.Neighbors))
+	}
+	gt := scan.GroundTruth(data, queries, 3)
+	rd, _ := tree.Search(core.Query{Series: queries.At(1), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 1})
+	for i := range gt[1] {
+		if math.Abs(rd.Neighbors[i].Dist-gt[1][i].Dist) > 1e-6 {
+			t.Fatalf("exact-equivalent mode rank %d differs", i)
+		}
+	}
+}
+
+func TestMoreSegmentsTightenLeafCount(t *testing.T) {
+	// More segments discriminate better, so the tree should need no more
+	// leaves (typically fewer overflow cascades) and search should stay
+	// exact.
+	tree4, data, queries := buildTestTree(t, 1000, 64, Config{LeafCapacity: 32, Segments: 4, MaxBits: 8}, 15)
+	tree16, _, _ := buildTestTree(t, 1000, 64, Config{LeafCapacity: 32, Segments: 16, MaxBits: 8}, 15)
+	gt := scan.GroundTruth(data, queries, 1)
+	for _, tree := range []*Tree{tree4, tree16} {
+		res, err := tree.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Neighbors[0].Dist-gt[0][0].Dist) > 1e-6 {
+			t.Fatalf("segments=%d: exact search wrong", tree.cfg.Segments)
+		}
+	}
+}
+
+func TestIdenticalSeriesDoNotLoop(t *testing.T) {
+	data := series.NewDataset(16)
+	one := make(series.Series, 16)
+	for j := range one {
+		one[j] = float32(math.Sin(float64(j)))
+	}
+	for i := 0; i < 50; i++ {
+		data.Append(one)
+	}
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, Config{LeafCapacity: 8, Segments: 4, MaxBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tree.Search(core.Query{Series: one, K: 3, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Neighbors[0].Dist != 0 {
+		t.Error("identical data should have distance 0")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 100, 32, Config{LeafCapacity: 16, Segments: 4, MaxBits: 8}, 17)
+	if _, err := tree.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := tree.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 50, 16, Config{LeafCapacity: 16, Segments: 4, MaxBits: 8}, 19)
+	if tree.Name() != "iSAX2+" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package isax
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hydra/internal/storage"
+	"hydra/internal/summaries/sax"
+)
+
+// Persistence mirrors dstree: the prefix tree (iSAX words, split segments,
+// leaf id lists and member words) round-trips through encoding/gob; raw
+// data stays in the series store.
+
+type nodeSnap struct {
+	Symbols      []uint16
+	Bits         []uint8
+	IDs          []int
+	WordSymbols  [][]uint16 // member words, split into parallel slices
+	WordBits     [][]uint8
+	Unsplittable bool
+	SplitSeg     int
+	Left, Right  *nodeSnap
+}
+
+type treeSnap struct {
+	Version int
+	Cfg     Config
+	Size    int
+	Nodes   int
+	Leaves  int
+	Roots   map[uint64]*nodeSnap
+}
+
+const persistVersion = 1
+
+func snapshotNode(n *node) *nodeSnap {
+	s := &nodeSnap{
+		Symbols:      n.word.Symbols,
+		Bits:         n.word.Bits,
+		IDs:          n.ids,
+		Unsplittable: n.unsplittable,
+		SplitSeg:     n.splitSeg,
+	}
+	for _, w := range n.words {
+		s.WordSymbols = append(s.WordSymbols, w.Symbols)
+		s.WordBits = append(s.WordBits, w.Bits)
+	}
+	if !n.isLeaf() {
+		s.Left = snapshotNode(n.left)
+		s.Right = snapshotNode(n.right)
+	}
+	return s
+}
+
+func restoreNode(s *nodeSnap) *node {
+	n := &node{
+		word:         sax.Word{Symbols: s.Symbols, Bits: s.Bits},
+		ids:          s.IDs,
+		unsplittable: s.Unsplittable,
+		splitSeg:     s.SplitSeg,
+	}
+	for i := range s.WordSymbols {
+		n.words = append(n.words, sax.Word{Symbols: s.WordSymbols[i], Bits: s.WordBits[i]})
+	}
+	if s.Left != nil {
+		n.left = restoreNode(s.Left)
+		n.right = restoreNode(s.Right)
+	}
+	return n
+}
+
+// Save serialises the index structure to w.
+func (t *Tree) Save(w io.Writer) error {
+	snap := treeSnap{
+		Version: persistVersion,
+		Cfg:     t.cfg,
+		Size:    t.size,
+		Nodes:   t.nodeCount,
+		Leaves:  t.leafCount,
+		Roots:   make(map[uint64]*nodeSnap, len(t.roots)),
+	}
+	for k, n := range t.roots {
+		snap.Roots[k] = snapshotNode(n)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("isax: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index saved with Save and attaches it to the store holding
+// the same dataset the index was built over.
+func Load(store *storage.SeriesStore, r io.Reader) (*Tree, error) {
+	var snap treeSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("isax: decoding: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("isax: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Size != store.Size() {
+		return nil, fmt.Errorf("isax: snapshot indexed %d series, store holds %d", snap.Size, store.Size())
+	}
+	t := &Tree{
+		store:     store,
+		cfg:       snap.Cfg,
+		size:      snap.Size,
+		nodeCount: snap.Nodes,
+		leafCount: snap.Leaves,
+		roots:     make(map[uint64]*node, len(snap.Roots)),
+	}
+	for k, n := range snap.Roots {
+		t.roots[k] = restoreNode(n)
+	}
+	return t, nil
+}

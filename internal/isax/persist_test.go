@@ -1,0 +1,59 @@
+package isax
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 800, 64, Config{LeafCapacity: 32, Segments: 8, MaxBits: 8}, 71)
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(storage.NewSeriesStore(data, 0), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, l1 := tree.Stats()
+	n2, l2 := loaded.Stats()
+	if n1 != n2 || l1 != l2 {
+		t.Fatalf("structure differs: (%d,%d) vs (%d,%d)", n1, l1, n2, l2)
+	}
+	if len(loaded.roots) != len(tree.roots) {
+		t.Fatalf("root fan-out differs: %d vs %d", len(loaded.roots), len(tree.roots))
+	}
+	for qi := 0; qi < queries.Size(); qi++ {
+		q := core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact}
+		a, err := tree.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Neighbors {
+			if math.Abs(a.Neighbors[i].Dist-b.Neighbors[i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d differs after reload", qi, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongStore(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 100, 32, Config{LeafCapacity: 16, Segments: 4, MaxBits: 8}, 73)
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 55, Length: 32, Seed: 2})
+	if _, err := Load(storage.NewSeriesStore(other, 0), &buf); err == nil {
+		t.Error("mismatched store accepted")
+	}
+}

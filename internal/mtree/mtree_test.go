@@ -1,0 +1,200 @@
+package mtree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestTree(t *testing.T, n, length int, cfg Config, seed int64) (*Tree, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+100)
+	return tree, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	for i, cfg := range []Config{
+		{LeafCapacity: 1, Fanout: 4},
+		{LeafCapacity: 16, Fanout: 1},
+	} {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 1000, 32, DefaultConfig(), 1)
+	nodes, leaves := tree.Stats()
+	if leaves < 1000/64 {
+		t.Errorf("only %d leaves", leaves)
+	}
+	if nodes <= leaves {
+		t.Errorf("nodes %d <= leaves %d", nodes, leaves)
+	}
+	if tree.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestCoveringRadiusInvariant(t *testing.T) {
+	// Every member of a subtree lies within the routing object's covering
+	// radius — the correctness foundation of the ball bound.
+	tree, data, _ := buildTestTree(t, 800, 32, DefaultConfig(), 3)
+	var walk func(n *node) []int
+	walk = func(n *node) []int {
+		if n.isLeaf() {
+			return n.ids
+		}
+		var all []int
+		for _, c := range n.children {
+			all = append(all, walk(c)...)
+		}
+		if n.routing >= 0 {
+			for _, id := range all {
+				d := series.Dist(data.At(n.routing), data.At(id))
+				if d > n.radius+1e-6 {
+					t.Fatalf("member %d at %v outside covering radius %v", id, d, n.radius)
+				}
+			}
+		}
+		return all
+	}
+	got := walk(tree.root)
+	if len(got) != 800 {
+		t.Fatalf("tree holds %d of 800 members", len(got))
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 700, 32, DefaultConfig(), 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i].Dist, gt[qi][i].Dist)
+			}
+		}
+	}
+}
+
+func TestEpsilonGuaranteeHolds(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 700, 32, DefaultConfig(), 7)
+	k := 5
+	gt := scan.GroundTruth(data, queries, k)
+	eps := 1.0
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := tree.Search(core.Query{Series: queries.At(qi), K: k, Mode: core.ModeEpsilon, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 + eps) * gt[qi][k-1].Dist
+		for _, nb := range res.Neighbors {
+			if nb.Dist > bound+1e-6 {
+				t.Fatalf("query %d: %v > %v", qi, nb.Dist, bound)
+			}
+		}
+	}
+}
+
+func TestDeltaEpsilonPACNN(t *testing.T) {
+	// The M-tree is where PAC-NN originated: δ-ε search must run and δ=1
+	// ε=0 must equal exact.
+	tree, data, queries := buildTestTree(t, 600, 32, DefaultConfig(), 9)
+	tree.SetHistogram(core.BuildHistogram(data, 2000, 11))
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 {
+		t.Fatalf("%d results", len(res.Neighbors))
+	}
+	gt := scan.GroundTruth(data, queries, 3)
+	exact, _ := tree.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 1})
+	for i := range gt[0] {
+		if math.Abs(exact.Neighbors[i].Dist-gt[0][i].Dist) > 1e-6 {
+			t.Fatalf("delta=1 eps=0 rank %d differs", i)
+		}
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 500, 32, DefaultConfig(), 13)
+	q := queries.At(0)
+	gt := scan.GroundTruth(data, queries, 15)
+	r := gt[0][8].Dist
+	res, err := tree.SearchRange(core.RangeQuery{Series: q, Radius: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < data.Size(); i++ {
+		if series.Dist(q, data.At(i)) <= r {
+			want++
+		}
+	}
+	if len(res.Neighbors) != want {
+		t.Errorf("range returned %d, want %d", len(res.Neighbors), want)
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 4000, 32, DefaultConfig(), 15)
+	res, err := tree.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.BytesRead >= tree.store.TotalBytes() {
+		t.Errorf("no pruning: read %d bytes", res.IO.BytesRead)
+	}
+}
+
+func TestIdenticalSeriesTerminates(t *testing.T) {
+	data := series.NewDataset(8)
+	one := make(series.Series, 8)
+	for i := 0; i < 200; i++ {
+		data.Append(one)
+	}
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, Config{LeafCapacity: 16, Fanout: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tree.Search(core.Query{Series: one, K: 3, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 3 || res.Neighbors[0].Dist != 0 {
+		t.Errorf("degenerate search wrong: %+v", res.Neighbors)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 100, 16, DefaultConfig(), 17)
+	if _, err := tree.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := tree.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if tree.Name() != "MTree" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,262 @@
+// Package qalsh implements QALSH (Huang et al., PVLDB 2015): query-aware
+// locality-sensitive hashing for δ-ε-approximate (c-ANN) search.
+//
+// Classic LSH shifts its projections randomly *before* queries arrive;
+// QALSH instead anchors each hash bucket on the query itself: every series
+// is projected onto L random lines and stored sorted per line, and at query
+// time a bucket of half-width w·R/2 is centred on the query's own
+// projection. A series colliding with the query on at least `CollisionThreshold`
+// lines becomes a candidate and its true distance is computed. If the
+// current radius R yields no satisfactory answer, R is multiplied by the
+// approximation ratio c and the windows widen (virtual rehashing) — no
+// index rebuild needed for a different accuracy, except that the theory
+// fixes c at build time (the paper's complaint that QALSH "needs to build a
+// different index for each desired query accuracy" refers to c).
+package qalsh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/proj"
+)
+
+// Config controls the hash family.
+type Config struct {
+	// Lines is the number of projection lines L.
+	Lines int
+	// CollisionThreshold is how many lines must collide before a series
+	// becomes a candidate (QALSH's l, 1 <= l <= Lines).
+	CollisionThreshold int
+	// W is the bucket width at radius 1.
+	W float64
+	// C is the approximation ratio baked into the index (c = 1+ε).
+	C float64
+	// BetaFraction caps candidates per query as a fraction of n.
+	BetaFraction float64
+	// Seed drives the projection lines.
+	Seed int64
+}
+
+// DefaultConfig returns laptop-scale defaults close to the original's
+// recommendations (w ≈ 2.7 for c=2).
+func DefaultConfig() Config {
+	return Config{Lines: 32, CollisionThreshold: 8, W: 2.7, C: 2, BetaFraction: 0.1, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.Lines < 1 {
+		return fmt.Errorf("qalsh: lines %d < 1", c.Lines)
+	}
+	if c.CollisionThreshold < 1 || c.CollisionThreshold > c.Lines {
+		return fmt.Errorf("qalsh: collision threshold %d out of [1,%d]", c.CollisionThreshold, c.Lines)
+	}
+	if c.W <= 0 {
+		return fmt.Errorf("qalsh: bucket width %v <= 0", c.W)
+	}
+	if c.C <= 1 {
+		return fmt.Errorf("qalsh: approximation ratio %v <= 1", c.C)
+	}
+	if c.BetaFraction <= 0 || c.BetaFraction > 1 {
+		return fmt.Errorf("qalsh: beta fraction %v out of (0,1]", c.BetaFraction)
+	}
+	return nil
+}
+
+// lineIndex is one projection line with its sorted (value, id) table.
+type lineIndex struct {
+	line   *proj.Line
+	values []float64 // sorted projections
+	ids    []int     // ids aligned with values
+}
+
+// Index is a QALSH index over a series store.
+type Index struct {
+	store *storage.SeriesStore
+	cfg   Config
+	lines []lineIndex
+}
+
+// Build constructs the index.
+func Build(store *storage.SeriesStore, cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{store: store, cfg: cfg}
+	n := store.Size()
+	idx.lines = make([]lineIndex, cfg.Lines)
+	for li := range idx.lines {
+		l := proj.NewLine(store.Length(), cfg.Seed+int64(li)*104729)
+		type pv struct {
+			v  float64
+			id int
+		}
+		pairs := make([]pv, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = pv{v: l.Value(store.Peek(i)), id: i}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		values := make([]float64, n)
+		ids := make([]int, n)
+		for i, p := range pairs {
+			values[i] = p.v
+			ids[i] = p.id
+		}
+		idx.lines[li] = lineIndex{line: l, values: values, ids: ids}
+	}
+	return idx, nil
+}
+
+// Name implements core.Method.
+func (idx *Index) Name() string { return "QALSH" }
+
+// Size returns the number of indexed series.
+func (idx *Index) Size() int { return idx.store.Size() }
+
+// Footprint implements core.Method: L sorted tables of (float64, int).
+func (idx *Index) Footprint() int64 {
+	var total int64
+	for _, l := range idx.lines {
+		total += int64(len(l.values))*16 + int64(idx.store.Length())*8
+	}
+	return total
+}
+
+// Search implements core.Method. QALSH answers δ-ε-approximate queries
+// (Table 1); ModeNG is also accepted with NProbe as the candidate budget
+// so the harness can sweep a speed/accuracy curve.
+func (idx *Index) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("qalsh: %w", err)
+	}
+	if q.Mode == core.ModeExact || q.Mode == core.ModeEpsilon {
+		return core.Result{}, fmt.Errorf("qalsh: %s search not supported (delta-epsilon or ng only)", q.Mode)
+	}
+	if len(q.Series) != idx.store.Length() {
+		return core.Result{}, fmt.Errorf("qalsh: query length %d != dataset length %d", len(q.Series), idx.store.Length())
+	}
+	before := idx.store.Accountant().Snapshot()
+	n := idx.store.Size()
+
+	budget := int(idx.cfg.BetaFraction * float64(n))
+	if q.Mode == core.ModeNG {
+		budget = q.NProbe
+	}
+	if budget < q.K {
+		budget = q.K
+	}
+	if budget > n {
+		budget = n
+	}
+
+	// Query projections and per-line expansion cursors (two pointers
+	// starting at the query's position in each sorted table).
+	type cursorState struct {
+		qv     float64
+		lo, hi int // next unvisited positions on each side
+	}
+	cursors := make([]cursorState, len(idx.lines))
+	for li := range idx.lines {
+		qv := idx.lines[li].line.Value(q.Series)
+		pos := sort.SearchFloat64s(idx.lines[li].values, qv)
+		cursors[li] = cursorState{qv: qv, lo: pos - 1, hi: pos}
+	}
+
+	collisions := make(map[int]int, budget*4)
+	examined := make(map[int]struct{}, budget)
+	kset := core.NewKNNSet(q.K)
+	res := core.Result{}
+
+	examine := func(id int) {
+		if _, ok := examined[id]; ok {
+			return
+		}
+		examined[id] = struct{}{}
+		raw := idx.store.Read(id)
+		res.LeavesVisited++
+		lim := kset.Worst()
+		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		res.DistCalcs++
+		d := 0.0
+		if d2 > 0 {
+			d = math.Sqrt(d2)
+		}
+		kset.Offer(id, d)
+	}
+
+	// Virtual rehashing: R = 1, c, c², ... widening the per-line windows.
+	radius := 1.0
+	const maxRounds = 64
+	for round := 0; round < maxRounds && len(examined) < budget; round++ {
+		half := idx.cfg.W * radius / 2
+		for li := range idx.lines {
+			l := &idx.lines[li]
+			c := &cursors[li]
+			for c.hi < n && l.values[c.hi] <= c.qv+half {
+				id := l.ids[c.hi]
+				collisions[id]++
+				if collisions[id] == idx.cfg.CollisionThreshold {
+					examine(id)
+					if len(examined) >= budget {
+						break
+					}
+				}
+				c.hi++
+			}
+			if len(examined) >= budget {
+				break
+			}
+			for c.lo >= 0 && l.values[c.lo] >= c.qv-half {
+				id := l.ids[c.lo]
+				collisions[id]++
+				if collisions[id] == idx.cfg.CollisionThreshold {
+					examine(id)
+					if len(examined) >= budget {
+						break
+					}
+				}
+				c.lo--
+			}
+			if len(examined) >= budget {
+				break
+			}
+		}
+		// Termination: a c-approximate answer found within this radius.
+		if kset.Full() && kset.Worst() <= idx.cfg.C*radius {
+			break
+		}
+		radius *= idx.cfg.C
+	}
+
+	// Guarantee k answers even on pathological data: fall back to the
+	// closest remaining projected candidates of the first line.
+	if !kset.Full() {
+		first := idx.lines[0]
+		order := make([]int, 0, n)
+		c := cursors[0]
+		lo, hi := c.lo, c.hi
+		for lo >= 0 || hi < n {
+			if hi >= n || (lo >= 0 && c.qv-first.values[lo] <= first.values[hi]-c.qv) {
+				order = append(order, first.ids[lo])
+				lo--
+			} else {
+				order = append(order, first.ids[hi])
+				hi++
+			}
+		}
+		for _, id := range order {
+			if kset.Full() {
+				break
+			}
+			examine(id)
+		}
+	}
+
+	res.Neighbors = kset.Sorted()
+	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}

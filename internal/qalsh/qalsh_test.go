@@ -1,0 +1,170 @@
+package qalsh
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestIndex(t *testing.T, n, length int, cfg Config, seed int64) (*Index, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	idx, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+100)
+	return idx, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	for i, cfg := range []Config{
+		{Lines: 0, CollisionThreshold: 1, W: 2, C: 2, BetaFraction: 0.1},
+		{Lines: 8, CollisionThreshold: 0, W: 2, C: 2, BetaFraction: 0.1},
+		{Lines: 8, CollisionThreshold: 9, W: 2, C: 2, BetaFraction: 0.1},
+		{Lines: 8, CollisionThreshold: 4, W: 0, C: 2, BetaFraction: 0.1},
+		{Lines: 8, CollisionThreshold: 4, W: 2, C: 1, BetaFraction: 0.1},
+		{Lines: 8, CollisionThreshold: 4, W: 2, C: 2, BetaFraction: 0},
+	} {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestLinesAreSorted(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 300, 32, DefaultConfig(), 1)
+	for li, l := range idx.lines {
+		for i := 1; i < len(l.values); i++ {
+			if l.values[i] < l.values[i-1] {
+				t.Fatalf("line %d not sorted at %d", li, i)
+			}
+		}
+		if len(l.ids) != 300 {
+			t.Fatalf("line %d has %d ids", li, len(l.ids))
+		}
+	}
+}
+
+func TestReturnsKResults(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 500, 64, DefaultConfig(), 3)
+	for _, k := range []int{1, 10, 50} {
+		res, err := idx.Search(core.Query{Series: queries.At(0), K: k, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) != k {
+			t.Errorf("k=%d: %d results", k, len(res.Neighbors))
+		}
+	}
+}
+
+func TestFindsGoodNeighbors(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 2000, 64, DefaultConfig(), 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	var recallSum float64
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueIDs := map[int]struct{}{}
+		for _, nb := range gt[qi] {
+			trueIDs[nb.ID] = struct{}{}
+		}
+		for _, nb := range res.Neighbors {
+			if _, ok := trueIDs[nb.ID]; ok {
+				recallSum++
+			}
+		}
+	}
+	if avg := recallSum / float64(10*queries.Size()); avg < 0.4 {
+		t.Errorf("QALSH recall %v — collision counting is not finding neighbours", avg)
+	}
+}
+
+func TestExaminesFractionOfData(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 3000, 64, DefaultConfig(), 7)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 3000/2 {
+		t.Errorf("examined %d of 3000 — not sub-linear", res.LeavesVisited)
+	}
+}
+
+func TestNGBudgetRespected(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 1000, 64, DefaultConfig(), 9)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeNG, NProbe: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 30+3 {
+		t.Errorf("examined %d with budget 30", res.LeavesVisited)
+	}
+}
+
+func TestRejectsExactModes(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 100, 32, DefaultConfig(), 11)
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeEpsilon} {
+		if _, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: mode, Epsilon: 1}); err == nil {
+			t.Errorf("mode %v should be rejected", mode)
+		}
+	}
+}
+
+func TestCollisionThresholdFiltersNoise(t *testing.T) {
+	// With threshold = Lines (all lines must collide), far fewer candidates
+	// qualify than with threshold 1.
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 800, Length: 64, Seed: 13})
+	store1 := storage.NewSeriesStore(data, 0)
+	store2 := storage.NewSeriesStore(data, 0)
+	loose, err := Build(store1, Config{Lines: 16, CollisionThreshold: 1, W: 2.7, C: 2, BetaFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Build(store2, Config{Lines: 16, CollisionThreshold: 16, W: 2.7, C: 2, BetaFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Queries(data, dataset.KindWalk, 1, 99).At(0)
+	rl, err := loose.Search(core.Query{Series: q, K: 1, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.Search(core.Query{Series: q, K: 1, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LeavesVisited > rl.LeavesVisited {
+		t.Errorf("strict threshold examined more (%d) than loose (%d)", rs.LeavesVisited, rl.LeavesVisited)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 100, 32, DefaultConfig(), 15)
+	if _, err := idx.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeNG, NProbe: 5}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestNameFootprint(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 100, 32, DefaultConfig(), 17)
+	if idx.Name() != "QALSH" || idx.Size() != 100 {
+		t.Error("metadata wrong")
+	}
+	if idx.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}

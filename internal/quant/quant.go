@@ -1,0 +1,445 @@
+// Package quant provides the quantization substrates used by VA+file and
+// IMI: per-dimension scalar quantizers with non-uniform (k-means-trained)
+// boundaries, Lloyd k-means, product quantizers, and an OPQ-style random
+// orthonormal rotation.
+//
+// Terminology follows the paper's Section 3.1: a scalar quantizer operates
+// on individual dimensions independently; a vector quantizer treats the
+// vector as a whole; a product quantizer splits the vector into m
+// sub-vectors, each handled by a small vector quantizer, so the implicit
+// codebook is the cartesian product of the sub-codebooks.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Scalar is a non-uniform scalar quantizer for one dimension: sorted cell
+// boundaries plus per-cell reconstruction values. VA+file trains one per
+// retained DFT coefficient, allocating cells where the data mass is.
+type Scalar struct {
+	// Boundaries has length cells-1 and is strictly increasing; value v
+	// falls in cell i where i = #boundaries <= v.
+	Boundaries []float64
+	// Centers has length cells: the reconstruction value of each cell.
+	Centers []float64
+}
+
+// TrainScalar builds a scalar quantizer with the given number of cells from
+// sample values, using 1-D k-means (Lloyd) initialised at quantiles.
+// Requires cells >= 1 and at least one sample.
+func TrainScalar(samples []float64, cells int, iters int) *Scalar {
+	if cells < 1 || len(samples) == 0 {
+		panic(fmt.Sprintf("quant: invalid scalar training (cells=%d samples=%d)", cells, len(samples)))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	centers := make([]float64, cells)
+	for i := 0; i < cells; i++ {
+		// Quantile initialisation.
+		q := (float64(i) + 0.5) / float64(cells)
+		centers[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+	for it := 0; it < iters; it++ {
+		sums := make([]float64, cells)
+		counts := make([]int, cells)
+		for _, v := range sorted {
+			c := nearestCenter1D(centers, v)
+			sums[c] += v
+			counts[c]++
+		}
+		changed := false
+		for i := range centers {
+			if counts[i] == 0 {
+				continue
+			}
+			nc := sums[i] / float64(counts[i])
+			if nc != centers[i] {
+				centers[i] = nc
+				changed = true
+			}
+		}
+		sort.Float64s(centers)
+		if !changed {
+			break
+		}
+	}
+	bounds := make([]float64, cells-1)
+	for i := 0; i < cells-1; i++ {
+		bounds[i] = (centers[i] + centers[i+1]) / 2
+	}
+	return &Scalar{Boundaries: bounds, Centers: centers}
+}
+
+func nearestCenter1D(centers []float64, v float64) int {
+	// Centers are sorted; binary search then compare neighbours.
+	i := sort.SearchFloat64s(centers, v)
+	if i == 0 {
+		return 0
+	}
+	if i == len(centers) {
+		return len(centers) - 1
+	}
+	if v-centers[i-1] <= centers[i]-v {
+		return i - 1
+	}
+	return i
+}
+
+// Cells returns the number of quantization cells.
+func (s *Scalar) Cells() int { return len(s.Centers) }
+
+// Encode returns the cell index of v.
+func (s *Scalar) Encode(v float64) int {
+	return sort.SearchFloat64s(s.Boundaries, v)
+}
+
+// Decode returns the reconstruction value of cell c.
+func (s *Scalar) Decode(c int) float64 { return s.Centers[c] }
+
+// CellBounds returns the [lo, hi] value range of cell c; extreme cells
+// extend to ±Inf.
+func (s *Scalar) CellBounds(c int) (lo, hi float64) {
+	if c == 0 {
+		lo = math.Inf(-1)
+	} else {
+		lo = s.Boundaries[c-1]
+	}
+	if c == len(s.Centers)-1 {
+		hi = math.Inf(1)
+	} else {
+		hi = s.Boundaries[c]
+	}
+	return lo, hi
+}
+
+// LowerGap returns the minimum possible |v - x| over x in cell c (0 when v
+// lies inside the cell): the per-dimension term of the VA-file lower bound.
+func (s *Scalar) LowerGap(v float64, c int) float64 {
+	lo, hi := s.CellBounds(c)
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// UpperGap returns the maximum possible |v - x| over x in cell c. For the
+// unbounded extreme cells the cell is clipped at its center (the standard
+// VA+ practical convention), keeping the bound finite.
+func (s *Scalar) UpperGap(v float64, c int) float64 {
+	lo, hi := s.CellBounds(c)
+	if math.IsInf(lo, -1) {
+		lo = s.Centers[c]
+	}
+	if math.IsInf(hi, 1) {
+		hi = s.Centers[c]
+	}
+	return math.Max(math.Abs(v-lo), math.Abs(v-hi))
+}
+
+// KMeans runs Lloyd's algorithm on vectors with k centroids, returning the
+// centroids and per-vector assignments. Deterministic under seed via
+// k-means++-style seeding. Empty clusters are re-seeded from the farthest
+// points.
+func KMeans(vectors [][]float64, k, iters int, seed int64) (centroids [][]float64, assign []int) {
+	n := len(vectors)
+	if n == 0 || k <= 0 {
+		panic(fmt.Sprintf("quant: invalid kmeans input (n=%d k=%d)", n, k))
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(vectors[0])
+	rng := rand.New(rand.NewSource(seed))
+	centroids = kmeansppInit(vectors, k, rng)
+	assign = make([]int, n)
+	dists := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d := sqDist(v, cent)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			dists[i] = bestD
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed at the point farthest from its centroid.
+				far, farD := 0, -1.0
+				for i := range vectors {
+					if dists[i] > farD {
+						far, farD = i, dists[i]
+					}
+				}
+				copy(centroids[c], vectors[far])
+				dists[far] = 0
+				changed = true
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final assignment against the final centroids.
+	for i, v := range vectors {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			d := sqDist(v, cent)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return centroids, assign
+}
+
+func kmeansppInit(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vectors)
+	dim := len(vectors[0])
+	centroids := make([][]float64, 0, k)
+	first := make([]float64, dim)
+	copy(first, vectors[rng.Intn(n)])
+	centroids = append(centroids, first)
+	d2 := make([]float64, n)
+	for i, v := range vectors {
+		d2[i] = sqDist(v, first)
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		c := make([]float64, dim)
+		copy(c, vectors[idx])
+		centroids = append(centroids, c)
+		for i, v := range vectors {
+			if d := sqDist(v, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}
+
+// Product is a product quantizer: the vector is split into M contiguous
+// sub-vectors, each encoded with its own Ks-centroid codebook.
+type Product struct {
+	M         int
+	Ks        int
+	subDims   []int         // width of each sub-vector
+	offsets   []int         // start index of each sub-vector
+	codebooks [][][]float64 // [m][code][subdim]
+}
+
+// TrainProduct trains a product quantizer on the sample vectors.
+func TrainProduct(samples [][]float64, m, ks, iters int, seed int64) *Product {
+	if len(samples) == 0 || m <= 0 || ks <= 0 {
+		panic("quant: invalid product quantizer training input")
+	}
+	dim := len(samples[0])
+	if m > dim {
+		m = dim
+	}
+	p := &Product{M: m, Ks: ks}
+	p.subDims = make([]int, m)
+	p.offsets = make([]int, m)
+	for i := 0; i < m; i++ {
+		p.offsets[i] = i * dim / m
+		p.subDims[i] = (i+1)*dim/m - p.offsets[i]
+	}
+	p.codebooks = make([][][]float64, m)
+	for i := 0; i < m; i++ {
+		sub := make([][]float64, len(samples))
+		for j, v := range samples {
+			sub[j] = v[p.offsets[i] : p.offsets[i]+p.subDims[i]]
+		}
+		cents, _ := KMeans(sub, ks, iters, seed+int64(i)*7919)
+		p.codebooks[i] = cents
+	}
+	return p
+}
+
+// Dim returns the input dimensionality.
+func (p *Product) Dim() int {
+	last := p.M - 1
+	return p.offsets[last] + p.subDims[last]
+}
+
+// Encode quantises v into M codes.
+func (p *Product) Encode(v []float64) []uint16 {
+	codes := make([]uint16, p.M)
+	for i := 0; i < p.M; i++ {
+		sub := v[p.offsets[i] : p.offsets[i]+p.subDims[i]]
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range p.codebooks[i] {
+			d := sqDist(sub, cent)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		codes[i] = uint16(best)
+	}
+	return codes
+}
+
+// Decode reconstructs the vector represented by codes.
+func (p *Product) Decode(codes []uint16) []float64 {
+	out := make([]float64, p.Dim())
+	for i := 0; i < p.M; i++ {
+		cent := p.codebooks[i][codes[i]]
+		copy(out[p.offsets[i]:], cent)
+	}
+	return out
+}
+
+// DistanceTable precomputes, for a query, the squared distance from each
+// query sub-vector to every centroid of each sub-codebook. Asymmetric
+// distance computation (ADC) then reduces to M table lookups per encoded
+// vector.
+func (p *Product) DistanceTable(q []float64) [][]float64 {
+	table := make([][]float64, p.M)
+	for i := 0; i < p.M; i++ {
+		sub := q[p.offsets[i] : p.offsets[i]+p.subDims[i]]
+		row := make([]float64, len(p.codebooks[i]))
+		for c, cent := range p.codebooks[i] {
+			row[c] = sqDist(sub, cent)
+		}
+		table[i] = row
+	}
+	return table
+}
+
+// ADC returns the asymmetric squared distance from the query (via its
+// distance table) to an encoded vector.
+func ADC(table [][]float64, codes []uint16) float64 {
+	var acc float64
+	for i, c := range codes {
+		acc += table[i][c]
+	}
+	return acc
+}
+
+// Rotation is an orthonormal matrix used as an OPQ-style preprocessing
+// step: rotating the data before product quantization decorrelates the
+// sub-spaces and balances their variance.
+type Rotation struct {
+	mat [][]float64 // n×n orthonormal
+}
+
+// NewRandomRotation builds a random orthonormal rotation of dimension n via
+// Gram–Schmidt on a Gaussian matrix. OPQ proper optimises the rotation
+// against the data; a random rotation captures most of the benefit on
+// series data (balancing energy across sub-spaces) and is the standard
+// cheap approximation.
+func NewRandomRotation(n int, seed int64) *Rotation {
+	rng := rand.New(rand.NewSource(seed))
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, n)
+		for j := range mat[i] {
+			mat[i][j] = rng.NormFloat64()
+		}
+	}
+	// Gram–Schmidt orthonormalisation.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += mat[i][k] * mat[j][k]
+			}
+			for k := 0; k < n; k++ {
+				mat[i][k] -= dot * mat[j][k]
+			}
+		}
+		var norm float64
+		for k := 0; k < n; k++ {
+			norm += mat[i][k] * mat[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate row (essentially impossible): replace with basis vector.
+			for k := 0; k < n; k++ {
+				mat[i][k] = 0
+			}
+			mat[i][i] = 1
+			continue
+		}
+		for k := 0; k < n; k++ {
+			mat[i][k] /= norm
+		}
+	}
+	return &Rotation{mat: mat}
+}
+
+// Apply rotates v (length must equal the rotation dimension).
+func (r *Rotation) Apply(v []float64) []float64 {
+	n := len(r.mat)
+	if len(v) != n {
+		panic(fmt.Sprintf("quant: rotation dim %d != vector %d", n, len(v)))
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		row := r.mat[i]
+		for j := 0; j < n; j++ {
+			acc += row[j] * v[j]
+		}
+		out[i] = acc
+	}
+	return out
+}

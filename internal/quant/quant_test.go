@@ -1,0 +1,304 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrainScalarBasic(t *testing.T) {
+	// Two well-separated clusters of values: a 2-cell quantizer should put
+	// its boundary between them.
+	samples := []float64{0, 0.1, 0.2, 10, 10.1, 10.2}
+	s := TrainScalar(samples, 2, 20)
+	if s.Cells() != 2 {
+		t.Fatalf("Cells = %d", s.Cells())
+	}
+	if s.Boundaries[0] < 1 || s.Boundaries[0] > 9 {
+		t.Errorf("boundary %v not between clusters", s.Boundaries[0])
+	}
+	if s.Encode(0.15) != 0 || s.Encode(10.05) != 1 {
+		t.Error("encoding puts values in wrong cells")
+	}
+}
+
+func TestScalarEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	s := TrainScalar(samples, 16, 25)
+	// Decode of encode is within the encoded cell.
+	for _, v := range samples[:100] {
+		c := s.Encode(v)
+		lo, hi := s.CellBounds(c)
+		d := s.Decode(c)
+		if d < lo || d > hi {
+			t.Fatalf("decoded value %v outside cell [%v,%v]", d, lo, hi)
+		}
+	}
+}
+
+func TestScalarQuantizationErrorDecreasesWithCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	mse := func(cells int) float64 {
+		s := TrainScalar(samples, cells, 30)
+		var acc float64
+		for _, v := range samples {
+			d := v - s.Decode(s.Encode(v))
+			acc += d * d
+		}
+		return acc / float64(len(samples))
+	}
+	if !(mse(2) > mse(8) && mse(8) > mse(64)) {
+		t.Errorf("MSE not decreasing: %v %v %v", mse(2), mse(8), mse(64))
+	}
+}
+
+func TestScalarGaps(t *testing.T) {
+	samples := []float64{-1, 0, 1, 2}
+	s := TrainScalar(samples, 4, 10)
+	for _, v := range []float64{-2, -0.5, 0.3, 5} {
+		c := s.Encode(v)
+		if g := s.LowerGap(v, c); g != 0 {
+			t.Errorf("LowerGap of own cell should be 0, got %v for v=%v", g, v)
+		}
+	}
+	// Gap to a far cell must lower-bound the true distance to any value in
+	// that cell (check against the cell's center which is inside it).
+	for _, v := range []float64{-3, 0.2, 4} {
+		for c := 0; c < s.Cells(); c++ {
+			lg := s.LowerGap(v, c)
+			trueD := math.Abs(v - s.Decode(c))
+			if lg > trueD+1e-12 {
+				t.Errorf("LowerGap(%v, cell %d) = %v exceeds distance to center %v", v, c, lg, trueD)
+			}
+			ug := s.UpperGap(v, c)
+			if ug+1e-12 < trueD {
+				t.Errorf("UpperGap(%v, cell %d) = %v below distance to center %v", v, c, ug, trueD)
+			}
+		}
+	}
+}
+
+func TestNearestCenter1D(t *testing.T) {
+	centers := []float64{0, 10, 20}
+	cases := []struct {
+		v    float64
+		want int
+	}{{-5, 0}, {4, 0}, {6, 1}, {14, 1}, {16, 2}, {100, 2}}
+	for _, c := range cases {
+		if got := nearestCenter1D(centers, c.v); got != c.want {
+			t.Errorf("nearestCenter1D(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func randVectors(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Two clusters around (0,...) and (100,...).
+	vecs := make([][]float64, 0, 100)
+	for i := 0; i < 50; i++ {
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+			b[j] = 100 + rng.NormFloat64()
+		}
+		vecs = append(vecs, a, b)
+	}
+	cents, assign := KMeans(vecs, 2, 25, 1)
+	if len(cents) != 2 {
+		t.Fatalf("centroid count %d", len(cents))
+	}
+	// All members of the same true cluster get the same assignment.
+	for i := 2; i < len(vecs); i += 2 {
+		if assign[i] != assign[0] {
+			t.Fatalf("cluster A split: assign[%d]=%d vs %d", i, assign[i], assign[0])
+		}
+		if assign[i+1] != assign[1] {
+			t.Fatalf("cluster B split")
+		}
+	}
+	if assign[0] == assign[1] {
+		t.Fatal("two clusters merged")
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := randVectors(rng, 3, 2)
+	cents, assign := KMeans(vecs, 10, 5, 1)
+	if len(cents) != 3 {
+		t.Errorf("k should clamp to n, got %d centroids", len(cents))
+	}
+	if len(assign) != 3 {
+		t.Errorf("assignment length %d", len(assign))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := randVectors(rng, 60, 8)
+	c1, a1 := KMeans(vecs, 4, 10, 42)
+	c2, a2 := KMeans(vecs, 4, 10, 42)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed gives different assignments")
+		}
+	}
+	for i := range c1 {
+		for j := range c1[i] {
+			if c1[i][j] != c2[i][j] {
+				t.Fatal("same seed gives different centroids")
+			}
+		}
+	}
+}
+
+func TestProductQuantizerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vecs := randVectors(rng, 300, 16)
+	p := TrainProduct(vecs, 4, 16, 15, 1)
+	if p.Dim() != 16 {
+		t.Fatalf("Dim = %d", p.Dim())
+	}
+	codes := p.Encode(vecs[0])
+	if len(codes) != 4 {
+		t.Fatalf("code length %d", len(codes))
+	}
+	dec := p.Decode(codes)
+	if len(dec) != 16 {
+		t.Fatalf("decode length %d", len(dec))
+	}
+	// Reconstruction error should be far below the vector norm.
+	var errSq, normSq float64
+	for i, v := range vecs[0] {
+		d := v - dec[i]
+		errSq += d * d
+		normSq += v * v
+	}
+	if errSq > normSq {
+		t.Errorf("PQ reconstruction error %v exceeds norm %v", errSq, normSq)
+	}
+}
+
+func TestADCMatchesDecodedDistance(t *testing.T) {
+	// ADC(q, codes) must equal the exact squared distance between q and the
+	// decoded (reconstructed) vector.
+	rng := rand.New(rand.NewSource(9))
+	vecs := randVectors(rng, 200, 12)
+	p := TrainProduct(vecs, 3, 8, 10, 5)
+	q := vecs[17]
+	table := p.DistanceTable(q)
+	for _, v := range vecs[:50] {
+		codes := p.Encode(v)
+		adc := ADC(table, codes)
+		dec := p.Decode(codes)
+		var want float64
+		for i := range q {
+			d := q[i] - dec[i]
+			want += d * d
+		}
+		if math.Abs(adc-want) > 1e-9*(1+want) {
+			t.Fatalf("ADC %v != decoded distance %v", adc, want)
+		}
+	}
+}
+
+func TestProductQuantizerUnevenDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	vecs := randVectors(rng, 100, 10) // 10 dims into 3 sub-vectors: 3,3,4
+	p := TrainProduct(vecs, 3, 4, 8, 2)
+	if p.Dim() != 10 {
+		t.Fatalf("Dim = %d, want 10", p.Dim())
+	}
+	codes := p.Encode(vecs[5])
+	dec := p.Decode(codes)
+	if len(dec) != 10 {
+		t.Fatalf("decode length %d", len(dec))
+	}
+}
+
+func TestRotationOrthonormal(t *testing.T) {
+	r := NewRandomRotation(16, 3)
+	// Rows orthonormal: R Rᵀ = I.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			var dot float64
+			for k := 0; k < 16; k++ {
+				dot += r.mat[i][k] * r.mat[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("R Rᵀ[%d][%d] = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestRotationPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := NewRandomRotation(24, 8)
+	for trial := 0; trial < 30; trial++ {
+		a := make([]float64, 24)
+		b := make([]float64, 24)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		da := sqDist(a, b)
+		db := sqDist(r.Apply(a), r.Apply(b))
+		if math.Abs(da-db) > 1e-9*(1+da) {
+			t.Fatalf("rotation changed distance: %v vs %v", da, db)
+		}
+	}
+}
+
+func TestRotationMismatchPanics(t *testing.T) {
+	r := NewRandomRotation(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Apply([]float64{1, 2})
+}
+
+func TestRotationBalancesEnergy(t *testing.T) {
+	// A vector concentrated in one coordinate spreads across coordinates
+	// after rotation — the OPQ motivation.
+	r := NewRandomRotation(32, 6)
+	v := make([]float64, 32)
+	v[0] = 10
+	out := r.Apply(v)
+	var maxAbs float64
+	for _, x := range out {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 9 {
+		t.Errorf("rotation did not spread energy: max coord %v", maxAbs)
+	}
+}

@@ -1,0 +1,101 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func setup(n, length int, seed int64) (*storage.SeriesStore, *series.Dataset, *series.Dataset) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed})
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+1)
+	return storage.NewSeriesStore(data, 0), data, queries
+}
+
+func TestScanExactMatchesGroundTruth(t *testing.T) {
+	store, data, queries := setup(500, 64, 1)
+	s := New(store)
+	gt := GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := s.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) != 10 {
+			t.Fatalf("query %d: %d results", qi, len(res.Neighbors))
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i], gt[qi][i])
+			}
+		}
+	}
+}
+
+func TestScanReadsWholeDatasetSequentially(t *testing.T) {
+	store, _, queries := setup(1000, 32, 2)
+	s := New(store)
+	res, err := s.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.BytesRead != store.TotalBytes() {
+		t.Errorf("scan read %d bytes, dataset is %d", res.IO.BytesRead, store.TotalBytes())
+	}
+	if res.IO.RandomSeeks > 2 {
+		t.Errorf("scan should be sequential, got %d seeks", res.IO.RandomSeeks)
+	}
+	if res.DistCalcs != 1000 {
+		t.Errorf("DistCalcs = %d, want 1000", res.DistCalcs)
+	}
+}
+
+func TestScanValidatesQuery(t *testing.T) {
+	store, _, queries := setup(10, 32, 3)
+	s := New(store)
+	if _, err := s.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := s.Search(core.Query{Series: make(series.Series, 7), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("expected error for wrong length")
+	}
+}
+
+func TestScanName(t *testing.T) {
+	store, _, _ := setup(10, 8, 4)
+	s := New(store)
+	if s.Name() != "SerialScan" || s.Footprint() != 0 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestGroundTruthOrdering(t *testing.T) {
+	_, data, queries := setup(200, 32, 5)
+	gt := GroundTruth(data, queries, 5)
+	for qi, nbrs := range gt {
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i].Dist < nbrs[i-1].Dist {
+				t.Fatalf("query %d: ground truth not sorted", qi)
+			}
+		}
+	}
+}
+
+func TestScanApproxModesStillExact(t *testing.T) {
+	store, data, queries := setup(300, 32, 6)
+	s := New(store)
+	gt := GroundTruth(data, queries, 3)
+	res, err := s.Search(core.Query{Series: queries.At(0), K: 3, Mode: core.ModeNG, NProbe: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gt[0] {
+		if math.Abs(res.Neighbors[i].Dist-gt[0][i].Dist) > 1e-9 {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}

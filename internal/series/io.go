@@ -1,0 +1,105 @@
+package series
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary file format for datasets:
+//
+//	magic   uint32  'H','Y','D','R' (0x52445948 little-endian)
+//	version uint32  currently 1
+//	length  uint32  series length
+//	count   uint64  number of series
+//	values  count*length float32, little-endian
+//
+// This mirrors the flat float binary format used by the original benchmark
+// archives, plus a small self-describing header.
+
+const (
+	fileMagic   = 0x52445948
+	fileVersion = 1
+)
+
+// WriteTo streams the dataset to w in the hydra binary format.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	hdr := make([]byte, 20)
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.length))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(d.Size()))
+	if _, err := bw.Write(hdr); err != nil {
+		return n, fmt.Errorf("series: writing header: %w", err)
+	}
+	n += int64(len(hdr))
+	buf := make([]byte, 4)
+	for _, v := range d.values {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return n, fmt.Errorf("series: writing values: %w", err)
+		}
+		n += 4
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("series: flushing: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom reads a dataset in the hydra binary format.
+func ReadFrom(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, 20)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("series: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != fileMagic {
+		return nil, fmt.Errorf("series: bad magic 0x%x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return nil, fmt.Errorf("series: unsupported version %d", v)
+	}
+	length := int(binary.LittleEndian.Uint32(hdr[8:]))
+	count := int(binary.LittleEndian.Uint64(hdr[12:]))
+	if length <= 0 {
+		return nil, fmt.Errorf("series: invalid length %d", length)
+	}
+	values := make([]float32, length*count)
+	raw := make([]byte, 4*len(values))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("series: reading %d values: %w", len(values), err)
+	}
+	for i := range values {
+		values[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return &Dataset{length: length, values: values}, nil
+}
+
+// SaveFile writes the dataset to a file at path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("series: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := d.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a dataset from a file at path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("series: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

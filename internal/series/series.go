@@ -1,0 +1,195 @@
+// Package series provides the fundamental data series type used throughout
+// the benchmark, together with normalisation, Euclidean distance kernels
+// (including early-abandoning variants) and a compact binary encoding.
+//
+// A data series of length n is treated interchangeably as a point in an
+// n-dimensional space, following the paper's Section 2: "a data series of
+// length n can be represented as a single point in an n-dimensional space".
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is an ordered sequence of real values. Values use float32, matching
+// the paper's experimental setup ("data series points are represented using
+// single precision values").
+type Series []float32
+
+// Clone returns a deep copy of s.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	copy(out, s)
+	return out
+}
+
+// Mean returns the arithmetic mean of the series values.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return sum / float64(len(s))
+}
+
+// Stdev returns the population standard deviation of the series values.
+func (s Series) Stdev() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var acc float64
+	for _, v := range s {
+		d := float64(v) - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s)))
+}
+
+// ZNormalize normalises s in place to zero mean and unit standard deviation.
+// Series with (near-)zero variance are mapped to the all-zero series, the
+// convention used by the UCR suite and the data series indexing literature.
+func (s Series) ZNormalize() {
+	mean := s.Mean()
+	std := s.Stdev()
+	if std < 1e-9 {
+		for i := range s {
+			s[i] = 0
+		}
+		return
+	}
+	inv := 1.0 / std
+	for i := range s {
+		s[i] = float32((float64(s[i]) - mean) * inv)
+	}
+}
+
+// ZNormalized returns a z-normalised copy of s, leaving s untouched.
+func (s Series) ZNormalized() Series {
+	out := s.Clone()
+	out.ZNormalize()
+	return out
+}
+
+// SquaredDist returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ: mixing lengths is always a programming
+// error in whole-matching search.
+func SquaredDist(a, b Series) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b Series) float64 {
+	return math.Sqrt(SquaredDist(a, b))
+}
+
+// SquaredDistEarlyAbandon computes the squared Euclidean distance between a
+// and b but abandons the computation as soon as the partial sum exceeds
+// limit, returning a value > limit in that case. Early abandoning is the
+// classic optimisation used by sequential-scan and leaf refinement code
+// paths (UCR suite style).
+func SquaredDistEarlyAbandon(a, b Series, limit float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc float64
+	n := len(a)
+	i := 0
+	// Process in blocks of 8 between limit checks: checking every element
+	// costs more than it saves on modern hardware.
+	for ; i+8 <= n; i += 8 {
+		for j := i; j < i+8; j++ {
+			d := float64(a[j]) - float64(b[j])
+			acc += d * d
+		}
+		if acc > limit {
+			return acc
+		}
+	}
+	for ; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+// Dataset is an in-memory collection of equal-length series, stored in one
+// contiguous backing slice for cache friendliness and O(1) slicing.
+type Dataset struct {
+	length int
+	values []float32
+}
+
+// NewDataset creates an empty dataset of series with the given length.
+// Length must be positive.
+func NewDataset(length int) *Dataset {
+	if length <= 0 {
+		panic("series: dataset length must be positive")
+	}
+	return &Dataset{length: length}
+}
+
+// NewDatasetFromSlice wraps a flat backing slice holding n series of the
+// given length. The slice is used directly, not copied.
+func NewDatasetFromSlice(length int, values []float32) (*Dataset, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("series: dataset length must be positive, got %d", length)
+	}
+	if len(values)%length != 0 {
+		return nil, fmt.Errorf("series: backing slice size %d is not a multiple of length %d", len(values), length)
+	}
+	return &Dataset{length: length, values: values}, nil
+}
+
+// Length returns the length (dimensionality) of every series in the dataset.
+func (d *Dataset) Length() int { return d.length }
+
+// Size returns the number of series in the dataset.
+func (d *Dataset) Size() int { return len(d.values) / d.length }
+
+// Bytes returns the in-memory footprint of the raw values in bytes.
+func (d *Dataset) Bytes() int64 { return int64(len(d.values)) * 4 }
+
+// Append adds a series to the dataset and returns its identifier.
+func (d *Dataset) Append(s Series) int {
+	if len(s) != d.length {
+		panic(fmt.Sprintf("series: appending series of length %d to dataset of length %d", len(s), d.length))
+	}
+	d.values = append(d.values, s...)
+	return d.Size() - 1
+}
+
+// At returns the i-th series as a view into the backing slice. The returned
+// slice must not be modified or retained past mutation of the dataset.
+func (d *Dataset) At(i int) Series {
+	off := i * d.length
+	return Series(d.values[off : off+d.length : off+d.length])
+}
+
+// Raw exposes the flat backing slice (n*length float32 values).
+func (d *Dataset) Raw() []float32 { return d.values }
+
+// Slice returns a dataset sharing storage with d restricted to series
+// [lo, hi).
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	return &Dataset{length: d.length, values: d.values[lo*d.length : hi*d.length]}
+}
+
+// ZNormalizeAll z-normalises every series in place.
+func (d *Dataset) ZNormalizeAll() {
+	for i := 0; i < d.Size(); i++ {
+		d.At(i).ZNormalize()
+	}
+}

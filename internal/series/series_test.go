@@ -1,0 +1,302 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdev(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	if got := s.Mean(); !almostEq(got, 2.5, 1e-9) {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := s.Stdev(); !almostEq(got, math.Sqrt(1.25), 1e-9) {
+		t.Errorf("Stdev = %v, want sqrt(1.25)", got)
+	}
+}
+
+func TestMeanStdevEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Stdev() != 0 {
+		t.Errorf("empty series should have zero mean/stdev")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	s := Series{10, 20, 30, 40, 50}
+	s.ZNormalize()
+	if !almostEq(s.Mean(), 0, 1e-6) {
+		t.Errorf("normalised mean = %v, want 0", s.Mean())
+	}
+	if !almostEq(s.Stdev(), 1, 1e-6) {
+		t.Errorf("normalised stdev = %v, want 1", s.Stdev())
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	s := Series{7, 7, 7, 7}
+	s.ZNormalize()
+	for i, v := range s {
+		if v != 0 {
+			t.Errorf("constant series should normalise to zeros, s[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestZNormalizedLeavesOriginal(t *testing.T) {
+	s := Series{1, 2, 3}
+	_ = s.ZNormalized()
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("ZNormalized modified original: %v", s)
+	}
+}
+
+func TestSquaredDist(t *testing.T) {
+	a := Series{0, 0, 0}
+	b := Series{1, 2, 2}
+	if got := SquaredDist(a, b); !almostEq(got, 9, 1e-9) {
+		t.Errorf("SquaredDist = %v, want 9", got)
+	}
+	if got := Dist(a, b); !almostEq(got, 3, 1e-9) {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+}
+
+func TestSquaredDistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	SquaredDist(Series{1}, Series{1, 2})
+}
+
+func TestEarlyAbandonMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a := make(Series, n)
+		b := make(Series, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		full := SquaredDist(a, b)
+		got := SquaredDistEarlyAbandon(a, b, math.Inf(1))
+		if !almostEq(got, full, 1e-6*(1+full)) {
+			t.Fatalf("trial %d: early-abandon(inf) = %v, full = %v", trial, got, full)
+		}
+		// With a tight limit, the result must exceed the limit whenever the
+		// true distance does.
+		limit := full / 2
+		got = SquaredDistEarlyAbandon(a, b, limit)
+		if full > limit && got <= limit {
+			t.Fatalf("trial %d: abandoned result %v should exceed limit %v", trial, got, limit)
+		}
+	}
+}
+
+func TestEarlyAbandonProperty(t *testing.T) {
+	// Property: for any limit, early-abandon returns the exact distance when
+	// the distance is <= limit.
+	f := func(vals []float32, limitSeed uint8) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		half := len(vals) / 2
+		a := Series(vals[:half])
+		b := Series(vals[half : 2*half])
+		full := SquaredDist(a, b)
+		limit := full * (1 + float64(limitSeed)/255)
+		got := SquaredDistEarlyAbandon(a, b, limit)
+		return almostEq(got, full, 1e-6*(1+full))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetAppendAt(t *testing.T) {
+	d := NewDataset(3)
+	id0 := d.Append(Series{1, 2, 3})
+	id1 := d.Append(Series{4, 5, 6})
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("ids = %d,%d want 0,1", id0, id1)
+	}
+	if d.Size() != 2 || d.Length() != 3 {
+		t.Fatalf("Size=%d Length=%d", d.Size(), d.Length())
+	}
+	got := d.At(1)
+	if got[0] != 4 || got[2] != 6 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if d.Bytes() != 24 {
+		t.Errorf("Bytes = %d, want 24", d.Bytes())
+	}
+}
+
+func TestDatasetAppendWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDataset(3).Append(Series{1})
+}
+
+func TestNewDatasetFromSlice(t *testing.T) {
+	d, err := NewDatasetFromSlice(2, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	if _, err := NewDatasetFromSlice(3, []float32{1, 2, 3, 4}); err == nil {
+		t.Error("expected error on non-multiple slice")
+	}
+	if _, err := NewDatasetFromSlice(0, nil); err == nil {
+		t.Error("expected error on zero length")
+	}
+}
+
+func TestDatasetSlice(t *testing.T) {
+	d := NewDataset(2)
+	for i := 0; i < 5; i++ {
+		d.Append(Series{float32(i), float32(i)})
+	}
+	sl := d.Slice(1, 3)
+	if sl.Size() != 2 {
+		t.Fatalf("slice size = %d, want 2", sl.Size())
+	}
+	if sl.At(0)[0] != 1 || sl.At(1)[0] != 2 {
+		t.Errorf("slice contents wrong: %v %v", sl.At(0), sl.At(1))
+	}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	d := NewDataset(4)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 17; i++ {
+		s := make(Series, 4)
+		for j := range s {
+			s[j] = float32(rng.NormFloat64())
+		}
+		d.Append(s)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != d.Size() || got.Length() != d.Length() {
+		t.Fatalf("round trip shape mismatch: %dx%d vs %dx%d", got.Size(), got.Length(), d.Size(), d.Length())
+	}
+	for i := 0; i < d.Size(); i++ {
+		for j := 0; j < d.Length(); j++ {
+			if got.At(i)[j] != d.At(i)[j] {
+				t.Fatalf("value [%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	d := NewDataset(8)
+	for i := 0; i < 9; i++ {
+		s := make(Series, 8)
+		for j := range s {
+			s[j] = float32(i*8 + j)
+		}
+		d.Append(s)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", got.Size())
+	}
+	if got.At(8)[7] != 71 {
+		t.Errorf("last value = %v, want 71", got.At(8)[7])
+	}
+}
+
+func TestReadFromBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(make([]byte, 20))
+	if _, err := ReadFrom(buf); err == nil {
+		t.Error("expected error on bad magic")
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	d := NewDataset(4)
+	d.Append(Series{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error on truncated input")
+	}
+}
+
+func TestZNormalizeAll(t *testing.T) {
+	d := NewDataset(16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		s := make(Series, 16)
+		for j := range s {
+			s[j] = float32(rng.Float64()*100 + 50)
+		}
+		d.Append(s)
+	}
+	d.ZNormalizeAll()
+	for i := 0; i < d.Size(); i++ {
+		if !almostEq(d.At(i).Mean(), 0, 1e-5) {
+			t.Errorf("series %d mean = %v", i, d.At(i).Mean())
+		}
+	}
+}
+
+func BenchmarkSquaredDist256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make(Series, 256)
+	c := make(Series, 256)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		c[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredDist(a, c)
+	}
+}
+
+func BenchmarkEarlyAbandon256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make(Series, 256)
+	c := make(Series, 256)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		c[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredDistEarlyAbandon(a, c, 10.0)
+	}
+}

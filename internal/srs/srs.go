@@ -1,0 +1,181 @@
+// Package srs implements SRS (Sun et al., PVLDB 2014): δ-ε-approximate
+// nearest neighbour search via a tiny index of Johnson–Lindenstrauss
+// projections.
+//
+// Every series is projected into m dimensions with a Gaussian matrix
+// (m ≈ 6–16, so the index is linear in n and small — SRS's headline
+// property). A query examines data points in increasing *projected*
+// distance order, computing true distances as it goes, and stops early
+// using the fact that for a Gaussian projection the ratio
+// (projected distance)² / (true distance)² follows a χ²_m distribution:
+// once the next projected distance π is so large that a point with true
+// distance ≤ bsf/(1+ε) would have projected below π with probability ≥ δ,
+// the current best is a δ-ε-approximate answer. A budget T caps examined
+// candidates (the original's "T = c·n" knob).
+package srs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/proj"
+)
+
+// Config controls the projection and search budget.
+type Config struct {
+	// M is the projected dimensionality (paper setup: 16 so all
+	// representations fit in memory).
+	M int
+	// MaxExaminedFraction caps examined candidates as a fraction of n
+	// (SRS's T parameter). 0 means examine-all allowed.
+	MaxExaminedFraction float64
+	// Seed drives the projection matrix.
+	Seed int64
+}
+
+// DefaultConfig matches the paper's SRS setup.
+func DefaultConfig() Config {
+	return Config{M: 16, MaxExaminedFraction: 0.25, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.M < 1 {
+		return fmt.Errorf("srs: M %d < 1", c.M)
+	}
+	if c.MaxExaminedFraction < 0 || c.MaxExaminedFraction > 1 {
+		return fmt.Errorf("srs: examined fraction %v out of [0,1]", c.MaxExaminedFraction)
+	}
+	return nil
+}
+
+// Index is an SRS index over a series store.
+type Index struct {
+	store     *storage.SeriesStore
+	cfg       Config
+	projector *proj.Gaussian
+	projected [][]float64
+}
+
+// Build constructs the SRS index.
+func Build(store *storage.SeriesStore, cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		store:     store,
+		cfg:       cfg,
+		projector: proj.NewGaussian(cfg.M, store.Length(), cfg.Seed),
+	}
+	idx.projected = make([][]float64, store.Size())
+	for i := 0; i < store.Size(); i++ {
+		idx.projected[i] = idx.projector.Project(store.Peek(i))
+	}
+	return idx, nil
+}
+
+// Name implements core.Method.
+func (idx *Index) Name() string { return "SRS" }
+
+// Size returns the number of indexed series.
+func (idx *Index) Size() int { return len(idx.projected) }
+
+// Footprint implements core.Method: m floats per series plus the matrix.
+func (idx *Index) Footprint() int64 {
+	return int64(len(idx.projected))*int64(idx.cfg.M)*8 + int64(idx.cfg.M)*int64(idx.store.Length())*8
+}
+
+// Search implements core.Method. SRS answers δ-ε-approximate queries; it
+// also accepts ModeNG (treating NProbe as the examined-candidate budget
+// with the termination test disabled) so the harness can sweep it, and
+// ModeExact/ModeEpsilon as the δ=1 special case (which degrades to
+// examining every candidate — SRS provides no deterministic guarantee
+// without inspecting everything, matching its classification in Table 1).
+func (idx *Index) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("srs: %w", err)
+	}
+	if len(q.Series) != idx.store.Length() {
+		return core.Result{}, fmt.Errorf("srs: query length %d != dataset length %d", len(q.Series), idx.store.Length())
+	}
+	before := idx.store.Accountant().Snapshot()
+	qp := idx.projector.Project(q.Series)
+
+	n := len(idx.projected)
+	type cand struct {
+		id int
+		pd float64 // projected distance
+	}
+	cands := make([]cand, n)
+	for i, p := range idx.projected {
+		cands[i] = cand{id: i, pd: math.Sqrt(proj.SquaredDist(qp, p))}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].pd < cands[b].pd })
+
+	budget := n
+	if idx.cfg.MaxExaminedFraction > 0 {
+		budget = int(idx.cfg.MaxExaminedFraction * float64(n))
+		if budget < q.K {
+			budget = q.K
+		}
+	}
+	delta := 1.0
+	eps := 0.0
+	useStop := false
+	switch q.Mode {
+	case core.ModeNG:
+		budget = q.NProbe
+		if budget > n {
+			budget = n
+		}
+	case core.ModeDeltaEpsilon:
+		delta, eps, useStop = q.Delta, q.Epsilon, true
+	case core.ModeEpsilon:
+		eps = q.Epsilon
+		budget = n // δ=1 forces a full examination
+	case core.ModeExact:
+		budget = n
+	}
+
+	kset := core.NewKNNSet(q.K)
+	res := core.Result{}
+	m := idx.cfg.M
+	for rank, c := range cands {
+		if rank >= budget && kset.Full() {
+			break
+		}
+		raw := idx.store.Read(c.id)
+		res.LeavesVisited++
+		lim := kset.Worst()
+		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		res.DistCalcs++
+		d := 0.0
+		if d2 > 0 {
+			d = math.Sqrt(d2)
+		}
+		kset.Offer(c.id, d)
+
+		if useStop && kset.Full() && rank+1 < len(cands) {
+			// Early-termination test: a point with true distance
+			// r = bsf/(1+ε) projects below the next projected distance π
+			// with probability F_χ²m(π²/r²·m̄) where the per-dimension
+			// normalisation cancels in the ratio. If that probability
+			// reaches δ and no such point appeared, stop.
+			r := kset.Worst() / (1 + eps)
+			if r <= 0 {
+				break
+			}
+			pi := cands[rank+1].pd
+			conf := proj.ChiSquaredCDF(pi*pi/(r*r), m)
+			if conf >= delta {
+				break
+			}
+		}
+	}
+	res.Neighbors = kset.Sorted()
+	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package srs
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+func buildTestIndex(t *testing.T, n, length int, cfg Config, seed int64) (*Index, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	idx, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+100)
+	return idx, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 16, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	for i, cfg := range []Config{
+		{M: 0, MaxExaminedFraction: 0.5},
+		{M: 8, MaxExaminedFraction: 1.5},
+		{M: 8, MaxExaminedFraction: -0.1},
+	} {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestTinyFootprint(t *testing.T) {
+	idx, data, _ := buildTestIndex(t, 1000, 128, DefaultConfig(), 1)
+	// SRS's selling point: index far smaller than the data (m << length).
+	if idx.Footprint() >= data.Bytes() {
+		t.Errorf("SRS footprint %d should be below raw size %d", idx.Footprint(), data.Bytes())
+	}
+}
+
+func TestDeltaEpsilonBoundHolds(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 1500, 64, DefaultConfig(), 3)
+	k := 5
+	eps := 1.0
+	gt := scan.GroundTruth(data, queries, k)
+	violations := 0
+	trials := 0
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := idx.Search(core.Query{Series: queries.At(qi), K: k, Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 + eps) * gt[qi][k-1].Dist
+		for _, nb := range res.Neighbors {
+			trials++
+			if nb.Dist > bound+1e-9 {
+				violations++
+			}
+		}
+	}
+	// δ=0.9 tolerates some violations; anything beyond ~30% of results
+	// signals a broken termination test rather than probabilistic slack.
+	if float64(violations) > 0.3*float64(trials) {
+		t.Errorf("%d/%d results violate the (1+ε) bound at δ=0.9", violations, trials)
+	}
+}
+
+func TestEarlyTerminationSavesWork(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 3000, 64, Config{M: 16, MaxExaminedFraction: 1, Seed: 1}, 5)
+	full, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeDeltaEpsilon, Epsilon: 2, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.LeavesVisited >= full.LeavesVisited {
+		t.Errorf("δ-ε search examined %d candidates, exact examined %d", early.LeavesVisited, full.LeavesVisited)
+	}
+}
+
+func TestNGModeBudget(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 800, 64, DefaultConfig(), 7)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 25 {
+		t.Errorf("examined %d candidates with budget 25", res.LeavesVisited)
+	}
+}
+
+func TestProjectionOrderingIsInformative(t *testing.T) {
+	// Examining candidates in projected order should reach high recall
+	// after a small fraction of the data.
+	idx, data, queries := buildTestIndex(t, 2000, 64, DefaultConfig(), 9)
+	gt := scan.GroundTruth(data, queries, 10)
+	var total float64
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueIDs := map[int]struct{}{}
+		for _, nb := range gt[qi] {
+			trueIDs[nb.ID] = struct{}{}
+		}
+		hits := 0
+		for _, nb := range res.Neighbors {
+			if _, ok := trueIDs[nb.ID]; ok {
+				hits++
+			}
+		}
+		total += float64(hits) / 10
+	}
+	if avg := total / float64(queries.Size()); avg < 0.5 {
+		t.Errorf("recall after examining 10%% of data = %v", avg)
+	}
+}
+
+func TestAccuracyDegradesWithLongerSeries(t *testing.T) {
+	// Fig 3h: fixed m loses more information for longer series. Compare
+	// recall at a fixed examination budget for length 32 vs 512.
+	recallFor := func(length int) float64 {
+		idx, data, queries := buildTestIndex(t, 1000, length, Config{M: 8, MaxExaminedFraction: 1, Seed: 1}, 11)
+		gt := scan.GroundTruth(data, queries, 10)
+		var total float64
+		for qi := 0; qi < queries.Size(); qi++ {
+			res, err := idx.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeNG, NProbe: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trueIDs := map[int]struct{}{}
+			for _, nb := range gt[qi] {
+				trueIDs[nb.ID] = struct{}{}
+			}
+			for _, nb := range res.Neighbors {
+				if _, ok := trueIDs[nb.ID]; ok {
+					total++
+				}
+			}
+		}
+		return total / float64(10*queries.Size())
+	}
+	short, long := recallFor(32), recallFor(512)
+	if long > short+0.05 {
+		t.Errorf("longer series should not improve SRS recall: len32=%v len512=%v", short, long)
+	}
+}
+
+func TestExactModeExaminesEverything(t *testing.T) {
+	idx, data, queries := buildTestIndex(t, 400, 32, DefaultConfig(), 13)
+	res, err := idx.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := scan.GroundTruth(data, queries, 1)
+	if math.Abs(res.Neighbors[0].Dist-gt[0][0].Dist) > 1e-9 {
+		t.Errorf("exact mode missed the true NN: %v vs %v", res.Neighbors[0].Dist, gt[0][0].Dist)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, 100, 32, DefaultConfig(), 15)
+	if _, err := idx.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	idx, _, _ := buildTestIndex(t, 50, 16, DefaultConfig(), 17)
+	if idx.Name() != "SRS" || idx.Size() != 50 {
+		t.Error("metadata wrong")
+	}
+}

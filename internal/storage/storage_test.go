@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func testDataset(n, length int) *series.Dataset {
+	d := series.NewDataset(length)
+	for i := 0; i < n; i++ {
+		s := make(series.Series, length)
+		for j := range s {
+			s[j] = float32(i*length + j)
+		}
+		d.Append(s)
+	}
+	return d
+}
+
+func TestAccountantSequentialVsRandom(t *testing.T) {
+	a := NewAccountant()
+	a.Record(0, 1, 100)  // first touch: seek
+	a.Record(1, 1, 100)  // contiguous: sequential
+	a.Record(2, 1, 100)  // contiguous: sequential
+	a.Record(10, 1, 100) // jump: seek
+	st := a.Snapshot()
+	if st.RandomSeeks != 2 {
+		t.Errorf("RandomSeeks = %d, want 2", st.RandomSeeks)
+	}
+	if st.SequentialPages != 2 {
+		t.Errorf("SequentialPages = %d, want 2", st.SequentialPages)
+	}
+	if st.BytesRead != 400 {
+		t.Errorf("BytesRead = %d, want 400", st.BytesRead)
+	}
+}
+
+func TestAccountantMultiPage(t *testing.T) {
+	a := NewAccountant()
+	a.Record(5, 4, 1000) // one seek + 3 sequential pages
+	st := a.Snapshot()
+	if st.RandomSeeks != 1 || st.SequentialPages != 3 {
+		t.Errorf("got %+v, want 1 seek 3 seq", st)
+	}
+	a.Record(9, 1, 10) // page 9 follows page 8: sequential
+	if st = a.Snapshot(); st.RandomSeeks != 1 {
+		t.Errorf("follow-on read should be sequential, got %+v", st)
+	}
+}
+
+func TestAccountantReset(t *testing.T) {
+	a := NewAccountant()
+	a.Record(3, 1, 10)
+	a.Reset()
+	st := a.Snapshot()
+	if st.RandomSeeks != 0 || st.BytesRead != 0 {
+		t.Errorf("reset failed: %+v", st)
+	}
+	a.Record(4, 1, 10) // after reset, first access is a seek again
+	if a.Snapshot().RandomSeeks != 1 {
+		t.Error("first access after reset should count as seek")
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{1, 2, 3}
+	b := Stats{10, 20, 30}
+	sum := a.Add(b)
+	if sum != (Stats{11, 22, 33}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if d := b.Sub(a); d != (Stats{9, 18, 27}) {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{SeekSeconds: 0.01, BytesPerSecond: 1000}
+	s := Stats{RandomSeeks: 2, BytesRead: 500}
+	if got := m.Seconds(s); got != 0.02+0.5 {
+		t.Errorf("Seconds = %v, want 0.52", got)
+	}
+	// Zero bandwidth must not divide by zero.
+	m2 := CostModel{SeekSeconds: 0.01}
+	if got := m2.Seconds(s); got != 0.02 {
+		t.Errorf("Seconds (no bandwidth) = %v", got)
+	}
+}
+
+func TestSeriesStoreRead(t *testing.T) {
+	d := testDataset(100, 16)    // 64 bytes per series
+	st := NewSeriesStore(d, 256) // 4 series per page
+	got := st.Read(5)
+	if got[0] != 5*16 {
+		t.Errorf("Read(5)[0] = %v, want %v", got[0], 5*16)
+	}
+	stats := st.Accountant().Snapshot()
+	if stats.RandomSeeks != 1 {
+		t.Errorf("one read should be one seek, got %+v", stats)
+	}
+	if stats.BytesRead != 64 {
+		t.Errorf("BytesRead = %d, want 64", stats.BytesRead)
+	}
+	// Reading the next series on the same page is NOT page-contiguous in our
+	// model (same page again => page != last+1 => seek). Reading a series on
+	// the following page is sequential.
+	st.Accountant().Reset()
+	st.Read(0) // page 0: seek
+	st.Read(4) // page 1: sequential
+	st.Read(8) // page 2: sequential
+	stats = st.Accountant().Snapshot()
+	if stats.RandomSeeks != 1 || stats.SequentialPages != 2 {
+		t.Errorf("page-sequential reads miscounted: %+v", stats)
+	}
+}
+
+func TestSeriesStoreReadRange(t *testing.T) {
+	d := testDataset(100, 16)
+	st := NewSeriesStore(d, 256) // 4 series/page
+	sl := st.ReadRange(4, 12)    // pages 1..2
+	if sl.Size() != 8 {
+		t.Fatalf("range size = %d, want 8", sl.Size())
+	}
+	stats := st.Accountant().Snapshot()
+	if stats.RandomSeeks != 1 || stats.SequentialPages != 1 {
+		t.Errorf("range read: %+v, want 1 seek + 1 seq page", stats)
+	}
+	if stats.BytesRead != 8*64 {
+		t.Errorf("BytesRead = %d, want %d", stats.BytesRead, 8*64)
+	}
+	// Empty range reads nothing.
+	st.Accountant().Reset()
+	if got := st.ReadRange(3, 3); got.Size() != 0 {
+		t.Error("empty range should have size 0")
+	}
+	if st.Accountant().Snapshot().BytesRead != 0 {
+		t.Error("empty range should not be charged")
+	}
+}
+
+func TestSeriesStorePeekUncharged(t *testing.T) {
+	d := testDataset(10, 16)
+	st := NewSeriesStore(d, 0)
+	_ = st.Peek(3)
+	if st.Accountant().Snapshot().BytesRead != 0 {
+		t.Error("Peek must not charge")
+	}
+}
+
+func TestSeriesStoreReadBatch(t *testing.T) {
+	d := testDataset(50, 16)
+	st := NewSeriesStore(d, 64) // 1 series per page
+	got := st.ReadBatch([]int{3, 4, 20})
+	if len(got) != 3 || got[2][0] != 20*16 {
+		t.Fatalf("batch contents wrong")
+	}
+	stats := st.Accountant().Snapshot()
+	// 3 -> seek, 4 -> sequential, 20 -> seek
+	if stats.RandomSeeks != 2 || stats.SequentialPages != 1 {
+		t.Errorf("batch stats: %+v", stats)
+	}
+}
+
+func TestSeriesStoreOutOfRangePanics(t *testing.T) {
+	d := testDataset(5, 8)
+	st := NewSeriesStore(d, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	st.Read(5)
+}
+
+func TestSeriesStoreSmallPage(t *testing.T) {
+	// Page smaller than a series: seriesPerPage clamps to 1.
+	d := testDataset(4, 100) // 400 bytes per series
+	st := NewSeriesStore(d, 64)
+	st.Read(0)
+	st.Read(1)
+	stats := st.Accountant().Snapshot()
+	if stats.RandomSeeks != 1 || stats.SequentialPages != 1 {
+		t.Errorf("clamped store stats: %+v", stats)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SeekSeconds <= 0 || m.BytesPerSecond <= 0 || m.PageBytes <= 0 {
+		t.Errorf("default cost model has non-positive fields: %+v", m)
+	}
+}
+
+func TestReadLeafCluster(t *testing.T) {
+	d := testDataset(100, 16) // 64 bytes/series
+	st := NewSeriesStore(d, 256)
+	got := st.ReadLeafCluster([]int{5, 80, 2, 40})
+	if len(got) != 4 || got[1][0] != 80*16 {
+		t.Fatalf("cluster contents wrong")
+	}
+	stats := st.Accountant().Snapshot()
+	// 4*64 = 256 bytes = 1 page: 1 seek, 0 sequential.
+	if stats.RandomSeeks != 1 || stats.SequentialPages != 0 {
+		t.Errorf("cluster stats: %+v", stats)
+	}
+	if stats.BytesRead != 256 {
+		t.Errorf("BytesRead = %d", stats.BytesRead)
+	}
+	// A larger cluster spans pages: 1 seek + extra sequential pages.
+	st.Accountant().Reset()
+	ids := make([]int, 20) // 20*64 = 1280 bytes = 5 pages
+	for i := range ids {
+		ids[i] = i * 3
+	}
+	st.ReadLeafCluster(ids)
+	stats = st.Accountant().Snapshot()
+	if stats.RandomSeeks != 1 || stats.SequentialPages != 4 {
+		t.Errorf("multi-page cluster stats: %+v", stats)
+	}
+	// Empty cluster charges nothing.
+	st.Accountant().Reset()
+	st.ReadLeafCluster(nil)
+	if st.Accountant().Snapshot().RandomSeeks != 0 {
+		t.Error("empty cluster should not charge")
+	}
+}

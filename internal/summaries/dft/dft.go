@@ -1,0 +1,157 @@
+// Package dft implements the Discrete Fourier Transform front-end used by
+// the (modified) VA+file: the paper replaced the original KLT decorrelation
+// step with DFT for efficiency, keeping the first few Fourier coefficients
+// as the reduced representation.
+//
+// The transform here is an iterative in-place radix-2 FFT; series whose
+// length is not a power of two are handled by plain O(n·l) projection onto
+// the first l Fourier basis vectors (the benchmark only needs a few
+// coefficients, so this stays cheap and exact).
+//
+// With the orthonormal scaling used here, the DFT is an isometry (Parseval):
+// the Euclidean distance between two coefficient vectors truncated to l
+// coefficients lower-bounds the distance between the original series.
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hydra/internal/series"
+)
+
+// Coefficients returns the first l real-packed orthonormal DFT coefficients
+// of s. Packing: [Re(X0), Re(X1), Im(X1), Re(X2), Im(X2), ...] — the real
+// DC term first, then real/imaginary pairs, truncated to exactly l values.
+// Each retained value is scaled so the full packed vector has the same
+// Euclidean norm as s (unitary DFT with the conjugate-symmetry doubling for
+// k in (0, n/2)).
+func Coefficients(s series.Series, l int) []float64 {
+	n := len(s)
+	if l <= 0 || l > n {
+		panic(fmt.Sprintf("dft: coefficient count %d out of range [1,%d]", l, n))
+	}
+	re, im := transform(s)
+	return pack(re, im, n, l)
+}
+
+// transform computes the (unnormalised) DFT of s, returning real and
+// imaginary parts. Power-of-two lengths use the FFT; others use direct
+// evaluation of the needed prefix. Direct evaluation computes all bins for
+// API simplicity (n is small in this benchmark).
+func transform(s series.Series) (re, im []float64) {
+	n := len(s)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	if n&(n-1) == 0 && n > 1 {
+		for i, v := range s {
+			re[i] = float64(v)
+		}
+		fft(re, im)
+		return re, im
+	}
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		w := -2 * math.Pi * float64(k) / float64(n)
+		for t := 0; t < n; t++ {
+			ang := w * float64(t)
+			v := float64(s[t])
+			sr += v * math.Cos(ang)
+			si += v * math.Sin(ang)
+		}
+		re[k] = sr
+		im[k] = si
+	}
+	return re, im
+}
+
+// fft performs an in-place iterative radix-2 Cooley–Tukey FFT over the
+// complex values (re, im). len(re) must be a power of two.
+func fft(re, im []float64) {
+	n := len(re)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := -2 * math.Pi / float64(size)
+		wr := math.Cos(ang)
+		wi := math.Sin(ang)
+		for start := 0; start < n; start += size {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				i := start + k
+				j := i + half
+				tr := cr*re[j] - ci*im[j]
+				ti := cr*im[j] + ci*re[j]
+				re[j] = re[i] - tr
+				im[j] = im[i] - ti
+				re[i] += tr
+				im[i] += ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+}
+
+// pack converts raw DFT bins into the real-packed orthonormal layout.
+func pack(re, im []float64, n, l int) []float64 {
+	out := make([]float64, 0, l)
+	inv := 1 / math.Sqrt(float64(n))
+	// DC term: appears once, weight 1/sqrt(n).
+	out = append(out, re[0]*inv)
+	scale := math.Sqrt(2.0 / float64(n))
+	for k := 1; len(out) < l; k++ {
+		if 2*k == n {
+			// Nyquist bin (even n): purely real, weight 1/sqrt(n).
+			out = append(out, re[k]*inv)
+			break
+		}
+		if k >= n {
+			break
+		}
+		out = append(out, re[k]*scale)
+		if len(out) < l {
+			out = append(out, im[k]*scale)
+		}
+	}
+	// Pad in the degenerate case where n has fewer packed values than l
+	// (cannot happen for l <= n, but keep the invariant explicit).
+	for len(out) < l {
+		out = append(out, 0)
+	}
+	return out[:l]
+}
+
+// LowerBoundDist returns the Euclidean distance between two packed
+// coefficient vectors. By Parseval's theorem this lower-bounds the distance
+// between the original series when both vectors were produced by
+// Coefficients with the same l.
+func LowerBoundDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dft: coefficient length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc)
+}
+
+// Energy returns the squared norm of a packed coefficient vector, i.e. the
+// fraction of the series energy captured by the retained coefficients.
+func Energy(coeffs []float64) float64 {
+	var acc float64
+	for _, c := range coeffs {
+		acc += c * c
+	}
+	return acc
+}

@@ -1,0 +1,153 @@
+package dft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		s := randSeries(rng, n)
+		re, im := transform(s)
+		// Direct O(n^2) evaluation for reference.
+		for k := 0; k < n; k++ {
+			var sr, si float64
+			for tt := 0; tt < n; tt++ {
+				ang := -2 * math.Pi * float64(k) * float64(tt) / float64(n)
+				sr += float64(s[tt]) * math.Cos(ang)
+				si += float64(s[tt]) * math.Sin(ang)
+			}
+			if math.Abs(re[k]-sr) > 1e-6*(1+math.Abs(sr)) || math.Abs(im[k]-si) > 1e-6*(1+math.Abs(si)) {
+				t.Fatalf("n=%d bin %d: fft (%v,%v) vs direct (%v,%v)", n, k, re[k], im[k], sr, si)
+			}
+		}
+	}
+}
+
+func TestCoefficientsParsevalFull(t *testing.T) {
+	// With l = n the packed coefficients preserve the full energy, so the
+	// lower bound equals the true distance.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 16, 64, 100, 37} {
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		ca := Coefficients(a, n)
+		cb := Coefficients(b, n)
+		lb := LowerBoundDist(ca, cb)
+		d := series.Dist(a, b)
+		if math.Abs(lb-d) > 1e-4*(1+d) {
+			t.Errorf("n=%d: full-resolution DFT distance %v != true distance %v", n, lb, d)
+		}
+	}
+}
+
+func TestCoefficientsEnergyPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 64, 50} {
+		s := randSeries(rng, n)
+		var norm float64
+		for _, v := range s {
+			norm += float64(v) * float64(v)
+		}
+		full := Energy(Coefficients(s, n))
+		if math.Abs(full-norm) > 1e-4*(1+norm) {
+			t.Errorf("n=%d: packed energy %v != series energy %v", n, full, norm)
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	// Truncated coefficients must lower-bound the true distance.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(250)
+		l := 1 + rng.Intn(min(16, n))
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		lb := LowerBoundDist(Coefficients(a, l), Coefficients(b, l))
+		d := series.Dist(a, b)
+		if lb > d+1e-6 {
+			t.Fatalf("trial %d (n=%d l=%d): DFT bound %v exceeds %v", trial, n, l, lb, d)
+		}
+	}
+}
+
+func TestLowerBoundMonotoneInL(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randSeries(rng, 128)
+	b := randSeries(rng, 128)
+	prev := 0.0
+	for _, l := range []int{2, 4, 8, 16, 32, 64, 128} {
+		lb := LowerBoundDist(Coefficients(a, l), Coefficients(b, l))
+		if lb+1e-9 < prev {
+			t.Fatalf("lower bound decreased at l=%d: %v < %v", l, lb, prev)
+		}
+		prev = lb
+	}
+}
+
+func TestSmoothSeriesEnergyCompaction(t *testing.T) {
+	// For a low-frequency signal, the first few coefficients must capture
+	// almost all energy — the reason DFT summarisation works.
+	n := 128
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(math.Sin(2*math.Pi*3*float64(i)/float64(n)) + 0.5*math.Cos(2*math.Pi*2*float64(i)/float64(n)))
+	}
+	var norm float64
+	for _, v := range s {
+		norm += float64(v) * float64(v)
+	}
+	captured := Energy(Coefficients(s, 9)) // DC + 4 complex pairs
+	if captured < 0.99*norm {
+		t.Errorf("9 coefficients capture %v of %v energy", captured, norm)
+	}
+}
+
+func TestCoefficientsDCValue(t *testing.T) {
+	s := series.Series{2, 2, 2, 2}
+	c := Coefficients(s, 1)
+	// DC term = sum/sqrt(n) = 8/2 = 4.
+	if math.Abs(c[0]-4) > 1e-9 {
+		t.Errorf("DC coefficient = %v, want 4", c[0])
+	}
+}
+
+func TestCoefficientsInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Coefficients(series.Series{1, 2}, 3)
+}
+
+func TestLowerBoundMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LowerBoundDist([]float64{1}, []float64{1, 2})
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSeries(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coefficients(s, 16)
+	}
+}

@@ -1,0 +1,300 @@
+// Package eapca implements the Extended Adaptive Piecewise Constant
+// Approximation (Wang et al., "A Data-adaptive and Dynamic Segmentation
+// Index for Whole Matching on Time Series", the DSTree paper).
+//
+// EAPCA represents each segment of a series with both its mean and its
+// standard deviation. For two series x, y restricted to a segment of width
+// w, expanding the squared Euclidean distance and applying Cauchy–Schwarz
+// to the centred cross term gives
+//
+//	w·((μx−μy)² + (σx−σy)²)  ≤  Σ (x_j − y_j)²  ≤  w·((μx−μy)² + (σx+σy)²)
+//
+// which yields per-segment lower and upper bounding distances. A DSTree
+// node keeps, per segment, the [min,max] range of the means and standard
+// deviations of the series it contains (the node synopsis); the same
+// algebra then bounds the distance between a query and *every* series in
+// the node, which is what the index search uses for pruning.
+package eapca
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/series"
+)
+
+// Stat is the EAPCA representation of one segment: mean and standard
+// deviation of the series values inside the segment.
+type Stat struct {
+	Mean float64
+	Std  float64
+}
+
+// Prefix supports O(1) mean/stdev queries over any sub-range of a series,
+// via cumulative sums. DSTree needs this to re-segment series cheaply when
+// a node splits vertically.
+type Prefix struct {
+	sum   []float64 // sum[i] = Σ s[0..i)
+	sumSq []float64
+}
+
+// NewPrefix builds prefix sums for s.
+func NewPrefix(s series.Series) Prefix {
+	n := len(s)
+	p := Prefix{sum: make([]float64, n+1), sumSq: make([]float64, n+1)}
+	for i, v := range s {
+		f := float64(v)
+		p.sum[i+1] = p.sum[i] + f
+		p.sumSq[i+1] = p.sumSq[i] + f*f
+	}
+	return p
+}
+
+// Range returns the Stat of elements [lo, hi).
+func (p Prefix) Range(lo, hi int) Stat {
+	if lo < 0 || hi > len(p.sum)-1 || lo >= hi {
+		panic(fmt.Sprintf("eapca: invalid range [%d,%d)", lo, hi))
+	}
+	w := float64(hi - lo)
+	mean := (p.sum[hi] - p.sum[lo]) / w
+	msq := (p.sumSq[hi] - p.sumSq[lo]) / w
+	variance := msq - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise
+	}
+	return Stat{Mean: mean, Std: math.Sqrt(variance)}
+}
+
+// Segmentation is a sorted list of segment end indices; a series of length
+// n with segmentation [e0, e1, ..., n] has segments [0,e0), [e0,e1), ….
+// The final entry must equal the series length.
+type Segmentation []int
+
+// Uniform returns an l-segment segmentation of a length-n series with
+// near-equal widths.
+func Uniform(n, l int) Segmentation {
+	if l <= 0 || l > n {
+		panic(fmt.Sprintf("eapca: segment count %d out of range [1,%d]", l, n))
+	}
+	seg := make(Segmentation, l)
+	for i := 0; i < l; i++ {
+		seg[i] = (i + 1) * n / l
+	}
+	return seg
+}
+
+// Validate checks structural invariants: strictly increasing, ending at n.
+func (g Segmentation) Validate(n int) error {
+	if len(g) == 0 {
+		return fmt.Errorf("eapca: empty segmentation")
+	}
+	prev := 0
+	for i, e := range g {
+		if e <= prev {
+			return fmt.Errorf("eapca: segment %d end %d not after %d", i, e, prev)
+		}
+		prev = e
+	}
+	if prev != n {
+		return fmt.Errorf("eapca: segmentation ends at %d, series length %d", prev, n)
+	}
+	return nil
+}
+
+// Bounds returns the [lo,hi) range of segment i.
+func (g Segmentation) Bounds(i int) (lo, hi int) {
+	if i > 0 {
+		lo = g[i-1]
+	}
+	return lo, g[i]
+}
+
+// Widths returns the width of every segment.
+func (g Segmentation) Widths() []int {
+	out := make([]int, len(g))
+	prev := 0
+	for i, e := range g {
+		out[i] = e - prev
+		prev = e
+	}
+	return out
+}
+
+// SplitSegment returns a new segmentation with segment i split at the
+// midpoint (vertical split in DSTree terms). Segments of width 1 cannot be
+// split; callers must check CanSplit first.
+func (g Segmentation) SplitSegment(i int) Segmentation {
+	lo, hi := g.Bounds(i)
+	if hi-lo < 2 {
+		panic(fmt.Sprintf("eapca: cannot split width-%d segment", hi-lo))
+	}
+	mid := (lo + hi) / 2
+	out := make(Segmentation, 0, len(g)+1)
+	out = append(out, g[:i]...)
+	out = append(out, mid)
+	out = append(out, g[i:]...)
+	return out
+}
+
+// CanSplit reports whether segment i has width >= 2.
+func (g Segmentation) CanSplit(i int) bool {
+	lo, hi := g.Bounds(i)
+	return hi-lo >= 2
+}
+
+// Compute returns the EAPCA stats of s under segmentation g.
+func Compute(s series.Series, g Segmentation) []Stat {
+	p := NewPrefix(s)
+	return ComputeFromPrefix(p, g)
+}
+
+// ComputeFromPrefix evaluates the stats from precomputed prefix sums.
+func ComputeFromPrefix(p Prefix, g Segmentation) []Stat {
+	out := make([]Stat, len(g))
+	prev := 0
+	for i, e := range g {
+		out[i] = p.Range(prev, e)
+		prev = e
+	}
+	return out
+}
+
+// LowerBound2 returns the squared EAPCA lower bound between two series
+// given their per-segment stats under the shared segmentation g.
+func LowerBound2(a, b []Stat, g Segmentation) float64 {
+	var acc float64
+	prev := 0
+	for i, e := range g {
+		w := float64(e - prev)
+		dm := a[i].Mean - b[i].Mean
+		ds := a[i].Std - b[i].Std
+		acc += w * (dm*dm + ds*ds)
+		prev = e
+	}
+	return acc
+}
+
+// UpperBound2 returns the squared EAPCA upper bound between two series.
+func UpperBound2(a, b []Stat, g Segmentation) float64 {
+	var acc float64
+	prev := 0
+	for i, e := range g {
+		w := float64(e - prev)
+		dm := a[i].Mean - b[i].Mean
+		ss := a[i].Std + b[i].Std
+		acc += w * (dm*dm + ss*ss)
+		prev = e
+	}
+	return acc
+}
+
+// Synopsis is a DSTree node summary: per-segment ranges covering the means
+// and standard deviations of every series routed into the node.
+type Synopsis struct {
+	MinMean, MaxMean []float64
+	MinStd, MaxStd   []float64
+	Count            int
+}
+
+// NewSynopsis returns an empty synopsis for l segments.
+func NewSynopsis(l int) *Synopsis {
+	z := &Synopsis{
+		MinMean: make([]float64, l),
+		MaxMean: make([]float64, l),
+		MinStd:  make([]float64, l),
+		MaxStd:  make([]float64, l),
+	}
+	for i := 0; i < l; i++ {
+		z.MinMean[i] = math.Inf(1)
+		z.MaxMean[i] = math.Inf(-1)
+		z.MinStd[i] = math.Inf(1)
+		z.MaxStd[i] = math.Inf(-1)
+	}
+	return z
+}
+
+// Update widens the synopsis to include the given series stats.
+func (z *Synopsis) Update(stats []Stat) {
+	if len(stats) != len(z.MinMean) {
+		panic(fmt.Sprintf("eapca: stats length %d != synopsis length %d", len(stats), len(z.MinMean)))
+	}
+	for i, st := range stats {
+		if st.Mean < z.MinMean[i] {
+			z.MinMean[i] = st.Mean
+		}
+		if st.Mean > z.MaxMean[i] {
+			z.MaxMean[i] = st.Mean
+		}
+		if st.Std < z.MinStd[i] {
+			z.MinStd[i] = st.Std
+		}
+		if st.Std > z.MaxStd[i] {
+			z.MaxStd[i] = st.Std
+		}
+	}
+	z.Count++
+}
+
+// gap returns the distance from v to the interval [lo, hi] (0 if inside).
+func gap(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// LowerBound2 returns a squared lower bound on the distance between the
+// query (with stats qs) and any series contained in the synopsis.
+func (z *Synopsis) LowerBound2(qs []Stat, g Segmentation) float64 {
+	if z.Count == 0 {
+		return math.Inf(1)
+	}
+	var acc float64
+	prev := 0
+	for i, e := range g {
+		w := float64(e - prev)
+		gm := gap(qs[i].Mean, z.MinMean[i], z.MaxMean[i])
+		gs := gap(qs[i].Std, z.MinStd[i], z.MaxStd[i])
+		acc += w * (gm*gm + gs*gs)
+		prev = e
+	}
+	return acc
+}
+
+// UpperBound2 returns a squared upper bound on the distance between the
+// query and every series in the synopsis (i.e. an upper bound on the
+// farthest member).
+func (z *Synopsis) UpperBound2(qs []Stat, g Segmentation) float64 {
+	if z.Count == 0 {
+		return 0
+	}
+	var acc float64
+	prev := 0
+	for i, e := range g {
+		w := float64(e - prev)
+		gm := math.Max(math.Abs(qs[i].Mean-z.MinMean[i]), math.Abs(qs[i].Mean-z.MaxMean[i]))
+		ss := qs[i].Std + z.MaxStd[i]
+		acc += w * (gm*gm + ss*ss)
+		prev = e
+	}
+	return acc
+}
+
+// QoS measures the looseness of the synopsis: the volume of the per-segment
+// ranges, weighted by segment width. DSTree's split policy picks the split
+// that minimises the expected QoS of the children — smaller is tighter.
+func (z *Synopsis) QoS(g Segmentation) float64 {
+	var acc float64
+	prev := 0
+	for i, e := range g {
+		w := float64(e - prev)
+		dm := z.MaxMean[i] - z.MinMean[i]
+		ds := z.MaxStd[i] - z.MinStd[i]
+		acc += w * (dm*dm + ds*ds)
+		prev = e
+	}
+	return acc
+}

@@ -1,0 +1,220 @@
+package eapca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64() * 2)
+	}
+	return s
+}
+
+func TestPrefixRange(t *testing.T) {
+	s := series.Series{1, 2, 3, 4, 5, 6}
+	p := NewPrefix(s)
+	st := p.Range(1, 4) // values 2,3,4
+	if math.Abs(st.Mean-3) > 1e-9 {
+		t.Errorf("Mean = %v, want 3", st.Mean)
+	}
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(st.Std-want) > 1e-9 {
+		t.Errorf("Std = %v, want %v", st.Std, want)
+	}
+}
+
+func TestPrefixRangeInvalidPanics(t *testing.T) {
+	p := NewPrefix(series.Series{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Range(1, 1)
+}
+
+func TestUniformSegmentation(t *testing.T) {
+	g := Uniform(10, 3)
+	if err := g.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if g[len(g)-1] != 10 {
+		t.Errorf("last bound = %d", g[len(g)-1])
+	}
+	total := 0
+	for _, w := range g.Widths() {
+		total += w
+	}
+	if total != 10 {
+		t.Errorf("widths sum to %d", total)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	if err := (Segmentation{}).Validate(4); err == nil {
+		t.Error("empty segmentation should fail")
+	}
+	if err := (Segmentation{2, 2, 4}).Validate(4); err == nil {
+		t.Error("non-increasing segmentation should fail")
+	}
+	if err := (Segmentation{2, 3}).Validate(4); err == nil {
+		t.Error("short segmentation should fail")
+	}
+}
+
+func TestSplitSegment(t *testing.T) {
+	g := Segmentation{4, 8}
+	g2 := g.SplitSegment(0)
+	if err := g2.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(g2) != 3 || g2[0] != 2 || g2[1] != 4 {
+		t.Errorf("split result: %v", g2)
+	}
+	g3 := g.SplitSegment(1)
+	if g3[1] != 6 {
+		t.Errorf("split of second segment: %v", g3)
+	}
+	if !g.CanSplit(0) {
+		t.Error("width-4 segment should be splittable")
+	}
+	if (Segmentation{1, 2}).CanSplit(0) {
+		t.Error("width-1 segment must not be splittable")
+	}
+}
+
+func TestComputeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSeries(rng, 32)
+	g := Uniform(32, 4)
+	stats := Compute(s, g)
+	for i := range stats {
+		lo, hi := g.Bounds(i)
+		sub := s[lo:hi]
+		if math.Abs(stats[i].Mean-sub.Mean()) > 1e-6 {
+			t.Errorf("segment %d mean %v vs %v", i, stats[i].Mean, sub.Mean())
+		}
+		if math.Abs(stats[i].Std-sub.Stdev()) > 1e-6 {
+			t.Errorf("segment %d std %v vs %v", i, stats[i].Std, sub.Stdev())
+		}
+	}
+}
+
+func TestPairBoundsSandwichTrueDistance(t *testing.T) {
+	// Core invariant: LB² <= dist² <= UB² for random series and random
+	// segmentations.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 8 + rng.Intn(120)
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		l := 1 + rng.Intn(min(8, n))
+		g := Uniform(n, l)
+		sa := Compute(a, g)
+		sb := Compute(b, g)
+		d2 := series.SquaredDist(a, b)
+		lb := LowerBound2(sa, sb, g)
+		ub := UpperBound2(sa, sb, g)
+		if lb > d2+1e-6*(1+d2) {
+			t.Fatalf("trial %d: LB² %v > dist² %v", trial, lb, d2)
+		}
+		if ub < d2-1e-6*(1+d2) {
+			t.Fatalf("trial %d: UB² %v < dist² %v", trial, ub, d2)
+		}
+	}
+}
+
+func TestSynopsisLowerBoundCoversMembers(t *testing.T) {
+	// For every member series, synopsis LB(query) <= dist(query, member).
+	rng := rand.New(rand.NewSource(19))
+	n := 64
+	g := Uniform(n, 5)
+	members := make([]series.Series, 40)
+	z := NewSynopsis(len(g))
+	for i := range members {
+		members[i] = randSeries(rng, n)
+		z.Update(Compute(members[i], g))
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randSeries(rng, n)
+		qs := Compute(q, g)
+		lb2 := z.LowerBound2(qs, g)
+		ub2 := z.UpperBound2(qs, g)
+		for mi, m := range members {
+			d2 := series.SquaredDist(q, m)
+			if lb2 > d2+1e-6*(1+d2) {
+				t.Fatalf("trial %d member %d: node LB² %v > dist² %v", trial, mi, lb2, d2)
+			}
+			if ub2 < d2-1e-6*(1+d2) {
+				t.Fatalf("trial %d member %d: node UB² %v < dist² %v", trial, mi, ub2, d2)
+			}
+		}
+	}
+}
+
+func TestSynopsisEmpty(t *testing.T) {
+	z := NewSynopsis(2)
+	g := Segmentation{4, 8}
+	qs := []Stat{{}, {}}
+	if !math.IsInf(z.LowerBound2(qs, g), 1) {
+		t.Error("empty synopsis LB should be +Inf")
+	}
+	if z.UpperBound2(qs, g) != 0 {
+		t.Error("empty synopsis UB should be 0")
+	}
+}
+
+func TestSynopsisUpdateMismatchPanics(t *testing.T) {
+	z := NewSynopsis(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	z.Update([]Stat{{}})
+}
+
+func TestQoSShrinksWithTighterNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 32
+	g := Uniform(n, 4)
+	wide := NewSynopsis(4)
+	tight := NewSynopsis(4)
+	base := randSeries(rng, n)
+	for i := 0; i < 20; i++ {
+		wide.Update(Compute(randSeries(rng, n), g))
+		// Tight node: small perturbations of one series.
+		s := base.Clone()
+		for j := range s {
+			s[j] += float32(rng.NormFloat64() * 0.01)
+		}
+		tight.Update(Compute(s, g))
+	}
+	if tight.QoS(g) >= wide.QoS(g) {
+		t.Errorf("tight QoS %v should be below wide QoS %v", tight.QoS(g), wide.QoS(g))
+	}
+}
+
+func TestRefinedSegmentationTightensLowerBound(t *testing.T) {
+	// Splitting a segment can only give equal or tighter pairwise LB (more
+	// information). Verify empirically over random pairs.
+	rng := rand.New(rand.NewSource(31))
+	n := 64
+	coarse := Uniform(n, 4)
+	fine := coarse.SplitSegment(0).SplitSegment(2)
+	for trial := 0; trial < 100; trial++ {
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		lbCoarse := LowerBound2(Compute(a, coarse), Compute(b, coarse), coarse)
+		lbFine := LowerBound2(Compute(a, fine), Compute(b, fine), fine)
+		if lbFine+1e-9 < lbCoarse-1e-6*(1+lbCoarse) {
+			t.Fatalf("trial %d: refined LB %v looser than coarse %v", trial, lbFine, lbCoarse)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package paa implements Piecewise Aggregate Approximation (Keogh et al.),
+// the segmentation front-end of SAX: a series of length n is divided into l
+// equal segments, each represented by its mean value.
+//
+// The PAA lower-bounding distance guarantees
+// LowerBoundDist(paa(a), paa(b)) <= Dist(a, b), the property every
+// filter-and-refine index relies on for correctness.
+package paa
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/series"
+)
+
+// Transform computes the l-segment PAA representation of s. When l does not
+// divide len(s), segment boundaries are distributed as evenly as possible
+// (some segments one element longer), so any l in [1, len(s)] is valid.
+func Transform(s series.Series, l int) []float64 {
+	if l <= 0 || l > len(s) {
+		panic(fmt.Sprintf("paa: segment count %d out of range [1,%d]", l, len(s)))
+	}
+	out := make([]float64, l)
+	n := len(s)
+	for seg := 0; seg < l; seg++ {
+		lo := seg * n / l
+		hi := (seg + 1) * n / l
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += float64(s[i])
+		}
+		out[seg] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// SegmentBounds returns the [lo,hi) element range of segment seg for a
+// series of length n split into l segments, matching Transform.
+func SegmentBounds(n, l, seg int) (lo, hi int) {
+	return seg * n / l, (seg + 1) * n / l
+}
+
+// LowerBoundDist returns a lower bound on the Euclidean distance between
+// the original series given their PAA representations, for series of
+// length n: sqrt(sum_i w_i * (a_i-b_i)^2) where w_i is the segment width.
+func LowerBoundDist(a, b []float64, n int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("paa: length mismatch %d vs %d", len(a), len(b)))
+	}
+	l := len(a)
+	var acc float64
+	for seg := 0; seg < l; seg++ {
+		lo, hi := SegmentBounds(n, l, seg)
+		d := a[seg] - b[seg]
+		acc += float64(hi-lo) * d * d
+	}
+	return math.Sqrt(acc)
+}
+
+// Reconstruct expands a PAA representation back to a length-n series
+// (each segment filled with its mean). Useful for visual checks and for
+// measuring the information loss of a given l.
+func Reconstruct(p []float64, n int) series.Series {
+	l := len(p)
+	out := make(series.Series, n)
+	for seg := 0; seg < l; seg++ {
+		lo, hi := SegmentBounds(n, l, seg)
+		for i := lo; i < hi; i++ {
+			out[i] = float32(p[seg])
+		}
+	}
+	return out
+}

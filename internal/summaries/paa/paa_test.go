@@ -1,0 +1,159 @@
+package paa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/series"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestTransformBasic(t *testing.T) {
+	s := series.Series{1, 1, 3, 3, 5, 5, 7, 7}
+	p := Transform(s, 4)
+	want := []float64{1, 3, 5, 7}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestTransformUneven(t *testing.T) {
+	// 7 elements into 3 segments: bounds 0-2,2-4,4-7.
+	s := series.Series{1, 1, 2, 2, 3, 3, 3}
+	p := Transform(s, 3)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestTransformFullResolution(t *testing.T) {
+	s := series.Series{4, 2, 9}
+	p := Transform(s, 3)
+	for i := range s {
+		if math.Abs(p[i]-float64(s[i])) > 1e-9 {
+			t.Errorf("l=n should be identity, p[%d]=%v", i, p[i])
+		}
+	}
+}
+
+func TestTransformInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Transform(series.Series{1, 2}, 3)
+}
+
+func TestSegmentBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{5, 8, 17, 256} {
+		for _, l := range []int{1, 3, 4, 5} {
+			if l > n {
+				continue
+			}
+			prev := 0
+			for seg := 0; seg < l; seg++ {
+				lo, hi := SegmentBounds(n, l, seg)
+				if lo != prev {
+					t.Fatalf("n=%d l=%d seg=%d: gap/overlap lo=%d prev=%d", n, l, seg, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d l=%d seg=%d: empty segment", n, l, seg)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d l=%d: segments cover %d", n, l, prev)
+			}
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	// Core invariant: PAA lower bound never exceeds the true distance.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(250)
+		l := 1 + rng.Intn(min(16, n))
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		lb := LowerBoundDist(Transform(a, l), Transform(b, l), n)
+		d := series.Dist(a, b)
+		if lb > d+1e-6 {
+			t.Fatalf("trial %d (n=%d l=%d): lower bound %v exceeds distance %v", trial, n, l, lb, d)
+		}
+	}
+}
+
+func TestLowerBoundQuick(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		half := len(raw) / 2
+		a := series.Series(raw[:half])
+		b := series.Series(raw[half : 2*half])
+		l := max(1, half/4)
+		lb := LowerBoundDist(Transform(a, l), Transform(b, l), half)
+		return lb <= series.Dist(a, b)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundTightAtFullResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSeries(rng, 32)
+	b := randSeries(rng, 32)
+	lb := LowerBoundDist(Transform(a, 32), Transform(b, 32), 32)
+	d := series.Dist(a, b)
+	if math.Abs(lb-d) > 1e-5 {
+		t.Errorf("full-resolution lower bound %v should equal distance %v", lb, d)
+	}
+}
+
+func TestLowerBoundMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LowerBoundDist([]float64{1}, []float64{1, 2}, 8)
+}
+
+func TestReconstruct(t *testing.T) {
+	p := []float64{2, 4}
+	s := Reconstruct(p, 6)
+	want := series.Series{2, 2, 2, 4, 4, 4}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestReconstructionErrorDecreasesWithSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := randSeries(rng, 128)
+	errAt := func(l int) float64 {
+		return series.Dist(s, Reconstruct(Transform(s, l), len(s)))
+	}
+	if !(errAt(4) >= errAt(16) && errAt(16) >= errAt(64)) {
+		t.Errorf("PAA error not monotone: %v %v %v", errAt(4), errAt(16), errAt(64))
+	}
+}

@@ -1,0 +1,167 @@
+// Package proj implements random projections: the Johnson–Lindenstrauss
+// style Gaussian projection used by SRS to map series into a small
+// m-dimensional space, and single-line 2-stable projections used by QALSH
+// as hash functions.
+//
+// For a Gaussian random matrix A (entries N(0,1)), the projected squared
+// distance ||A(x−y)||²/m concentrates around ||x−y||²; SRS exploits the
+// exact chi-squared distribution of the ratio for its early-termination
+// test.
+package proj
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hydra/internal/series"
+)
+
+// Gaussian is an m×n random projection matrix with N(0,1) entries.
+type Gaussian struct {
+	rows [][]float64 // m rows of length n
+}
+
+// NewGaussian builds an m×n Gaussian projection with the given seed.
+func NewGaussian(m, n int, seed int64) *Gaussian {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("proj: invalid projection size %dx%d", m, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, m)
+	for i := range rows {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	return &Gaussian{rows: rows}
+}
+
+// Dims returns (m, n): output and input dimensionality.
+func (g *Gaussian) Dims() (m, n int) { return len(g.rows), len(g.rows[0]) }
+
+// Project maps a series into the m-dimensional projected space.
+func (g *Gaussian) Project(s series.Series) []float64 {
+	if len(s) != len(g.rows[0]) {
+		panic(fmt.Sprintf("proj: series length %d != projection input %d", len(s), len(g.rows[0])))
+	}
+	out := make([]float64, len(g.rows))
+	for i, row := range g.rows {
+		var acc float64
+		for j, v := range s {
+			acc += row[j] * float64(v)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// SquaredDist returns the squared Euclidean distance between two projected
+// vectors.
+func SquaredDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("proj: projected length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}
+
+// ChiSquaredCDF returns P(X <= x) for X ~ chi-squared with k degrees of
+// freedom, evaluated via the regularised lower incomplete gamma function.
+// SRS uses this to convert a projected distance into a confidence that the
+// true distance is below a threshold.
+func ChiSquaredCDF(x float64, k int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(float64(k)/2, x/2)
+}
+
+// regularizedGammaP computes P(a,x) = γ(a,x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise (Numerical
+// Recipes style, stdlib-only).
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		panic("proj: invalid arguments to regularizedGammaP")
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1.0 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x), then P = 1-Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// Line is a single 2-stable (Gaussian) projection a·x used by QALSH: the
+// projection of the data onto one random direction. Points close in the
+// original space project to nearby values with high probability.
+type Line struct {
+	dir []float64
+}
+
+// NewLine builds a random projection line for dimension n.
+func NewLine(n int, seed int64) *Line {
+	rng := rand.New(rand.NewSource(seed))
+	dir := make([]float64, n)
+	for i := range dir {
+		dir[i] = rng.NormFloat64()
+	}
+	return &Line{dir: dir}
+}
+
+// Value projects s onto the line.
+func (l *Line) Value(s series.Series) float64 {
+	if len(s) != len(l.dir) {
+		panic(fmt.Sprintf("proj: series length %d != line dimension %d", len(s), len(l.dir)))
+	}
+	var acc float64
+	for i, v := range s {
+		acc += l.dir[i] * float64(v)
+	}
+	return acc
+}

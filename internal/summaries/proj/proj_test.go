@@ -1,0 +1,184 @@
+package proj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestGaussianDims(t *testing.T) {
+	g := NewGaussian(8, 64, 1)
+	m, n := g.Dims()
+	if m != 8 || n != 64 {
+		t.Errorf("Dims = %d,%d", m, n)
+	}
+}
+
+func TestGaussianDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSeries(rng, 32)
+	a := NewGaussian(4, 32, 7).Project(s)
+	b := NewGaussian(4, 32, 7).Project(s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give identical projection")
+		}
+	}
+}
+
+func TestProjectionPreservesDistancesOnAverage(t *testing.T) {
+	// E[||A(x-y)||^2 / m] = ||x-y||^2. Check the mean ratio over many pairs
+	// is close to 1 with m = 32.
+	rng := rand.New(rand.NewSource(5))
+	m, n := 32, 128
+	g := NewGaussian(m, n, 11)
+	var ratioSum float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		pd := SquaredDist(g.Project(a), g.Project(b)) / float64(m)
+		td := series.SquaredDist(a, b)
+		ratioSum += pd / td
+	}
+	mean := ratioSum / trials
+	if math.Abs(mean-1) > 0.15 {
+		t.Errorf("mean projected/true ratio = %v, want ~1", mean)
+	}
+}
+
+func TestProjectionLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := NewGaussian(4, 16, 3)
+	a := randSeries(rng, 16)
+	b := randSeries(rng, 16)
+	sum := make(series.Series, 16)
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	pa, pb, ps := g.Project(a), g.Project(b), g.Project(sum)
+	for i := range ps {
+		if math.Abs(ps[i]-(pa[i]+pb[i])) > 1e-4 {
+			t.Fatalf("projection not linear at %d", i)
+		}
+	}
+}
+
+func TestProjectMismatchPanics(t *testing.T) {
+	g := NewGaussian(2, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Project(make(series.Series, 9))
+}
+
+func TestChiSquaredCDFKnownValues(t *testing.T) {
+	// chi2 with k=2 is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquaredCDF(x, 2); math.Abs(got-want) > 1e-10 {
+			t.Errorf("CDF(%v; 2) = %v, want %v", x, got, want)
+		}
+	}
+	// Median of chi2 with k=1 is ~0.4549.
+	if got := ChiSquaredCDF(0.4549364231195724, 1); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("CDF(median; 1) = %v, want 0.5", got)
+	}
+	if ChiSquaredCDF(0, 4) != 0 {
+		t.Error("CDF(0) should be 0")
+	}
+	if got := ChiSquaredCDF(1e6, 4); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(huge) = %v, want 1", got)
+	}
+}
+
+func TestChiSquaredCDFMonotone(t *testing.T) {
+	for _, k := range []int{1, 2, 8, 16} {
+		prev := -1.0
+		for x := 0.1; x < 40; x += 0.5 {
+			v := ChiSquaredCDF(x, k)
+			if v < prev {
+				t.Fatalf("k=%d: CDF not monotone at x=%v", k, x)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("k=%d: CDF out of [0,1] at x=%v: %v", k, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestChiSquaredMatchesEmpirical(t *testing.T) {
+	// Empirical check: the CDF of sum of k squared N(0,1) matches.
+	rng := rand.New(rand.NewSource(21))
+	k := 8
+	const samples = 5000
+	x := 7.0
+	count := 0
+	for i := 0; i < samples; i++ {
+		var sum float64
+		for j := 0; j < k; j++ {
+			v := rng.NormFloat64()
+			sum += v * v
+		}
+		if sum <= x {
+			count++
+		}
+	}
+	empirical := float64(count) / samples
+	analytic := ChiSquaredCDF(x, k)
+	if math.Abs(empirical-analytic) > 0.03 {
+		t.Errorf("empirical %v vs analytic %v", empirical, analytic)
+	}
+}
+
+func TestLineProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLine(16, 4)
+	a := randSeries(rng, 16)
+	// Line is linear and deterministic.
+	v1 := l.Value(a)
+	v2 := NewLine(16, 4).Value(a)
+	if v1 != v2 {
+		t.Error("line projection not deterministic")
+	}
+	scaled := a.Clone()
+	for i := range scaled {
+		scaled[i] *= 2
+	}
+	if math.Abs(l.Value(scaled)-2*v1) > 1e-4*(1+math.Abs(v1)) {
+		t.Error("line projection not linear")
+	}
+}
+
+func TestLineNearbyPointsProjectNearby(t *testing.T) {
+	// |a·x - a·y| <= ||a|| ||x-y||; statistically, close points stay close.
+	rng := rand.New(rand.NewSource(6))
+	l := NewLine(64, 8)
+	var closeGap, farGap float64
+	for i := 0; i < 50; i++ {
+		x := randSeries(rng, 64)
+		near := x.Clone()
+		for j := range near {
+			near[j] += float32(rng.NormFloat64() * 0.01)
+		}
+		far := randSeries(rng, 64)
+		closeGap += math.Abs(l.Value(x) - l.Value(near))
+		farGap += math.Abs(l.Value(x) - l.Value(far))
+	}
+	if closeGap >= farGap {
+		t.Errorf("close pairs should project closer: %v vs %v", closeGap, farGap)
+	}
+}

@@ -1,0 +1,252 @@
+// Package sax implements the Symbolic Aggregate Approximation (SAX) and its
+// indexable multi-cardinality variant iSAX.
+//
+// SAX transforms a series into l PAA values and quantises each into one of
+// a discrete symbols using breakpoints that divide the standard normal
+// distribution into equiprobable regions (SAX assumes z-normalised data).
+// iSAX represents each symbol with a per-segment cardinality, allowing
+// comparisons between words of different resolutions — the property that
+// makes SAX indexable with a binary prefix tree (iSAX 2.0 / iSAX2+).
+package sax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/series"
+	"hydra/internal/summaries/paa"
+)
+
+// MaxBits is the maximum per-segment cardinality exponent supported
+// (cardinality 2^MaxBits = 256, the paper's usual maximum).
+const MaxBits = 8
+
+// breakpoints[b] holds the 2^b - 1 breakpoints splitting N(0,1) into 2^b
+// equiprobable regions, for b in [1, MaxBits].
+var breakpoints [MaxBits + 1][]float64
+
+func init() {
+	for b := 1; b <= MaxBits; b++ {
+		card := 1 << b
+		bp := make([]float64, card-1)
+		for i := 1; i < card; i++ {
+			bp[i-1] = normInvCDF(float64(i) / float64(card))
+		}
+		breakpoints[b] = bp
+	}
+}
+
+// normInvCDF computes the inverse CDF of the standard normal distribution
+// using the Acklam rational approximation (|relative error| < 1.15e-9),
+// refined with one Halley step of the complementary error function.
+func normInvCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("sax: invalid probability %v", p))
+	}
+	// Coefficients for the central and tail rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the exact CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Breakpoints returns the sorted breakpoints for cardinality 2^bits.
+// The returned slice must not be modified.
+func Breakpoints(bits int) []float64 {
+	if bits < 1 || bits > MaxBits {
+		panic(fmt.Sprintf("sax: bits %d out of range [1,%d]", bits, MaxBits))
+	}
+	return breakpoints[bits]
+}
+
+// Symbol quantises a single PAA value at the given cardinality exponent.
+// Symbols are ordered: 0 for the lowest region, 2^bits-1 for the highest.
+func Symbol(v float64, bits int) uint16 {
+	bp := Breakpoints(bits)
+	// sort.SearchFloat64s returns the count of breakpoints <= v which is
+	// exactly the region index.
+	return uint16(sort.SearchFloat64s(bp, v))
+}
+
+// Word is an iSAX word: per-segment symbols with per-segment cardinality
+// exponents. A Word with all Bits equal to b is a plain SAX word of
+// cardinality 2^b.
+type Word struct {
+	Symbols []uint16 // region index at cardinality 2^Bits[i]
+	Bits    []uint8  // cardinality exponent per segment, in [1, MaxBits]
+}
+
+// FromSeries computes the iSAX word of s with l segments, all at
+// cardinality 2^bits. The series should be z-normalised.
+func FromSeries(s series.Series, l, bits int) Word {
+	return FromPAA(paa.Transform(s, l), bits)
+}
+
+// FromPAA quantises an existing PAA vector at uniform cardinality 2^bits.
+func FromPAA(p []float64, bits int) Word {
+	w := Word{Symbols: make([]uint16, len(p)), Bits: make([]uint8, len(p))}
+	for i, v := range p {
+		w.Symbols[i] = Symbol(v, bits)
+		w.Bits[i] = uint8(bits)
+	}
+	return w
+}
+
+// Clone deep-copies the word.
+func (w Word) Clone() Word {
+	out := Word{Symbols: make([]uint16, len(w.Symbols)), Bits: make([]uint8, len(w.Bits))}
+	copy(out.Symbols, w.Symbols)
+	copy(out.Bits, w.Bits)
+	return out
+}
+
+// Promote returns the symbol of segment i reduced to the coarser
+// cardinality exponent toBits (toBits <= w.Bits[i]); it drops the low-order
+// bits, which is the iSAX cardinality-comparison rule.
+func (w Word) Promote(i int, toBits uint8) uint16 {
+	if toBits > w.Bits[i] {
+		panic(fmt.Sprintf("sax: cannot promote segment %d from %d to finer %d bits", i, w.Bits[i], toBits))
+	}
+	return w.Symbols[i] >> (w.Bits[i] - toBits)
+}
+
+// Contains reports whether the region denoted by prefix word p (typically
+// an index node) contains the full-resolution word w: every segment of w,
+// coarsened to p's cardinality, must equal p's symbol.
+func (p Word) Contains(w Word) bool {
+	for i := range p.Symbols {
+		if w.Promote(i, p.Bits[i]) != p.Symbols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for the word (used for node maps and
+// debugging), e.g. "3@2|1@1" = symbol 3 at 2 bits, symbol 1 at 1 bit.
+func (w Word) Key() string {
+	buf := make([]byte, 0, len(w.Symbols)*5)
+	for i := range w.Symbols {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = appendUint(buf, uint64(w.Symbols[i]))
+		buf = append(buf, '@')
+		buf = appendUint(buf, uint64(w.Bits[i]))
+	}
+	return string(buf)
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// regionBounds returns the [lo, hi] value range of symbol sym at the given
+// cardinality exponent. The extreme regions extend to ±Inf.
+func regionBounds(sym uint16, bits uint8) (lo, hi float64) {
+	bp := Breakpoints(int(bits))
+	if sym == 0 {
+		lo = math.Inf(-1)
+	} else {
+		lo = bp[sym-1]
+	}
+	if int(sym) == len(bp) {
+		hi = math.Inf(1)
+	} else {
+		hi = bp[sym]
+	}
+	return lo, hi
+}
+
+// MinDistPAA returns the iSAX lower-bounding distance (MINDIST) between a
+// query's PAA representation and an iSAX word (typically an index node),
+// for series of length n. It is zero when every PAA value falls inside the
+// corresponding symbol region, and otherwise accumulates the squared gap to
+// the nearest region boundary, weighted by segment width.
+func MinDistPAA(qp []float64, w Word, n int) float64 {
+	if len(qp) != len(w.Symbols) {
+		panic(fmt.Sprintf("sax: PAA length %d != word length %d", len(qp), len(w.Symbols)))
+	}
+	l := len(qp)
+	var acc float64
+	for i := 0; i < l; i++ {
+		lo, hi := regionBounds(w.Symbols[i], w.Bits[i])
+		var gap float64
+		if qp[i] < lo {
+			gap = lo - qp[i]
+		} else if qp[i] > hi {
+			gap = qp[i] - hi
+		}
+		loIdx, hiIdx := paa.SegmentBounds(n, l, i)
+		acc += float64(hiIdx-loIdx) * gap * gap
+	}
+	return math.Sqrt(acc)
+}
+
+// MinDistWords lower-bounds the distance between the original series of two
+// iSAX words (used for node-to-node pruning): for each segment it measures
+// the gap between the two symbol regions at the coarser common cardinality.
+func MinDistWords(a, b Word, n int) float64 {
+	if len(a.Symbols) != len(b.Symbols) {
+		panic("sax: word length mismatch")
+	}
+	l := len(a.Symbols)
+	var acc float64
+	for i := 0; i < l; i++ {
+		bits := a.Bits[i]
+		if b.Bits[i] < bits {
+			bits = b.Bits[i]
+		}
+		sa := a.Promote(i, bits)
+		sb := b.Promote(i, bits)
+		if sa == sb {
+			continue
+		}
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		// Gap between the top of region sa and the bottom of region sb.
+		_, hiA := regionBounds(sa, bits)
+		loB, _ := regionBounds(sb, bits)
+		gap := loB - hiA
+		if gap <= 0 {
+			continue
+		}
+		loIdx, hiIdx := paa.SegmentBounds(n, l, i)
+		acc += float64(hiIdx-loIdx) * gap * gap
+	}
+	return math.Sqrt(acc)
+}

@@ -1,0 +1,236 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/series"
+	"hydra/internal/summaries/paa"
+)
+
+func randZSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	s.ZNormalize()
+	return s
+}
+
+func TestNormInvCDF(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Phi(1)
+		{0.9772498680518208, 2}, // Phi(2)
+		{0.15865525393145705, -1},
+	}
+	for _, c := range cases {
+		if got := normInvCDF(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("normInvCDF(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBreakpointsEquiprobable(t *testing.T) {
+	// For 2 bits (cardinality 4) the breakpoints are the quartiles of N(0,1).
+	bp := Breakpoints(2)
+	want := []float64{-0.6744897501960817, 0, 0.6744897501960817}
+	if len(bp) != 3 {
+		t.Fatalf("len = %d, want 3", len(bp))
+	}
+	for i := range want {
+		if math.Abs(bp[i]-want[i]) > 1e-8 {
+			t.Errorf("bp[%d] = %v, want %v", i, bp[i], want[i])
+		}
+	}
+}
+
+func TestBreakpointsSorted(t *testing.T) {
+	for b := 1; b <= MaxBits; b++ {
+		bp := Breakpoints(b)
+		if len(bp) != (1<<b)-1 {
+			t.Fatalf("bits=%d: %d breakpoints, want %d", b, len(bp), (1<<b)-1)
+		}
+		for i := 1; i < len(bp); i++ {
+			if bp[i] <= bp[i-1] {
+				t.Fatalf("bits=%d: breakpoints not strictly increasing at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestSymbolOrdering(t *testing.T) {
+	if Symbol(-10, 3) != 0 {
+		t.Error("very low value should map to symbol 0")
+	}
+	if Symbol(10, 3) != 7 {
+		t.Error("very high value should map to top symbol")
+	}
+	if Symbol(-0.01, 1) != 0 || Symbol(0.01, 1) != 1 {
+		t.Error("1-bit symbols should split at 0")
+	}
+	// Symbols are monotone in the value.
+	prev := uint16(0)
+	for v := -3.0; v <= 3.0; v += 0.05 {
+		sym := Symbol(v, 4)
+		if sym < prev {
+			t.Fatalf("symbol not monotone at v=%v", v)
+		}
+		prev = sym
+	}
+}
+
+func TestFromSeriesAndPromote(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randZSeries(rng, 64)
+	w := FromSeries(s, 8, 8)
+	if len(w.Symbols) != 8 {
+		t.Fatalf("word length %d", len(w.Symbols))
+	}
+	// Promoting to b bits equals re-quantising at b bits directly.
+	p := paa.Transform(s, 8)
+	for b := uint8(1); b <= 8; b++ {
+		for i := range w.Symbols {
+			want := Symbol(p[i], int(b))
+			if got := w.Promote(i, b); got != want {
+				t.Errorf("Promote(seg %d, %d bits) = %d, want %d", i, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPromoteFinerPanics(t *testing.T) {
+	w := FromPAA([]float64{0.5}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Promote(0, 5)
+}
+
+func TestContains(t *testing.T) {
+	w := FromPAA([]float64{0.5, -0.5}, 8)
+	// A 1-bit prefix node: [symbol at 1 bit].
+	node := Word{
+		Symbols: []uint16{w.Promote(0, 1), w.Promote(1, 1)},
+		Bits:    []uint8{1, 1},
+	}
+	if !node.Contains(w) {
+		t.Error("prefix node should contain its own word")
+	}
+	// Flip a node symbol: no longer contains.
+	node.Symbols[0] ^= 1
+	if node.Contains(w) {
+		t.Error("flipped node should not contain word")
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	a := Word{Symbols: []uint16{3, 1}, Bits: []uint8{2, 1}}
+	b := Word{Symbols: []uint16{3, 1}, Bits: []uint8{2, 2}}
+	if a.Key() == b.Key() {
+		t.Error("words differing only in bits must have distinct keys")
+	}
+	if a.Key() != "3@2|1@1" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromPAA([]float64{0.1, 0.2}, 4)
+	b := a.Clone()
+	b.Symbols[0] = 99
+	if a.Symbols[0] == 99 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestMinDistPAALowerBounds(t *testing.T) {
+	// MINDIST(q, sax(c)) <= dist(q, c) for all q, c — the core invariant.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 16 + rng.Intn(240)
+		l := 4 + rng.Intn(12)
+		if l > n {
+			l = n
+		}
+		bits := 1 + rng.Intn(MaxBits)
+		q := randZSeries(rng, n)
+		c := randZSeries(rng, n)
+		w := FromSeries(c, l, bits)
+		lb := MinDistPAA(paa.Transform(q, l), w, n)
+		d := series.Dist(q, c)
+		if lb > d+1e-6 {
+			t.Fatalf("trial %d: MINDIST %v exceeds distance %v (n=%d l=%d bits=%d)", trial, lb, d, n, l, bits)
+		}
+	}
+}
+
+func TestMinDistPAACoarserIsLooser(t *testing.T) {
+	// Lower bounds at coarser cardinalities must not exceed those at finer
+	// cardinalities (they are weaker statements about the same region).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 64
+		l := 8
+		q := randZSeries(rng, n)
+		c := randZSeries(rng, n)
+		qp := paa.Transform(q, l)
+		fine := FromSeries(c, l, 8)
+		coarse := Word{Symbols: make([]uint16, l), Bits: make([]uint8, l)}
+		for i := 0; i < l; i++ {
+			coarse.Symbols[i] = fine.Promote(i, 2)
+			coarse.Bits[i] = 2
+		}
+		if MinDistPAA(qp, coarse, n) > MinDistPAA(qp, fine, n)+1e-9 {
+			t.Fatalf("trial %d: coarser MINDIST is tighter than finer", trial)
+		}
+	}
+}
+
+func TestMinDistPAAZeroWhenInside(t *testing.T) {
+	s := series.Series{0.1, 0.1, -0.2, -0.2}
+	w := FromSeries(s, 2, 4)
+	lb := MinDistPAA(paa.Transform(s, 2), w, 4)
+	if lb != 0 {
+		t.Errorf("MINDIST of a series against its own word = %v, want 0", lb)
+	}
+}
+
+func TestMinDistWordsLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		n := 64
+		l := 8
+		a := randZSeries(rng, n)
+		b := randZSeries(rng, n)
+		bitsA := 1 + rng.Intn(MaxBits)
+		bitsB := 1 + rng.Intn(MaxBits)
+		wa := FromSeries(a, l, bitsA)
+		wb := FromSeries(b, l, bitsB)
+		lb := MinDistWords(wa, wb, n)
+		d := series.Dist(a, b)
+		if lb > d+1e-6 {
+			t.Fatalf("trial %d: word MINDIST %v exceeds distance %v", trial, lb, d)
+		}
+	}
+}
+
+func TestMinDistWordsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := FromSeries(randZSeries(rng, 32), 4, 6)
+	b := FromSeries(randZSeries(rng, 32), 4, 3)
+	if math.Abs(MinDistWords(a, b, 32)-MinDistWords(b, a, 32)) > 1e-12 {
+		t.Error("MinDistWords not symmetric")
+	}
+}
+
+func TestMinDistSameWordZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := FromSeries(randZSeries(rng, 32), 4, 5)
+	if d := MinDistWords(w, w, 32); d != 0 {
+		t.Errorf("distance of word to itself = %v", d)
+	}
+}

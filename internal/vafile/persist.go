@@ -1,0 +1,75 @@
+package vafile
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hydra/internal/quant"
+	"hydra/internal/storage"
+)
+
+// Persistence: the approximation file (per-dimension quantizers, bit
+// allocation and codes) round-trips through encoding/gob. The retained
+// coefficient cache is re-derivable but cheap to store and keeps Load O(1)
+// in CPU, so it is included.
+
+type fileSnap struct {
+	Version    int
+	Cfg        Config
+	Bits       []int
+	Boundaries [][]float64
+	Centers    [][]float64
+	Codes      [][]uint16
+	Coeffs     [][]float64
+}
+
+const persistVersion = 1
+
+// Save serialises the approximation file to w.
+func (f *File) Save(w io.Writer) error {
+	snap := fileSnap{
+		Version: persistVersion,
+		Cfg:     f.cfg,
+		Bits:    f.bits,
+		Codes:   f.codes,
+		Coeffs:  f.coeffs,
+	}
+	for _, q := range f.quantizers {
+		snap.Boundaries = append(snap.Boundaries, q.Boundaries)
+		snap.Centers = append(snap.Centers, q.Centers)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vafile: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads an approximation file saved with Save and attaches it to the
+// store holding the same dataset it was built over.
+func Load(store *storage.SeriesStore, r io.Reader) (*File, error) {
+	var snap fileSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vafile: decoding: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("vafile: unsupported snapshot version %d", snap.Version)
+	}
+	if len(snap.Codes) != store.Size() {
+		return nil, fmt.Errorf("vafile: snapshot holds %d codes, store holds %d series", len(snap.Codes), store.Size())
+	}
+	f := &File{
+		store:  store,
+		cfg:    snap.Cfg,
+		bits:   snap.Bits,
+		codes:  snap.Codes,
+		coeffs: snap.Coeffs,
+	}
+	for i := range snap.Boundaries {
+		f.quantizers = append(f.quantizers, &quant.Scalar{
+			Boundaries: snap.Boundaries[i],
+			Centers:    snap.Centers[i],
+		})
+	}
+	return f, nil
+}

@@ -1,0 +1,56 @@
+package vafile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f, data, queries := buildTestFile(t, 500, 64, DefaultConfig(), 81)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(storage.NewSeriesStore(data, 0), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range f.Bits() {
+		if loaded.Bits()[i] != b {
+			t.Fatalf("bit allocation differs at %d", i)
+		}
+	}
+	for qi := 0; qi < queries.Size(); qi++ {
+		q := core.Query{Series: queries.At(qi), K: 5, Mode: core.ModeExact}
+		a, err := f.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Neighbors {
+			if math.Abs(a.Neighbors[i].Dist-b.Neighbors[i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d differs after reload", qi, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongStore(t *testing.T) {
+	f, _, _ := buildTestFile(t, 100, 32, Config{Coeffs: 8, TotalBits: 32}, 83)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 60, Length: 32, Seed: 3})
+	if _, err := Load(storage.NewSeriesStore(other, 0), &buf); err == nil {
+		t.Error("mismatched store accepted")
+	}
+}

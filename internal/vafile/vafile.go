@@ -1,0 +1,248 @@
+// Package vafile implements the VA+file (Ferhatosmanoglu et al., CIKM
+// 2000), with the benchmark paper's modification of approximating the KLT
+// decorrelation step with the DFT, and its extensions to ng-, ε- and
+// δ-ε-approximate search.
+//
+// Building: every series is reduced to l DFT coefficients; each coefficient
+// dimension gets a non-uniform scalar quantizer whose cell count is set by
+// a variance-driven bit allocation (dimensions carrying more energy get
+// more bits — the "+" of VA+file over the original VA-file's uniform
+// grid). The quantised approximations form the vector-approximation file.
+//
+// Searching is skip-sequential: scan the (small, memory-resident)
+// approximation file computing a lower bound per series, then visit raw
+// series in increasing lower-bound order, pruning with the best-so-far
+// k-th distance — relaxed by 1/(1+ε) for ε-approximate queries, with the
+// r_δ early stop for δ-ε queries, or capped at NProbe raw visits for
+// ng-approximate queries.
+package vafile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/quant"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/dft"
+)
+
+// Config controls the approximation file.
+type Config struct {
+	// Coeffs is the number of retained DFT coefficients (paper: 16).
+	Coeffs int
+	// TotalBits is the bit budget spread across coefficient dimensions.
+	TotalBits int
+	// TrainSamples caps how many series train the quantizers (0 = all).
+	TrainSamples int
+}
+
+// DefaultConfig matches the paper's 16-dimension setup with a moderate
+// bit budget.
+func DefaultConfig() Config {
+	return Config{Coeffs: 16, TotalBits: 96, TrainSamples: 4096}
+}
+
+func (c Config) validate(length int) error {
+	if c.Coeffs < 1 || c.Coeffs > length {
+		return fmt.Errorf("vafile: coeffs %d out of [1,%d]", c.Coeffs, length)
+	}
+	if c.TotalBits < c.Coeffs {
+		return fmt.Errorf("vafile: bit budget %d below one bit per dimension (%d)", c.TotalBits, c.Coeffs)
+	}
+	return nil
+}
+
+// File is a VA+file over a series store.
+type File struct {
+	store *storage.SeriesStore
+	cfg   Config
+	hist  *core.DistanceHistogram
+
+	quantizers []*quant.Scalar
+	bits       []int
+	codes      [][]uint16  // approximation per series
+	coeffs     [][]float64 // retained for tests/ablation (footprint-counted)
+}
+
+// Build constructs the VA+file.
+func Build(store *storage.SeriesStore, cfg Config) (*File, error) {
+	if err := cfg.validate(store.Length()); err != nil {
+		return nil, err
+	}
+	f := &File{store: store, cfg: cfg}
+	n := store.Size()
+	l := cfg.Coeffs
+
+	// Pass 1: DFT of every series.
+	f.coeffs = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		f.coeffs[i] = dft.Coefficients(store.Peek(i), l)
+	}
+
+	// Variance per dimension over a training sample.
+	train := n
+	if cfg.TrainSamples > 0 && cfg.TrainSamples < n {
+		train = cfg.TrainSamples
+	}
+	variance := make([]float64, l)
+	for d := 0; d < l; d++ {
+		var sum, sumSq float64
+		for i := 0; i < train; i++ {
+			v := f.coeffs[i][d]
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(train)
+		variance[d] = sumSq/float64(train) - mean*mean
+		if variance[d] < 1e-12 {
+			variance[d] = 1e-12
+		}
+	}
+
+	// Greedy bit allocation: each extra bit quarters a dimension's expected
+	// quantization error, so always feed the dimension with the highest
+	// remaining error proxy variance/4^bits.
+	f.bits = make([]int, l)
+	remaining := cfg.TotalBits
+	for d := 0; d < l; d++ {
+		f.bits[d] = 1
+		remaining--
+	}
+	for ; remaining > 0; remaining-- {
+		best, bestErr := 0, -1.0
+		for d := 0; d < l; d++ {
+			if f.bits[d] >= 16 {
+				continue
+			}
+			e := variance[d] / math.Pow(4, float64(f.bits[d]))
+			if e > bestErr {
+				best, bestErr = d, e
+			}
+		}
+		f.bits[best]++
+	}
+
+	// Train per-dimension quantizers and encode everything.
+	f.quantizers = make([]*quant.Scalar, l)
+	sample := make([]float64, train)
+	for d := 0; d < l; d++ {
+		for i := 0; i < train; i++ {
+			sample[i] = f.coeffs[i][d]
+		}
+		f.quantizers[d] = quant.TrainScalar(sample, 1<<uint(f.bits[d]), 20)
+	}
+	f.codes = make([][]uint16, n)
+	for i := 0; i < n; i++ {
+		code := make([]uint16, l)
+		for d := 0; d < l; d++ {
+			code[d] = uint16(f.quantizers[d].Encode(f.coeffs[i][d]))
+		}
+		f.codes[i] = code
+	}
+	return f, nil
+}
+
+// SetHistogram installs the histogram for δ-ε-approximate search.
+func (f *File) SetHistogram(h *core.DistanceHistogram) { f.hist = h }
+
+// Name implements core.Method.
+func (f *File) Name() string { return "VA+file" }
+
+// Size returns the number of indexed series.
+func (f *File) Size() int { return len(f.codes) }
+
+// Bits returns the per-dimension bit allocation (tests, reports).
+func (f *File) Bits() []int { return append([]int(nil), f.bits...) }
+
+// Footprint implements core.Method: codes plus quantizer tables plus the
+// retained coefficient cache.
+func (f *File) Footprint() int64 {
+	var total int64
+	for _, c := range f.codes {
+		total += int64(len(c)) * 2
+	}
+	for _, q := range f.quantizers {
+		total += int64(len(q.Centers))*8 + int64(len(q.Boundaries))*8
+	}
+	for _, c := range f.coeffs {
+		total += int64(len(c)) * 8
+	}
+	return total
+}
+
+// lowerBound returns the VA lower bound between the query coefficients and
+// the approximation of series i.
+func (f *File) lowerBound(qc []float64, i int) float64 {
+	var acc float64
+	code := f.codes[i]
+	for d := range qc {
+		g := f.quantizers[d].LowerGap(qc[d], int(code[d]))
+		acc += g * g
+	}
+	return math.Sqrt(acc)
+}
+
+// Search implements core.Method.
+func (f *File) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("vafile: %w", err)
+	}
+	if len(q.Series) != f.store.Length() {
+		return core.Result{}, fmt.Errorf("vafile: query length %d != dataset length %d", len(q.Series), f.store.Length())
+	}
+	before := f.store.Accountant().Snapshot()
+	qc := dft.Coefficients(q.Series, f.cfg.Coeffs)
+
+	// Phase 1: lower bounds from the in-memory approximation file.
+	n := len(f.codes)
+	type cand struct {
+		id int
+		lb float64
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		cands[i] = cand{id: i, lb: f.lowerBound(qc, i)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+
+	epsFactor := 1.0
+	if q.Mode == core.ModeEpsilon || q.Mode == core.ModeDeltaEpsilon {
+		epsFactor = 1 + q.Epsilon
+	}
+	rDelta := 0.0
+	if q.Mode == core.ModeDeltaEpsilon && q.Delta < 1 && f.hist != nil {
+		rDelta = f.hist.RDelta(q.Delta, n)
+	}
+	stopDist := (1 + q.Epsilon) * rDelta
+
+	kset := core.NewKNNSet(q.K)
+	res := core.Result{}
+	// Phase 2: visit raw series in increasing lower-bound order.
+	for _, c := range cands {
+		if c.lb > kset.Worst()/epsFactor {
+			break
+		}
+		if q.Mode == core.ModeNG && res.LeavesVisited >= q.NProbe {
+			break
+		}
+		raw := f.store.Read(c.id)
+		res.LeavesVisited++ // for VA+file, a "leaf" is one raw series visit
+		lim := kset.Worst()
+		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		res.DistCalcs++
+		d := 0.0
+		if d2 > 0 {
+			d = math.Sqrt(d2)
+		}
+		kset.Offer(c.id, d)
+		if q.Mode == core.ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
+			break
+		}
+	}
+	res.Neighbors = kset.Sorted()
+	res.IO = f.store.Accountant().Snapshot().Sub(before)
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package vafile
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/scan"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/dft"
+)
+
+func buildTestFile(t *testing.T, n, length int, cfg Config, seed int64) (*File, *series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: seed})
+	store := storage.NewSeriesStore(data, 0)
+	f, err := Build(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 5, seed+100)
+	return f, data, queries
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 10, Length: 32, Seed: 1})
+	store := storage.NewSeriesStore(data, 0)
+	for i, cfg := range []Config{
+		{Coeffs: 0, TotalBits: 10},
+		{Coeffs: 40, TotalBits: 100},
+		{Coeffs: 8, TotalBits: 4},
+	} {
+		if _, err := Build(store, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestBitAllocationSumsToBudget(t *testing.T) {
+	f, _, _ := buildTestFile(t, 300, 64, Config{Coeffs: 8, TotalBits: 48}, 1)
+	total := 0
+	for _, b := range f.Bits() {
+		total += b
+		if b < 1 {
+			t.Errorf("dimension with %d bits", b)
+		}
+	}
+	if total != 48 {
+		t.Errorf("allocated %d bits, budget 48", total)
+	}
+}
+
+func TestBitAllocationFollowsVariance(t *testing.T) {
+	// Random-walk DFT energy concentrates in low frequencies, so the first
+	// dimensions should receive at least as many bits as the last.
+	f, _, _ := buildTestFile(t, 500, 64, Config{Coeffs: 8, TotalBits: 48}, 2)
+	bits := f.Bits()
+	if bits[0] < bits[len(bits)-1] {
+		t.Errorf("bit allocation ignores variance: %v", bits)
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	// The VA lower bound must never exceed the true distance.
+	f, data, queries := buildTestFile(t, 400, 64, DefaultConfig(), 3)
+	for qi := 0; qi < queries.Size(); qi++ {
+		qc := dft.Coefficients(queries.At(qi), f.cfg.Coeffs)
+		for i := 0; i < data.Size(); i++ {
+			lb := f.lowerBound(qc, i)
+			d := series.Dist(queries.At(qi), data.At(i))
+			if lb > d+1e-6 {
+				t.Fatalf("query %d series %d: lb %v > dist %v", qi, i, lb, d)
+			}
+		}
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	f, data, queries := buildTestFile(t, 600, 64, DefaultConfig(), 5)
+	gt := scan.GroundTruth(data, queries, 10)
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := f.Search(core.Query{Series: queries.At(qi), K: 10, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt[qi] {
+			if math.Abs(res.Neighbors[i].Dist-gt[qi][i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, res.Neighbors[i].Dist, gt[qi][i].Dist)
+			}
+		}
+	}
+}
+
+func TestExactSearchPrunesRawReads(t *testing.T) {
+	f, _, queries := buildTestFile(t, 2000, 64, DefaultConfig(), 7)
+	res, err := f.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited >= 2000 {
+		t.Errorf("visited all %d raw series — no pruning", res.LeavesVisited)
+	}
+	if res.IO.BytesRead >= f.store.TotalBytes() {
+		t.Errorf("read whole dataset")
+	}
+}
+
+func TestNGApproximateCapsRawVisits(t *testing.T) {
+	f, _, queries := buildTestFile(t, 1000, 64, DefaultConfig(), 9)
+	res, err := f.Search(core.Query{Series: queries.At(0), K: 5, Mode: core.ModeNG, NProbe: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesVisited > 20 {
+		t.Errorf("visited %d raw series, cap 20", res.LeavesVisited)
+	}
+	if len(res.Neighbors) != 5 {
+		t.Errorf("%d results", len(res.Neighbors))
+	}
+}
+
+func TestEpsilonGuaranteeHolds(t *testing.T) {
+	f, data, queries := buildTestFile(t, 800, 64, DefaultConfig(), 11)
+	k := 5
+	gt := scan.GroundTruth(data, queries, k)
+	eps := 1.0
+	for qi := 0; qi < queries.Size(); qi++ {
+		res, err := f.Search(core.Query{Series: queries.At(qi), K: k, Mode: core.ModeEpsilon, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 + eps) * gt[qi][k-1].Dist
+		for _, nb := range res.Neighbors {
+			if nb.Dist > bound+1e-6 {
+				t.Fatalf("query %d: %v > %v", qi, nb.Dist, bound)
+			}
+		}
+	}
+}
+
+func TestDeltaEpsilonEarlyStop(t *testing.T) {
+	f, data, queries := buildTestFile(t, 1000, 64, DefaultConfig(), 13)
+	f.SetHistogram(core.BuildHistogram(data, 2000, 7))
+	res, err := f.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 1 {
+		t.Fatal("no result")
+	}
+	// δ=1, ε=0 equals exact.
+	gt := scan.GroundTruth(data, queries, 1)
+	rd, _ := f.Search(core.Query{Series: queries.At(0), K: 1, Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: 1})
+	if math.Abs(rd.Neighbors[0].Dist-gt[0][0].Dist) > 1e-6 {
+		t.Errorf("delta=1 eps=0: %v vs %v", rd.Neighbors[0].Dist, gt[0][0].Dist)
+	}
+}
+
+func TestMoreBitsTightenBounds(t *testing.T) {
+	// More bits => tighter lower bounds => fewer raw visits for exact search.
+	coarse, _, queries := buildTestFile(t, 1500, 64, Config{Coeffs: 8, TotalBits: 16}, 15)
+	fine, _, _ := buildTestFile(t, 1500, 64, Config{Coeffs: 8, TotalBits: 80}, 15)
+	var coarseVisits, fineVisits int
+	for qi := 0; qi < queries.Size(); qi++ {
+		rc, _ := coarse.Search(core.Query{Series: queries.At(qi), K: 1, Mode: core.ModeExact})
+		rf, _ := fine.Search(core.Query{Series: queries.At(qi), K: 1, Mode: core.ModeExact})
+		coarseVisits += rc.LeavesVisited
+		fineVisits += rf.LeavesVisited
+	}
+	if fineVisits > coarseVisits {
+		t.Errorf("more bits visited more raw series: %d vs %d", fineVisits, coarseVisits)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	f, _, queries := buildTestFile(t, 100, 32, Config{Coeffs: 8, TotalBits: 32}, 17)
+	if _, err := f.Search(core.Query{Series: queries.At(0), K: 0, Mode: core.ModeExact}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := f.Search(core.Query{Series: make(series.Series, 5), K: 1, Mode: core.ModeExact}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestNameAndFootprint(t *testing.T) {
+	f, _, _ := buildTestFile(t, 100, 32, Config{Coeffs: 8, TotalBits: 32}, 19)
+	if f.Name() != "VA+file" {
+		t.Error("name wrong")
+	}
+	if f.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+	if f.Size() != 100 {
+		t.Errorf("Size = %d", f.Size())
+	}
+}
