@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke fmt
+
+all: fmt vet build test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Pins the Method.Search concurrency contract and the parallel executor.
+race:
+	$(GO) test -race ./internal/eval/... ./internal/core/...
+
+# Compiles and runs every benchmark exactly once so they cannot bit-rot.
+bench-smoke:
+	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
+
+# Fails when any file needs gofmt (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hydra-bench -experiment fig3 [-n 4000] [-length 128] [-queries 20] [-k 10]
+//	hydra-bench -experiment fig3 [-n 4000] [-length 128] [-queries 20] [-k 10] [-workers 1]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, all.
 // Raising -n / -length / -queries approaches the paper's original scale;
@@ -26,6 +26,7 @@ func main() {
 		queries    = flag.Int("queries", 20, "queries per workload")
 		k          = flag.Int("k", 10, "neighbours per query")
 		seed       = flag.Int64("seed", 42, "master seed")
+		workers    = flag.Int("workers", 1, "concurrent query workers per workload (0 = all cores); >1 speeds up wall clock but skews the paper's timing columns, accuracy is unaffected")
 	)
 	flag.Parse()
 
@@ -35,6 +36,10 @@ func main() {
 	cfg.Queries = *queries
 	cfg.K = *k
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *workers == 0 {
+		cfg.Workers = -1 // SuiteConfig reserves 0 for "serial" (its zero value)
+	}
 
 	if err := run(strings.ToLower(*experiment), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)

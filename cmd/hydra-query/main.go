@@ -32,19 +32,20 @@ func main() {
 		nprobe    = flag.Int("nprobe", 8, "probe budget for ng mode")
 		k         = flag.Int("k", 10, "neighbours per query")
 		truth     = flag.Bool("truth", true, "compute exact ground truth and report accuracy")
+		workers   = flag.Int("workers", 0, "concurrent query workers for the workload run (0 = all cores)")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
 		fmt.Fprintln(os.Stderr, "hydra-query: -data and -queries are required")
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *queryPath, *method, *mode, *epsilon, *delta, *nprobe, *k, *truth); err != nil {
+	if err := run(*dataPath, *queryPath, *method, *mode, *epsilon, *delta, *nprobe, *k, *truth, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-query: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, nprobe, k int, wantTruth bool) error {
+func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, nprobe, k int, wantTruth bool, workers int) error {
 	data, err := series.LoadFile(dataPath)
 	if err != nil {
 		return err
@@ -98,7 +99,7 @@ func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, n
 		fmt.Println()
 	}
 	if wantTruth {
-		out, err := eval.Run(built.Method, w, template, storage.DefaultCostModel())
+		out, err := eval.ParallelRun(built.Method, w, template, storage.DefaultCostModel(), eval.RunOptions{Workers: workers})
 		if err != nil {
 			return err
 		}

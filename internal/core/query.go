@@ -3,6 +3,13 @@
 // implementing the paper's Algorithms 1 and 2, the distance-distribution
 // histogram used to estimate r_δ(Q), and the taxonomy of guarantees
 // (paper Figure 1 and Table 1).
+//
+// Method.Search is required to be safe for concurrent use (see the Method
+// doc comment): the engine in this package keeps all search state — node
+// queue, visit set, k-NN heap, counters — local to each SearchTree call,
+// and index packages keep their query-side summarisations in per-call
+// cursors, which is what lets eval.ParallelRun fan one workload across
+// worker goroutines without changing any result.
 package core
 
 import (
@@ -119,10 +126,21 @@ type Result struct {
 
 // Method is the uniform interface the harness drives. Every technique in
 // the benchmark implements it.
+//
+// Concurrency contract: Search must be safe for concurrent use by multiple
+// goroutines once the index is built. Implementations keep all per-query
+// mutable state (query summarisations, candidate heaps, visit sets, work
+// counters) in per-call values or cursors, and charge raw-data I/O to a
+// per-query storage.SeriesStore.View so accounting never races. Building
+// and mutating an index (Build, SetHistogram, inserts) is NOT covered by
+// the contract and must not overlap with searches; the one index that
+// refines itself at query time (ADS+, iSAX's adaptive mode) serialises its
+// searches internally to stay within the contract.
 type Method interface {
 	// Name returns the method's display name (e.g. "DSTree").
 	Name() string
-	// Search answers a k-NN query according to its mode.
+	// Search answers a k-NN query according to its mode. It must be safe
+	// for concurrent use (see the interface comment).
 	Search(q Query) (Result, error)
 	// Footprint estimates the in-memory size of the index structure in
 	// bytes (excluding the raw data when the method keeps it on disk).

@@ -291,12 +291,27 @@ func (t *Tree) split(n *node) {
 	}
 }
 
-// cursor adapts a query to the generic engine.
+// cursor adapts a query to the generic engine. Every cursor carries its own
+// store view so concurrent queries account I/O independently; all other
+// per-query state (query prefix, stat cache) is equally cursor-local, which
+// is what makes Tree.Search safe for concurrent use.
 type cursor struct {
 	t      *Tree
+	store  *storage.SeriesStore // per-query accounting view
 	q      series.Series
 	prefix eapca.Prefix
 	cache  map[*node][]eapca.Stat
+}
+
+// newCursor opens a per-query cursor over a private store view.
+func (t *Tree) newCursor(q series.Series) *cursor {
+	return &cursor{
+		t:      t,
+		store:  t.store.View(),
+		q:      q,
+		prefix: eapca.NewPrefix(q),
+		cache:  make(map[*node][]eapca.Stat),
+	}
 }
 
 func (c *cursor) statsFor(n *node) []eapca.Stat {
@@ -330,7 +345,7 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 // one contiguous read) and refines with early-abandoning distances.
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
-	raw := c.t.store.ReadLeafCluster(n.ids)
+	raw := c.store.ReadLeafCluster(n.ids)
 	for i, s := range raw {
 		lim := limit()
 		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
@@ -350,10 +365,9 @@ func (t *Tree) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.Result{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	cur := &cursor{t: t, q: q.Series, prefix: eapca.NewPrefix(q.Series), cache: make(map[*node][]eapca.Stat)}
+	cur := t.newCursor(q.Series)
 	res := core.SearchTree(cur, q, t.hist, t.size)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 
@@ -366,11 +380,9 @@ func (t *Tree) SearchRange(q core.RangeQuery) (core.RangeResult, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.RangeResult{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	s := series.Series(q.Series)
-	cur := &cursor{t: t, q: s, prefix: eapca.NewPrefix(s), cache: make(map[*node][]eapca.Stat)}
+	cur := t.newCursor(series.Series(q.Series))
 	res := core.SearchTreeRange(cur, q)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 
@@ -380,8 +392,7 @@ func (t *Tree) Incremental(q series.Series, eps float64) (*core.Incremental, err
 	if len(q) != t.store.Length() {
 		return nil, fmt.Errorf("dstree: query length %d != dataset length %d", len(q), t.store.Length())
 	}
-	cur := &cursor{t: t, q: q, prefix: eapca.NewPrefix(q), cache: make(map[*node][]eapca.Stat)}
-	return core.NewIncremental(cur, eps), nil
+	return core.NewIncremental(t.newCursor(q), eps), nil
 }
 
 // SearchProgressive runs an exact search that streams improving answers
@@ -393,9 +404,8 @@ func (t *Tree) SearchProgressive(q core.Query, onUpdate func(core.ProgressiveUpd
 	if len(q.Series) != t.store.Length() {
 		return core.Result{}, fmt.Errorf("dstree: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	cur := &cursor{t: t, q: q.Series, prefix: eapca.NewPrefix(q.Series), cache: make(map[*node][]eapca.Stat)}
+	cur := t.newCursor(q.Series)
 	res := core.SearchTreeProgressive(cur, q, onUpdate)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }

@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+// BenchmarkWorkloadThroughput compares serial and parallel execution of a
+// 100-query in-memory workload. The serial scan is the paper's baseline and
+// the most CPU-bound method, so it shows the executor's scaling cleanly:
+// workers=4 should deliver well over 1.5x the workload throughput of
+// workers=1 on any multi-core machine.
+func BenchmarkWorkloadThroughput(b *testing.B) {
+	cfg := SuiteConfig{N: 2000, Length: 128, Queries: 100, K: 10, Seed: 42, HistogramPairs: 1000, Workers: 1}
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, method := range []string{"SerialScan", "DSTree", "VA+file"} {
+		built, err := BuildMethod(method, w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", method, workers), func(b *testing.B) {
+				var qps float64
+				for i := 0; i < b.N; i++ {
+					out, err := ParallelRun(built.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					qps = float64(w.Queries.Size()) / out.WallSeconds
+				}
+				b.ReportMetric(qps, "queries/s")
+			})
+		}
+	}
+}

@@ -32,11 +32,31 @@ type SuiteConfig struct {
 	// HistogramPairs is the sample size for the r_δ histogram (paper: 100K
 	// sample).
 	HistogramPairs int
+	// Workers is the query-execution fan-out passed to ParallelRun. 0 (the
+	// zero value) and 1 both reproduce the paper's serial measurement, so
+	// existing SuiteConfig literals stay serial; negative means all cores.
+	// Parallel runs change wall-clock-derived numbers (throughput, and —
+	// because a descheduled query still accrues wall time — per-query
+	// modelled seconds under CPU oversubscription) but never accuracy
+	// metrics, neighbours or I/O counters — except for ADS+, whose
+	// query-order-dependent index refinement makes those columns vary with
+	// scheduling; keep Workers serial when reproducing ADS+ rows.
+	Workers int
+}
+
+// runOptions maps the suite's Workers knob onto RunOptions: the zero value
+// stays serial (unlike RunOptions, where 0 means all cores).
+func (c SuiteConfig) runOptions() RunOptions {
+	w := c.Workers
+	if w == 0 {
+		w = 1
+	}
+	return RunOptions{Workers: w}
 }
 
 // DefaultSuite returns the laptop-scale configuration.
 func DefaultSuite() SuiteConfig {
-	return SuiteConfig{N: 4000, Length: 128, Queries: 20, K: 10, Seed: 42, HistogramPairs: 4000}
+	return SuiteConfig{N: 4000, Length: 128, Queries: 20, K: 10, Seed: 42, HistogramPairs: 4000, Workers: 1}
 }
 
 // MethodNames lists every method the suite can build.
@@ -308,7 +328,7 @@ func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []str
 			return nil, err
 		}
 		for _, plan := range queryPlans(name, ng) {
-			out, err := Run(b.Method, w, plan.Query, model)
+			out, err := ParallelRun(b.Method, w, plan.Query, model, cfg.runOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -434,7 +454,7 @@ func Fig5(cfg SuiteConfig) (*Table, error) {
 		plans := queryPlans(name, supportsNG(name))
 		// One mid-sweep configuration per method keeps the table readable.
 		plan := plans[len(plans)/2]
-		out, err := Run(b.Method, w, plan.Query, storage.CostModel{})
+		out, err := ParallelRun(b.Method, w, plan.Query, storage.CostModel{}, cfg.runOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -476,7 +496,7 @@ func Fig6(cfg SuiteConfig) ([]*Table, error) {
 				return nil, err
 			}
 			for _, eps := range []float64{5, 2, 1, 0.5, 0} {
-				out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model)
+				out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model, cfg.runOptions())
 				if err != nil {
 					return nil, err
 				}
@@ -512,7 +532,7 @@ func Fig7(cfg SuiteConfig) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}, model)
+				out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}, model, cfg.runOptions())
 				if err != nil {
 					return nil, err
 				}
@@ -542,14 +562,14 @@ func Fig8(cfg SuiteConfig) ([]*Table, error) {
 			return nil, err
 		}
 		for _, eps := range []float64{0, 1, 2, 3, 4, 5, 6} {
-			out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model)
+			out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: eps, Delta: 1}, model, cfg.runOptions())
 			if err != nil {
 				return nil, err
 			}
 			epsT.AddRow(name, F(eps), F(QueriesPerMinute(out.ModelSeconds, w.Queries.Size())), F(out.Metrics.MAP), F(out.Metrics.MRE))
 		}
 		for _, delta := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 1} {
-			out, err := Run(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: delta}, model)
+			out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 0, Delta: delta}, model, cfg.runOptions())
 			if err != nil {
 				return nil, err
 			}

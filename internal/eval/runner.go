@@ -3,8 +3,12 @@ package eval
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hydra/internal/core"
@@ -70,24 +74,103 @@ func QueriesPerMinute(seconds float64, queries int) float64 {
 	return float64(queries) / (seconds / 60)
 }
 
+// RunOptions configures workload execution.
+type RunOptions struct {
+	// Workers is the number of goroutines fanning queries out. 0 (or any
+	// non-positive value) selects runtime.GOMAXPROCS(0); 1 runs serially.
+	Workers int
+}
+
 // Run executes every query of the workload against the method using the
 // template query (its Series field is replaced per query) and measures
-// accuracy and cost. model may be zero-valued for in-memory runs.
+// accuracy and cost. model may be zero-valued for in-memory runs. Queries
+// run serially; it is the workers=1 special case of ParallelRun.
 func Run(m core.Method, w Workload, template core.Query, model storage.CostModel) (RunOutcome, error) {
-	out := RunOutcome{}
-	start := time.Now()
-	for qi := 0; qi < w.Queries.Size(); qi++ {
+	return ParallelRun(m, w, template, model, RunOptions{Workers: 1})
+}
+
+// ParallelRun executes the workload like Run but fans the queries across a
+// pool of opts.Workers goroutines. It relies on the core.Method concurrency
+// contract (Search safe for concurrent use); because every per-query Result
+// — neighbours, counters, I/O — is computed independently of how queries
+// interleave, the outcome is identical to a serial Run up to wall-clock
+// fields: Results keep workload order and IO/DistCalcs are exact sums, not
+// racy shared-counter reads. The one exception is ADS+, whose queries
+// refine the index as they run: its per-query counters (and, in approximate
+// modes, neighbours) depend on the order its serialised searches acquire
+// the tree, which worker scheduling makes nondeterministic.
+// PerQueryModelSeconds stays per-query, but its
+// wall-clock component includes any time a query spends descheduled while
+// other workers hold the CPU — on an oversubscribed machine parallel
+// per-query times (and the trimmed extrapolations built on them) read
+// higher than serial ones. Paper-faithful timings therefore come from
+// workers=1; parallel runs are for throughput.
+func ParallelRun(m core.Method, w Workload, template core.Query, model storage.CostModel, opts RunOptions) (RunOutcome, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := w.Queries.Size()
+	if workers > n && n > 0 {
+		workers = n
+	}
+
+	results := make([]core.Result, n)
+	perQuery := make([]float64, n)
+	runQuery := func(qi int) error {
 		q := template
 		q.Series = w.Queries.At(qi)
 		q.K = w.K
 		qStart := time.Now()
 		res, err := m.Search(q)
 		if err != nil {
-			return RunOutcome{}, fmt.Errorf("eval: %s query %d: %w", m.Name(), qi, err)
+			return fmt.Errorf("eval: %s query %d: %w", m.Name(), qi, err)
 		}
-		out.PerQueryModelSeconds = append(out.PerQueryModelSeconds,
-			time.Since(qStart).Seconds()+model.Seconds(res.IO))
-		out.Results = append(out.Results, res)
+		perQuery[qi] = time.Since(qStart).Seconds() + model.Seconds(res.IO)
+		results[qi] = res
+		return nil
+	}
+
+	start := time.Now()
+	if workers <= 1 {
+		for qi := 0; qi < n; qi++ {
+			if err := runQuery(qi); err != nil {
+				return RunOutcome{}, err
+			}
+		}
+	} else {
+		var (
+			next    atomic.Int64
+			stop    atomic.Bool
+			errOnce sync.Once
+			runErr  error
+			wg      sync.WaitGroup
+		)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					qi := int(next.Add(1)) - 1
+					if qi >= n {
+						return
+					}
+					if err := runQuery(qi); err != nil {
+						errOnce.Do(func() { runErr = err })
+						stop.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if runErr != nil {
+			return RunOutcome{}, runErr
+		}
+	}
+
+	out := RunOutcome{Results: results, PerQueryModelSeconds: perQuery}
+	for _, res := range results {
 		out.IO = out.IO.Add(res.IO)
 		out.DistCalcs += res.DistCalcs
 	}
@@ -158,14 +241,21 @@ func (t *Table) String() string {
 }
 
 // SortRowsBy sorts rows by the given column index, numerically when both
-// cells parse as floats, lexicographically otherwise.
+// cells parse fully as floats, lexicographically otherwise. Rows too short
+// to have the column sort as if the cell were empty (a partial-parse cell
+// like "12abc" is NOT numeric).
 func (t *Table) SortRowsBy(col int) {
+	cell := func(row []string) string {
+		if col < 0 || col >= len(row) {
+			return ""
+		}
+		return row[col]
+	}
 	sort.SliceStable(t.Rows, func(i, j int) bool {
-		a, b := t.Rows[i][col], t.Rows[j][col]
-		var fa, fb float64
-		na, errA := fmt.Sscanf(a, "%g", &fa)
-		nb, errB := fmt.Sscanf(b, "%g", &fb)
-		if na == 1 && nb == 1 && errA == nil && errB == nil {
+		a, b := cell(t.Rows[i]), cell(t.Rows[j])
+		fa, errA := strconv.ParseFloat(a, 64)
+		fb, errB := strconv.ParseFloat(b, 64)
+		if errA == nil && errB == nil {
 			return fa < fb
 		}
 		return a < b

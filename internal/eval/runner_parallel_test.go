@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func equivalenceWorkload(t testing.TB) (Workload, SuiteConfig) {
+	cfg := SuiteConfig{N: 600, Length: 32, Queries: 24, K: 5, Seed: 7, HistogramPairs: 600, Workers: 1}
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	return w, cfg
+}
+
+// TestParallelRunMatchesSerial pins the tentpole guarantee: fanning a
+// workload across workers yields exactly the serial outcome — identical
+// per-query Results (neighbours, counters, I/O), identical metrics, and
+// identical summed IO/DistCalcs — for methods spanning the scan, tree, VA
+// and graph families.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	w, cfg := equivalenceWorkload(t)
+	cases := []struct {
+		method   string
+		template core.Query
+	}{
+		{"SerialScan", core.Query{Mode: core.ModeExact}},
+		{"DSTree", core.Query{Mode: core.ModeExact}},
+		{"VA+file", core.Query{Mode: core.ModeExact}},
+		{"iSAX2+", core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}},
+		{"HNSW", core.Query{Mode: core.ModeNG, NProbe: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method, func(t *testing.T) {
+			b, err := BuildMethod(tc.method, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := Run(b.Method, w, tc.template, storage.DefaultCostModel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := ParallelRun(b.Method, w, tc.template, storage.DefaultCostModel(), RunOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial.Results, parallel.Results) {
+				t.Fatalf("per-query results diverge between serial and parallel runs")
+			}
+			if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
+				t.Fatalf("metrics diverge: serial %+v parallel %+v", serial.Metrics, parallel.Metrics)
+			}
+			if serial.IO != parallel.IO {
+				t.Fatalf("summed IO diverges: serial %+v parallel %+v", serial.IO, parallel.IO)
+			}
+			if serial.DistCalcs != parallel.DistCalcs {
+				t.Fatalf("summed DistCalcs diverge: serial %d parallel %d", serial.DistCalcs, parallel.DistCalcs)
+			}
+		})
+	}
+}
+
+// TestParallelRunADSPlus exercises the one method whose queries mutate the
+// index (adaptive splitting): searches serialise internally, so a parallel
+// run must stay race-free and still answer every query.
+func TestParallelRunADSPlus(t *testing.T) {
+	w, cfg := equivalenceWorkload(t)
+	b, err := BuildMethod("ADS+", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != w.Queries.Size() {
+		t.Fatalf("got %d results, want %d", len(out.Results), w.Queries.Size())
+	}
+	if out.Metrics.AvgRecall < 0.999 {
+		t.Fatalf("exact adaptive search recall %v, want 1", out.Metrics.AvgRecall)
+	}
+}
+
+// TestParallelRunDefaultWorkers checks the 0 => GOMAXPROCS default and that
+// worker counts above the workload size are harmless.
+func TestParallelRunDefaultWorkers(t *testing.T) {
+	w, cfg := equivalenceWorkload(t)
+	b, err := BuildMethod("SerialScan", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 64} {
+		out, err := ParallelRun(b.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Results) != w.Queries.Size() {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out.Results), w.Queries.Size())
+		}
+	}
+}
+
+// overlapMethod is a core.Method stub that records how many searches are
+// in flight simultaneously, proving the executor genuinely overlaps queries
+// (wall-clock speedups need multiple cores, which CI may not have; overlap
+// it must show regardless).
+type overlapMethod struct {
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+func (m *overlapMethod) Name() string     { return "overlap-probe" }
+func (m *overlapMethod) Footprint() int64 { return 0 }
+
+func (m *overlapMethod) Search(q core.Query) (core.Result, error) {
+	cur := m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	for {
+		p := m.peak.Load()
+		if cur <= p || m.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // give other workers time to enter
+	return core.Result{}, nil
+}
+
+func TestParallelRunOverlapsQueries(t *testing.T) {
+	w, _ := equivalenceWorkload(t)
+	m := &overlapMethod{}
+	if _, err := ParallelRun(m, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if peak := m.peak.Load(); peak < 2 {
+		t.Fatalf("peak concurrent searches %d, want >= 2", peak)
+	}
+	m = &overlapMethod{}
+	if _, err := Run(m, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}); err != nil {
+		t.Fatal(err)
+	}
+	if peak := m.peak.Load(); peak != 1 {
+		t.Fatalf("serial run peak concurrency %d, want 1", peak)
+	}
+}
+
+// TestParallelRunError: a failing query surfaces as an error (not a hang or
+// partial outcome), whatever worker observes it first.
+func TestParallelRunError(t *testing.T) {
+	w, cfg := equivalenceWorkload(t)
+	b, err := BuildMethod("SerialScan", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.Queries = dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 8, Length: w.Data.Length() * 2, Seed: 11})
+	_, err = ParallelRun(b.Method, bad, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("expected an error for mismatched query length")
+	}
+	if !strings.Contains(err.Error(), "query") {
+		t.Fatalf("error %q does not identify the failing query", err)
+	}
+}
+
+func TestTrimmedExtrapolateEdgeCases(t *testing.T) {
+	if got := TrimmedExtrapolate(nil, 100); got != 0 {
+		t.Fatalf("empty input: got %v, want 0", got)
+	}
+	if got := TrimmedExtrapolate([]float64{}, 100); got != 0 {
+		t.Fatalf("empty slice: got %v, want 0", got)
+	}
+	// n = 1: nothing to trim, the single measurement scales directly.
+	if got, want := TrimmedExtrapolate([]float64{0.5}, 10), 5.0; got != want {
+		t.Fatalf("n=1: got %v, want %v", got, want)
+	}
+	// n = 2: still nothing to trim, scale the mean.
+	if got, want := TrimmedExtrapolate([]float64{1, 3}, 10), 20.0; got != want {
+		t.Fatalf("n=2: got %v, want %v", got, want)
+	}
+	// n = 3: one measurement trimmed from each end leaves the median.
+	if got, want := TrimmedExtrapolate([]float64{100, 2, 0.001}, 10), 20.0; got != want {
+		t.Fatalf("n=3: got %v, want %v", got, want)
+	}
+}
+
+func TestSortRowsByRaggedAndPartialCells(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x", "10")
+	tb.AddRow("y") // ragged: no column 1
+	tb.AddRow("z", "2")
+	tb.SortRowsBy(1) // must not panic
+	if tb.Rows[0][0] != "y" || tb.Rows[1][1] != "2" || tb.Rows[2][1] != "10" {
+		t.Fatalf("ragged sort order wrong: %v", tb.Rows)
+	}
+
+	tb = &Table{Columns: []string{"v"}}
+	tb.AddRow("12abc") // partial parse must NOT count as numeric
+	tb.AddRow("3")
+	tb.SortRowsBy(0)
+	if tb.Rows[0][0] != "12abc" {
+		t.Fatalf("partial-parse cell sorted numerically: %v", tb.Rows)
+	}
+
+	tb = &Table{Columns: []string{"v"}}
+	tb.AddRow("10")
+	tb.AddRow("9")
+	tb.AddRow("0.5")
+	tb.SortRowsBy(0)
+	if tb.Rows[0][0] != "0.5" || tb.Rows[1][0] != "9" || tb.Rows[2][0] != "10" {
+		t.Fatalf("numeric sort wrong: %v", tb.Rows)
+	}
+}

@@ -83,12 +83,11 @@ type kmNode struct {
 
 // Index is a FLANN-style ensemble index.
 type Index struct {
-	data      *series.Dataset
-	cfg       Config
-	chosen    Algorithm // resolved algorithm after auto-tune
-	kd        []*kdNode
-	km        *kmNode
-	distCalcs int64
+	data   *series.Dataset
+	cfg    Config
+	chosen Algorithm // resolved algorithm after auto-tune
+	kd     []*kdNode
+	km     *kmNode
 }
 
 // Build constructs the index.
@@ -255,15 +254,15 @@ func (idx *Index) autoTune(rng *rand.Rand) Algorithm {
 	}
 	score := func(algo Algorithm) (recall float64, work int64) {
 		hits := 0
-		idx.distCalcs = 0
+		var calcs int64
 		for s := 0; s < samples; s++ {
 			qid := rng.Intn(n)
 			q := idx.data.At(qid)
 			var got []core.Neighbor
 			if algo == AlgoKDTrees {
-				got = idx.searchKD(q, 2, budget)
+				got = idx.searchKD(q, 2, budget, &calcs)
 			} else {
-				got = idx.searchKM(q, 2, budget)
+				got = idx.searchKM(q, 2, budget, &calcs)
 			}
 			// True 1-NN excluding the query point itself.
 			best, bestD := -1, math.Inf(1)
@@ -282,7 +281,7 @@ func (idx *Index) autoTune(rng *rand.Rand) Algorithm {
 				}
 			}
 		}
-		return float64(hits) / float64(samples), idx.distCalcs
+		return float64(hits) / float64(samples), calcs
 	}
 	kdRecall, kdWork := score(AlgoKDTrees)
 	kmRecall, kmWork := score(AlgoKMeans)
@@ -364,8 +363,9 @@ func (q *branchQueue) Pop() interface{} {
 }
 
 // searchKD performs the FLANN multi-tree priority search with a bound on
-// examined points ("checks").
-func (idx *Index) searchKD(q series.Series, k, checks int) []core.Neighbor {
+// examined points ("checks"). calcs is the caller's distance-computation
+// tally: per-call state, so concurrent searches never share a counter.
+func (idx *Index) searchKD(q series.Series, k, checks int, calcs *int64) []core.Neighbor {
 	kset := core.NewKNNSet(k)
 	pq := &branchQueue{}
 	heap.Init(pq)
@@ -387,7 +387,7 @@ func (idx *Index) searchKD(q series.Series, k, checks int) []core.Neighbor {
 			if examined >= checks && kset.Full() {
 				return
 			}
-			idx.distCalcs++
+			*calcs++
 			examined++
 			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
 		}
@@ -407,7 +407,7 @@ func (idx *Index) searchKD(q series.Series, k, checks int) []core.Neighbor {
 }
 
 // searchKM performs the hierarchical k-means priority search.
-func (idx *Index) searchKM(q series.Series, k, checks int) []core.Neighbor {
+func (idx *Index) searchKM(q series.Series, k, checks int, calcs *int64) []core.Neighbor {
 	kset := core.NewKNNSet(k)
 	pq := &branchQueue{}
 	heap.Init(pq)
@@ -426,7 +426,7 @@ func (idx *Index) searchKM(q series.Series, k, checks int) []core.Neighbor {
 			best, bestD := 0, math.Inf(1)
 			for i, c := range n.children {
 				d := centerDist(c)
-				idx.distCalcs++
+				*calcs++
 				if d < bestD {
 					best, bestD = i, d
 				}
@@ -442,7 +442,7 @@ func (idx *Index) searchKM(q series.Series, k, checks int) []core.Neighbor {
 			if examined >= checks && kset.Full() {
 				return
 			}
-			idx.distCalcs++
+			*calcs++
 			examined++
 			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
 		}
@@ -471,12 +471,12 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	if checks < q.K {
 		checks = q.K
 	}
-	idx.distCalcs = 0
+	var calcs int64
 	var nbrs []core.Neighbor
 	if idx.chosen == AlgoKMeans {
-		nbrs = idx.searchKM(q.Series, q.K, checks)
+		nbrs = idx.searchKM(q.Series, q.K, checks, &calcs)
 	} else {
-		nbrs = idx.searchKD(q.Series, q.K, checks)
+		nbrs = idx.searchKD(q.Series, q.K, checks, &calcs)
 	}
-	return core.Result{Neighbors: nbrs, DistCalcs: idx.distCalcs, LeavesVisited: checks}, nil
+	return core.Result{Neighbors: nbrs, DistCalcs: calcs, LeavesVisited: checks}, nil
 }

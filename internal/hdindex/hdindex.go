@@ -161,7 +161,7 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != idx.store.Length() {
 		return core.Result{}, fmt.Errorf("hdindex: query length %d != dataset length %d", len(q.Series), idx.store.Length())
 	}
-	before := idx.store.Accountant().Snapshot()
+	st := idx.store.View()
 	res := core.Result{}
 
 	// Gather candidates from a window around the query key per partition.
@@ -202,7 +202,12 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		}
 		cands = append(cands, scored{id: id, bound: bound})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].bound != cands[b].bound {
+			return cands[a].bound < cands[b].bound
+		}
+		return cands[a].id < cands[b].id // ties: deterministic despite map iteration order
+	})
 
 	// Refine the best candidates against raw (charged) data.
 	refine := q.K * idx.cfg.RefineFactor
@@ -211,7 +216,7 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	}
 	kset := core.NewKNNSet(q.K)
 	for _, c := range cands[:refine] {
-		raw := idx.store.Read(c.id)
+		raw := st.Read(c.id)
 		lim := kset.Worst()
 		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
 		res.DistCalcs++
@@ -222,6 +227,6 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		kset.Offer(c.id, d)
 	}
 	res.Neighbors = kset.Sorted()
-	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	res.IO = st.Accountant().Snapshot()
 	return res, nil
 }

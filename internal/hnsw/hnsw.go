@@ -56,15 +56,14 @@ func (c Config) validate() error {
 
 // Graph is an HNSW index.
 type Graph struct {
-	data      *series.Dataset
-	cfg       Config
-	mL        float64
-	rng       *rand.Rand
-	entry     int
-	top       int       // highest layer in use
-	links     [][][]int // links[level][node] = neighbour ids (nil above node's level)
-	level     []int     // level of each node
-	distCalcs int64
+	data  *series.Dataset
+	cfg   Config
+	mL    float64
+	rng   *rand.Rand
+	entry int
+	top   int       // highest layer in use
+	links [][][]int // links[level][node] = neighbour ids (nil above node's level)
+	level []int     // level of each node
 }
 
 // Build constructs the graph over the dataset.
@@ -111,12 +110,14 @@ func (g *Graph) Footprint() int64 {
 }
 
 func (g *Graph) dist(a, b int) float64 {
-	g.distCalcs++
 	return series.SquaredDist(g.data.At(a), g.data.At(b))
 }
 
-func (g *Graph) distTo(q series.Series, id int) float64 {
-	g.distCalcs++
+// distTo computes the query-to-node distance, tallying it into the caller's
+// counter. Counters are per-call state (never fields on the shared graph)
+// so concurrent searches do not race.
+func (g *Graph) distTo(q series.Series, id int, calcs *int64) float64 {
+	*calcs++
 	return series.SquaredDist(q, g.data.At(id))
 }
 
@@ -202,7 +203,7 @@ func (h *itemHeap) len() int       { return len(h.items) }
 
 // searchLayer runs the beam search at one layer from the given entry
 // points, returning up to ef closest candidates (squared distances).
-func (g *Graph) searchLayer(q series.Series, entries []heapItem, ef, layer int) []heapItem {
+func (g *Graph) searchLayer(q series.Series, entries []heapItem, ef, layer int, calcs *int64) []heapItem {
 	visited := make(map[int]struct{}, ef*4)
 	candidates := &itemHeap{} // min-heap by distance
 	best := &itemHeap{max: true}
@@ -227,7 +228,7 @@ func (g *Graph) searchLayer(q series.Series, entries []heapItem, ef, layer int) 
 				continue
 			}
 			visited[nb] = struct{}{}
-			d := g.distTo(q, nb)
+			d := g.distTo(q, nb, calcs)
 			if best.len() < ef || d < best.peek().d {
 				candidates.push(heapItem{id: nb, d: d})
 				best.push(heapItem{id: nb, d: d})
@@ -293,10 +294,11 @@ func (g *Graph) insert(id int) {
 		return
 	}
 	q := g.data.At(id)
-	ep := []heapItem{{id: g.entry, d: g.distTo(q, g.entry)}}
+	var buildCalcs int64 // build-time tally, discarded
+	ep := []heapItem{{id: g.entry, d: g.distTo(q, g.entry, &buildCalcs)}}
 	// Greedy descent through layers above l.
 	for layer := g.top; layer > l; layer-- {
-		ep = g.searchLayer(q, ep, 1, layer)
+		ep = g.searchLayer(q, ep, 1, layer, &buildCalcs)
 	}
 	// Insert into layers min(l, top)..0.
 	start := l
@@ -304,7 +306,7 @@ func (g *Graph) insert(id int) {
 		start = g.top
 	}
 	for layer := start; layer >= 0; layer-- {
-		cands := g.searchLayer(q, ep, g.cfg.EFConstruction, layer)
+		cands := g.searchLayer(q, ep, g.cfg.EFConstruction, layer, &buildCalcs)
 		m := g.cfg.M
 		nbrs := g.selectNeighbors(id, cands, m)
 		g.links[layer][id] = nbrs
@@ -358,13 +360,13 @@ func (g *Graph) Search(q core.Query) (core.Result, error) {
 	if q.K > ef {
 		ef = q.K
 	}
-	g.distCalcs = 0
-	ep := []heapItem{{id: g.entry, d: g.distTo(q.Series, g.entry)}}
+	var calcs int64
+	ep := []heapItem{{id: g.entry, d: g.distTo(q.Series, g.entry, &calcs)}}
 	for layer := g.top; layer > 0; layer-- {
-		ep = g.searchLayer(q.Series, ep, 1, layer)
+		ep = g.searchLayer(q.Series, ep, 1, layer, &calcs)
 	}
-	found := g.searchLayer(q.Series, ep, ef, 0)
-	res := core.Result{DistCalcs: g.distCalcs, LeavesVisited: len(found)}
+	found := g.searchLayer(q.Series, ep, ef, 0, &calcs)
+	res := core.Result{DistCalcs: calcs, LeavesVisited: len(found)}
 	k := q.K
 	if k > len(found) {
 		k = len(found)

@@ -17,6 +17,7 @@ package isax
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hydra/internal/core"
 	"hydra/internal/series"
@@ -87,6 +88,11 @@ type Tree struct {
 
 	nodeCount int
 	leafCount int
+
+	// adaptMu serialises query-time tree refinement in adaptive (ADS+)
+	// mode: queries split the leaves they visit, so adaptive searches
+	// cannot overlap. Non-adaptive searches never take it.
+	adaptMu sync.Mutex
 }
 
 // Build constructs an iSAX2+ index over every series in the store.
@@ -246,11 +252,30 @@ func (t *Tree) split(n *node) {
 	t.leafCount++
 }
 
-// cursor adapts a query to the generic engine.
+// cursor adapts a query to the generic engine. Per-query state (the query
+// PAA and the I/O-accounting store view) lives here, making Tree.Search
+// safe for concurrent use; in adaptive (ADS+) mode Search additionally
+// serialises on Tree.adaptMu because queries refine the shared tree.
 type cursor struct {
-	t  *Tree
-	q  series.Series
-	qp []float64 // query PAA
+	t     *Tree
+	store *storage.SeriesStore // per-query accounting view
+	q     series.Series
+	qp    []float64 // query PAA
+}
+
+// newCursor opens a per-query cursor over a private store view.
+func (t *Tree) newCursor(q series.Series) *cursor {
+	return &cursor{t: t, store: t.store.View(), q: q, qp: paa.Transform(q, t.cfg.Segments)}
+}
+
+// lockAdaptive takes the refinement mutex in adaptive mode; the returned
+// function releases it (a no-op otherwise).
+func (t *Tree) lockAdaptive() func() {
+	if t.cfg.AdaptiveLeafCapacity > 0 {
+		t.adaptMu.Lock()
+		return t.adaptMu.Unlock
+	}
+	return func() {}
 }
 
 // Roots implements core.TreeCursor.
@@ -290,7 +315,7 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 // ScanLeaf implements core.TreeCursor.
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
-	raw := c.t.store.ReadLeafCluster(n.ids)
+	raw := c.store.ReadLeafCluster(n.ids)
 	for i, s := range raw {
 		lim := limit()
 		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
@@ -310,10 +335,10 @@ func (t *Tree) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.Result{}, fmt.Errorf("isax: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	cur := &cursor{t: t, q: q.Series, qp: paa.Transform(q.Series, t.cfg.Segments)}
+	defer t.lockAdaptive()()
+	cur := t.newCursor(q.Series)
 	res := core.SearchTree(cur, q, t.hist, t.size)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 
@@ -326,22 +351,22 @@ func (t *Tree) SearchRange(q core.RangeQuery) (core.RangeResult, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.RangeResult{}, fmt.Errorf("isax: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	s := series.Series(q.Series)
-	cur := &cursor{t: t, q: s, qp: paa.Transform(s, t.cfg.Segments)}
+	defer t.lockAdaptive()()
+	cur := t.newCursor(series.Series(q.Series))
 	res := core.SearchTreeRange(cur, q)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 
 // Incremental starts an incremental neighbour iteration (exact order when
-// eps is 0); see core.Incremental.
+// eps is 0); see core.Incremental. Unlike Search, the returned iterator is
+// not covered by the concurrency contract in adaptive (ADS+) mode: it pulls
+// from the tree lazily and must not overlap with other queries there.
 func (t *Tree) Incremental(q series.Series, eps float64) (*core.Incremental, error) {
 	if len(q) != t.store.Length() {
 		return nil, fmt.Errorf("isax: query length %d != dataset length %d", len(q), t.store.Length())
 	}
-	cur := &cursor{t: t, q: q, qp: paa.Transform(q, t.cfg.Segments)}
-	return core.NewIncremental(cur, eps), nil
+	return core.NewIncremental(t.newCursor(q), eps), nil
 }
 
 // SearchProgressive runs an exact search that streams improving answers
@@ -353,10 +378,10 @@ func (t *Tree) SearchProgressive(q core.Query, onUpdate func(core.ProgressiveUpd
 	if len(q.Series) != t.store.Length() {
 		return core.Result{}, fmt.Errorf("isax: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	cur := &cursor{t: t, q: q.Series, qp: paa.Transform(q.Series, t.cfg.Segments)}
+	defer t.lockAdaptive()()
+	cur := t.newCursor(q.Series)
 	res := core.SearchTreeProgressive(cur, q, onUpdate)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 

@@ -215,10 +215,17 @@ func (t *Tree) Footprint() int64 {
 	return total
 }
 
-// cursor adapts a query to the generic engine.
+// cursor adapts a query to the generic engine. The per-query store view
+// keeps I/O accounting independent across concurrent searches.
 type cursor struct {
-	t *Tree
-	q series.Series
+	t     *Tree
+	store *storage.SeriesStore
+	q     series.Series
+}
+
+// newCursor opens a per-query cursor over a private store view.
+func (t *Tree) newCursor(q series.Series) *cursor {
+	return &cursor{t: t, store: t.store.View(), q: q}
 }
 
 // Roots implements core.TreeCursor.
@@ -254,7 +261,7 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 // ScanLeaf implements core.TreeCursor.
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
-	raw := c.t.store.ReadLeafCluster(n.ids)
+	raw := c.store.ReadLeafCluster(n.ids)
 	for i, s := range raw {
 		lim := limit()
 		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
@@ -274,9 +281,9 @@ func (t *Tree) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.Result{}, fmt.Errorf("mtree: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	res := core.SearchTree(&cursor{t: t, q: q.Series}, q, t.hist, t.Size())
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	cur := t.newCursor(q.Series)
+	res := core.SearchTree(cur, q, t.hist, t.Size())
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }
 
@@ -289,8 +296,8 @@ func (t *Tree) SearchRange(q core.RangeQuery) (core.RangeResult, error) {
 	if len(q.Series) != t.store.Length() {
 		return core.RangeResult{}, fmt.Errorf("mtree: query length %d != dataset length %d", len(q.Series), t.store.Length())
 	}
-	before := t.store.Accountant().Snapshot()
-	res := core.SearchTreeRange(&cursor{t: t, q: q.Series}, q)
-	res.IO = t.store.Accountant().Snapshot().Sub(before)
+	cur := t.newCursor(series.Series(q.Series))
+	res := core.SearchTreeRange(cur, q)
+	res.IO = cur.store.Accountant().Snapshot()
 	return res, nil
 }

@@ -139,8 +139,8 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != idx.store.Length() {
 		return core.Result{}, fmt.Errorf("qalsh: query length %d != dataset length %d", len(q.Series), idx.store.Length())
 	}
-	before := idx.store.Accountant().Snapshot()
-	n := idx.store.Size()
+	st := idx.store.View()
+	n := st.Size()
 
 	budget := int(idx.cfg.BetaFraction * float64(n))
 	if q.Mode == core.ModeNG {
@@ -176,7 +176,7 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 			return
 		}
 		examined[id] = struct{}{}
-		raw := idx.store.Read(id)
+		raw := st.Read(id)
 		res.LeavesVisited++
 		lim := kset.Worst()
 		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
@@ -257,6 +257,6 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	}
 
 	res.Neighbors = kset.Sorted()
-	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	res.IO = st.Accountant().Snapshot()
 	return res, nil
 }

@@ -35,7 +35,8 @@ func (s *Scan) Footprint() int64 { return 0 }
 
 // Search answers the query exactly, regardless of the requested mode (a
 // serial scan has no approximate fast path; exact answers trivially satisfy
-// every guarantee). It charges one sequential pass over the store.
+// every guarantee). It charges one sequential pass over the store and is
+// safe for concurrent use: each call accounts I/O on a private store view.
 func (s *Scan) Search(q core.Query) (core.Result, error) {
 	if err := q.Validate(); err != nil {
 		return core.Result{}, fmt.Errorf("scan: %w", err)
@@ -43,10 +44,10 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != s.store.Length() {
 		return core.Result{}, fmt.Errorf("scan: query length %d != dataset length %d", len(q.Series), s.store.Length())
 	}
-	before := s.store.Accountant().Snapshot()
+	st := s.store.View()
 	kset := core.NewKNNSet(q.K)
 	res := core.Result{}
-	n := s.store.Size()
+	n := st.Size()
 	// One sequential pass: charge it as a range read in chunks so the
 	// accountant sees a scan, then compute distances on the views.
 	const chunk = 4096
@@ -55,7 +56,7 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 		if hi > n {
 			hi = n
 		}
-		block := s.store.ReadRange(lo, hi)
+		block := st.ReadRange(lo, hi)
 		for i := 0; i < block.Size(); i++ {
 			limit := kset.Worst()
 			d2 := series.SquaredDistEarlyAbandon(q.Series, block.At(i), limit*limit)
@@ -66,7 +67,7 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 		}
 	}
 	res.Neighbors = kset.Sorted()
-	res.IO = s.store.Accountant().Snapshot().Sub(before)
+	res.IO = st.Accountant().Snapshot()
 	return res, nil
 }
 

@@ -101,7 +101,7 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != idx.store.Length() {
 		return core.Result{}, fmt.Errorf("srs: query length %d != dataset length %d", len(q.Series), idx.store.Length())
 	}
-	before := idx.store.Accountant().Snapshot()
+	st := idx.store.View()
 	qp := idx.projector.Project(q.Series)
 
 	n := len(idx.projected)
@@ -147,7 +147,7 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		if rank >= budget && kset.Full() {
 			break
 		}
-		raw := idx.store.Read(c.id)
+		raw := st.Read(c.id)
 		res.LeavesVisited++
 		lim := kset.Worst()
 		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
@@ -176,6 +176,6 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		}
 	}
 	res.Neighbors = kset.Sorted()
-	res.IO = idx.store.Accountant().Snapshot().Sub(before)
+	res.IO = st.Accountant().Snapshot()
 	return res, nil
 }

@@ -173,6 +173,21 @@ func NewSeriesStore(data *series.Dataset, pageBytes int64) *SeriesStore {
 // Accountant exposes the store's accountant.
 func (s *SeriesStore) Accountant() *Accountant { return s.acct }
 
+// View returns a store that shares s's data and page geometry but charges
+// accesses to its own fresh Accountant. Methods open one view per query so
+// that concurrent searches account their I/O independently: the per-query
+// seek/sequential classification then depends only on the query's own access
+// pattern, never on how queries interleave.
+func (s *SeriesStore) View() *SeriesStore {
+	return &SeriesStore{
+		data:          s.data,
+		acct:          NewAccountant(),
+		pageBytes:     s.pageBytes,
+		seriesPerPage: s.seriesPerPage,
+		seriesBytes:   s.seriesBytes,
+	}
+}
+
 // Size returns the number of series in the store.
 func (s *SeriesStore) Size() int { return s.data.Size() }
 

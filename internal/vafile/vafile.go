@@ -185,7 +185,9 @@ func (f *File) lowerBound(qc []float64, i int) float64 {
 	return math.Sqrt(acc)
 }
 
-// Search implements core.Method.
+// Search implements core.Method. It is safe for concurrent use: the
+// approximation file is read-only at query time and raw-data I/O is
+// accounted on a per-query store view.
 func (f *File) Search(q core.Query) (core.Result, error) {
 	if err := q.Validate(); err != nil {
 		return core.Result{}, fmt.Errorf("vafile: %w", err)
@@ -193,7 +195,7 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 	if len(q.Series) != f.store.Length() {
 		return core.Result{}, fmt.Errorf("vafile: query length %d != dataset length %d", len(q.Series), f.store.Length())
 	}
-	before := f.store.Accountant().Snapshot()
+	st := f.store.View()
 	qc := dft.Coefficients(q.Series, f.cfg.Coeffs)
 
 	// Phase 1: lower bounds from the in-memory approximation file.
@@ -228,7 +230,7 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 		if q.Mode == core.ModeNG && res.LeavesVisited >= q.NProbe {
 			break
 		}
-		raw := f.store.Read(c.id)
+		raw := st.Read(c.id)
 		res.LeavesVisited++ // for VA+file, a "leaf" is one raw series visit
 		lim := kset.Worst()
 		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
@@ -243,6 +245,6 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 		}
 	}
 	res.Neighbors = kset.Sorted()
-	res.IO = f.store.Accountant().Snapshot().Sub(before)
+	res.IO = st.Accountant().Snapshot()
 	return res, nil
 }
