@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke fmt
+.PHONY: all build vet test race bench-smoke persist-smoke fmt
 
-all: fmt vet build test race bench-smoke
+all: fmt vet build test race bench-smoke persist-smoke
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,28 @@ vet:
 test:
 	$(GO) test ./...
 
-# Pins the Method.Search concurrency contract and the parallel executor.
+# Pins the Method.Search concurrency contract, the parallel executor and
+# the index catalog.
 race:
-	$(GO) test -race ./internal/eval/... ./internal/core/...
+	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/...
+
+# End-to-end build-once/query-many check: build + save an index through
+# hydra-query -index-dir, then reload it in a second run (must be a cache
+# hit) and verify the answers are identical.
+persist-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) run ./cmd/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$(GO) run ./cmd/hydra-gen -kind walk -n 4 -seed 5 -queries-for $$dir/data.bin -out $$dir/queries.bin >/dev/null; \
+	$(GO) run ./cmd/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method DSTree -mode exact -k 5 -workers 1 -index-dir $$dir/idx > $$dir/cold.txt; \
+	grep -q "catalog miss: DSTree" $$dir/cold.txt || { echo "persist-smoke: cold run did not report a miss"; cat $$dir/cold.txt; exit 1; }; \
+	$(GO) run ./cmd/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method DSTree -mode exact -k 5 -workers 1 -index-dir $$dir/idx > $$dir/warm.txt; \
+	grep -q "catalog hit: DSTree" $$dir/warm.txt || { echo "persist-smoke: warm run did not hit the catalog"; cat $$dir/warm.txt; exit 1; }; \
+	grep -E "^(query|workload:)" $$dir/cold.txt > $$dir/cold-q.txt; \
+	grep -E "^(query|workload:)" $$dir/warm.txt > $$dir/warm-q.txt; \
+	diff $$dir/cold-q.txt $$dir/warm-q.txt || { echo "persist-smoke: loaded index answered differently"; exit 1; }; \
+	echo "persist-smoke OK"
 
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:

@@ -27,6 +27,8 @@ func main() {
 		k          = flag.Int("k", 10, "neighbours per query")
 		seed       = flag.Int64("seed", 42, "master seed")
 		workers    = flag.Int("workers", 1, "concurrent query workers per workload (0 = all cores); >1 speeds up wall clock but skews the paper's timing columns, accuracy is unaffected")
+		buildWork  = flag.Int("build-workers", 1, "concurrent index builds per workload (0 = all cores); >1 speeds up wall clock but skews the paper's build-time columns, the indexes are unaffected")
+		indexDir   = flag.String("index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs (reported build times become load times on cache hits)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,14 @@ func main() {
 	cfg.Workers = *workers
 	if *workers == 0 {
 		cfg.Workers = -1 // SuiteConfig reserves 0 for "serial" (its zero value)
+	}
+	cfg.BuildWorkers = *buildWork
+	if *buildWork == 0 {
+		cfg.BuildWorkers = -1 // same convention as Workers
+	}
+	cfg.IndexDir = *indexDir
+	if *indexDir != "" {
+		cfg.BuildLog = os.Stderr
 	}
 
 	if err := run(strings.ToLower(*experiment), cfg); err != nil {
@@ -67,12 +77,19 @@ func run(experiment string, cfg eval.SuiteConfig) error {
 		return nil
 	}
 	sizes := []int{cfg.N / 4, cfg.N / 2, cfg.N, cfg.N * 2}
+	// Fig2 indexes every registered method except the index-free scan.
+	fig2Methods := make([]string, 0, len(eval.MethodNames))
+	for _, name := range eval.MethodNames {
+		if name != "SerialScan" {
+			fig2Methods = append(fig2Methods, name)
+		}
+	}
 
 	switch experiment {
 	case "table1":
 		return printOne(eval.Table1(), nil)
 	case "fig2":
-		t, err := eval.Fig2(cfg, sizes, eval.MethodNames[:len(eval.MethodNames)-1])
+		t, err := eval.Fig2(cfg, sizes, fig2Methods)
 		return printAll(t, err)
 	case "fig3":
 		t, err := eval.Fig3(cfg)
@@ -96,7 +113,7 @@ func run(experiment string, cfg eval.SuiteConfig) error {
 		if err := printOne(eval.Table1(), nil); err != nil {
 			return err
 		}
-		if t, err := eval.Fig2(cfg, sizes, eval.MethodNames[:len(eval.MethodNames)-1]); err != nil {
+		if t, err := eval.Fig2(cfg, sizes, fig2Methods); err != nil {
 			return err
 		} else if err := printAll(t, nil); err != nil {
 			return err

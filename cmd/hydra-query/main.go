@@ -1,16 +1,23 @@
-// Command hydra-query builds an index over a dataset file and answers a
-// workload of k-NN queries, printing per-query answers and summary
-// statistics.
+// Command hydra-query builds (or reopens) an index over a dataset file and
+// answers a workload of k-NN queries, printing per-query answers and
+// summary statistics.
 //
 // Usage:
 //
-//	hydra-query -data data.bin -queries queries.bin -method dstree \
+//	hydra-query -data data.bin -queries queries.bin -method DSTree \
 //	            -mode delta-epsilon -epsilon 1 -delta 0.99 -k 10
+//
+// With -index-dir, built indexes are persisted to an on-disk catalog keyed
+// by (dataset fingerprint, method, build config): the first run builds and
+// saves, later runs load instead of rebuilding and report the cache hit
+// and load-vs-build seconds — the paper's build-once / query-many
+// workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,36 +28,51 @@ import (
 	"hydra/internal/storage"
 )
 
+// options carries every flag so run stays testable.
+type options struct {
+	dataPath  string
+	queryPath string
+	method    string
+	mode      string
+	epsilon   float64
+	delta     float64
+	nprobe    int
+	k         int
+	truth     bool
+	workers   int
+	indexDir  string
+}
+
 func main() {
-	var (
-		dataPath  = flag.String("data", "", "dataset file (required)")
-		queryPath = flag.String("queries", "", "query workload file (required)")
-		method    = flag.String("method", "DSTree", "method name (see hydra-bench)")
-		mode      = flag.String("mode", "exact", "exact|ng|epsilon|delta-epsilon")
-		epsilon   = flag.Float64("epsilon", 0, "epsilon bound")
-		delta     = flag.Float64("delta", 1, "delta probability")
-		nprobe    = flag.Int("nprobe", 8, "probe budget for ng mode")
-		k         = flag.Int("k", 10, "neighbours per query")
-		truth     = flag.Bool("truth", true, "compute exact ground truth and report accuracy")
-		workers   = flag.Int("workers", 0, "concurrent query workers for the workload run (0 = all cores)")
-	)
+	var o options
+	flag.StringVar(&o.dataPath, "data", "", "dataset file (required)")
+	flag.StringVar(&o.queryPath, "queries", "", "query workload file (required)")
+	flag.StringVar(&o.method, "method", "DSTree", "method name (see hydra-bench)")
+	flag.StringVar(&o.mode, "mode", "exact", "exact|ng|epsilon|delta-epsilon")
+	flag.Float64Var(&o.epsilon, "epsilon", 0, "epsilon bound")
+	flag.Float64Var(&o.delta, "delta", 1, "delta probability")
+	flag.IntVar(&o.nprobe, "nprobe", 8, "probe budget for ng mode")
+	flag.IntVar(&o.k, "k", 10, "neighbours per query")
+	flag.BoolVar(&o.truth, "truth", true, "compute exact ground truth and report accuracy")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent query workers for the workload run (0 = all cores)")
+	flag.StringVar(&o.indexDir, "index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs")
 	flag.Parse()
-	if *dataPath == "" || *queryPath == "" {
+	if o.dataPath == "" || o.queryPath == "" {
 		fmt.Fprintln(os.Stderr, "hydra-query: -data and -queries are required")
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *queryPath, *method, *mode, *epsilon, *delta, *nprobe, *k, *truth, *workers); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-query: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, nprobe, k int, wantTruth bool, workers int) error {
-	data, err := series.LoadFile(dataPath)
+func run(o options, out io.Writer) error {
+	data, err := series.LoadFile(o.dataPath)
 	if err != nil {
 		return err
 	}
-	queries, err := series.LoadFile(queryPath)
+	queries, err := series.LoadFile(o.queryPath)
 	if err != nil {
 		return err
 	}
@@ -58,7 +80,7 @@ func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, n
 		return fmt.Errorf("query length %d != data length %d", queries.Length(), data.Length())
 	}
 	var qmode core.Mode
-	switch strings.ToLower(modeName) {
+	switch strings.ToLower(o.mode) {
 	case "exact":
 		qmode = core.ModeExact
 	case "ng":
@@ -68,43 +90,52 @@ func run(dataPath, queryPath, method, modeName string, epsilon, delta float64, n
 	case "delta-epsilon":
 		qmode = core.ModeDeltaEpsilon
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 
-	w := eval.Workload{Data: data, Queries: queries, K: k}
-	if wantTruth {
-		w.Truth = scan.GroundTruth(data, queries, k)
+	w := eval.Workload{Data: data, Queries: queries, K: o.k}
+	if o.truth {
+		w.Truth = scan.GroundTruth(data, queries, o.k)
 	}
 	cfg := eval.DefaultSuite()
-	built, err := eval.BuildMethod(method, w, cfg)
+	cfg.IndexDir = o.indexDir
+	if o.indexDir != "" {
+		cfg.BuildLog = out
+	}
+	built, err := eval.BuildMethod(o.method, w, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built %s over %d series (%.2fs, footprint %d bytes)\n",
-		built.Method.Name(), data.Size(), built.BuildSeconds, built.Footprint)
+	if built.FromCache {
+		fmt.Fprintf(out, "loaded %s over %d series from catalog (%.3fs, footprint %d bytes)\n",
+			built.Method.Name(), data.Size(), built.LoadSeconds, built.Footprint)
+	} else {
+		fmt.Fprintf(out, "built %s over %d series (%.2fs, footprint %d bytes)\n",
+			built.Method.Name(), data.Size(), built.BuildSeconds, built.Footprint)
+	}
 
-	template := core.Query{Mode: qmode, Epsilon: epsilon, Delta: delta, NProbe: nprobe}
+	template := core.Query{Mode: qmode, Epsilon: o.epsilon, Delta: o.delta, NProbe: o.nprobe}
 	for qi := 0; qi < queries.Size(); qi++ {
 		q := template
 		q.Series = queries.At(qi)
-		q.K = k
+		q.K = o.k
 		res, err := built.Method.Search(q)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("query %3d:", qi)
+		fmt.Fprintf(out, "query %3d:", qi)
 		for _, nb := range res.Neighbors {
-			fmt.Printf(" (%d, %.4f)", nb.ID, nb.Dist)
+			fmt.Fprintf(out, " (%d, %.4f)", nb.ID, nb.Dist)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	if wantTruth {
-		out, err := eval.ParallelRun(built.Method, w, template, storage.DefaultCostModel(), eval.RunOptions{Workers: workers})
+	if o.truth {
+		res, err := eval.ParallelRun(built.Method, w, template, storage.DefaultCostModel(), eval.RunOptions{Workers: o.workers})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("workload: MAP=%.4f AvgRecall=%.4f MRE=%.4f randIO=%d bytes=%d\n",
-			out.Metrics.MAP, out.Metrics.AvgRecall, out.Metrics.MRE, out.IO.RandomSeeks, out.IO.BytesRead)
+		fmt.Fprintf(out, "workload: MAP=%.4f AvgRecall=%.4f MRE=%.4f randIO=%d bytes=%d\n",
+			res.Metrics.MAP, res.Metrics.AvgRecall, res.Metrics.MRE, res.IO.RandomSeeks, res.IO.BytesRead)
 	}
 	return nil
 }

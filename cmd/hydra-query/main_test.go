@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydra/internal/dataset"
+)
+
+// TestIndexDirBuildOnceQueryMany is the end-to-end acceptance test for the
+// persistent catalog: the first -index-dir run builds and saves, the
+// second loads (a logged cache hit, no Build call) and returns identical
+// search results.
+func TestIndexDirBuildOnceQueryMany(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.bin")
+	queryPath := filepath.Join(dir, "queries.bin")
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 600, Length: 48, Seed: 11})
+	if err := data.SaveFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 4, 12)
+	if err := queries.SaveFile(queryPath); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{
+		dataPath:  dataPath,
+		queryPath: queryPath,
+		method:    "DSTree",
+		mode:      "exact",
+		delta:     1,
+		nprobe:    8,
+		k:         5,
+		truth:     true,
+		workers:   1,
+		indexDir:  filepath.Join(dir, "idx"),
+	}
+
+	var cold bytes.Buffer
+	if err := run(o, &cold); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if !strings.Contains(cold.String(), "catalog miss: DSTree") {
+		t.Fatalf("cold run did not log a miss:\n%s", cold.String())
+	}
+	if !strings.Contains(cold.String(), "built DSTree") {
+		t.Fatalf("cold run did not report building:\n%s", cold.String())
+	}
+
+	var warm bytes.Buffer
+	if err := run(o, &warm); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !strings.Contains(warm.String(), "catalog hit: DSTree") {
+		t.Fatalf("warm run did not log a cache hit:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "loaded DSTree") {
+		t.Fatalf("warm run did not report loading:\n%s", warm.String())
+	}
+	if strings.Contains(warm.String(), "catalog miss") {
+		t.Fatalf("warm run rebuilt:\n%s", warm.String())
+	}
+
+	// Search results must be identical between the built and loaded index.
+	queryLines := func(out string) []string {
+		var lines []string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "query") || strings.HasPrefix(l, "workload:") {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+	a, b := queryLines(cold.String()), queryLines(warm.String())
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("query line mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("line %d differs:\ncold: %s\nwarm: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunWithoutIndexDir keeps the classic rebuild path intact.
+func TestRunWithoutIndexDir(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.bin")
+	queryPath := filepath.Join(dir, "queries.bin")
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 300, Length: 32, Seed: 21})
+	if err := data.SaveFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.Queries(data, dataset.KindWalk, 2, 22).SaveFile(queryPath); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o := options{dataPath: dataPath, queryPath: queryPath, method: "iSAX2+", mode: "ng", nprobe: 4, delta: 1, k: 3, truth: false, workers: 1}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "catalog") {
+		t.Errorf("catalog engaged without -index-dir:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "built iSAX2+") {
+		t.Errorf("no build line:\n%s", out.String())
+	}
+}

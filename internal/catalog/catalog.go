@@ -1,0 +1,318 @@
+// Package catalog is the persistent index store that turns the harness's
+// rebuild-every-run loop into the paper's build-once / query-many workflow:
+// expensive offline index construction is decoupled from cheap online
+// serving. Entries are content-addressed by (dataset fingerprint, method
+// name, build-config hash), so a cache hit is guaranteed to be an index
+// built over byte-identical data with identical parameters; anything else
+// is a miss or a rejection, never a silently wrong answer.
+//
+// On disk, an entry is a single file: a length-prefixed JSON header
+// (catalog version, method, fingerprint, config key, snapshot format
+// version) followed by the method's own snapshot payload. Writes go to a
+// temp file in the same directory and are renamed into place, so readers
+// never observe a partially written entry and concurrent builders of the
+// same key converge on one winner.
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// ErrMiss reports that no entry exists for the requested key.
+var ErrMiss = errors.New("catalog: miss")
+
+// ErrNotPersistable reports that the method has no persistence hooks, so
+// the catalog cannot serve it.
+var ErrNotPersistable = errors.New("catalog: method is not persistable")
+
+// catalogVersion is the on-disk entry envelope version.
+const catalogVersion = 1
+
+// headerLimit bounds the header length field so a corrupt file cannot make
+// the reader allocate gigabytes.
+const headerLimit = 1 << 20
+
+// Fingerprint returns the content address of a dataset (series.Dataset's
+// SHA-256 over shape and raw values). Two datasets share a fingerprint iff
+// they are byte-identical, which is what makes reusing an index across
+// runs safe.
+func Fingerprint(d *series.Dataset) string { return d.Fingerprint() }
+
+// Catalog is a directory of persisted indexes.
+type Catalog struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the catalog rooted at dir.
+func Open(dir string) (*Catalog, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("catalog: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: creating %s: %w", dir, err)
+	}
+	return &Catalog{dir: dir}, nil
+}
+
+// Dir returns the catalog's root directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// header is the entry envelope preceding the method snapshot payload.
+type header struct {
+	Version       int    `json:"version"`
+	Method        string `json:"method"`
+	Fingerprint   string `json:"fingerprint"`
+	ConfigKey     string `json:"config_key"`
+	FormatVersion int    `json:"format_version"`
+}
+
+// configKey canonically describes one build: the method's context-derived
+// parameters, its own build configuration (the spec's ConfigString —
+// typically a rendering of the package's DefaultConfig, so tuning defaults
+// invalidates cached indexes) and its snapshot format version.
+func configKey(spec core.MethodSpec, ctx *core.BuildContext) string {
+	return fmt.Sprintf("%s;cfg=%s;fmt=%d", ctx.ConfigKey(), spec.ConfigString, spec.FormatVersion)
+}
+
+// entryKey is the resolved cache key for one (spec, ctx) pair: the dataset
+// fingerprint is O(dataset), so it is computed once per catalog operation
+// and threaded through.
+type entryKey struct {
+	fingerprint string
+	configKey   string
+	path        string
+}
+
+func (c *Catalog) keyFor(spec core.MethodSpec, ctx *core.BuildContext) entryKey {
+	fp := ctx.DataFingerprint() // memoized: shared contexts hash once
+	ck := configKey(spec, ctx)
+	cfg := fmt.Sprintf("%x", sha256.Sum256([]byte(ck)))
+	return entryKey{
+		fingerprint: fp,
+		configKey:   ck,
+		path:        filepath.Join(c.dir, fmt.Sprintf("%s-%s-%s.hydraidx", sanitize(spec.Name), fp[:12], cfg[:12])),
+	}
+}
+
+// EntryPath returns the file an index for (spec, ctx) lives at. The name
+// embeds short prefixes of both hashes; the header carries them in full.
+func (c *Catalog) EntryPath(spec core.MethodSpec, ctx *core.BuildContext) string {
+	return c.keyFor(spec, ctx).path
+}
+
+// sanitize maps a method name onto a filesystem-safe slug.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// OpenResult is the outcome of OpenIndex / OpenOrBuild.
+type OpenResult struct {
+	Method core.Method
+	Store  *storage.SeriesStore // nil for purely in-memory methods
+	// Hit is true when the index was served from the catalog.
+	Hit bool
+	// Path is the entry's location on disk.
+	Path string
+	// LoadSeconds / BuildSeconds time whichever path ran (the other is 0).
+	LoadSeconds  float64
+	BuildSeconds float64
+	// LoadErr records why a present entry was rejected before OpenOrBuild
+	// fell back to rebuilding (nil on a clean hit or plain miss).
+	LoadErr error
+	// SaveErr records a failure to persist a freshly built index (full or
+	// unwritable index-dir). The build itself succeeded and is returned;
+	// the next run simply misses again.
+	SaveErr error
+}
+
+// OpenIndex strictly loads the cached index for (spec, ctx). It returns
+// ErrMiss when no entry exists, ErrNotPersistable for methods without
+// snapshot hooks, and a descriptive error for corrupt, version-skewed or
+// wrong-dataset entries. It never builds.
+func (c *Catalog) OpenIndex(spec core.MethodSpec, ctx *core.BuildContext) (OpenResult, error) {
+	if !spec.Persistable() {
+		return OpenResult{}, ErrNotPersistable
+	}
+	return c.openIndex(spec, ctx, c.keyFor(spec, ctx))
+}
+
+func (c *Catalog) openIndex(spec core.MethodSpec, ctx *core.BuildContext, key entryKey) (OpenResult, error) {
+	path := key.path
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return OpenResult{Path: path}, ErrMiss
+	}
+	if err != nil {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	start := time.Now()
+	hdr, err := readHeader(f)
+	if err != nil {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: %w", path, err)
+	}
+	if hdr.Version != catalogVersion {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: entry version %d, want %d", path, hdr.Version, catalogVersion)
+	}
+	if hdr.Method != spec.Name {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: entry holds method %q, want %q", path, hdr.Method, spec.Name)
+	}
+	if hdr.Fingerprint != key.fingerprint {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: dataset fingerprint mismatch (entry %.12s…, data %.12s…)", path, hdr.Fingerprint, key.fingerprint)
+	}
+	if hdr.ConfigKey != key.configKey {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: build config mismatch (entry %q, want %q)", path, hdr.ConfigKey, key.configKey)
+	}
+	if hdr.FormatVersion != spec.FormatVersion {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: snapshot format %d, want %d", path, hdr.FormatVersion, spec.FormatVersion)
+	}
+	res, err := spec.Load(ctx, f)
+	if err != nil {
+		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: loading snapshot: %w", path, err)
+	}
+	return OpenResult{
+		Method:      res.Method,
+		Store:       res.Store,
+		Hit:         true,
+		Path:        path,
+		LoadSeconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// OpenOrBuild serves the index for (spec, ctx) from the catalog when a
+// valid entry exists, and otherwise builds it and persists the result
+// (atomically) for the next run. Methods without persistence hooks are
+// built directly — the catalog is then a pass-through. A present-but-
+// invalid entry (corruption, version skew, foreign dataset) is rebuilt and
+// overwritten; the rejection reason is reported in LoadErr.
+func (c *Catalog) OpenOrBuild(spec core.MethodSpec, ctx *core.BuildContext) (OpenResult, error) {
+	var loadErr error
+	var key entryKey
+	if spec.Persistable() {
+		key = c.keyFor(spec, ctx)
+		res, err := c.openIndex(spec, ctx, key)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrMiss) {
+			loadErr = err
+		}
+	}
+	start := time.Now()
+	built, err := spec.Build(ctx)
+	if err != nil {
+		return OpenResult{}, err
+	}
+	out := OpenResult{
+		Method:       built.Method,
+		Store:        built.Store,
+		BuildSeconds: time.Since(start).Seconds(),
+		LoadErr:      loadErr,
+	}
+	if !spec.Persistable() {
+		return out, nil
+	}
+	// A save failure (full disk, unwritable dir) must not discard a
+	// successful build: serve the in-memory index and report the problem
+	// in SaveErr — the cache is an optimisation, never a failure mode.
+	if err := c.writeEntry(key, spec, built.Method); err != nil {
+		out.SaveErr = err
+		return out, nil
+	}
+	out.Path = key.path
+	return out, nil
+}
+
+// writeEntry persists one index snapshot via temp-file + rename.
+func (c *Catalog) writeEntry(key entryKey, spec core.MethodSpec, m core.Method) error {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("catalog: creating temp entry: %w", err)
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after a successful rename
+	}()
+	hdr := header{
+		Version:       catalogVersion,
+		Method:        spec.Name,
+		Fingerprint:   key.fingerprint,
+		ConfigKey:     key.configKey,
+		FormatVersion: spec.FormatVersion,
+	}
+	if err := writeHeader(tmp, hdr); err != nil {
+		return fmt.Errorf("catalog: writing header: %w", err)
+	}
+	if err := spec.Save(m, tmp); err != nil {
+		return fmt.Errorf("catalog: saving %s snapshot: %w", spec.Name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("catalog: syncing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), key.path); err != nil {
+		return fmt.Errorf("catalog: publishing entry: %w", err)
+	}
+	return nil
+}
+
+// writeHeader emits the length-prefixed JSON envelope. A fixed-size length
+// prefix (not a streaming decoder) keeps the payload boundary exact: the
+// method snapshot starts at byte 4+len(header JSON), always.
+func writeHeader(w io.Writer, hdr header) error {
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+func readHeader(r io.Reader) (header, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return header{}, fmt.Errorf("reading header length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > headerLimit {
+		return header{}, fmt.Errorf("implausible header length %d", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return header{}, fmt.Errorf("reading header: %w", err)
+	}
+	var hdr header
+	if err := json.Unmarshal(blob, &hdr); err != nil {
+		return header{}, fmt.Errorf("decoding header: %w", err)
+	}
+	return hdr, nil
+}

@@ -1,0 +1,358 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+func testDataset(n, length int, seed int64) *series.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := series.NewDataset(length)
+	for i := 0; i < n; i++ {
+		s := make(series.Series, length)
+		for j := range s {
+			s[j] = float32(rng.NormFloat64())
+		}
+		d.Append(s)
+	}
+	return d
+}
+
+// fakeMethod is a minimal persistable core.Method whose payload is its
+// dataset size, letting tests observe exactly what was saved and loaded.
+type fakeMethod struct {
+	size   int
+	loaded bool
+}
+
+func (f *fakeMethod) Name() string                             { return "Fake" }
+func (f *fakeMethod) Footprint() int64                         { return int64(f.size) }
+func (f *fakeMethod) Search(q core.Query) (core.Result, error) { return core.Result{}, nil }
+
+// fakeSpec returns a persistable spec counting Build invocations.
+func fakeSpec(builds *int) core.MethodSpec {
+	return core.MethodSpec{
+		Name:          "Fake",
+		FormatVersion: 1,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			*builds++
+			return core.BuildResult{Method: &fakeMethod{size: ctx.Data.Size()}}, nil
+		},
+		Save: func(m core.Method, w io.Writer) error {
+			return gob.NewEncoder(w).Encode(m.(*fakeMethod).size)
+		},
+		Load: func(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+			var size int
+			if err := gob.NewDecoder(r).Decode(&size); err != nil {
+				return core.BuildResult{}, err
+			}
+			if size != ctx.Data.Size() {
+				return core.BuildResult{}, fmt.Errorf("fake: snapshot size %d != dataset %d", size, ctx.Data.Size())
+			}
+			return core.BuildResult{Method: &fakeMethod{size: size, loaded: true}}, nil
+		},
+	}
+}
+
+func ctxFor(d *series.Dataset) *core.BuildContext {
+	return &core.BuildContext{Data: d, LeafCapacity: 16, HistogramPairs: 100, HistogramSeed: 7}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := testDataset(50, 8, 1)
+	b := testDataset(50, 8, 1)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("identical datasets fingerprint differently")
+	}
+	c := testDataset(50, 8, 2)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("different datasets share a fingerprint")
+	}
+	// One-bit change must change the fingerprint.
+	d := testDataset(50, 8, 1)
+	d.At(49)[7] += 1
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Error("value change not reflected in fingerprint")
+	}
+}
+
+func TestOpenOrBuildMissThenHit(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(60, 8, 3)
+	builds := 0
+	spec := fakeSpec(&builds)
+
+	cold, err := cat.OpenOrBuild(spec, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hit || builds != 1 {
+		t.Fatalf("cold run: hit=%v builds=%d", cold.Hit, builds)
+	}
+	if _, err := os.Stat(cold.Path); err != nil {
+		t.Fatalf("entry not persisted: %v", err)
+	}
+
+	warm, err := cat.OpenOrBuild(spec, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit {
+		t.Fatal("second run missed")
+	}
+	if builds != 1 {
+		t.Fatalf("second run rebuilt (builds=%d)", builds)
+	}
+	if !warm.Method.(*fakeMethod).loaded {
+		t.Error("warm method did not come through Load")
+	}
+
+	// A different dataset is a different key: no false sharing.
+	other := testDataset(60, 8, 4)
+	res, err := cat.OpenOrBuild(spec, ctxFor(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Error("foreign dataset hit the cache")
+	}
+	if builds != 2 {
+		t.Errorf("builds=%d, want 2", builds)
+	}
+}
+
+func TestConfigStringInvalidatesEntries(t *testing.T) {
+	cat, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(40, 8, 30)
+	builds := 0
+	spec := fakeSpec(&builds)
+	spec.ConfigString = "M=16"
+	if _, err := cat.OpenOrBuild(spec, ctxFor(d)); err != nil {
+		t.Fatal(err)
+	}
+	// Same method, same dataset, retuned build parameters: the old entry
+	// must not be served.
+	retuned := fakeSpec(&builds)
+	retuned.ConfigString = "M=32"
+	res, err := cat.OpenOrBuild(retuned, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || builds != 2 {
+		t.Errorf("retuned config served a stale entry: hit=%v builds=%d", res.Hit, builds)
+	}
+	// The original configuration still hits its own entry.
+	if again, err := cat.OpenOrBuild(spec, ctxFor(d)); err != nil || !again.Hit {
+		t.Errorf("original config lost its entry: hit=%v err=%v", again.Hit, err)
+	}
+}
+
+func TestSaveFailureStillServesBuiltIndex(t *testing.T) {
+	cat, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(40, 8, 31)
+	builds := 0
+	spec := fakeSpec(&builds)
+	spec.Save = func(m core.Method, w io.Writer) error {
+		return fmt.Errorf("disk full")
+	}
+	res, err := cat.OpenOrBuild(spec, ctxFor(d))
+	if err != nil {
+		t.Fatalf("save failure must not fail the build: %v", err)
+	}
+	if res.Method == nil || res.Hit {
+		t.Fatalf("built index not served: %+v", res)
+	}
+	if res.SaveErr == nil || !strings.Contains(res.SaveErr.Error(), "disk full") {
+		t.Errorf("SaveErr = %v", res.SaveErr)
+	}
+	if builds != 1 {
+		t.Errorf("builds = %d", builds)
+	}
+	// Nothing was published, so the next run misses (and no temp files
+	// linger from the failed write).
+	if _, err := cat.OpenIndex(fakeSpec(&builds), ctxFor(d)); !errors.Is(err, ErrMiss) {
+		t.Errorf("failed save published an entry: %v", err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(cat.Dir(), ".tmp-*")); len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
+
+func TestOpenIndexMissAndNotPersistable(t *testing.T) {
+	cat, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(20, 4, 5)
+	builds := 0
+	if _, err := cat.OpenIndex(fakeSpec(&builds), ctxFor(d)); !errors.Is(err, ErrMiss) {
+		t.Errorf("expected ErrMiss, got %v", err)
+	}
+	bare := core.MethodSpec{Name: "Bare", Build: fakeSpec(&builds).Build}
+	if _, err := cat.OpenIndex(bare, ctxFor(d)); !errors.Is(err, ErrNotPersistable) {
+		t.Errorf("expected ErrNotPersistable, got %v", err)
+	}
+	// OpenOrBuild on a non-persistable spec builds and does not persist.
+	res, err := cat.OpenOrBuild(bare, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || res.Path != "" {
+		t.Errorf("non-persistable spec produced a cache entry: %+v", res)
+	}
+}
+
+func TestOpenIndexRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cat, _ := Open(dir)
+	d := testDataset(40, 8, 6)
+	builds := 0
+	spec := fakeSpec(&builds)
+	cold, err := cat.OpenOrBuild(spec, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the payload: load must fail, OpenOrBuild must recover.
+	blob, err := os.ReadFile(cold.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cold.Path, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.OpenIndex(spec, ctxFor(d)); err == nil {
+		t.Fatal("OpenIndex accepted a truncated entry")
+	}
+	res, err := cat.OpenOrBuild(spec, ctxFor(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || res.LoadErr == nil || builds != 2 {
+		t.Errorf("corrupt entry not rebuilt: hit=%v loadErr=%v builds=%d", res.Hit, res.LoadErr, builds)
+	}
+	// The rebuilt entry must serve cleanly again.
+	if again, err := cat.OpenOrBuild(spec, ctxFor(d)); err != nil || !again.Hit {
+		t.Errorf("rebuilt entry not served: hit=%v err=%v", again.Hit, err)
+	}
+}
+
+func TestOpenIndexRejectsVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	cat, _ := Open(dir)
+	d := testDataset(40, 8, 7)
+	builds := 0
+	spec := fakeSpec(&builds)
+	if _, err := cat.OpenOrBuild(spec, ctxFor(d)); err != nil {
+		t.Fatal(err)
+	}
+	// A spec with a bumped snapshot format must not accept the old entry —
+	// and because the format version participates in the key, it simply
+	// misses rather than loading a stale snapshot.
+	bumped := fakeSpec(&builds)
+	bumped.FormatVersion = 2
+	if _, err := cat.OpenIndex(bumped, ctxFor(d)); !errors.Is(err, ErrMiss) {
+		t.Errorf("bumped format: expected miss, got %v", err)
+	}
+	// Forge the skew: copy the v1 entry onto the v2 key so the header check
+	// itself is exercised.
+	v1 := cat.EntryPath(spec, ctxFor(d))
+	v2 := cat.EntryPath(bumped, ctxFor(d))
+	blob, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.OpenIndex(bumped, ctxFor(d))
+	if err == nil || errors.Is(err, ErrMiss) {
+		t.Errorf("forged version skew not rejected: %v", err)
+	}
+}
+
+func TestOpenIndexRejectsWrongFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	cat, _ := Open(dir)
+	a := testDataset(40, 8, 8)
+	b := testDataset(40, 8, 9)
+	builds := 0
+	spec := fakeSpec(&builds)
+	cold, err := cat.OpenOrBuild(spec, ctxFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant dataset a's entry under dataset b's key: the header fingerprint
+	// must catch the mismatch even though the filename matches.
+	blob, err := os.ReadFile(cold.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := cat.EntryPath(spec, ctxFor(b))
+	if err := os.WriteFile(forged, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.OpenIndex(spec, ctxFor(b))
+	if err == nil || errors.Is(err, ErrMiss) {
+		t.Fatalf("wrong-dataset entry not rejected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("rejection reason should name the fingerprint: %v", err)
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	cat, _ := Open(dir)
+	d := testDataset(30, 8, 10)
+	builds := 0
+	if _, err := cat.OpenOrBuild(fakeSpec(&builds), ctxFor(d)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("temp files left behind: %v", entries)
+	}
+}
+
+func TestHeaderRoundTripAndLimits(t *testing.T) {
+	var buf bytes.Buffer
+	in := header{Version: 1, Method: "X", Fingerprint: "f", ConfigKey: "c", FormatVersion: 2}
+	if err := writeHeader(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("header round trip: %+v != %+v", out, in)
+	}
+	// An implausible length must be rejected, not allocated.
+	if _, err := readHeader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0})); err == nil {
+		t.Error("absurd header length accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// BuildContext carries everything a method needs to construct — or reopen —
+// an index over one dataset. The harness derives one per build; specs pull
+// out only what they use. Helpers are safe for concurrent use, so one
+// context can be shared by a parallel multi-method build.
+type BuildContext struct {
+	// Data is the dataset being indexed.
+	Data *series.Dataset
+	// PageBytes is the page size for private paged stores (0 selects
+	// storage.DefaultPageBytes).
+	PageBytes int64
+	// LeafCapacity is the harness's leaf-size budget for tree methods;
+	// each spec interprets it in its own terms (ADS+, for example, builds
+	// coarse leaves at 8x and refines down to it adaptively).
+	LeafCapacity int
+	// HistogramPairs and HistogramSeed parameterise the distance-
+	// distribution histogram used by δ-ε-approximate search.
+	HistogramPairs int
+	HistogramSeed  int64
+
+	histOnce sync.Once
+	hist     *DistanceHistogram
+	fpOnce   sync.Once
+	fp       string
+}
+
+// NewStore returns a fresh private paged store over the context's dataset,
+// so each method's I/O accounting stays independent.
+func (c *BuildContext) NewStore() *storage.SeriesStore {
+	return storage.NewSeriesStore(c.Data, c.PageBytes)
+}
+
+// Histogram lazily builds (once) and returns the dataset's distance
+// histogram. Deterministic given (Data, HistogramPairs, HistogramSeed), so
+// a rebuilt and a reloaded index see identical r_δ estimates.
+func (c *BuildContext) Histogram() *DistanceHistogram {
+	c.histOnce.Do(func() {
+		c.hist = BuildHistogram(c.Data, c.HistogramPairs, c.HistogramSeed)
+	})
+	return c.hist
+}
+
+// DataFingerprint returns (and memoizes) the dataset's content address.
+// Hashing is O(dataset bytes), so multi-method builds sharing one context
+// pay for it once.
+func (c *BuildContext) DataFingerprint() string {
+	c.fpOnce.Do(func() {
+		c.fp = c.Data.Fingerprint()
+	})
+	return c.fp
+}
+
+// ConfigKey canonically encodes every context parameter that shapes the
+// built index. It participates in the catalog cache key: two contexts with
+// equal ConfigKeys (over the same dataset) yield interchangeable indexes.
+func (c *BuildContext) ConfigKey() string {
+	return fmt.Sprintf("leaf=%d;pairs=%d;hseed=%d;page=%d",
+		c.LeafCapacity, c.HistogramPairs, c.HistogramSeed, c.PageBytes)
+}
+
+// BuildResult is a constructed (or loaded) method plus the private store it
+// charges raw-data I/O to (nil for purely in-memory methods).
+type BuildResult struct {
+	Method Method
+	Store  *storage.SeriesStore
+}
+
+// MethodSpec is one method's self-description: its name, the query sweeps
+// the harness may apply, how to build it, and — when the index structure
+// round-trips through a snapshot — how to save and reopen it. Index
+// packages register their specs in init(); the eval harness and the index
+// catalog are driven entirely off the registry, so adding a method to the
+// benchmark means registering a spec, nothing else.
+type MethodSpec struct {
+	// Name is the display name ("DSTree") and the registry key.
+	Name string
+	// Rank orders registry listings (MethodNames, experiment tables).
+	Rank int
+	// Capability flags consumed by the harness when deciding which query
+	// sweeps (ng / δ-ε) apply and which methods join the on-disk figures.
+	Exact        bool
+	NG           bool
+	Epsilon      bool
+	DeltaEpsilon bool
+	DiskResident bool
+	// Build constructs the index from scratch.
+	Build func(ctx *BuildContext) (BuildResult, error)
+	// Save and Load are the optional persistence hooks: Save serialises
+	// the index structure (never the raw data), Load reattaches a saved
+	// structure to the context's dataset. Either both are set or neither.
+	Save func(m Method, w io.Writer) error
+	Load func(ctx *BuildContext, r io.Reader) (BuildResult, error)
+	// FormatVersion names the snapshot format and participates in the
+	// catalog cache key, so bumping it invalidates stale cache entries.
+	FormatVersion int
+	// ConfigString canonically describes the method-specific build
+	// parameters Build applies beyond the BuildContext (typically a
+	// rendering of the package's DefaultConfig). It participates in the
+	// catalog cache key, so tuning a method's defaults invalidates its
+	// cached indexes without a FormatVersion bump.
+	ConfigString string
+}
+
+// Persistable reports whether the spec carries persistence hooks.
+func (s MethodSpec) Persistable() bool { return s.Save != nil && s.Load != nil }
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]MethodSpec{}
+)
+
+// RegisterMethod adds a spec to the registry. It panics on an invalid or
+// duplicate spec: registration happens in init() where a panic is an
+// immediate, attributable programming error.
+func RegisterMethod(spec MethodSpec) {
+	if spec.Name == "" {
+		panic("core: registering method with empty name")
+	}
+	if spec.Build == nil {
+		panic(fmt.Sprintf("core: method %q has no Build func", spec.Name))
+	}
+	if (spec.Save == nil) != (spec.Load == nil) {
+		panic(fmt.Sprintf("core: method %q must set both Save and Load or neither", spec.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[spec.Name]; dup {
+		panic(fmt.Sprintf("core: method %q registered twice", spec.Name))
+	}
+	registry[spec.Name] = spec
+}
+
+// LookupMethod returns the spec registered under name.
+func LookupMethod(name string) (MethodSpec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// RegisteredMethods returns every registered spec ordered by Rank (ties by
+// name), the order experiment tables list methods in.
+func RegisteredMethods() []MethodSpec {
+	regMu.RLock()
+	out := make([]MethodSpec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MethodNames returns the registered names in registry order.
+func MethodNames() []string {
+	specs := RegisteredMethods()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// DiskMethodNames returns the registered disk-resident method names in
+// registry order.
+func DiskMethodNames() []string {
+	var out []string
+	for _, s := range RegisteredMethods() {
+		if s.DiskResident {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"hydra/internal/series"
+)
+
+// The core test binary imports no index packages, so the global registry
+// holds only what these tests put in it.
+
+func dummySpec(name string, rank int) MethodSpec {
+	return MethodSpec{
+		Name: name,
+		Rank: rank,
+		Build: func(ctx *BuildContext) (BuildResult, error) {
+			return BuildResult{}, nil
+		},
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	RegisterMethod(dummySpec("zz-b", 2))
+	RegisterMethod(dummySpec("zz-a", 1))
+	disk := dummySpec("zz-c", 3)
+	disk.DiskResident = true
+	RegisterMethod(disk)
+
+	names := MethodNames()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	if !(idx["zz-a"] < idx["zz-b"] && idx["zz-b"] < idx["zz-c"]) {
+		t.Errorf("rank order not respected: %v", names)
+	}
+	if _, ok := LookupMethod("zz-a"); !ok {
+		t.Error("registered method not found")
+	}
+	if _, ok := LookupMethod("never-registered"); ok {
+		t.Error("lookup invented a method")
+	}
+	var diskNames []string
+	for _, n := range DiskMethodNames() {
+		if n == "zz-c" {
+			diskNames = append(diskNames, n)
+		}
+		if n == "zz-a" || n == "zz-b" {
+			t.Errorf("%s is not disk-resident", n)
+		}
+	}
+	if len(diskNames) != 1 {
+		t.Error("disk-resident method missing from DiskMethodNames")
+	}
+}
+
+func TestRegisterMethodValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { RegisterMethod(MethodSpec{}) })
+	mustPanic("nil build", func() { RegisterMethod(MethodSpec{Name: "zz-nobuild"}) })
+	mustPanic("save without load", func() {
+		s := dummySpec("zz-halfpersist", 1)
+		s.Save = func(m Method, w io.Writer) error { return nil }
+		RegisterMethod(s)
+	})
+	RegisterMethod(dummySpec("zz-dup", 1))
+	mustPanic("duplicate", func() { RegisterMethod(dummySpec("zz-dup", 1)) })
+}
+
+func TestBuildContextHelpers(t *testing.T) {
+	d := series.NewDataset(8)
+	for i := 0; i < 40; i++ {
+		s := make(series.Series, 8)
+		for j := range s {
+			s[j] = float32(i + j)
+		}
+		d.Append(s)
+	}
+	ctx := &BuildContext{Data: d, LeafCapacity: 16, HistogramPairs: 64, HistogramSeed: 5}
+	if got := ctx.NewStore().Size(); got != 40 {
+		t.Errorf("store size %d", got)
+	}
+	h1 := ctx.Histogram()
+	if h1 != ctx.Histogram() {
+		t.Error("histogram not memoized")
+	}
+	// A fresh context with the same parameters produces an identical
+	// distribution — the property that makes loaded indexes equivalent.
+	ctx2 := &BuildContext{Data: d, LeafCapacity: 16, HistogramPairs: 64, HistogramSeed: 5}
+	if h1.Quantile(0.5) != ctx2.Histogram().Quantile(0.5) {
+		t.Error("histogram not deterministic across contexts")
+	}
+	if ctx.ConfigKey() != ctx2.ConfigKey() {
+		t.Error("equal contexts disagree on ConfigKey")
+	}
+	ctx2.LeafCapacity = 17
+	if ctx.ConfigKey() == ctx2.ConfigKey() {
+		t.Error("ConfigKey ignores LeafCapacity")
+	}
+}
+
+func TestSpecPersistable(t *testing.T) {
+	s := dummySpec("zz-p", 1)
+	if s.Persistable() {
+		t.Error("spec without hooks claims persistable")
+	}
+	s.Save = func(m Method, w io.Writer) error { return nil }
+	s.Load = func(ctx *BuildContext, r io.Reader) (BuildResult, error) { return BuildResult{}, nil }
+	if !s.Persistable() {
+		t.Error("spec with hooks not persistable")
+	}
+}

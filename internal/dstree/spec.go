@@ -1,0 +1,51 @@
+package dstree
+
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/core"
+)
+
+// The DSTree self-describes to the harness: capability flags per the
+// paper's Table 1, a build recipe, and the snapshot hooks from persist.go.
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "DSTree",
+		Rank:          10,
+		Exact:         true,
+		NG:            true,
+		Epsilon:       true,
+		DeltaEpsilon:  true,
+		DiskResident:  true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			cfg := DefaultConfig()
+			cfg.LeafCapacity = ctx.LeafCapacity
+			t, err := Build(st, cfg)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			t.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: t, Store: st}, nil
+		},
+		Save: func(m core.Method, w io.Writer) error {
+			t, ok := m.(*Tree)
+			if !ok {
+				return fmt.Errorf("dstree: cannot save %T", m)
+			}
+			return t.Save(w)
+		},
+		Load: func(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			t, err := Load(st, r)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			t.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: t, Store: st}, nil
+		},
+	})
+}

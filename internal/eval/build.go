@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hydra/internal/catalog"
+	"hydra/internal/core"
+	// Importing the harness pulls in every index package's MethodSpec
+	// registration; the builders below are driven entirely off the
+	// registry, never off a per-method switch.
+	_ "hydra/internal/methods"
+	"hydra/internal/storage"
+)
+
+// MethodNames lists every method the suite can build, in registry order.
+var MethodNames = core.MethodNames()
+
+// DiskMethodNames lists the methods that support disk-resident data
+// (Table 1, last column), in registry order.
+var DiskMethodNames = core.DiskMethodNames()
+
+// Built is a constructed method with its build cost.
+type Built struct {
+	Method       core.Method
+	Store        *storage.SeriesStore // nil for purely in-memory methods
+	BuildSeconds float64
+	Footprint    int64
+	// FromCache is true when the index was loaded from cfg.IndexDir's
+	// catalog instead of being built; BuildSeconds then holds the load
+	// time (the serving cost in the build-once/query-many workflow) and
+	// LoadSeconds repeats it for explicit reporting.
+	FromCache   bool
+	LoadSeconds float64
+}
+
+// NewBuildContext derives the build context the suite hands to method
+// specs: the leaf budget scales with the dataset (≈48 series per leaf,
+// floor 16), matching the shape every figure was tuned with.
+func NewBuildContext(w Workload, cfg SuiteConfig) *core.BuildContext {
+	leafCap := w.Data.Size() / 48
+	if leafCap < 16 {
+		leafCap = 16
+	}
+	return &core.BuildContext{
+		Data:           w.Data,
+		LeafCapacity:   leafCap,
+		HistogramPairs: cfg.HistogramPairs,
+		HistogramSeed:  cfg.Seed + 7,
+	}
+}
+
+// BuildMethod constructs one method by name over the workload's dataset.
+// Tree/scan/VA methods get a private paged store so their I/O accounting is
+// independent; methods supporting δ-ε search receive a histogram built from
+// the dataset. With cfg.IndexDir set, persistable methods are served
+// through the on-disk catalog (open-or-build); everything else builds
+// fresh, exactly as before.
+func BuildMethod(name string, w Workload, cfg SuiteConfig) (Built, error) {
+	return buildWithContext(name, NewBuildContext(w, cfg), cfg)
+}
+
+// buildWithContext builds one method against a caller-supplied context, so
+// a multi-method build can share one context (and its memoized histogram).
+func buildWithContext(name string, ctx *core.BuildContext, cfg SuiteConfig) (Built, error) {
+	spec, ok := core.LookupMethod(name)
+	if !ok {
+		return Built{}, fmt.Errorf("eval: unknown method %q", name)
+	}
+	if cfg.IndexDir != "" && spec.Persistable() {
+		return buildViaCatalog(spec, ctx, cfg)
+	}
+	start := time.Now()
+	r, err := spec.Build(ctx)
+	if err != nil {
+		return Built{}, err
+	}
+	return Built{
+		Method:       r.Method,
+		Store:        r.Store,
+		BuildSeconds: time.Since(start).Seconds(),
+		Footprint:    r.Method.Footprint(),
+	}, nil
+}
+
+// buildLogMu serialises SuiteConfig.BuildLog writes across build workers.
+var buildLogMu sync.Mutex
+
+// buildViaCatalog routes one build through the persistent index catalog.
+func buildViaCatalog(spec core.MethodSpec, ctx *core.BuildContext, cfg SuiteConfig) (Built, error) {
+	cat, err := catalog.Open(cfg.IndexDir)
+	if err != nil {
+		return Built{}, err
+	}
+	res, err := cat.OpenOrBuild(spec, ctx)
+	if err != nil {
+		return Built{}, err
+	}
+	if cfg.BuildLog != nil {
+		// BuildMethods may run catalog builds from several goroutines;
+		// keep each build's log lines whole and the writer un-raced.
+		buildLogMu.Lock()
+		defer buildLogMu.Unlock()
+		switch {
+		case res.Hit:
+			fmt.Fprintf(cfg.BuildLog, "catalog hit: %s (load %.3fs) %s\n", spec.Name, res.LoadSeconds, res.Path)
+		case res.LoadErr != nil:
+			fmt.Fprintf(cfg.BuildLog, "catalog rejected entry, rebuilt: %s (build %.3fs): %v\n", spec.Name, res.BuildSeconds, res.LoadErr)
+		default:
+			fmt.Fprintf(cfg.BuildLog, "catalog miss: %s (build %.3fs, saved) %s\n", spec.Name, res.BuildSeconds, res.Path)
+		}
+		if res.SaveErr != nil {
+			fmt.Fprintf(cfg.BuildLog, "catalog save failed (index served from memory): %s: %v\n", spec.Name, res.SaveErr)
+		}
+	}
+	b := Built{
+		Method:      res.Method,
+		Store:       res.Store,
+		Footprint:   res.Method.Footprint(),
+		FromCache:   res.Hit,
+		LoadSeconds: res.LoadSeconds,
+	}
+	if res.Hit {
+		b.BuildSeconds = res.LoadSeconds
+	} else {
+		b.BuildSeconds = res.BuildSeconds
+	}
+	return b, nil
+}
+
+// BuildMethods constructs the named methods over one workload, fanning the
+// builds across cfg.buildWorkersCount() goroutines. The i-th result
+// corresponds to names[i]. Errors are collected per method and joined, so
+// one broken method reports itself without masking the others.
+func BuildMethods(names []string, w Workload, cfg SuiteConfig) ([]Built, error) {
+	out := make([]Built, len(names))
+	errs := make([]error, len(names))
+	// One shared context: every method still gets its own private store,
+	// but the (deterministic) distance histogram is computed once for the
+	// workload instead of once per δ-ε method. BuildContext helpers are
+	// safe for concurrent use.
+	ctx := NewBuildContext(w, cfg)
+	workers := cfg.buildWorkersCount()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for i, name := range names {
+			b, err := buildWithContext(name, ctx, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("eval: building %s: %w", name, err)
+				continue
+			}
+			out[i] = b
+		}
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				b, err := buildWithContext(names[i], ctx, cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("eval: building %s: %w", names[i], err)
+					continue
+				}
+				out[i] = b
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// buildWorkersCount maps SuiteConfig.BuildWorkers onto a worker count:
+// 0 (the zero value) and 1 build serially, preserving paper-faithful
+// build-time measurements; negative means all cores.
+func (c SuiteConfig) buildWorkersCount() int {
+	w := c.BuildWorkers
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}

@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func TestMethodNamesDerivedFromRegistry(t *testing.T) {
+	want := []string{"DSTree", "iSAX2+", "ADS+", "VA+file", "HNSW", "NSG", "IMI", "SRS", "QALSH", "FLANN", "HD-index", "MTree", "SerialScan"}
+	if len(MethodNames) != len(want) {
+		t.Fatalf("MethodNames = %v, want %v", MethodNames, want)
+	}
+	for i := range want {
+		if MethodNames[i] != want[i] {
+			t.Fatalf("MethodNames[%d] = %q, want %q", i, MethodNames[i], want[i])
+		}
+	}
+	wantDisk := []string{"DSTree", "iSAX2+", "VA+file", "IMI", "SRS", "HD-index", "SerialScan"}
+	if len(DiskMethodNames) != len(wantDisk) {
+		t.Fatalf("DiskMethodNames = %v, want %v", DiskMethodNames, wantDisk)
+	}
+	for i := range wantDisk {
+		if DiskMethodNames[i] != wantDisk[i] {
+			t.Fatalf("DiskMethodNames[%d] = %q, want %q", i, DiskMethodNames[i], wantDisk[i])
+		}
+	}
+}
+
+// TestBuildMethodsMatchesSerial pins that the parallel builder produces the
+// same indexes as one-at-a-time BuildMethod: same methods, same footprints,
+// same exact-search answers.
+func TestBuildMethodsMatchesSerial(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	names := []string{"DSTree", "iSAX2+", "VA+file", "SerialScan"}
+
+	parCfg := cfg
+	parCfg.BuildWorkers = 4
+	par, err := BuildMethods(names, w, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(names) {
+		t.Fatalf("%d results for %d names", len(par), len(names))
+	}
+	for i, name := range names {
+		ser, err := BuildMethod(name, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Method.Name() != ser.Method.Name() {
+			t.Errorf("slot %d: %q, want %q", i, par[i].Method.Name(), ser.Method.Name())
+		}
+		if par[i].Footprint != ser.Footprint {
+			t.Errorf("%s: footprint %d (parallel) vs %d (serial)", name, par[i].Footprint, ser.Footprint)
+		}
+		a, err := Run(par[i].Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(ser.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Metrics != b.Metrics || a.IO != b.IO {
+			t.Errorf("%s: parallel-built index answers differently", name)
+		}
+	}
+}
+
+func TestBuildMethodsPropagatesPerMethodErrors(t *testing.T) {
+	// Serial and parallel paths must report identically: every failing
+	// method named, not just the first.
+	for _, workers := range []int{0, 3} {
+		cfg := tinySuite()
+		cfg.BuildWorkers = workers
+		w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+		_, err := BuildMethods([]string{"DSTree", "no-such-method", "also-missing"}, w, cfg)
+		if err == nil {
+			t.Fatalf("workers=%d: unknown methods accepted", workers)
+		}
+		msg := err.Error()
+		for _, frag := range []string{"no-such-method", "also-missing"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("workers=%d: error %q does not name %q", workers, msg, frag)
+			}
+		}
+	}
+}
+
+// TestBuildMethodCatalogRoundTrip pins the eval↔catalog wiring: with
+// IndexDir set, the first build persists and the second run loads, logging
+// the hit, and the loaded index answers identically.
+func TestBuildMethodCatalogRoundTrip(t *testing.T) {
+	cfg := tinySuite()
+	cfg.IndexDir = t.TempDir()
+	var log bytes.Buffer
+	cfg.BuildLog = &log
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+
+	cold, err := BuildMethod("DSTree", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first build claims a cache hit")
+	}
+	if !strings.Contains(log.String(), "catalog miss: DSTree") {
+		t.Errorf("miss not logged: %q", log.String())
+	}
+
+	log.Reset()
+	warm, err := BuildMethod("DSTree", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("second build did not hit the catalog")
+	}
+	if !strings.Contains(log.String(), "catalog hit: DSTree") {
+		t.Errorf("hit not logged: %q", log.String())
+	}
+	a, err := Run(cold.Method, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(warm.Method, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || a.IO != b.IO || a.DistCalcs != b.DistCalcs {
+		t.Error("catalog-loaded index answers differently from the built one")
+	}
+
+	// Non-persistable methods pass through the catalog untouched.
+	if scan, err := BuildMethod("SerialScan", w, cfg); err != nil || scan.FromCache {
+		t.Errorf("SerialScan through catalog: cache=%v err=%v", scan.FromCache, err)
+	}
+}
+
+// TestCPUChargePerDistanceComputation covers the CostModel.CPUSecondsPerCmp
+// satellite: a zero charge reproduces the pure-I/O model exactly, a
+// non-zero charge adds precisely DistCalcs * rate to the modelled time.
+func TestCPUChargePerDistanceComputation(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	b, err := BuildMethod("SerialScan", w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := storage.DefaultCostModel()
+	out, err := Run(b.Method, w, core.Query{Mode: core.ModeExact}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DistCalcs == 0 {
+		t.Fatal("scan performed no distance computations")
+	}
+	charged := base
+	charged.CPUSecondsPerCmp = 1e-3
+	out2, err := Run(b.Method, w, core.Query{Mode: core.ModeExact}, charged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical work (exact scan is deterministic), so the model gap is
+	// exactly the CPU charge.
+	if out2.DistCalcs != out.DistCalcs || out2.IO != out.IO {
+		t.Fatalf("work changed between runs: %d/%d calcs", out.DistCalcs, out2.DistCalcs)
+	}
+	wantGap := float64(out.DistCalcs) * charged.CPUSecondsPerCmp
+	gap := (out2.ModelSeconds - out2.WallSeconds) - (out.ModelSeconds - out.WallSeconds)
+	if diff := gap - wantGap; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("CPU charge gap %v, want %v", gap, wantGap)
+	}
+	// Per-query times carry the charge too.
+	var perGap float64
+	for qi := range out.PerQueryModelSeconds {
+		perGap += out2.PerQueryModelSeconds[qi] - out.PerQueryModelSeconds[qi]
+	}
+	if perGap < wantGap/2 {
+		t.Errorf("per-query times do not reflect the CPU charge (sum gap %v, want ≈%v)", perGap, wantGap)
+	}
+}

@@ -2,22 +2,12 @@ package eval
 
 import (
 	"fmt"
-	"time"
+	"io"
 
 	"hydra/internal/core"
 	"hydra/internal/dataset"
-	"hydra/internal/dstree"
-	"hydra/internal/flann"
-	"hydra/internal/hdindex"
-	"hydra/internal/hnsw"
-	"hydra/internal/imi"
-	"hydra/internal/isax"
-	"hydra/internal/mtree"
-	"hydra/internal/qalsh"
 	"hydra/internal/scan"
-	"hydra/internal/srs"
 	"hydra/internal/storage"
-	"hydra/internal/vafile"
 )
 
 // SuiteConfig scales every experiment. The defaults regenerate all figures
@@ -42,6 +32,21 @@ type SuiteConfig struct {
 	// query-order-dependent index refinement makes those columns vary with
 	// scheduling; keep Workers serial when reproducing ADS+ rows.
 	Workers int
+	// BuildWorkers is the index-construction fan-out used by the multi-
+	// method figures (Fig2/Fig3/Fig4). 0 (the zero value) and 1 build
+	// serially, preserving the paper's build-time measurements on an
+	// otherwise idle machine; negative means all cores. Parallel builds
+	// change wall-clock build times under CPU oversubscription but never
+	// the built indexes themselves.
+	BuildWorkers int
+	// IndexDir, when non-empty, routes persistable methods through the
+	// on-disk index catalog at that path: builds are saved once and later
+	// runs load them (build-once / query-many). Empty keeps the classic
+	// rebuild-every-run behaviour.
+	IndexDir string
+	// BuildLog, when non-nil, receives one line per catalog-routed build
+	// reporting cache hit/miss and load-vs-build seconds.
+	BuildLog io.Writer
 }
 
 // runOptions maps the suite's Workers knob onto RunOptions: the zero value
@@ -59,154 +64,11 @@ func DefaultSuite() SuiteConfig {
 	return SuiteConfig{N: 4000, Length: 128, Queries: 20, K: 10, Seed: 42, HistogramPairs: 4000, Workers: 1}
 }
 
-// MethodNames lists every method the suite can build.
-var MethodNames = []string{"DSTree", "iSAX2+", "ADS+", "VA+file", "HNSW", "NSG", "IMI", "SRS", "QALSH", "FLANN", "HD-index", "MTree", "SerialScan"}
-
-// DiskMethodNames lists the methods that support disk-resident data
-// (Table 1, last column).
-var DiskMethodNames = []string{"DSTree", "iSAX2+", "VA+file", "IMI", "SRS", "HD-index", "SerialScan"}
-
-// Built is a constructed method with its build cost.
-type Built struct {
-	Method       core.Method
-	Store        *storage.SeriesStore // nil for purely in-memory methods
-	BuildSeconds float64
-	Footprint    int64
-}
-
 // NewWorkload generates a dataset + queries + ground truth for a kind.
 func NewWorkload(kind dataset.Kind, n, length, queries, k int, seed int64) Workload {
 	data := dataset.Generate(dataset.Config{Kind: kind, Count: n, Length: length, Seed: seed})
 	qs := dataset.Queries(data, kind, queries, seed+1000)
 	return Workload{Data: data, Queries: qs, Truth: scan.GroundTruth(data, qs, k), K: k}
-}
-
-// BuildMethod constructs one method by name over the workload's dataset.
-// Tree/scan/VA methods get a private paged store so their I/O accounting is
-// independent. Methods supporting δ-ε search receive a histogram built
-// from the dataset.
-func BuildMethod(name string, w Workload, cfg SuiteConfig) (Built, error) {
-	newStore := func() *storage.SeriesStore { return storage.NewSeriesStore(w.Data, 0) }
-	leafCap := w.Data.Size() / 48
-	if leafCap < 16 {
-		leafCap = 16
-	}
-	start := time.Now()
-	var b Built
-	switch name {
-	case "DSTree":
-		st := newStore()
-		dcfg := dstree.DefaultConfig()
-		dcfg.LeafCapacity = leafCap
-		t, err := dstree.Build(st, dcfg)
-		if err != nil {
-			return Built{}, err
-		}
-		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
-		b = Built{Method: t, Store: st}
-	case "iSAX2+":
-		st := newStore()
-		icfg := isax.DefaultConfig()
-		icfg.LeafCapacity = leafCap
-		if icfg.Segments > w.Data.Length() {
-			icfg.Segments = w.Data.Length()
-		}
-		t, err := isax.Build(st, icfg)
-		if err != nil {
-			return Built{}, err
-		}
-		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
-		b = Built{Method: t, Store: st}
-	case "VA+file":
-		st := newStore()
-		vcfg := vafile.DefaultConfig()
-		if vcfg.Coeffs > w.Data.Length() {
-			vcfg.Coeffs = w.Data.Length()
-		}
-		f, err := vafile.Build(st, vcfg)
-		if err != nil {
-			return Built{}, err
-		}
-		f.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
-		b = Built{Method: f, Store: st}
-	case "HNSW":
-		g, err := hnsw.Build(w.Data, hnsw.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: g}
-	case "NSG":
-		ncfg := hnsw.DefaultConfig()
-		ncfg.Flat = true
-		g, err := hnsw.Build(w.Data, ncfg)
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: g}
-	case "IMI":
-		idx, err := imi.Build(w.Data, imi.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: idx}
-	case "SRS":
-		st := newStore()
-		idx, err := srs.Build(st, srs.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: idx, Store: st}
-	case "QALSH":
-		st := newStore()
-		idx, err := qalsh.Build(st, qalsh.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: idx, Store: st}
-	case "FLANN":
-		idx, err := flann.Build(w.Data, flann.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: idx}
-	case "HD-index":
-		st := newStore()
-		idx, err := hdindex.Build(st, hdindex.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		b = Built{Method: idx, Store: st}
-	case "ADS+":
-		st := newStore()
-		acfg := isax.DefaultConfig()
-		acfg.LeafCapacity = leafCap * 8
-		acfg.AdaptiveLeafCapacity = leafCap
-		if acfg.Segments > w.Data.Length() {
-			acfg.Segments = w.Data.Length()
-		}
-		t, err := isax.Build(st, acfg)
-		if err != nil {
-			return Built{}, err
-		}
-		t.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
-		b = Built{Method: t, Store: st}
-	case "MTree":
-		st := newStore()
-		m, err := mtree.Build(st, mtree.DefaultConfig())
-		if err != nil {
-			return Built{}, err
-		}
-		m.SetHistogram(core.BuildHistogram(w.Data, cfg.HistogramPairs, cfg.Seed+7))
-		b = Built{Method: m, Store: st}
-	case "SerialScan":
-		st := newStore()
-		b = Built{Method: scan.New(st), Store: st}
-	default:
-		return Built{}, fmt.Errorf("eval: unknown method %q", name)
-	}
-	b.BuildSeconds = time.Since(start).Seconds()
-	b.Footprint = b.Method.Footprint()
-	return b, nil
 }
 
 // queryPlans returns the (label, query-template) sweep for a method: tree
@@ -242,21 +104,16 @@ func queryPlans(name string, ng bool) []struct {
 	return out
 }
 
-// ngMethods / deltaMethods report which sweeps apply (paper Table 1).
+// supportsNG / supportsDelta report which sweeps apply (paper Table 1),
+// derived from each method's registered capability flags.
 func supportsNG(name string) bool {
-	switch name {
-	case "DSTree", "iSAX2+", "ADS+", "VA+file", "HNSW", "NSG", "IMI", "FLANN", "HD-index", "MTree", "SerialScan", "QALSH", "SRS":
-		return true
-	}
-	return false
+	spec, ok := core.LookupMethod(name)
+	return ok && spec.NG
 }
 
 func supportsDelta(name string) bool {
-	switch name {
-	case "DSTree", "iSAX2+", "ADS+", "VA+file", "MTree", "SRS", "QALSH":
-		return true
-	}
-	return false
+	spec, ok := core.LookupMethod(name)
+	return ok && spec.DeltaEpsilon
 }
 
 // Table1 renders the method capability matrix.
@@ -278,24 +135,46 @@ func Table1() *Table {
 }
 
 // Fig2 measures indexing scalability: build time and footprint vs dataset
-// size, for every method (paper Fig. 2a/2b).
+// size, for every method (paper Fig. 2a/2b). Each size's workload is
+// generated once and shared by every method, and the per-size builds fan
+// out across cfg.BuildWorkers.
 func Fig2(cfg SuiteConfig, sizes []int, methods []string) ([]*Table, error) {
 	timeT := &Table{Title: "Fig 2a: indexing time (seconds) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
 	footT := &Table{Title: "Fig 2b: index footprint (bytes) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
-	for _, name := range methods {
-		timeRow := []string{name}
-		footRow := []string{name}
-		for _, n := range sizes {
-			w := NewWorkload(dataset.KindWalk, n, cfg.Length, 1, 1, cfg.Seed)
-			b, err := BuildMethod(name, w, cfg)
+	timeRows := make([][]string, len(methods))
+	footRows := make([][]string, len(methods))
+	for i, name := range methods {
+		timeRows[i] = []string{name}
+		footRows[i] = []string{name}
+	}
+	for _, n := range sizes {
+		w := NewWorkload(dataset.KindWalk, n, cfg.Length, 1, 1, cfg.Seed)
+		if cfg.buildWorkersCount() > 1 {
+			builts, err := BuildMethods(methods, w, cfg)
 			if err != nil {
 				return nil, err
 			}
-			timeRow = append(timeRow, F(b.BuildSeconds))
-			footRow = append(footRow, I(b.Footprint))
+			for i, b := range builts {
+				timeRows[i] = append(timeRows[i], F(b.BuildSeconds))
+				footRows[i] = append(footRows[i], I(b.Footprint))
+				builts[i] = Built{}
+			}
+		} else {
+			// Serial: one index live at a time, as before the registry.
+			ctx := NewBuildContext(w, cfg)
+			for i, name := range methods {
+				b, err := buildWithContext(name, ctx, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("eval: building %s: %w", name, err)
+				}
+				timeRows[i] = append(timeRows[i], F(b.BuildSeconds))
+				footRows[i] = append(footRows[i], I(b.Footprint))
+			}
 		}
-		timeT.AddRow(timeRow...)
-		footT.AddRow(footRow...)
+	}
+	for i := range methods {
+		timeT.AddRow(timeRows[i]...)
+		footT.AddRow(footRows[i]...)
 	}
 	return []*Table{timeT, footT}, nil
 }
@@ -316,6 +195,7 @@ func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []str
 		Title:   title,
 		Columns: []string{"Method", "Config", "MAP", "AvgRecall", "MRE", "Qrs/min", "Idx+100q(min)", "Idx+10Kq(min)", "%data", "RandIO"},
 	}
+	applicable := make([]string, 0, len(methods))
 	for _, name := range methods {
 		if ng && !supportsNG(name) {
 			continue
@@ -323,9 +203,29 @@ func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []str
 		if !ng && !supportsDelta(name) {
 			continue
 		}
-		b, err := BuildMethod(name, w, cfg)
-		if err != nil {
+		applicable = append(applicable, name)
+	}
+	// Parallel build workers trade peak memory (all indexes live at once)
+	// for wall clock; the default serial path keeps the old one-index-at-
+	// a-time footprint, building lazily against one shared context.
+	parallel := cfg.buildWorkersCount() > 1
+	var builts []Built
+	var err error
+	if parallel {
+		if builts, err = BuildMethods(applicable, w, cfg); err != nil {
 			return nil, err
+		}
+	}
+	ctx := NewBuildContext(w, cfg)
+	for mi, name := range applicable {
+		var b Built
+		if parallel {
+			b = builts[mi]
+			builts[mi] = Built{} // release after this sweep
+		} else {
+			if b, err = buildWithContext(name, ctx, cfg); err != nil {
+				return nil, err
+			}
 		}
 		for _, plan := range queryPlans(name, ng) {
 			out, err := ParallelRun(b.Method, w, plan.Query, model, cfg.runOptions())

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+// TestPersistedSearchEquivalence pins the build-once/query-many contract
+// for every persistable method in the registry (DSTree, iSAX2+, ADS+,
+// VA+file, HNSW, NSG): an index saved right after construction and
+// reloaded against the same dataset answers a serial workload with
+// byte-identical neighbours, metrics, I/O counters and distance-
+// computation counts. ADS+ is included deliberately: both copies start
+// from the same snapshot and refine identically under serial, same-order
+// queries.
+func TestPersistedSearchEquivalence(t *testing.T) {
+	cfg := tinySuite()
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+99)
+	persistable := 0
+	for _, spec := range core.RegisteredMethods() {
+		if !spec.Persistable() {
+			continue
+		}
+		persistable++
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if spec.ConfigString == "" {
+				t.Errorf("%s: persistable spec must declare ConfigString so default-config changes invalidate cached indexes", spec.Name)
+			}
+			fresh, err := spec.Build(NewBuildContext(w, cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := spec.Save(fresh.Method, &buf); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			loaded, err := spec.Load(NewBuildContext(w, cfg), bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if fresh.Method.Footprint() != loaded.Method.Footprint() {
+				t.Errorf("footprint %d after reload, want %d", loaded.Method.Footprint(), fresh.Method.Footprint())
+			}
+			queries := []core.Query{
+				{Mode: core.ModeNG, NProbe: 8},
+			}
+			if spec.DeltaEpsilon {
+				queries = append(queries, core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9})
+			}
+			if spec.Exact {
+				queries = append(queries, core.Query{Mode: core.ModeExact})
+			}
+			for _, template := range queries {
+				a, err := Run(fresh.Method, w, template, storage.DefaultCostModel())
+				if err != nil {
+					t.Fatalf("%v fresh: %v", template.Mode, err)
+				}
+				b, err := Run(loaded.Method, w, template, storage.DefaultCostModel())
+				if err != nil {
+					t.Fatalf("%v loaded: %v", template.Mode, err)
+				}
+				if a.DistCalcs != b.DistCalcs {
+					t.Errorf("%v: dist calcs %d vs %d", template.Mode, a.DistCalcs, b.DistCalcs)
+				}
+				if a.IO != b.IO {
+					t.Errorf("%v: IO %+v vs %+v", template.Mode, a.IO, b.IO)
+				}
+				if a.Metrics != b.Metrics {
+					t.Errorf("%v: metrics %+v vs %+v", template.Mode, a.Metrics, b.Metrics)
+				}
+				for qi := range a.Results {
+					ra, rb := a.Results[qi], b.Results[qi]
+					if len(ra.Neighbors) != len(rb.Neighbors) {
+						t.Fatalf("%v query %d: %d vs %d neighbours", template.Mode, qi, len(ra.Neighbors), len(rb.Neighbors))
+					}
+					for i := range ra.Neighbors {
+						if ra.Neighbors[i] != rb.Neighbors[i] {
+							t.Fatalf("%v query %d rank %d: %+v vs %+v", template.Mode, qi, i, ra.Neighbors[i], rb.Neighbors[i])
+						}
+					}
+				}
+			}
+		})
+	}
+	if persistable < 4 {
+		t.Fatalf("only %d persistable methods registered; DSTree, iSAX2+, VA+file and HNSW (at least) should persist", persistable)
+	}
+}

@@ -31,8 +31,9 @@ type RunOutcome struct {
 	WallSeconds float64       // measured CPU/wall time of the searches
 	IO          storage.Stats // summed raw-data access counters
 	DistCalcs   int64
-	// ModelSeconds is WallSeconds plus the cost model's I/O time; it is the
-	// number used for the on-disk experiments.
+	// ModelSeconds is WallSeconds plus the cost model's I/O time (and its
+	// optional per-distance-computation CPU charge); it is the number used
+	// for the on-disk experiments.
 	ModelSeconds float64
 	// PerQueryModelSeconds holds the modelled cost of each query, used by
 	// the paper's trimmed extrapolation to large workloads.
@@ -126,7 +127,7 @@ func ParallelRun(m core.Method, w Workload, template core.Query, model storage.C
 		if err != nil {
 			return fmt.Errorf("eval: %s query %d: %w", m.Name(), qi, err)
 		}
-		perQuery[qi] = time.Since(qStart).Seconds() + model.Seconds(res.IO)
+		perQuery[qi] = time.Since(qStart).Seconds() + model.QuerySeconds(res.IO, res.DistCalcs)
 		results[qi] = res
 		return nil
 	}
@@ -175,7 +176,7 @@ func ParallelRun(m core.Method, w Workload, template core.Query, model storage.C
 		out.DistCalcs += res.DistCalcs
 	}
 	out.WallSeconds = time.Since(start).Seconds()
-	out.ModelSeconds = out.WallSeconds + model.Seconds(out.IO)
+	out.ModelSeconds = out.WallSeconds + model.QuerySeconds(out.IO, out.DistCalcs)
 	metrics, err := Measure(w.Data, w.Queries, out.Results, w.Truth)
 	if err != nil {
 		return RunOutcome{}, err

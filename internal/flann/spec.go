@@ -1,0 +1,18 @@
+package flann
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name: "FLANN",
+		Rank: 100,
+		NG:   true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			idx, err := Build(ctx.Data, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx}, nil
+		},
+	})
+}

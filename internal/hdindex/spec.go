@@ -1,0 +1,20 @@
+package hdindex
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "HD-index",
+		Rank:         110,
+		NG:           true,
+		DiskResident: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			idx, err := Build(st, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx, Store: st}, nil
+		},
+	})
+}

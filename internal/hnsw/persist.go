@@ -1,0 +1,76 @@
+package hnsw
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"hydra/internal/series"
+)
+
+// Persistence: the graph structure (per-layer adjacency lists, node levels
+// and the entry point) round-trips through encoding/gob. The raw vectors
+// are NOT duplicated into the snapshot — Load reattaches the structure to
+// the dataset it was built over, mirroring the tree indexes' convention.
+// The snapshot covers both the hierarchical graph and the flat (NSG-style)
+// variant; Config records which one it is.
+
+type graphSnap struct {
+	Version int
+	Cfg     Config
+	Size    int
+	Entry   int
+	Top     int
+	Level   []int
+	Links   [][][]int
+}
+
+const persistVersion = 1
+
+// Save serialises the graph structure to w.
+func (g *Graph) Save(w io.Writer) error {
+	snap := graphSnap{
+		Version: persistVersion,
+		Cfg:     g.cfg,
+		Size:    g.data.Size(),
+		Entry:   g.entry,
+		Top:     g.top,
+		Level:   g.level,
+		Links:   g.links,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("hnsw: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads a graph saved with Save and attaches it to the dataset the
+// graph was built over.
+func Load(data *series.Dataset, r io.Reader) (*Graph, error) {
+	var snap graphSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("hnsw: decoding: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("hnsw: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Size != data.Size() {
+		return nil, fmt.Errorf("hnsw: snapshot indexed %d series, dataset holds %d", snap.Size, data.Size())
+	}
+	if err := snap.Cfg.validate(); err != nil {
+		return nil, fmt.Errorf("hnsw: snapshot config: %w", err)
+	}
+	g := &Graph{
+		data:  data,
+		cfg:   snap.Cfg,
+		mL:    1 / math.Log(float64(snap.Cfg.M)),
+		rng:   rand.New(rand.NewSource(snap.Cfg.Seed)),
+		entry: snap.Entry,
+		top:   snap.Top,
+		level: snap.Level,
+		links: snap.Links,
+	}
+	return g, nil
+}

@@ -1,0 +1,94 @@
+package hnsw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+func persistDataset(n, length int, seed int64) *series.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := series.NewDataset(length)
+	for i := 0; i < n; i++ {
+		s := make(series.Series, length)
+		for j := range s {
+			s[j] = float32(rng.NormFloat64())
+		}
+		d.Append(s)
+	}
+	return d
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, flat := range []bool{false, true} {
+		d := persistDataset(300, 16, 9)
+		cfg := DefaultConfig()
+		cfg.Flat = flat
+		g, err := Build(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Load(d, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.Name() != g.Name() {
+			t.Errorf("name %q after reload, want %q", g2.Name(), g.Name())
+		}
+		if g2.Footprint() != g.Footprint() {
+			t.Errorf("footprint %d after reload, want %d", g2.Footprint(), g.Footprint())
+		}
+		// Identical graph structure must answer identically.
+		for qi := 0; qi < 5; qi++ {
+			q := core.Query{Series: d.At(qi * 7), K: 5, Mode: core.ModeNG, NProbe: 32}
+			r1, err := g.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := g2.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r1.Neighbors) != len(r2.Neighbors) {
+				t.Fatalf("flat=%v query %d: %d vs %d neighbours", flat, qi, len(r1.Neighbors), len(r2.Neighbors))
+			}
+			for i := range r1.Neighbors {
+				if r1.Neighbors[i] != r2.Neighbors[i] {
+					t.Fatalf("flat=%v query %d rank %d: %+v vs %+v", flat, qi, i, r1.Neighbors[i], r2.Neighbors[i])
+				}
+			}
+			if r1.DistCalcs != r2.DistCalcs {
+				t.Errorf("flat=%v query %d: dist calcs %d vs %d", flat, qi, r1.DistCalcs, r2.DistCalcs)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	d := persistDataset(100, 8, 1)
+	g, err := Build(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := persistDataset(150, 8, 2)
+	if _, err := Load(other, &buf); err == nil {
+		t.Error("load accepted a dataset of the wrong size")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(persistDataset(10, 4, 3), bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("load accepted garbage")
+	}
+}

@@ -1,0 +1,64 @@
+package hnsw
+
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/core"
+)
+
+func saveGraph(m core.Method, w io.Writer) error {
+	g, ok := m.(*Graph)
+	if !ok {
+		return fmt.Errorf("hnsw: cannot save %T", m)
+	}
+	return g.Save(w)
+}
+
+func loadGraph(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+	g, err := Load(ctx.Data, r)
+	if err != nil {
+		return core.BuildResult{}, err
+	}
+	return core.BuildResult{Method: g}, nil
+}
+
+// The package registers two specs: hierarchical HNSW and the single-layer
+// medoid-entry variant standing in for NSG. Both are in-memory,
+// ng-approximate only, and share the snapshot format in persist.go.
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "HNSW",
+		Rank:          50,
+		NG:            true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			g, err := Build(ctx.Data, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: g}, nil
+		},
+		Save: saveGraph,
+		Load: loadGraph,
+	})
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "NSG",
+		Rank:          60,
+		NG:            true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("flat;%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			cfg := DefaultConfig()
+			cfg.Flat = true
+			g, err := Build(ctx.Data, cfg)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: g}, nil
+		},
+		Save: saveGraph,
+		Load: loadGraph,
+	})
+}

@@ -1,0 +1,19 @@
+package imi
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "IMI",
+		Rank:         70,
+		NG:           true,
+		DiskResident: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			idx, err := Build(ctx.Data, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx}, nil
+		},
+	})
+}

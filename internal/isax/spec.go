@@ -1,0 +1,91 @@
+package isax
+
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/core"
+)
+
+// saveTree / loadTree are the shared persistence hooks: iSAX2+ and ADS+
+// differ only in configuration, which the snapshot carries.
+func saveTree(m core.Method, w io.Writer) error {
+	t, ok := m.(*Tree)
+	if !ok {
+		return fmt.Errorf("isax: cannot save %T", m)
+	}
+	return t.Save(w)
+}
+
+func loadTree(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+	st := ctx.NewStore()
+	t, err := Load(st, r)
+	if err != nil {
+		return core.BuildResult{}, err
+	}
+	t.SetHistogram(ctx.Histogram())
+	return core.BuildResult{Method: t, Store: st}, nil
+}
+
+// The package registers two specs: the plain iSAX2+ index and its ADS+
+// adaptive variant (coarse leaves at build time, refined lazily by
+// queries). Both round-trip through the snapshot format in persist.go; an
+// ADS+ snapshot taken after queries captures the refinement done so far.
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "iSAX2+",
+		Rank:          20,
+		Exact:         true,
+		NG:            true,
+		Epsilon:       true,
+		DeltaEpsilon:  true,
+		DiskResident:  true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			cfg := DefaultConfig()
+			cfg.LeafCapacity = ctx.LeafCapacity
+			if cfg.Segments > ctx.Data.Length() {
+				cfg.Segments = ctx.Data.Length()
+			}
+			t, err := Build(st, cfg)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			t.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: t, Store: st}, nil
+		},
+		Save: saveTree,
+		Load: loadTree,
+	})
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "ADS+",
+		Rank:          30,
+		Exact:         true,
+		NG:            true,
+		Epsilon:       true,
+		DeltaEpsilon:  true,
+		FormatVersion: persistVersion,
+		// The adaptive 8x coarse-leaf multiplier is part of the build
+		// recipe, so it joins the config string.
+		ConfigString: fmt.Sprintf("adaptive8x;%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			cfg := DefaultConfig()
+			cfg.LeafCapacity = ctx.LeafCapacity * 8
+			cfg.AdaptiveLeafCapacity = ctx.LeafCapacity
+			if cfg.Segments > ctx.Data.Length() {
+				cfg.Segments = ctx.Data.Length()
+			}
+			t, err := Build(st, cfg)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			t.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: t, Store: st}, nil
+		},
+		Save: saveTree,
+		Load: loadTree,
+	})
+}

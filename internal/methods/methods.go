@@ -1,0 +1,21 @@
+// Package methods links every index package's MethodSpec registration into
+// a binary. Importing it (blank) is the single switch that makes the full
+// method roster available through the core registry; eval imports it, so
+// every CLI and test built on eval sees all methods. A new index package
+// self-registers in its own init() and is added to the import list here —
+// nothing else in the harness changes.
+package methods
+
+import (
+	_ "hydra/internal/dstree"
+	_ "hydra/internal/flann"
+	_ "hydra/internal/hdindex"
+	_ "hydra/internal/hnsw"
+	_ "hydra/internal/imi"
+	_ "hydra/internal/isax"
+	_ "hydra/internal/mtree"
+	_ "hydra/internal/qalsh"
+	_ "hydra/internal/scan"
+	_ "hydra/internal/srs"
+	_ "hydra/internal/vafile"
+)

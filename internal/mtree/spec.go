@@ -1,0 +1,23 @@
+package mtree
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "MTree",
+		Rank:         120,
+		Exact:        true,
+		NG:           true,
+		Epsilon:      true,
+		DeltaEpsilon: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			m, err := Build(st, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			m.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: m, Store: st}, nil
+		},
+	})
+}

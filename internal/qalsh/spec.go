@@ -1,0 +1,20 @@
+package qalsh
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "QALSH",
+		Rank:         90,
+		NG:           true,
+		DeltaEpsilon: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			idx, err := Build(st, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx, Store: st}, nil
+		},
+	})
+}

@@ -1,0 +1,17 @@
+package scan
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "SerialScan",
+		Rank:         130,
+		Exact:        true,
+		NG:           true,
+		DiskResident: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			return core.BuildResult{Method: New(st), Store: st}, nil
+		},
+	})
+}

@@ -8,6 +8,8 @@
 package series
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -192,4 +194,29 @@ func (d *Dataset) ZNormalizeAll() {
 	for i := 0; i < d.Size(); i++ {
 		d.At(i).ZNormalize()
 	}
+}
+
+// Fingerprint returns the dataset's content address: a hex SHA-256 over its
+// shape and every raw value. Two datasets share a fingerprint iff they are
+// byte-identical, which is what lets a persisted index be reused safely.
+func (d *Dataset) Fingerprint() string {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(d.length))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(d.Size()))
+	h.Write(hdr[:])
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(d.values); off += 4096 {
+		end := off + 4096
+		if end > len(d.values) {
+			end = len(d.values)
+		}
+		n := 0
+		for _, v := range d.values[off:end] {
+			binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(v))
+			n += 4
+		}
+		h.Write(buf[:n])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }

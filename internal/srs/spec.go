@@ -1,0 +1,21 @@
+package srs
+
+import "hydra/internal/core"
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:         "SRS",
+		Rank:         80,
+		NG:           true,
+		DeltaEpsilon: true,
+		DiskResident: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			idx, err := Build(st, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx, Store: st}, nil
+		},
+	})
+}

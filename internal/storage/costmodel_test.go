@@ -1,0 +1,21 @@
+package storage
+
+import "testing"
+
+func TestQuerySecondsCPUCharge(t *testing.T) {
+	s := Stats{RandomSeeks: 10, BytesRead: 1290e6}
+	m := DefaultCostModel()
+	// Zero CPUSecondsPerCmp (the default) must leave the model unchanged
+	// regardless of how many comparisons ran.
+	if got, want := m.QuerySeconds(s, 1_000_000), m.Seconds(s); got != want {
+		t.Errorf("zero charge: QuerySeconds %v != Seconds %v", got, want)
+	}
+	m.CPUSecondsPerCmp = 2e-6
+	want := m.Seconds(s) + 2e-6*5000
+	if got := m.QuerySeconds(s, 5000); got != want {
+		t.Errorf("QuerySeconds = %v, want %v", got, want)
+	}
+	if got := m.QuerySeconds(s, 0); got != m.Seconds(s) {
+		t.Errorf("no comparisons should add no charge: %v", got)
+	}
+}

@@ -135,6 +135,16 @@ func (c CostModel) Seconds(s Stats) float64 {
 	return t
 }
 
+// QuerySeconds returns the modelled time for a query that performed the
+// given raw-data accesses and true-distance computations: the I/O time of
+// Seconds plus CPUSecondsPerCmp per distance computation. The default
+// CPUSecondsPerCmp of 0 leaves every number identical to the pure-I/O
+// model; setting it charges the CPU side of refinement, which matters for
+// methods that trade I/O for comparisons.
+func (c CostModel) QuerySeconds(s Stats, distCalcs int64) float64 {
+	return c.Seconds(s) + float64(distCalcs)*c.CPUSecondsPerCmp
+}
+
 // DefaultPageBytes is the default page size (16 KiB, a common DB page size).
 const DefaultPageBytes = 16 * 1024
 

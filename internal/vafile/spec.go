@@ -1,0 +1,51 @@
+package vafile
+
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/core"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:          "VA+file",
+		Rank:          40,
+		Exact:         true,
+		NG:            true,
+		Epsilon:       true,
+		DeltaEpsilon:  true,
+		DiskResident:  true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("%+v", DefaultConfig()),
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			cfg := DefaultConfig()
+			if cfg.Coeffs > ctx.Data.Length() {
+				cfg.Coeffs = ctx.Data.Length()
+			}
+			f, err := Build(st, cfg)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			f.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: f, Store: st}, nil
+		},
+		Save: func(m core.Method, w io.Writer) error {
+			f, ok := m.(*File)
+			if !ok {
+				return fmt.Errorf("vafile: cannot save %T", m)
+			}
+			return f.Save(w)
+		},
+		Load: func(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			f, err := Load(st, r)
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			f.SetHistogram(ctx.Histogram())
+			return core.BuildResult{Method: f, Store: st}, nil
+		},
+	})
+}
