@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke persist-smoke fmt
+.PHONY: all build vet test race bench-smoke persist-smoke serve-smoke fmt
 
-all: fmt vet build test race bench-smoke persist-smoke
+all: fmt vet build test race bench-smoke persist-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Pins the Method.Search concurrency contract, the parallel executor and
-# the index catalog.
+# Pins the Method.Search concurrency contract, the parallel executor, the
+# index catalog and the HTTP server under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/...
+	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/server/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -35,6 +35,54 @@ persist-smoke:
 	grep -E "^(query|workload:)" $$dir/warm.txt > $$dir/warm-q.txt; \
 	diff $$dir/cold-q.txt $$dir/warm-q.txt || { echo "persist-smoke: loaded index answered differently"; exit 1; }; \
 	echo "persist-smoke OK"
+
+# End-to-end serving check: boot hydra-serve against a fresh -index-dir
+# (builds + saves every persistable index), hit /healthz, /v1/methods and
+# /v1/query (serial and workers=4), verify the text answers are
+# byte-identical to hydra-query over the same catalog, then boot a second
+# time and require every persistable method to load warm from the catalog
+# and answer identically.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18317
+serve-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap '{ [ -z "$$pid" ] || kill $$pid 2>/dev/null || true; } ; rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) build -o $$dir/hydra-gen ./cmd/hydra-gen; \
+	$(GO) build -o $$dir/hydra-query ./cmd/hydra-query; \
+	$(GO) build -o $$dir/hydra-serve ./cmd/hydra-serve; \
+	$$dir/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$$dir/hydra-gen -kind walk -n 4 -seed 5 -queries-for $$dir/data.bin -out $$dir/queries.bin >/dev/null; \
+	$$dir/hydra-serve -data $$dir/data.bin -index-dir $$dir/idx -workload-dir $$dir -addr $(SERVE_SMOKE_ADDR) > $$dir/boot1.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(SERVE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "serve-smoke: server did not become healthy"; cat $$dir/boot1.log; exit 1; }; \
+	curl -sf http://$(SERVE_SMOKE_ADDR)/healthz | grep -q '"status": "ok"' || { echo "serve-smoke: /healthz not ok"; exit 1; }; \
+	curl -sf http://$(SERVE_SMOKE_ADDR)/v1/methods > $$dir/methods.json; \
+	grep -q '"DSTree"' $$dir/methods.json || { echo "serve-smoke: /v1/methods missing DSTree"; cat $$dir/methods.json; exit 1; }; \
+	printf '{"method":"DSTree","mode":"exact","k":5,"workload_file":"%s","format":"text"}' $$dir/queries.bin > $$dir/req.json; \
+	printf '{"method":"DSTree","mode":"exact","k":5,"workers":4,"workload_file":"%s","format":"text"}' $$dir/queries.bin > $$dir/req4.json; \
+	curl -sf -X POST --data @$$dir/req.json http://$(SERVE_SMOKE_ADDR)/v1/query > $$dir/serve1-serial.txt; \
+	curl -sf -X POST --data @$$dir/req4.json http://$(SERVE_SMOKE_ADDR)/v1/query > $$dir/serve1-parallel.txt; \
+	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	grep -q "catalog miss: DSTree" $$dir/boot1.log || { echo "serve-smoke: first boot did not build+save"; cat $$dir/boot1.log; exit 1; }; \
+	grep -q "drained cleanly" $$dir/boot1.log || { echo "serve-smoke: first boot did not drain cleanly"; cat $$dir/boot1.log; exit 1; }; \
+	$$dir/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method DSTree -mode exact -k 5 -workers 1 -index-dir $$dir/idx > $$dir/cli.txt; \
+	grep -q "catalog hit: DSTree" $$dir/cli.txt || { echo "serve-smoke: hydra-query missed the server-written catalog entry"; cat $$dir/cli.txt; exit 1; }; \
+	grep "^query" $$dir/cli.txt > $$dir/cli-q.txt; \
+	diff $$dir/cli-q.txt $$dir/serve1-serial.txt || { echo "serve-smoke: server (serial) and hydra-query answers differ"; exit 1; }; \
+	diff $$dir/cli-q.txt $$dir/serve1-parallel.txt || { echo "serve-smoke: server (workers=4) and hydra-query answers differ"; exit 1; }; \
+	$$dir/hydra-serve -data $$dir/data.bin -index-dir $$dir/idx -workload-dir $$dir -addr $(SERVE_SMOKE_ADDR) > $$dir/boot2.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(SERVE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "serve-smoke: second boot did not become healthy"; cat $$dir/boot2.log; exit 1; }; \
+	curl -sf -X POST --data @$$dir/req.json http://$(SERVE_SMOKE_ADDR)/v1/query > $$dir/serve2-serial.txt; \
+	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	hits=$$(grep -c "warm start: catalog hit" $$dir/boot2.log) || true; \
+	misses=$$(grep -c "warm start: catalog miss" $$dir/boot2.log) || true; \
+	[ "$$misses" = "0" ] || { echo "serve-smoke: second boot rebuilt $$misses persistable methods"; cat $$dir/boot2.log; exit 1; }; \
+	[ "$$hits" -ge 6 ] || { echo "serve-smoke: second boot loaded only $$hits methods from the catalog"; cat $$dir/boot2.log; exit 1; }; \
+	diff $$dir/serve1-serial.txt $$dir/serve2-serial.txt || { echo "serve-smoke: warm-boot answers differ from cold-boot answers"; exit 1; }; \
+	echo "serve-smoke OK ($$hits warm loads on second boot)"
 
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:

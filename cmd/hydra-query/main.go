@@ -123,11 +123,7 @@ func run(o options, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "query %3d:", qi)
-		for _, nb := range res.Neighbors {
-			fmt.Fprintf(out, " (%d, %.4f)", nb.ID, nb.Dist)
-		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(out, eval.AnswerLine(qi, res.Neighbors))
 	}
 	if o.truth {
 		res, err := eval.ParallelRun(built.Method, w, template, storage.DefaultCostModel(), eval.RunOptions{Workers: o.workers})

@@ -1,0 +1,159 @@
+// Command hydra-serve is the long-running HTTP query service: it loads a
+// dataset once, hydrates indexes through the persistent catalog (building
+// and saving on the first boot against an -index-dir, loading warm on
+// every later boot) and then answers many independent query requests from
+// one process — the paper's build-once / query-many workflow as a server.
+//
+// Usage:
+//
+//	hydra-serve -data data.bin -index-dir ./idx -workload-dir . -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/methods
+//	curl -s -X POST localhost:8080/v1/query \
+//	     -d '{"method":"DSTree","k":10,"query":[...128 floats...]}'
+//
+// Endpoints, request fields and the error shape are documented in
+// docs/API.md; warm-start operations in docs/OPERATIONS.md. SIGINT/SIGTERM
+// begin a graceful drain: in-flight requests finish, new ones get the
+// documented 503 "shutting_down" error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/server"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "dataset file (required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		indexDir   = flag.String("index-dir", "", "persistent index catalog directory (enables warm starts)")
+		workload   = flag.String("workload-dir", "", "directory query requests may reference workload files from; empty disables \"workload_file\"")
+		preload    = flag.String("preload", "persistable", "methods to hydrate at boot: \"persistable\", \"all\", \"none\", or a comma-separated list")
+		workers    = flag.Int("workers", 0, "default per-request query fan-out (0 = serial, negative = all cores)")
+		warmupPar  = flag.Int("warmup-workers", -1, "boot hydration fan-out (negative = all cores)")
+		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "hydra-serve: -data is required")
+		os.Exit(2)
+	}
+	if err := run(*dataPath, *addr, *indexDir, *workload, *preload, *workers, *warmupPar, *reqTimeout, *drainWait); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupPar int, reqTimeout, drainWait time.Duration) error {
+	start := time.Now()
+	data, err := series.LoadFile(dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d series of length %d (%.3fs)\n",
+		dataPath, data.Size(), data.Length(), time.Since(start).Seconds())
+
+	names, err := parsePreload(preload)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Data:           data,
+		DatasetPath:    dataPath,
+		IndexDir:       indexDir,
+		WorkloadDir:    workloadDir,
+		Preload:        names,
+		DefaultWorkers: workers,
+		WarmupWorkers:  warmupPar,
+		Log:            os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+
+	handler := srv.Handler()
+	if reqTimeout > 0 {
+		// The timeout body mirrors the service's documented error shape.
+		// TimeoutHandler writes its body against the outer writer's header
+		// map, so the JSON content type is pre-set here; every inner
+		// handler overwrites it with its own on the success path.
+		inner := http.TimeoutHandler(handler, reqTimeout,
+			`{"error":{"code":"request_timeout","message":"request exceeded the server's -request-timeout","status":503}}`)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			inner.ServeHTTP(w, r)
+		})
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving on %s (boot %.3fs)\n", addr, time.Since(start).Seconds())
+
+	select {
+	case sig := <-stop:
+		fmt.Printf("received %s: draining (deadline %s)\n", sig, drainWait)
+		srv.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("drained cleanly")
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// parsePreload maps the -preload flag onto a method-name list: nil means
+// "every persistable method" (server.Config's default), an empty non-nil
+// slice means none.
+func parsePreload(s string) ([]string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "persistable":
+		return nil, nil
+	case "all":
+		return core.MethodNames(), nil
+	case "none":
+		return []string{}, nil
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, ok := core.LookupMethod(name); !ok {
+			return nil, fmt.Errorf("-preload: unknown method %q (known: %s)", name, strings.Join(core.MethodNames(), ", "))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-preload: empty method list")
+	}
+	return names, nil
+}

@@ -147,6 +147,15 @@ type OpenResult struct {
 	SaveErr error
 }
 
+// HydrateSeconds returns the time the hydration path that actually ran
+// took: the load time on a hit, the build time otherwise.
+func (r OpenResult) HydrateSeconds() float64 {
+	if r.Hit {
+		return r.LoadSeconds
+	}
+	return r.BuildSeconds
+}
+
 // OpenIndex strictly loads the cached index for (spec, ctx). It returns
 // ErrMiss when no entry exists, ErrNotPersistable for methods without
 // snapshot hooks, and a descriptive error for corrupt, version-skewed or

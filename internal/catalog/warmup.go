@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hydra/internal/core"
+)
+
+// WarmupEntry is the outcome of hydrating one method during Warmup. Exactly
+// one of Result/Err is meaningful: Err is set when the method is unknown or
+// both loading and rebuilding failed, otherwise Result carries the index
+// and whether it came from the catalog (Hit) or a fresh build.
+type WarmupEntry struct {
+	Name   string
+	Result OpenResult
+	Err    error
+}
+
+// Warmup hydrates the named methods, fanning the work across up to workers
+// goroutines (0 or 1 runs serially). With a catalog, each method goes
+// through OpenOrBuild: a valid entry is loaded, anything else is built and
+// — when persistable — saved for the next boot. c may be nil, in which
+// case every method is built in memory and nothing persists (a cold-only
+// warmup). Entries come back in names order, one per requested method,
+// with per-method errors recorded rather than aborting the batch: a
+// long-running server should come up serving the methods that work and
+// report the ones that do not.
+//
+// The BuildContext is shared across workers (its helpers are safe for
+// concurrent use), so the dataset fingerprint and the δ-ε histogram are
+// computed once per warmup, not once per method.
+func Warmup(c *Catalog, names []string, ctx *core.BuildContext, workers int) []WarmupEntry {
+	out := make([]WarmupEntry, len(names))
+	hydrate := func(i int) {
+		name := names[i]
+		spec, ok := core.LookupMethod(name)
+		if !ok {
+			out[i] = WarmupEntry{Name: name, Err: fmt.Errorf("catalog: unknown method %q", name)}
+			return
+		}
+		if c == nil {
+			start := time.Now()
+			built, err := spec.Build(ctx)
+			if err != nil {
+				out[i] = WarmupEntry{Name: name, Err: err}
+				return
+			}
+			out[i] = WarmupEntry{Name: name, Result: OpenResult{
+				Method:       built.Method,
+				Store:        built.Store,
+				BuildSeconds: time.Since(start).Seconds(),
+			}}
+			return
+		}
+		res, err := c.OpenOrBuild(spec, ctx)
+		out[i] = WarmupEntry{Name: name, Result: res, Err: err}
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for i := range names {
+			hydrate(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				hydrate(i)
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

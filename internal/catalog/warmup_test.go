@@ -1,0 +1,109 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+// registerWarmupSpecs adds the registry entries Warmup resolves by name:
+// one persistable method (counting builds) and one pure in-memory method.
+// Registration is global, hence once per test binary.
+var registerWarmupSpecs = sync.OnceValue(func() *int {
+	builds := new(int)
+	spec := fakeSpec(builds)
+	spec.Name = "warm-fake"
+	core.RegisterMethod(core.MethodSpec{
+		Name:          spec.Name,
+		FormatVersion: spec.FormatVersion,
+		Build:         spec.Build,
+		Save: func(m core.Method, w io.Writer) error {
+			return gob.NewEncoder(w).Encode(m.(*fakeMethod).size)
+		},
+		Load: spec.Load,
+	})
+	core.RegisterMethod(core.MethodSpec{
+		Name: "warm-plain",
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			return core.BuildResult{Method: &fakeMethod{size: ctx.Data.Size()}}, nil
+		},
+	})
+	return builds
+})
+
+func TestWarmupColdThenWarm(t *testing.T) {
+	builds := registerWarmupSpecs()
+	*builds = 0
+	data := testDataset(40, 8, 1)
+	cat, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"warm-fake", "warm-plain", "no-such-method"}
+
+	entries := Warmup(cat, names, ctxFor(data), 3)
+	if len(entries) != len(names) {
+		t.Fatalf("got %d entries, want %d", len(entries), len(names))
+	}
+	for i, e := range entries {
+		if e.Name != names[i] {
+			t.Errorf("entry %d is %q, want %q (order must follow names)", i, e.Name, names[i])
+		}
+	}
+	if e := entries[0]; e.Err != nil || e.Result.Hit || e.Result.Method == nil {
+		t.Errorf("cold persistable entry: %+v", e)
+	}
+	if e := entries[1]; e.Err != nil || e.Result.Hit || e.Result.Method == nil {
+		t.Errorf("non-persistable entry should pass through as a build: %+v", e)
+	}
+	if e := entries[2]; e.Err == nil || !strings.Contains(e.Err.Error(), "unknown method") {
+		t.Errorf("unknown method should error, got %+v", e)
+	}
+	if *builds != 1 {
+		t.Fatalf("persistable method built %d times, want 1", *builds)
+	}
+
+	// Second warmup over the same catalog: the persistable method loads,
+	// the in-memory one rebuilds (nothing to persist).
+	entries = Warmup(cat, names[:2], ctxFor(data), 1)
+	if e := entries[0]; e.Err != nil || !e.Result.Hit {
+		t.Errorf("warm persistable entry should hit: %+v", e)
+	}
+	if e := entries[1]; e.Err != nil || e.Result.Hit {
+		t.Errorf("in-memory entry cannot hit: %+v", e)
+	}
+	if *builds != 1 {
+		t.Fatalf("warm boot rebuilt the persistable method (%d builds)", *builds)
+	}
+	if m, ok := entries[0].Result.Method.(*fakeMethod); !ok || !m.loaded {
+		t.Errorf("warm method was not served from the snapshot: %+v", entries[0].Result.Method)
+	}
+}
+
+func TestWarmupWithoutCatalogBuildsEverything(t *testing.T) {
+	builds := registerWarmupSpecs()
+	*builds = 0
+	data := testDataset(40, 8, 1)
+	entries := Warmup(nil, []string{"warm-fake", "warm-plain", "no-such-method"}, ctxFor(data), 2)
+	if e := entries[0]; e.Err != nil || e.Result.Hit || e.Result.Method == nil || e.Result.BuildSeconds < 0 {
+		t.Errorf("nil-catalog persistable entry: %+v", e)
+	}
+	if e := entries[1]; e.Err != nil || e.Result.Method == nil {
+		t.Errorf("nil-catalog in-memory entry: %+v", e)
+	}
+	if e := entries[2]; e.Err == nil {
+		t.Errorf("unknown method should error, got %+v", e)
+	}
+	if *builds != 1 {
+		t.Fatalf("persistable method built %d times, want 1", *builds)
+	}
+	// Nothing persisted: a second nil-catalog warmup builds again.
+	Warmup(nil, []string{"warm-fake"}, ctxFor(data), 1)
+	if *builds != 2 {
+		t.Fatalf("nil catalog cannot serve warm loads (%d builds, want 2)", *builds)
+	}
+}

@@ -115,6 +115,29 @@ type MethodSpec struct {
 // Persistable reports whether the spec carries persistence hooks.
 func (s MethodSpec) Persistable() bool { return s.Save != nil && s.Load != nil }
 
+// Capabilities renders the spec's capability flags as the stable strings
+// used by reports and the serving API: a subset of "exact", "ng",
+// "epsilon", "delta-epsilon" and "disk-resident", in that order.
+func (s MethodSpec) Capabilities() []string {
+	var out []string
+	if s.Exact {
+		out = append(out, "exact")
+	}
+	if s.NG {
+		out = append(out, "ng")
+	}
+	if s.Epsilon {
+		out = append(out, "epsilon")
+	}
+	if s.DeltaEpsilon {
+		out = append(out, "delta-epsilon")
+	}
+	if s.DiskResident {
+		out = append(out, "disk-resident")
+	}
+	return out
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]MethodSpec{}
@@ -183,6 +206,19 @@ func DiskMethodNames() []string {
 	var out []string
 	for _, s := range RegisteredMethods() {
 		if s.DiskResident {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// PersistableMethodNames returns the registered methods that carry
+// persistence hooks, in registry order — the set a warm start can hydrate
+// from an index catalog instead of rebuilding.
+func PersistableMethodNames() []string {
+	var out []string
+	for _, s := range RegisteredMethods() {
+		if s.Persistable() {
 			out = append(out, s.Name)
 		}
 	}

@@ -119,3 +119,45 @@ func TestSpecPersistable(t *testing.T) {
 		t.Error("spec with hooks not persistable")
 	}
 }
+
+func TestSpecCapabilities(t *testing.T) {
+	s := dummySpec("zz-caps", 1)
+	if got := s.Capabilities(); len(got) != 0 {
+		t.Errorf("flagless spec has capabilities %v", got)
+	}
+	s.Exact, s.NG, s.Epsilon, s.DeltaEpsilon, s.DiskResident = true, true, true, true, true
+	want := []string{"exact", "ng", "epsilon", "delta-epsilon", "disk-resident"}
+	got := s.Capabilities()
+	if len(got) != len(want) {
+		t.Fatalf("capabilities = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("capabilities = %v, want %v (stable order)", got, want)
+		}
+	}
+}
+
+func TestPersistableMethodNames(t *testing.T) {
+	p := dummySpec("zz-persist", 4)
+	p.Save = func(m Method, w io.Writer) error { return nil }
+	p.Load = func(ctx *BuildContext, r io.Reader) (BuildResult, error) { return BuildResult{}, nil }
+	RegisterMethod(p)
+	RegisterMethod(dummySpec("zz-memonly", 5))
+	names := PersistableMethodNames()
+	var sawPersist, sawMem bool
+	for _, n := range names {
+		if n == "zz-persist" {
+			sawPersist = true
+		}
+		if n == "zz-memonly" {
+			sawMem = true
+		}
+	}
+	if !sawPersist {
+		t.Error("persistable spec missing from PersistableMethodNames")
+	}
+	if sawMem {
+		t.Error("hookless spec listed as persistable")
+	}
+}

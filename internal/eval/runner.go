@@ -16,11 +16,14 @@ import (
 	"hydra/internal/storage"
 )
 
-// Workload is a named set of queries against a dataset, with ground truth.
+// Workload is a named set of queries against a dataset, with optional
+// ground truth. Truth may be nil for serving-style runs that only need
+// answers and cost counters: the runner then skips accuracy measurement
+// and RunOutcome.Metrics stays zero.
 type Workload struct {
 	Data    *series.Dataset
 	Queries *series.Dataset
-	Truth   [][]core.Neighbor // per query, k exact neighbours
+	Truth   [][]core.Neighbor // per query, k exact neighbours (nil skips accuracy)
 	K       int
 }
 
@@ -177,12 +180,28 @@ func ParallelRun(m core.Method, w Workload, template core.Query, model storage.C
 	}
 	out.WallSeconds = time.Since(start).Seconds()
 	out.ModelSeconds = out.WallSeconds + model.QuerySeconds(out.IO, out.DistCalcs)
-	metrics, err := Measure(w.Data, w.Queries, out.Results, w.Truth)
-	if err != nil {
-		return RunOutcome{}, err
+	if w.Truth != nil {
+		metrics, err := Measure(w.Data, w.Queries, out.Results, w.Truth)
+		if err != nil {
+			return RunOutcome{}, err
+		}
+		out.Metrics = metrics
 	}
-	out.Metrics = metrics
 	return out, nil
+}
+
+// AnswerLine renders one query's answers in the canonical per-query line
+// format shared by hydra-query's output and hydra-serve's text response
+// ("query %3d:" followed by one " (id, dist)" pair per neighbour). Both
+// frontends emitting the same bytes for the same answers is what lets the
+// serve smoke test diff CLI output against server output directly.
+func AnswerLine(qi int, neighbors []core.Neighbor) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query %3d:", qi)
+	for _, nb := range neighbors {
+		fmt.Fprintf(&sb, " (%d, %.4f)", nb.ID, nb.Dist)
+	}
+	return sb.String()
 }
 
 // Table is a printable experiment result: a title, column names and rows.

@@ -348,6 +348,8 @@ type branchItem struct {
 	d  float64
 }
 
+// branchQueue implements container/heap's heap.Interface: a min-heap on
+// distance over the branches still worth probing.
 type branchQueue []branchItem
 
 func (q branchQueue) Len() int            { return len(q) }

@@ -178,6 +178,8 @@ type cellItem struct {
 	d    float64
 }
 
+// cellQueue implements container/heap's heap.Interface: a min-heap on
+// lower-bound distance over the multi-index cells still worth probing.
 type cellQueue []cellItem
 
 func (q cellQueue) Len() int            { return len(q) }

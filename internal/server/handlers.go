@@ -1,0 +1,474 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/eval"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// apiError is the one error shape every endpoint returns (docs/API.md):
+//
+//	{"error":{"code":"unknown_method","message":"...","status":404}}
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]apiError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...), Status: status},
+	})
+}
+
+// Handler returns the service's HTTP handler. Routing is method-checked by
+// hand so that 404s and 405s share the documented error shape.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.guard("GET", false, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.guard("GET", false, s.handleMetrics))
+	mux.HandleFunc("/v1/methods", s.guard("GET", true, s.handleMethods))
+	mux.HandleFunc("/v1/datasets", s.guard("GET", true, s.handleDatasets))
+	mux.HandleFunc("/v1/query", s.guard("POST", true, s.handleQuery))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
+	})
+	return mux
+}
+
+// guard enforces the HTTP method and, for drainable endpoints, the
+// shutdown latch: once BeginShutdown has run, query and introspection
+// requests are refused while /healthz and /metrics keep answering so the
+// drain can be observed.
+func (s *Server) guard(method string, drains bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s needs %s, got %s", r.URL.Path, method, r.Method)
+			return
+		}
+		if drains && s.down.Load() {
+			writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining; retry against another replica")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.down.Load() {
+		status = "shutting_down"
+	}
+	ready := 0
+	for _, h := range s.handles {
+		if hReady, _, _, _, err := h.state(); hReady && err == nil {
+			ready++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"dataset": map[string]any{
+			"name":        s.datasetName,
+			"series":      s.data.Size(),
+			"length":      s.data.Length(),
+			"fingerprint": s.fingerprint,
+		},
+		"methods_ready": ready,
+		"warmup":        s.WarmupReport(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, time.Since(s.start).Seconds())
+}
+
+// methodInfo is one row of GET /v1/methods, derived from the registry.
+type methodInfo struct {
+	Name          string   `json:"name"`
+	Rank          int      `json:"rank"`
+	Capabilities  []string `json:"capabilities"`
+	Persistable   bool     `json:"persistable"`
+	FormatVersion int      `json:"format_version,omitempty"`
+	Loaded        bool     `json:"loaded"`
+	FromCatalog   bool     `json:"from_catalog"`
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	specs := core.RegisteredMethods()
+	out := make([]methodInfo, 0, len(specs))
+	for _, spec := range specs {
+		var loaded, fromCache bool
+		// A handle can be missing only for a method registered after this
+		// server booted (the map is snapshotted in New): report it, unloaded.
+		if h := s.handles[spec.Name]; h != nil {
+			ready, _, cached, _, err := h.state()
+			loaded = ready && err == nil
+			fromCache = cached
+		}
+		out = append(out, methodInfo{
+			Name:          spec.Name,
+			Rank:          spec.Rank,
+			Capabilities:  spec.Capabilities(),
+			Persistable:   spec.Persistable(),
+			FormatVersion: spec.FormatVersion,
+			Loaded:        loaded,
+			FromCatalog:   fromCache,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"methods": out})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	indexDir := ""
+	if s.cat != nil {
+		indexDir = s.cat.Dir()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"datasets": []map[string]any{{
+			"name":        s.datasetName,
+			"path":        s.datasetPath,
+			"series":      s.data.Size(),
+			"length":      s.data.Length(),
+			"bytes":       s.data.Bytes(),
+			"fingerprint": s.fingerprint,
+			"index_dir":   indexDir,
+			"cost_model":  costModelJSON(s.model),
+		}},
+	})
+}
+
+func costModelJSON(m storage.CostModel) map[string]any {
+	return map[string]any{
+		"seek_seconds":        m.SeekSeconds,
+		"bytes_per_second":    m.BytesPerSecond,
+		"page_bytes":          m.PageBytes,
+		"cpu_seconds_per_cmp": m.CPUSecondsPerCmp,
+	}
+}
+
+// queryRequest is the POST /v1/query body. Exactly one of Query, Queries
+// or WorkloadFile supplies the query series.
+type queryRequest struct {
+	Method  string   `json:"method"`
+	Mode    string   `json:"mode"`    // exact|ng|epsilon|delta-epsilon; default exact
+	K       int      `json:"k"`       // default 10
+	Epsilon float64  `json:"epsilon"` // ε bound (epsilon / delta-epsilon modes)
+	Delta   *float64 `json:"delta"`   // δ probability; default 1
+	NProbe  int      `json:"nprobe"`  // ng-mode probe budget; default 8
+	// Query is a single query series; Queries a batch; WorkloadFile a
+	// server-side workload file in the hydra binary format.
+	Query        []float32   `json:"query"`
+	Queries      [][]float32 `json:"queries"`
+	WorkloadFile string      `json:"workload_file"`
+	// Workers is the fan-out eval.ParallelRun applies to this request's
+	// queries: 0 uses the server default, negative all cores.
+	Workers int `json:"workers"`
+	// Format selects the response body: "json" (default) or "text" (the
+	// CLI's per-query answer lines, byte-identical to hydra-query).
+	Format string `json:"format"`
+}
+
+// neighborJSON is one answer of one query.
+type neighborJSON struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// answerJSON is one query's result row.
+type answerJSON struct {
+	Query     int            `json:"query"`
+	Neighbors []neighborJSON `json:"neighbors"`
+}
+
+// queryResponse is the POST /v1/query JSON body: answers plus the
+// request's exact cost accounting (raw-data I/O counters, distance
+// computations) and the storage cost model's pricing of it.
+type queryResponse struct {
+	Method       string       `json:"method"`
+	Mode         string       `json:"mode"`
+	K            int          `json:"k"`
+	Workers      int          `json:"workers"`
+	FromCatalog  bool         `json:"from_catalog"`
+	Answers      []answerJSON `json:"answers"`
+	WallSeconds  float64      `json:"wall_seconds"`
+	ModelSeconds float64      `json:"model_seconds"`
+	IO           struct {
+		RandomSeeks     int64 `json:"random_seeks"`
+		SequentialPages int64 `json:"sequential_pages"`
+		BytesRead       int64 `json:"bytes_read"`
+	} `json:"io"`
+	DistCalcs int64          `json:"dist_calcs"`
+	CostModel map[string]any `json:"cost_model"`
+}
+
+// maxRequestBytes bounds a /v1/query body. 64 MiB fits a ~65k-query batch
+// of length-128 series in JSON; anything bigger belongs in a workload file.
+const maxRequestBytes = 64 << 20
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				"request body exceeds %d bytes; use workload_file for large batches", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid_json", "decoding request body: %v", err)
+		return
+	}
+	if req.Method == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "\"method\" is required (see GET /v1/methods)")
+		return
+	}
+	spec, ok := core.LookupMethod(req.Method)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_method", "unknown method %q (see GET /v1/methods)", req.Method)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_mode", "%v", err)
+		return
+	}
+	if req.K == 0 {
+		// Default to the CLI's k=10, clamped so an omitted k is always
+		// valid on tiny datasets.
+		req.K = 10
+		if req.K > s.data.Size() {
+			req.K = s.data.Size()
+		}
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "bad_k", "k must be positive, got %d", req.K)
+		return
+	}
+	if req.K > s.data.Size() {
+		writeError(w, http.StatusBadRequest, "bad_k", "k=%d exceeds dataset size %d", req.K, s.data.Size())
+		return
+	}
+	queries, qerr := s.gatherQueries(req)
+	if qerr != nil {
+		writeError(w, qerr.Status, qerr.Code, "%s", qerr.Message)
+		return
+	}
+
+	delta := 1.0
+	if req.Delta != nil {
+		delta = *req.Delta
+	}
+	nprobe := req.NProbe
+	if nprobe == 0 {
+		nprobe = 8
+	}
+	template := core.Query{Mode: mode, Epsilon: req.Epsilon, Delta: delta, NProbe: nprobe}
+	probe := template
+	probe.Series = queries.At(0)
+	probe.K = req.K
+	if err := probe.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_query", "%v", err)
+		return
+	}
+
+	m, fromCache, err := s.methodFor(req.Method)
+	if err != nil {
+		s.metrics.recordError(req.Method)
+		writeError(w, http.StatusInternalServerError, "method_unavailable", "hydrating %s: %v", req.Method, err)
+		return
+	}
+
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.defWorkers
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	workload := eval.Workload{Data: s.data, Queries: queries, K: req.K}
+	start := time.Now()
+	outcome, err := eval.ParallelRun(m, workload, template, s.model, eval.RunOptions{Workers: workers})
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		s.metrics.recordError(req.Method)
+		writeError(w, http.StatusInternalServerError, "query_failed", "%v", err)
+		return
+	}
+	s.metrics.recordRequest(req.Method, queries.Size(), elapsed, outcome.IO, outcome.DistCalcs)
+
+	format := req.Format
+	if f := r.URL.Query().Get("format"); f != "" {
+		format = f
+	}
+	if strings.EqualFold(format, "text") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for qi, res := range outcome.Results {
+			fmt.Fprintln(w, eval.AnswerLine(qi, res.Neighbors))
+		}
+		return
+	}
+
+	resp := queryResponse{
+		Method:       spec.Name,
+		Mode:         mode.String(),
+		K:            req.K,
+		Workers:      workers,
+		FromCatalog:  fromCache,
+		WallSeconds:  outcome.WallSeconds,
+		ModelSeconds: outcome.ModelSeconds,
+		DistCalcs:    outcome.DistCalcs,
+		CostModel:    costModelJSON(s.model),
+	}
+	resp.IO.RandomSeeks = outcome.IO.RandomSeeks
+	resp.IO.SequentialPages = outcome.IO.SequentialPages
+	resp.IO.BytesRead = outcome.IO.BytesRead
+	resp.Answers = make([]answerJSON, len(outcome.Results))
+	for qi, res := range outcome.Results {
+		nbs := make([]neighborJSON, len(res.Neighbors))
+		for i, nb := range res.Neighbors {
+			nbs[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
+		}
+		resp.Answers[qi] = answerJSON{Query: qi, Neighbors: nbs}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gatherQueries materialises the request's query series as a dataset,
+// validating that exactly one source was given and that every series
+// matches the dataset's length.
+func (s *Server) gatherQueries(req queryRequest) (*series.Dataset, *apiError) {
+	sources := 0
+	if len(req.Query) > 0 {
+		sources++
+	}
+	if len(req.Queries) > 0 {
+		sources++
+	}
+	if req.WorkloadFile != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, &apiError{
+			Code:    "bad_request",
+			Message: "exactly one of \"query\", \"queries\" or \"workload_file\" must be set",
+			Status:  http.StatusBadRequest,
+		}
+	}
+	length := s.data.Length()
+	if req.WorkloadFile != "" {
+		path, perr := s.resolveWorkloadFile(req.WorkloadFile)
+		if perr != nil {
+			return nil, perr
+		}
+		ds, err := series.LoadFile(path)
+		if err != nil {
+			return nil, &apiError{Code: "bad_workload_file", Message: err.Error(), Status: http.StatusBadRequest}
+		}
+		if ds.Size() == 0 {
+			return nil, &apiError{Code: "bad_workload_file", Message: "workload file holds no series", Status: http.StatusBadRequest}
+		}
+		if ds.Length() != length {
+			return nil, &apiError{
+				Code:    "bad_vector_length",
+				Message: fmt.Sprintf("workload series length %d != dataset length %d", ds.Length(), length),
+				Status:  http.StatusBadRequest,
+			}
+		}
+		return ds, nil
+	}
+	vectors := req.Queries
+	if len(req.Query) > 0 {
+		vectors = [][]float32{req.Query}
+	}
+	ds := series.NewDataset(length)
+	for i, v := range vectors {
+		if len(v) != length {
+			return nil, &apiError{
+				Code:    "bad_vector_length",
+				Message: fmt.Sprintf("query %d has length %d, dataset series have length %d", i, len(v), length),
+				Status:  http.StatusBadRequest,
+			}
+		}
+		ds.Append(series.Series(v))
+	}
+	return ds, nil
+}
+
+// resolveWorkloadFile maps a client-supplied workload path onto a real
+// file strictly inside the configured workload directory. Without a
+// configured directory the field is refused outright: remote clients must
+// never be able to make the server open arbitrary filesystem paths.
+func (s *Server) resolveWorkloadFile(name string) (string, *apiError) {
+	if s.workloadDir == "" {
+		return "", &apiError{
+			Code:    "bad_workload_file",
+			Message: "workload_file is disabled (start hydra-serve with -workload-dir)",
+			Status:  http.StatusBadRequest,
+		}
+	}
+	escapes := func() *apiError {
+		return &apiError{
+			Code:    "bad_workload_file",
+			Message: fmt.Sprintf("workload_file %q escapes the configured workload directory", name),
+			Status:  http.StatusBadRequest,
+		}
+	}
+	contained := func(path string) bool {
+		rel, err := filepath.Rel(s.workloadDir, path)
+		return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+	}
+	path := name
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(s.workloadDir, path)
+	}
+	path = filepath.Clean(path)
+	if !contained(path) {
+		return "", escapes()
+	}
+	// The lexical check alone would follow a symlink planted inside the
+	// directory; resolve and re-check the real location.
+	resolved, err := filepath.EvalSymlinks(path)
+	if err != nil {
+		return "", &apiError{Code: "bad_workload_file", Message: err.Error(), Status: http.StatusBadRequest}
+	}
+	if !contained(resolved) {
+		return "", escapes()
+	}
+	return resolved, nil
+}
+
+// parseMode maps the wire mode names onto core.Mode (default exact).
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "exact":
+		return core.ModeExact, nil
+	case "ng":
+		return core.ModeNG, nil
+	case "epsilon":
+		return core.ModeEpsilon, nil
+	case "delta-epsilon":
+		return core.ModeDeltaEpsilon, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want exact|ng|epsilon|delta-epsilon)", s)
+	}
+}

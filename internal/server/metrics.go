@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hydra/internal/storage"
+)
+
+// latencyBounds are the upper bounds (seconds) of the request-latency
+// histogram buckets; a final +Inf bucket is implicit.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// methodMetrics accumulates one method's serving counters.
+type methodMetrics struct {
+	requests  int64 // /v1/query requests answered
+	queries   int64 // individual queries inside those requests
+	errors    int64 // requests that failed after method resolution
+	latCounts []int64
+	latSum    float64
+	io        storage.Stats
+	distCalcs int64
+}
+
+// metrics is the server-wide counter registry behind GET /metrics. All
+// access goes through the mutex; render holds it only long enough to copy.
+type metrics struct {
+	mu            sync.Mutex
+	perMethod     map[string]*methodMetrics
+	catalogHits   int64
+	catalogMisses int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{perMethod: map[string]*methodMetrics{}}
+}
+
+func (m *metrics) forMethod(name string) *methodMetrics {
+	mm := m.perMethod[name]
+	if mm == nil {
+		mm = &methodMetrics{latCounts: make([]int64, len(latencyBounds)+1)}
+		m.perMethod[name] = mm
+	}
+	return mm
+}
+
+// recordRequest accumulates one answered /v1/query request.
+func (m *metrics) recordRequest(method string, queries int, seconds float64, io storage.Stats, distCalcs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mm := m.forMethod(method)
+	mm.requests++
+	mm.queries += int64(queries)
+	mm.latSum += seconds
+	b := len(latencyBounds)
+	for i, ub := range latencyBounds {
+		if seconds <= ub {
+			b = i
+			break
+		}
+	}
+	mm.latCounts[b]++
+	mm.io = mm.io.Add(io)
+	mm.distCalcs += distCalcs
+}
+
+// recordError counts one failed request attributed to a method.
+func (m *metrics) recordError(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.forMethod(method).errors++
+}
+
+// recordCatalog counts one catalog-routed hydration outcome.
+func (m *metrics) recordCatalog(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.catalogHits++
+	} else {
+		m.catalogMisses++
+	}
+}
+
+// render writes the Prometheus text exposition of every counter.
+func (m *metrics) render(w io.Writer, uptimeSeconds float64) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.perMethod))
+	for name := range m.perMethod {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type row struct {
+		name string
+		mm   methodMetrics
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		src := m.perMethod[name]
+		cp := *src
+		cp.latCounts = append([]int64(nil), src.latCounts...)
+		rows = append(rows, row{name, cp})
+	}
+	hits, misses := m.catalogHits, m.catalogMisses
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP hydra_uptime_seconds Seconds since the server booted.\n")
+	fmt.Fprintf(w, "# TYPE hydra_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "hydra_uptime_seconds %g\n", uptimeSeconds)
+	fmt.Fprintf(w, "# HELP hydra_catalog_hits_total Index hydrations served warm from the catalog.\n")
+	fmt.Fprintf(w, "# TYPE hydra_catalog_hits_total counter\n")
+	fmt.Fprintf(w, "hydra_catalog_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP hydra_catalog_misses_total Index hydrations that had to build (and save).\n")
+	fmt.Fprintf(w, "# TYPE hydra_catalog_misses_total counter\n")
+	fmt.Fprintf(w, "hydra_catalog_misses_total %d\n", misses)
+
+	fmt.Fprintf(w, "# HELP hydra_query_requests_total Answered /v1/query requests per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_query_requests_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_query_requests_total{method=%q} %d\n", r.name, r.mm.requests)
+	}
+	fmt.Fprintf(w, "# HELP hydra_queries_total Individual queries answered per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_queries_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_queries_total{method=%q} %d\n", r.name, r.mm.queries)
+	}
+	fmt.Fprintf(w, "# HELP hydra_query_errors_total Failed /v1/query requests per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_query_errors_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_query_errors_total{method=%q} %d\n", r.name, r.mm.errors)
+	}
+	fmt.Fprintf(w, "# HELP hydra_query_latency_seconds Request latency per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_query_latency_seconds histogram\n")
+	for _, r := range rows {
+		var cum int64
+		for i, ub := range latencyBounds {
+			cum += r.mm.latCounts[i]
+			fmt.Fprintf(w, "hydra_query_latency_seconds_bucket{method=%q,le=%q} %d\n", r.name, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += r.mm.latCounts[len(latencyBounds)]
+		fmt.Fprintf(w, "hydra_query_latency_seconds_bucket{method=%q,le=\"+Inf\"} %d\n", r.name, cum)
+		fmt.Fprintf(w, "hydra_query_latency_seconds_sum{method=%q} %g\n", r.name, r.mm.latSum)
+		fmt.Fprintf(w, "hydra_query_latency_seconds_count{method=%q} %d\n", r.name, r.mm.requests)
+	}
+	fmt.Fprintf(w, "# HELP hydra_io_random_seeks_total Modelled random seeks charged per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_io_random_seeks_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_io_random_seeks_total{method=%q} %d\n", r.name, r.mm.io.RandomSeeks)
+	}
+	fmt.Fprintf(w, "# HELP hydra_io_sequential_pages_total Modelled sequential page reads per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_io_sequential_pages_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_io_sequential_pages_total{method=%q} %d\n", r.name, r.mm.io.SequentialPages)
+	}
+	fmt.Fprintf(w, "# HELP hydra_io_bytes_read_total Modelled raw-data bytes read per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_io_bytes_read_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_io_bytes_read_total{method=%q} %d\n", r.name, r.mm.io.BytesRead)
+	}
+	fmt.Fprintf(w, "# HELP hydra_dist_calcs_total True distance computations per method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_dist_calcs_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "hydra_dist_calcs_total{method=%q} %d\n", r.name, r.mm.distCalcs)
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIndependentRequests drives the server the way production
+// traffic would: N client goroutines firing independent requests across
+// several methods at once, mixing serial and parallel fan-out, while other
+// goroutines poll the introspection endpoints. Run under -race (the
+// Makefile's race target includes this package) it pins the PR 1
+// Method.Search concurrency contract at the process boundary — genuinely
+// concurrent, independent requests over shared warm indexes — rather than
+// only inside one ParallelRun call.
+func TestConcurrentIndependentRequests(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 6)
+	methods := []string{"DSTree", "VA+file", "iSAX2+", "HNSW"}
+	s := newTestServer(t, Config{Data: data, Preload: methods})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clientsPerMethod = 4
+	const requestsPerClient = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(methods)*clientsPerMethod+2)
+
+	// A reference answer per (method, query) to check cross-request
+	// interference: every concurrent request must return it unchanged.
+	reference := map[string]string{}
+	for _, m := range methods {
+		for qi := 0; qi < qs.Size(); qi++ {
+			body := postText(t, ts.URL, m, queryVec(qs, qi))
+			reference[fmt.Sprintf("%s/%d", m, qi)] = body
+		}
+	}
+
+	for _, m := range methods {
+		for c := 0; c < clientsPerMethod; c++ {
+			wg.Add(1)
+			go func(m string, c int) {
+				defer wg.Done()
+				for rqi := 0; rqi < requestsPerClient; rqi++ {
+					qi := (c + rqi) % qs.Size()
+					workers := 1 + (c+rqi)%3 // mix serial and parallel requests
+					blob, _ := json.Marshal(map[string]any{
+						"method": m, "mode": "ng", "nprobe": 8, "k": 5,
+						"query": queryVec(qs, qi), "workers": workers, "format": "text",
+					})
+					resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("%s: status %d body %s", m, resp.StatusCode, body)
+						return
+					}
+					if want := reference[fmt.Sprintf("%s/%d", m, qi)]; string(body) != want {
+						errCh <- fmt.Errorf("%s query %d: concurrent answer diverged:\n got %swant %s", m, qi, body, want)
+						return
+					}
+				}
+			}(m, c)
+		}
+	}
+	// Introspection traffic concurrent with queries.
+	for _, path := range []string{"/v1/methods", "/metrics"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// postText fires one serial text-format query and returns the body.
+func postText(t *testing.T, base, method string, vec []float32) string {
+	t.Helper()
+	blob, _ := json.Marshal(map[string]any{
+		"method": method, "mode": "ng", "nprobe": 8, "k": 5,
+		"query": vec, "workers": 1, "format": "text",
+	})
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d body %s", method, resp.StatusCode, body)
+	}
+	return string(body)
+}

@@ -1,0 +1,337 @@
+// Package server implements the hydra-serve HTTP query service: the
+// long-running front-end that turns the benchmark's build-once /
+// query-many workflow into an actual serving process. A Server loads one
+// dataset at startup, hydrates its preload methods through the persistent
+// index catalog (building and saving on the first boot, loading warm on
+// every later boot), and then answers independent JSON query requests
+// concurrently — each request fans its queries through eval.ParallelRun,
+// relying on the core.Method concurrency contract (Search safe for
+// concurrent use) that the rest of the repo pins under the race detector.
+//
+// Endpoints (documented in docs/API.md): POST /v1/query, GET /v1/methods,
+// GET /v1/datasets, GET /healthz and GET /metrics. Every error response
+// shares one JSON shape; /metrics is Prometheus text exposition.
+package server
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/catalog"
+	"hydra/internal/core"
+	"hydra/internal/eval"
+	"hydra/internal/series"
+	"hydra/internal/storage"
+)
+
+// Config configures a Server. Data is required; everything else has a
+// serving-appropriate default.
+type Config struct {
+	// Data is the dataset the service answers queries over.
+	Data *series.Dataset
+	// DatasetPath is the file the dataset was loaded from, used for
+	// reporting only ("inline" when empty).
+	DatasetPath string
+	// IndexDir, when non-empty, is the persistent index catalog directory:
+	// persistable preload methods are loaded from it when a valid entry
+	// exists and saved into it after a fresh build, giving later boots a
+	// warm start. Empty disables persistence (every boot builds in memory).
+	IndexDir string
+	// WorkloadDir, when non-empty, is the one directory query requests may
+	// reference server-side workload files from ("workload_file"); paths
+	// are resolved against it and must not escape it. Empty disables the
+	// workload_file query source entirely — clients must not be able to
+	// make the server open arbitrary paths.
+	WorkloadDir string
+	// Preload names the methods hydrated at startup. nil selects every
+	// persistable method (the warm-startable set); an explicit empty,
+	// non-nil slice preloads nothing. Methods outside the preload set are
+	// hydrated lazily on their first query.
+	Preload []string
+	// DefaultWorkers is the per-request query fan-out applied when a
+	// request does not set "workers". 0 serves serially; negative uses all
+	// cores.
+	DefaultWorkers int
+	// Model prices raw-data I/O and distance computations in query
+	// responses; nil selects storage.DefaultCostModel().
+	Model *storage.CostModel
+	// HistogramPairs and Seed override the r_δ histogram parameters; zero
+	// keeps eval.DefaultSuite()'s values, which is what makes the server's
+	// catalog keys (and answers) line up with hydra-query's defaults.
+	HistogramPairs int
+	Seed           int64
+	// WarmupWorkers is the startup hydration fan-out; 0 or 1 hydrates
+	// serially, negative uses all cores.
+	WarmupWorkers int
+	// Log receives boot and hydration log lines; nil discards them.
+	Log io.Writer
+}
+
+// WarmupStatus reports one method's boot-time hydration, surfaced by
+// GET /healthz and the boot log.
+type WarmupStatus struct {
+	Method string `json:"method"`
+	// Source is "catalog" for a warm load, "built" for a fresh build
+	// (saved to the catalog when possible), or "error".
+	Source  string  `json:"source"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// handle is the per-method hydration slot. hydrateMu serialises the (slow)
+// hydration itself; mu guards the result fields and is only ever held for
+// field access, never across a build or load — introspection endpoints
+// (/healthz, /v1/methods) therefore stay responsive while a lazy build is
+// in flight.
+type handle struct {
+	hydrateMu sync.Mutex
+	mu        sync.Mutex
+	ready     bool
+	method    core.Method
+	fromCache bool
+	// hydrateSeconds is the load time for a catalog hit, the build time
+	// otherwise.
+	hydrateSeconds float64
+	err            error
+}
+
+// publish installs a hydration outcome (under mu).
+func (h *handle) publish(m core.Method, fromCache bool, seconds float64, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ready {
+		return
+	}
+	h.ready = true
+	h.method = m
+	h.fromCache = fromCache
+	h.hydrateSeconds = seconds
+	h.err = err
+}
+
+// state snapshots the handle (under mu).
+func (h *handle) state() (ready bool, m core.Method, fromCache bool, seconds float64, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.method, h.fromCache, h.hydrateSeconds, h.err
+}
+
+// Server is the hydra-serve service state: one dataset, a lazily hydrated
+// method table, request metrics, and a shutdown latch. Its HTTP handlers
+// (Handler) are safe for concurrent use.
+type Server struct {
+	data        *series.Dataset
+	datasetName string
+	datasetPath string
+	fingerprint string
+	buildCtx    *core.BuildContext
+	cat         *catalog.Catalog // nil without IndexDir
+	workloadDir string           // absolute; empty = workload_file disabled
+	model       storage.CostModel
+	defWorkers  int
+	log         io.Writer
+	logMu       sync.Mutex
+
+	handles map[string]*handle // one slot per registered method
+
+	metrics *metrics
+	start   time.Time
+	down    atomic.Bool
+	warmup  []WarmupStatus
+}
+
+// New builds a Server over cfg.Data and performs the warm start: every
+// preload method is hydrated through the index catalog (when IndexDir is
+// set) or built in memory, with per-method failures logged and reported by
+// /healthz rather than aborting the boot.
+func New(cfg Config) (*Server, error) {
+	if cfg.Data == nil || cfg.Data.Size() == 0 {
+		return nil, fmt.Errorf("server: config needs a non-empty dataset")
+	}
+	suite := eval.DefaultSuite()
+	if cfg.HistogramPairs > 0 {
+		suite.HistogramPairs = cfg.HistogramPairs
+	}
+	if cfg.Seed != 0 {
+		suite.Seed = cfg.Seed
+	}
+	name := "inline"
+	if cfg.DatasetPath != "" {
+		name = filepath.Base(cfg.DatasetPath)
+	}
+	s := &Server{
+		data:        cfg.Data,
+		datasetName: name,
+		datasetPath: cfg.DatasetPath,
+		buildCtx:    eval.NewBuildContext(eval.Workload{Data: cfg.Data}, suite),
+		model:       storage.DefaultCostModel(),
+		defWorkers:  cfg.DefaultWorkers,
+		log:         cfg.Log,
+		handles:     map[string]*handle{},
+		metrics:     newMetrics(),
+		start:       time.Now(),
+	}
+	if cfg.Model != nil {
+		s.model = *cfg.Model
+	}
+	if s.log == nil {
+		s.log = io.Discard
+	}
+	if cfg.WorkloadDir != "" {
+		abs, err := filepath.Abs(cfg.WorkloadDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: resolving workload dir: %w", err)
+		}
+		// Resolve symlinks up front so the per-request containment check
+		// compares real paths on both sides (e.g. /tmp → /private/tmp).
+		if resolved, err := filepath.EvalSymlinks(abs); err == nil {
+			abs = resolved
+		}
+		s.workloadDir = abs
+	}
+	s.fingerprint = s.buildCtx.DataFingerprint()
+	if cfg.IndexDir != "" {
+		cat, err := catalog.Open(cfg.IndexDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cat = cat
+	}
+	for _, spec := range core.RegisteredMethods() {
+		s.handles[spec.Name] = &handle{}
+	}
+	preload := cfg.Preload
+	if preload == nil {
+		preload = core.PersistableMethodNames()
+	}
+	s.warmStart(preload, cfg.WarmupWorkers)
+	return s, nil
+}
+
+// logf serialises log lines across warmup workers and request handlers.
+func (s *Server) logf(format string, args ...any) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.log, format, args...)
+}
+
+// warmStart hydrates the preload set through catalog.Warmup (which
+// tolerates a nil catalog by building everything in memory) and records
+// per-method status.
+func (s *Server) warmStart(names []string, workers int) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	if len(names) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, e := range catalog.Warmup(s.cat, names, s.buildCtx, workers) {
+		s.warmup = append(s.warmup, s.adoptWarmup(e))
+	}
+	ready := 0
+	for _, st := range s.warmup {
+		switch st.Source {
+		case "error":
+			s.logf("warm start: %s failed: %s\n", st.Method, st.Error)
+		case "catalog":
+			ready++
+			s.logf("warm start: catalog hit: %s (load %.3fs)\n", st.Method, st.Seconds)
+		default:
+			ready++
+			s.logf("warm start: catalog miss: %s (build %.3fs)\n", st.Method, st.Seconds)
+		}
+	}
+	s.logf("warm start: %d/%d methods ready in %.3fs\n", ready, len(names), time.Since(start).Seconds())
+}
+
+// adoptWarmup installs one catalog Warmup outcome into the method's handle
+// and converts it to a WarmupStatus.
+func (s *Server) adoptWarmup(e catalog.WarmupEntry) WarmupStatus {
+	h := s.handles[e.Name]
+	if h == nil { // unknown method name in the preload list
+		return WarmupStatus{Method: e.Name, Source: "error", Error: e.Err.Error()}
+	}
+	if e.Err != nil {
+		h.publish(nil, false, 0, e.Err)
+		return WarmupStatus{Method: e.Name, Source: "error", Error: e.Err.Error()}
+	}
+	h.publish(e.Result.Method, e.Result.Hit, e.Result.HydrateSeconds(), nil)
+	if e.Result.SaveErr != nil {
+		s.logf("catalog save failed (index served from memory): %s: %v\n", e.Name, e.Result.SaveErr)
+	}
+	if s.cat != nil {
+		s.metrics.recordCatalog(e.Result.Hit)
+	}
+	return s.statusFor(e.Name)
+}
+
+// statusFor summarises a hydrated handle.
+func (s *Server) statusFor(name string) WarmupStatus {
+	_, _, fromCache, seconds, err := s.handles[name].state()
+	if err != nil {
+		return WarmupStatus{Method: name, Source: "error", Error: err.Error()}
+	}
+	if fromCache {
+		return WarmupStatus{Method: name, Source: "catalog", Seconds: seconds}
+	}
+	return WarmupStatus{Method: name, Source: "built", Seconds: seconds}
+}
+
+// ensure hydrates the named method if needed and returns its permanent
+// hydration error, if any. Safe for concurrent use; concurrent callers of
+// one cold method block on a single hydration (on hydrateMu, never on the
+// state mutex the introspection endpoints read through). Lazy hydration is
+// the same catalog.Warmup + adoptWarmup path the boot warm start uses, so
+// the two cannot drift in accounting.
+func (s *Server) ensure(name string) error {
+	h := s.handles[name]
+	if h == nil {
+		return fmt.Errorf("server: unknown method %q", name)
+	}
+	if ready, _, _, _, err := h.state(); ready {
+		return err
+	}
+	h.hydrateMu.Lock()
+	defer h.hydrateMu.Unlock()
+	if ready, _, _, _, err := h.state(); ready { // hydrated while we waited
+		return err
+	}
+	s.adoptWarmup(catalog.Warmup(s.cat, []string{name}, s.buildCtx, 1)[0])
+	_, _, _, _, err := h.state()
+	return err
+}
+
+// methodFor returns the hydrated method, hydrating on first use.
+func (s *Server) methodFor(name string) (core.Method, bool, error) {
+	if err := s.ensure(name); err != nil {
+		return nil, false, err
+	}
+	_, m, fromCache, _, _ := s.handles[name].state()
+	return m, fromCache, nil
+}
+
+// WarmupReport returns the boot-time hydration statuses in preload order.
+func (s *Server) WarmupReport() []WarmupStatus {
+	out := make([]WarmupStatus, len(s.warmup))
+	copy(out, s.warmup)
+	return out
+}
+
+// BeginShutdown flips the server into draining mode: every subsequent
+// query/introspection request is refused with the documented 503
+// "shutting_down" error while /healthz and /metrics keep answering so
+// orchestrators can watch the drain. The HTTP listener itself is closed by
+// the caller (cmd/hydra-serve pairs this with http.Server.Shutdown).
+func (s *Server) BeginShutdown() { s.down.Store(true) }
+
+// ShuttingDown reports whether BeginShutdown has been called.
+func (s *Server) ShuttingDown() bool { return s.down.Load() }

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+)
+
+// testWorkload generates a small deterministic dataset plus queries.
+func testWorkload(t *testing.T, n, length, queries int) (*series.Dataset, *series.Dataset) {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: 11})
+	qs := dataset.Queries(data, dataset.KindWalk, queries, 13)
+	return data, qs
+}
+
+// newTestServer boots a Server with a fast preload set unless cfg says
+// otherwise.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Data == nil {
+		cfg.Data, _ = testWorkload(t, 240, 32, 0)
+	}
+	if cfg.Preload == nil {
+		cfg.Preload = []string{} // keep boots cheap; tests hydrate lazily
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// postQuery POSTs a /v1/query body and returns the recorder.
+func postQuery(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(blob))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeError asserts the documented error shape and returns its code.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder, wantStatus int) string {
+	t.Helper()
+	if rec.Code != wantStatus {
+		t.Fatalf("status = %d, want %d (body %s)", rec.Code, wantStatus, rec.Body.String())
+	}
+	var shape struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Status  int    `json:"status"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &shape); err != nil {
+		t.Fatalf("error body is not the documented shape: %v (body %s)", err, rec.Body.String())
+	}
+	if shape.Error.Code == "" || shape.Error.Message == "" || shape.Error.Status != wantStatus {
+		t.Fatalf("incomplete error shape: %+v", shape.Error)
+	}
+	return shape.Error.Code
+}
+
+func queryVec(qs *series.Dataset, i int) []float32 {
+	return []float32(qs.At(i))
+}
+
+func TestQueryAnswersMatchDirectSearch(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 4)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+
+	spec, _ := core.LookupMethod("DSTree")
+	built, err := spec.Build(s.buildCtx)
+	if err != nil {
+		t.Fatalf("direct build: %v", err)
+	}
+	for qi := 0; qi < qs.Size(); qi++ {
+		rec := postQuery(t, h, map[string]any{"method": "DSTree", "k": 5, "query": queryVec(qs, qi)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d body %s", qi, rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Answers []struct {
+				Neighbors []struct {
+					ID   int     `json:"id"`
+					Dist float64 `json:"dist"`
+				} `json:"neighbors"`
+			} `json:"answers"`
+			ModelSeconds float64        `json:"model_seconds"`
+			CostModel    map[string]any `json:"cost_model"`
+			DistCalcs    int64          `json:"dist_calcs"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("query %d: decoding response: %v", qi, err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("query %d: %d answers, want 1", qi, len(resp.Answers))
+		}
+		want, err := built.Method.Search(core.Query{Series: qs.At(qi), K: 5, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatalf("direct search: %v", err)
+		}
+		got := resp.Answers[0].Neighbors
+		if len(got) != len(want.Neighbors) {
+			t.Fatalf("query %d: %d neighbours, want %d", qi, len(got), len(want.Neighbors))
+		}
+		for i, nb := range want.Neighbors {
+			if got[i].ID != nb.ID {
+				t.Fatalf("query %d neighbour %d: id %d, want %d", qi, i, got[i].ID, nb.ID)
+			}
+		}
+		if resp.DistCalcs != want.DistCalcs {
+			t.Errorf("query %d: dist_calcs %d, want %d", qi, resp.DistCalcs, want.DistCalcs)
+		}
+		if resp.CostModel["seek_seconds"] == nil {
+			t.Errorf("query %d: response is missing the cost model", qi)
+		}
+	}
+}
+
+func TestSerialAndParallelRequestsAgreeByteForByte(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 8)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	vectors := make([][]float32, qs.Size())
+	for i := range vectors {
+		vectors[i] = queryVec(qs, i)
+	}
+	var bodies []string
+	for _, workers := range []int{1, 4} {
+		rec := postQuery(t, h, map[string]any{
+			"method": "VA+file", "k": 5, "queries": vectors,
+			"workers": workers, "format": "text",
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d body %s", workers, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+			t.Fatalf("workers=%d: content type %q", workers, got)
+		}
+		bodies = append(bodies, rec.Body.String())
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("serial and workers=4 text answers differ:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	if !strings.HasPrefix(bodies[0], "query   0:") {
+		t.Fatalf("text body does not use the CLI answer-line format: %q", bodies[0])
+	}
+	if got := strings.Count(bodies[0], "\n"); got != qs.Size() {
+		t.Fatalf("text body has %d lines, want %d", got, qs.Size())
+	}
+}
+
+func TestWarmStartTwoBoots(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	dir := t.TempDir()
+	persistable := core.PersistableMethodNames()
+	if len(persistable) < 4 {
+		t.Fatalf("expected several persistable methods, got %v", persistable)
+	}
+
+	var answers []string
+	for boot, wantSource := range []string{"built", "catalog"} {
+		var log bytes.Buffer
+		s, err := New(Config{Data: data, IndexDir: dir, Log: &log, WarmupWorkers: 2})
+		if err != nil {
+			t.Fatalf("boot %d: %v", boot, err)
+		}
+		report := s.WarmupReport()
+		if len(report) != len(persistable) {
+			t.Fatalf("boot %d: warmed %d methods, want %d (%+v)", boot, len(report), len(persistable), report)
+		}
+		for _, st := range report {
+			if st.Source != wantSource {
+				t.Errorf("boot %d: %s hydrated from %q, want %q (err %q)", boot, st.Method, st.Source, wantSource, st.Error)
+			}
+		}
+		wantLine := "catalog miss"
+		if boot == 1 {
+			wantLine = "catalog hit"
+		}
+		if !strings.Contains(log.String(), wantLine) {
+			t.Errorf("boot %d: log missing %q:\n%s", boot, wantLine, log.String())
+		}
+		h := s.Handler()
+		for _, m := range persistable {
+			rec := postQuery(t, h, map[string]any{
+				"method": m, "mode": "ng", "nprobe": 8, "k": 5, "query": queryVec(qs, 0), "format": "text",
+			})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("boot %d %s: status %d body %s", boot, m, rec.Code, rec.Body.String())
+			}
+			answers = append(answers, fmt.Sprintf("%s: %s", m, rec.Body.String()))
+		}
+	}
+	// ADS+ refines its index as it answers queries, so a snapshot loaded on
+	// boot 2 (taken at build time on boot 1) is in the same pre-query state
+	// the fresh boot-1 index was in: answers must agree method by method.
+	half := len(answers) / 2
+	for i := 0; i < half; i++ {
+		if answers[i] != answers[half+i] {
+			t.Errorf("cold and warm boots answered differently:\n  boot1 %s  boot2 %s", answers[i], answers[half+i])
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	vec := queryVec(qs, 0)
+
+	t.Run("unknown method", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "NoSuchIndex", "k": 3, "query": vec})
+		if code := decodeError(t, rec, http.StatusNotFound); code != "unknown_method" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("malformed vector length", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": vec[:7]})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_vector_length" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("batch with one short vector", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "queries": [][]float32{vec, vec[:3]}})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_vector_length" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("k beyond dataset", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": data.Size() + 1, "query": vec})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_k" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("no query source", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_request" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("two query sources", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": vec, "workload_file": "x.bin"})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_request" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("bad mode", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "mode": "telepathic", "k": 3, "query": vec})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_mode" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("invalid json", func(t *testing.T) {
+		req := httptest.NewRequest("POST", "/v1/query", strings.NewReader("{notjson"))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "invalid_json" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("workload file disabled by default", func(t *testing.T) {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "workload_file": "/nonexistent.bin"})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_workload_file" {
+			t.Fatalf("code = %q", code)
+		}
+		if !strings.Contains(rec.Body.String(), "disabled") {
+			t.Fatalf("disabled workload_file should say so: %s", rec.Body.String())
+		}
+	})
+	t.Run("wrong http method", func(t *testing.T) {
+		req := httptest.NewRequest("GET", "/v1/query", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if code := decodeError(t, rec, http.StatusMethodNotAllowed); code != "method_not_allowed" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+	t.Run("unknown path", func(t *testing.T) {
+		req := httptest.NewRequest("GET", "/v2/query", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if code := decodeError(t, rec, http.StatusNotFound); code != "not_found" {
+			t.Fatalf("code = %q", code)
+		}
+	})
+}
+
+func TestWorkloadFileResolution(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 3)
+	dir := t.TempDir()
+	if err := qs.SaveFile(filepath.Join(dir, "queries.bin")); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Data: data, WorkloadDir: dir})
+	h := s.Handler()
+
+	// Relative and (in-directory) absolute references both work and agree.
+	var bodies []string
+	for _, ref := range []string{"queries.bin", filepath.Join(dir, "queries.bin")} {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "workload_file": ref, "format": "text"})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("workload_file %q: status %d body %s", ref, rec.Code, rec.Body.String())
+		}
+		bodies = append(bodies, rec.Body.String())
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("relative and absolute workload refs answered differently")
+	}
+	if got := strings.Count(bodies[0], "\n"); got != qs.Size() {
+		t.Fatalf("workload answered %d queries, want %d", got, qs.Size())
+	}
+
+	// Escapes are refused, relative or absolute.
+	for _, ref := range []string{"../queries.bin", "/etc/passwd", filepath.Join(dir, "..", "x.bin")} {
+		rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "workload_file": ref})
+		if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_workload_file" {
+			t.Fatalf("escape %q: code = %q", ref, code)
+		}
+		if !strings.Contains(rec.Body.String(), "escapes") {
+			t.Fatalf("escape %q should be named as such: %s", ref, rec.Body.String())
+		}
+	}
+
+	// A symlink planted inside the directory must not smuggle an outside
+	// file past the containment check.
+	outside := filepath.Join(t.TempDir(), "outside.bin")
+	if err := qs.SaveFile(outside); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(outside, filepath.Join(dir, "link.bin")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "workload_file": "link.bin"})
+	if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_workload_file" {
+		t.Fatalf("symlink escape: code = %q", code)
+	}
+	if !strings.Contains(rec.Body.String(), "escapes") {
+		t.Fatalf("symlink escape should be named as such: %s", rec.Body.String())
+	}
+
+	// A missing file inside the directory is a plain bad_workload_file.
+	rec = postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "workload_file": "absent.bin"})
+	if code := decodeError(t, rec, http.StatusBadRequest); code != "bad_workload_file" {
+		t.Fatalf("missing file: code = %q", code)
+	}
+}
+
+func TestDefaultKClampsToTinyDataset(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 6, Length: 16, Seed: 3})
+	qs := dataset.Queries(data, dataset.KindWalk, 1, 4)
+	s := newTestServer(t, Config{Data: data})
+	rec := postQuery(t, s.Handler(), map[string]any{"method": "SerialScan", "query": queryVec(qs, 0)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("omitted k on a 6-series dataset: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		K int `json:"k"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 6 {
+		t.Fatalf("default k = %d, want clamp to dataset size 6", resp.K)
+	}
+}
+
+func TestRequestsAfterShutdownBeginsAreRefused(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	vec := queryVec(qs, 0)
+
+	rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": vec})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pre-shutdown query failed: %d %s", rec.Code, rec.Body.String())
+	}
+	s.BeginShutdown()
+	rec = postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": vec})
+	if code := decodeError(t, rec, http.StatusServiceUnavailable); code != "shutting_down" {
+		t.Fatalf("code = %q", code)
+	}
+	for _, path := range []string{"/v1/methods", "/v1/datasets"} {
+		req := httptest.NewRequest("GET", path, nil)
+		r2 := httptest.NewRecorder()
+		h.ServeHTTP(r2, req)
+		if code := decodeError(t, r2, http.StatusServiceUnavailable); code != "shutting_down" {
+			t.Fatalf("%s code = %q", path, code)
+		}
+	}
+	// Health and metrics stay observable during the drain.
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	r3 := httptest.NewRecorder()
+	h.ServeHTTP(r3, req)
+	if r3.Code != http.StatusOK || !strings.Contains(r3.Body.String(), "shutting_down") {
+		t.Fatalf("healthz during drain: %d %s", r3.Code, r3.Body.String())
+	}
+}
+
+func TestMethodsDatasetsHealthzMetrics(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data, DatasetPath: "/tmp/walk.bin", Preload: []string{"SerialScan"}})
+	h := s.Handler()
+
+	var methods struct {
+		Methods []methodInfo `json:"methods"`
+	}
+	req := httptest.NewRequest("GET", "/v1/methods", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &methods); err != nil {
+		t.Fatalf("methods decode: %v", err)
+	}
+	if len(methods.Methods) != len(core.RegisteredMethods()) {
+		t.Fatalf("methods lists %d entries, want %d", len(methods.Methods), len(core.RegisteredMethods()))
+	}
+	byName := map[string]methodInfo{}
+	for _, m := range methods.Methods {
+		byName[m.Name] = m
+	}
+	if !byName["SerialScan"].Loaded {
+		t.Errorf("preloaded SerialScan not reported loaded")
+	}
+	if byName["DSTree"].Loaded {
+		t.Errorf("DSTree reported loaded before first use")
+	}
+	if !byName["DSTree"].Persistable {
+		t.Errorf("DSTree not reported persistable")
+	}
+	caps := strings.Join(byName["DSTree"].Capabilities, ",")
+	if !strings.Contains(caps, "delta-epsilon") || !strings.Contains(caps, "disk-resident") {
+		t.Errorf("DSTree capabilities incomplete: %v", byName["DSTree"].Capabilities)
+	}
+	if hnsw := byName["HNSW"]; len(hnsw.Capabilities) != 1 || hnsw.Capabilities[0] != "ng" {
+		t.Errorf("HNSW capabilities = %v, want [ng]", hnsw.Capabilities)
+	}
+
+	req = httptest.NewRequest("GET", "/v1/datasets", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{"walk.bin", "fingerprint", "seek_seconds", "\"series\": 240"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("datasets body missing %q:\n%s", want, body)
+		}
+	}
+
+	postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)})
+
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	for _, want := range []string{"\"status\": \"ok\"", "methods_ready", "uptime_seconds"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("healthz missing %q:\n%s", want, rec.Body.String())
+		}
+	}
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	metricsBody := rec.Body.String()
+	for _, want := range []string{
+		`hydra_query_requests_total{method="SerialScan"} 1`,
+		`hydra_queries_total{method="SerialScan"} 1`,
+		`hydra_query_latency_seconds_count{method="SerialScan"} 1`,
+		"hydra_catalog_misses_total",
+		`hydra_dist_calcs_total{method="SerialScan"}`,
+		`hydra_io_bytes_read_total{method="SerialScan"}`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
