@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke persist-smoke serve-smoke fmt
+.PHONY: all build vet test race bench-smoke persist-smoke serve-smoke shard-smoke fmt
 
-all: fmt vet build test race bench-smoke persist-smoke serve-smoke
+all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Pins the Method.Search concurrency contract, the parallel executor, the
-# index catalog and the HTTP server under concurrent independent requests.
+# index catalog, the sharded scatter-gather method and the HTTP server
+# under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/server/...
+	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -83,6 +84,57 @@ serve-smoke:
 	[ "$$hits" -ge 6 ] || { echo "serve-smoke: second boot loaded only $$hits methods from the catalog"; cat $$dir/boot2.log; exit 1; }; \
 	diff $$dir/serve1-serial.txt $$dir/serve2-serial.txt || { echo "serve-smoke: warm-boot answers differ from cold-boot answers"; exit 1; }; \
 	echo "serve-smoke OK ($$hits warm loads on second boot)"
+
+# End-to-end sharding check: sharded hydra-query answers must be byte-
+# identical to unsharded answers, a second sharded run must load every
+# shard snapshot from the catalog, and a second boot of hydra-serve
+# -shards 4 must come up with zero shard rebuilds and identical answers.
+SHARD_SMOKE_ADDR ?= 127.0.0.1:18319
+shard-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap '{ [ -z "$$pid" ] || kill $$pid 2>/dev/null || true; } ; rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) build -o $$dir/hydra-gen ./cmd/hydra-gen; \
+	$(GO) build -o $$dir/hydra-query ./cmd/hydra-query; \
+	$(GO) build -o $$dir/hydra-serve ./cmd/hydra-serve; \
+	$$dir/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$$dir/hydra-gen -kind walk -n 4 -seed 5 -queries-for $$dir/data.bin -out $$dir/queries.bin >/dev/null; \
+	$$dir/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method iSAX2+ -mode exact -k 5 -workers 1 > $$dir/flat-isax.txt; \
+	$$dir/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method DSTree -mode exact -k 5 -workers 1 > $$dir/flat-dstree.txt; \
+	grep "^query" $$dir/flat-isax.txt > $$dir/flat-isax-q.txt; \
+	grep "^query" $$dir/flat-dstree.txt > $$dir/flat-dstree-q.txt; \
+	$$dir/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method iSAX2+ -mode exact -k 5 -workers 1 -shards 3 -index-dir $$dir/idx > $$dir/cold.txt; \
+	[ "$$(grep -c 'catalog miss: iSAX2+ shard' $$dir/cold.txt)" = "3" ] || { echo "shard-smoke: cold run did not build+save 3 shards"; cat $$dir/cold.txt; exit 1; }; \
+	$$dir/hydra-query -data $$dir/data.bin -queries $$dir/queries.bin -method iSAX2+ -mode exact -k 5 -workers 1 -shards 3 -index-dir $$dir/idx > $$dir/warm.txt; \
+	[ "$$(grep -c 'catalog hit: iSAX2+ shard' $$dir/warm.txt)" = "3" ] || { echo "shard-smoke: warm run did not load 3 shards"; cat $$dir/warm.txt; exit 1; }; \
+	grep -q "catalog miss" $$dir/warm.txt && { echo "shard-smoke: warm run rebuilt a shard"; cat $$dir/warm.txt; exit 1; }; \
+	grep "^query" $$dir/cold.txt > $$dir/cold-q.txt; \
+	grep "^query" $$dir/warm.txt > $$dir/warm-q.txt; \
+	diff $$dir/flat-isax-q.txt $$dir/cold-q.txt || { echo "shard-smoke: sharded answers differ from unsharded"; exit 1; }; \
+	diff $$dir/flat-isax-q.txt $$dir/warm-q.txt || { echo "shard-smoke: warm sharded answers differ from unsharded"; exit 1; }; \
+	grep -E "^(query|workload:)" $$dir/cold.txt > $$dir/cold-full.txt; \
+	grep -E "^(query|workload:)" $$dir/warm.txt > $$dir/warm-full.txt; \
+	diff $$dir/cold-full.txt $$dir/warm-full.txt || { echo "shard-smoke: warm sharded run drifted from cold (answers or IO accounting)"; exit 1; }; \
+	$$dir/hydra-serve -data $$dir/data.bin -index-dir $$dir/idx -workload-dir $$dir -shards 4 -addr $(SHARD_SMOKE_ADDR) > $$dir/boot1.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(SHARD_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "shard-smoke: sharded server did not become healthy"; cat $$dir/boot1.log; exit 1; }; \
+	printf '{"method":"DSTree","mode":"exact","k":5,"workload_file":"%s","format":"text"}' $$dir/queries.bin > $$dir/req.json; \
+	curl -sf -X POST --data @$$dir/req.json http://$(SHARD_SMOKE_ADDR)/v1/query > $$dir/serve1.txt; \
+	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	grep -q "catalog miss: DSTree shard" $$dir/boot1.log || { echo "shard-smoke: first boot did not build shard snapshots"; cat $$dir/boot1.log; exit 1; }; \
+	$$dir/hydra-serve -data $$dir/data.bin -index-dir $$dir/idx -workload-dir $$dir -shards 4 -addr $(SHARD_SMOKE_ADDR) > $$dir/boot2.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(SHARD_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "shard-smoke: second sharded boot did not become healthy"; cat $$dir/boot2.log; exit 1; }; \
+	curl -sf -X POST --data @$$dir/req.json http://$(SHARD_SMOKE_ADDR)/v1/query > $$dir/serve2.txt; \
+	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	grep -q "catalog miss" $$dir/boot2.log && { echo "shard-smoke: second boot rebuilt shard indexes"; cat $$dir/boot2.log; exit 1; }; \
+	hits=$$(grep -c "catalog hit" $$dir/boot2.log) || true; \
+	[ "$$hits" -ge 28 ] || { echo "shard-smoke: second boot loaded only $$hits shard snapshots"; cat $$dir/boot2.log; exit 1; }; \
+	diff $$dir/flat-dstree-q.txt $$dir/serve1.txt || { echo "shard-smoke: sharded server answers differ from unsharded hydra-query"; exit 1; }; \
+	diff $$dir/serve1.txt $$dir/serve2.txt || { echo "shard-smoke: warm-boot answers differ from cold-boot answers"; exit 1; }; \
+	echo "shard-smoke OK ($$hits warm shard loads on second boot)"
 
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:

@@ -29,6 +29,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "concurrent query workers per workload (0 = all cores); >1 speeds up wall clock but skews the paper's timing columns, accuracy is unaffected")
 		buildWork  = flag.Int("build-workers", 1, "concurrent index builds per workload (0 = all cores); >1 speeds up wall clock but skews the paper's build-time columns, the indexes are unaffected")
 		indexDir   = flag.String("index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs (reported build times become load times on cache hits)")
+		shards     = flag.Int("shards", 1, "split every dataset into N contiguous shards with one index each; queries scatter-gather across them (accuracy columns are unchanged, I/O columns reflect the partitioned layout)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if *buildWork == 0 {
 		cfg.BuildWorkers = -1 // same convention as Workers
 	}
+	cfg.Shards = *shards
 	cfg.IndexDir = *indexDir
 	if *indexDir != "" {
 		cfg.BuildLog = os.Stderr

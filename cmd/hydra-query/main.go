@@ -41,6 +41,7 @@ type options struct {
 	truth     bool
 	workers   int
 	indexDir  string
+	shards    int
 }
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 	flag.BoolVar(&o.truth, "truth", true, "compute exact ground truth and report accuracy")
 	flag.IntVar(&o.workers, "workers", 0, "concurrent query workers for the workload run (0 = all cores)")
 	flag.StringVar(&o.indexDir, "index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs")
+	flag.IntVar(&o.shards, "shards", 1, "split the dataset into N contiguous shards with one index each; queries scatter-gather across them (exact answers are identical to unsharded)")
 	flag.Parse()
 	if o.dataPath == "" || o.queryPath == "" {
 		fmt.Fprintln(os.Stderr, "hydra-query: -data and -queries are required")
@@ -99,12 +101,21 @@ func run(o options, out io.Writer) error {
 	}
 	cfg := eval.DefaultSuite()
 	cfg.IndexDir = o.indexDir
+	cfg.Shards = o.shards
 	if o.indexDir != "" {
 		cfg.BuildLog = out
 	}
 	built, err := eval.BuildMethod(o.method, w, cfg)
 	if err != nil {
 		return err
+	}
+	if built.Shards > 1 {
+		if o.indexDir != "" {
+			fmt.Fprintf(out, "sharded %d ways (%d/%d shard indexes from catalog)\n",
+				built.Shards, built.ShardHits, built.Shards)
+		} else {
+			fmt.Fprintf(out, "sharded %d ways\n", built.Shards)
+		}
 	}
 	if built.FromCache {
 		fmt.Fprintf(out, "loaded %s over %d series from catalog (%.3fs, footprint %d bytes)\n",

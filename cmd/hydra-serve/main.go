@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hydra/internal/catalog"
 	"hydra/internal/core"
 	"hydra/internal/series"
 	"hydra/internal/server"
@@ -41,6 +42,8 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		indexDir   = flag.String("index-dir", "", "persistent index catalog directory (enables warm starts)")
 		workload   = flag.String("workload-dir", "", "directory query requests may reference workload files from; empty disables \"workload_file\"")
+		shards     = flag.Int("shards", 1, "split the dataset into N contiguous shards with one index per (shard, method); queries scatter-gather across them and warm boots load every shard snapshot")
+		maxBytes   = flag.Int64("catalog-max-bytes", 0, "after the warm start, prune the -index-dir catalog least-recently-used-first until its entries fit this budget (0 disables)")
 		preload    = flag.String("preload", "persistable", "methods to hydrate at boot: \"persistable\", \"all\", \"none\", or a comma-separated list")
 		workers    = flag.Int("workers", 0, "default per-request query fan-out (0 = serial, negative = all cores)")
 		warmupPar  = flag.Int("warmup-workers", -1, "boot hydration fan-out (negative = all cores)")
@@ -52,13 +55,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hydra-serve: -data is required")
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *addr, *indexDir, *workload, *preload, *workers, *warmupPar, *reqTimeout, *drainWait); err != nil {
+	if err := run(*dataPath, *addr, *indexDir, *workload, *preload, *workers, *warmupPar, *shards, *maxBytes, *reqTimeout, *drainWait); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupPar int, reqTimeout, drainWait time.Duration) error {
+func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupPar, shards int, catalogMaxBytes int64, reqTimeout, drainWait time.Duration) error {
 	start := time.Now()
 	data, err := series.LoadFile(dataPath)
 	if err != nil {
@@ -76,6 +79,7 @@ func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupP
 		DatasetPath:    dataPath,
 		IndexDir:       indexDir,
 		WorkloadDir:    workloadDir,
+		Shards:         shards,
 		Preload:        names,
 		DefaultWorkers: workers,
 		WarmupWorkers:  warmupPar,
@@ -83,6 +87,19 @@ func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupP
 	})
 	if err != nil {
 		return err
+	}
+	if catalogMaxBytes > 0 && indexDir != "" {
+		// Prune after the warm start so the freshly touched (or written)
+		// serving set is the youngest and survives the LRU eviction. Like
+		// a failed catalog save, a failed prune must not take down a
+		// server that just hydrated successfully: the cache being over
+		// budget is an operational nuisance, not a serving failure.
+		if rep, err := catalog.Prune(indexDir, catalogMaxBytes); err != nil {
+			fmt.Printf("catalog prune failed (serving continues): %v\n", err)
+		} else {
+			fmt.Printf("catalog pruned: removed %d entries (%d bytes), kept %d (%d bytes) within %d\n",
+				rep.Removed, rep.FreedBytes, rep.Kept, rep.KeptBytes, catalogMaxBytes)
+		}
 	}
 
 	handler := srv.Handler()

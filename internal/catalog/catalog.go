@@ -45,6 +45,10 @@ const catalogVersion = 1
 // the reader allocate gigabytes.
 const headerLimit = 1 << 20
 
+// entrySuffix is the filename extension of catalog entries; Prune only
+// ever touches files carrying it.
+const entrySuffix = ".hydraidx"
+
 // Fingerprint returns the content address of a dataset (series.Dataset's
 // SHA-256 over shape and raw values). Two datasets share a fingerprint iff
 // they are byte-identical, which is what makes reusing an index across
@@ -103,7 +107,7 @@ func (c *Catalog) keyFor(spec core.MethodSpec, ctx *core.BuildContext) entryKey 
 	return entryKey{
 		fingerprint: fp,
 		configKey:   ck,
-		path:        filepath.Join(c.dir, fmt.Sprintf("%s-%s-%s.hydraidx", sanitize(spec.Name), fp[:12], cfg[:12])),
+		path:        filepath.Join(c.dir, fmt.Sprintf("%s-%s-%s%s", sanitize(spec.Name), fp[:12], cfg[:12], entrySuffix)),
 	}
 }
 
@@ -201,6 +205,10 @@ func (c *Catalog) openIndex(spec core.MethodSpec, ctx *core.BuildContext, key en
 	if err != nil {
 		return OpenResult{Path: path}, fmt.Errorf("catalog: %s: loading snapshot: %w", path, err)
 	}
+	// Touch the entry so Prune's oldest-first eviction approximates
+	// least-recently-used: entries a warm start keeps serving stay young.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return OpenResult{
 		Method:      res.Method,
 		Store:       res.Store,

@@ -1,0 +1,85 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PruneReport summarises one Prune pass.
+type PruneReport struct {
+	// Removed counts deleted entries; FreedBytes their total size.
+	Removed    int
+	FreedBytes int64
+	// Kept counts surviving entries; KeptBytes their total size.
+	Kept      int
+	KeptBytes int64
+}
+
+// Prune opens the catalog at dir and evicts entries oldest-first until the
+// directory's entries fit within maxBytes. See Catalog.Prune.
+func Prune(dir string, maxBytes int64) (PruneReport, error) {
+	c, err := Open(dir)
+	if err != nil {
+		return PruneReport{}, err
+	}
+	return c.Prune(maxBytes)
+}
+
+// Prune evicts catalog entries, least-recently-used first, until the
+// total size of the remaining entries is at most maxBytes. Entry age is
+// the file modification time: OpenIndex touches entries it serves, so a
+// hot warm-start set survives while abandoned per-shard or per-config
+// entries from old datasets go first. maxBytes <= 0 removes every entry.
+// Only entry files (*.hydraidx) are considered; anything else in the
+// directory is left alone. A missing file mid-prune (a concurrent prune or
+// rebuild) is skipped, not an error.
+func (c *Catalog) Prune(maxBytes int64) (PruneReport, error) {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*"+entrySuffix))
+	if err != nil {
+		return PruneReport{}, fmt.Errorf("catalog: listing %s: %w", c.dir, err)
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	entries := make([]entry, 0, len(matches))
+	var total int64
+	for _, path := range matches {
+		fi, err := os.Stat(path)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		entries = append(entries, entry{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano()})
+		total += fi.Size()
+	}
+	// Oldest first; ties break on name so a prune is deterministic.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mtime != entries[j].mtime {
+			return entries[i].mtime < entries[j].mtime
+		}
+		return strings.Compare(entries[i].path, entries[j].path) < 0
+	})
+	rep := PruneReport{}
+	for _, e := range entries {
+		if maxBytes > 0 && total <= maxBytes {
+			rep.Kept++
+			rep.KeptBytes += e.size
+			continue
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				total -= e.size
+				continue
+			}
+			return rep, fmt.Errorf("catalog: pruning %s: %w", e.path, err)
+		}
+		rep.Removed++
+		rep.FreedBytes += e.size
+		total -= e.size
+	}
+	return rep, nil
+}

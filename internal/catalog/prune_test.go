@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeFakeEntry drops a fake catalog entry of the given size and age.
+func writeFakeEntry(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name+entrySuffix)
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mtime := time.Now().Add(-age)
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPruneOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	oldest := writeFakeEntry(t, dir, "a-oldest", 1000, 3*time.Hour)
+	middle := writeFakeEntry(t, dir, "b-middle", 1000, 2*time.Hour)
+	newest := writeFakeEntry(t, dir, "c-newest", 1000, time.Hour)
+	// A non-entry file must never be considered, let alone removed.
+	bystander := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(bystander, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Prune(dir, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 1 || rep.FreedBytes != 1000 {
+		t.Errorf("removed %d entries (%d bytes), want 1 (1000)", rep.Removed, rep.FreedBytes)
+	}
+	if rep.Kept != 2 || rep.KeptBytes != 2000 {
+		t.Errorf("kept %d entries (%d bytes), want 2 (2000)", rep.Kept, rep.KeptBytes)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Error("oldest entry survived a prune that had to evict")
+	}
+	for _, path := range []string{middle, newest, bystander} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("%s should have survived: %v", filepath.Base(path), err)
+		}
+	}
+
+	// Already under budget: nothing to do.
+	rep, err = Prune(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 0 || rep.Kept != 2 {
+		t.Errorf("under-budget prune removed %d / kept %d", rep.Removed, rep.Kept)
+	}
+
+	// maxBytes <= 0 clears every entry.
+	rep, err = Prune(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 2 || rep.Kept != 0 {
+		t.Errorf("clearing prune removed %d / kept %d", rep.Removed, rep.Kept)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Errorf("bystander file deleted by clearing prune: %v", err)
+	}
+}
+
+// TestPruneTouchKeepsServedEntriesYoung pins the LRU interaction: loading
+// an entry through OpenIndex refreshes its mtime, so a subsequent prune
+// evicts an idle entry in preference to the one just served.
+func TestPruneTouchKeepsServedEntriesYoung(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	spec := fakeSpec(&builds)
+	ctx := ctxFor(testDataset(60, 8, 5))
+	if _, err := cat.OpenOrBuild(spec, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("expected one build, got %d", builds)
+	}
+	served := cat.EntryPath(spec, ctx)
+	// Make the served entry look ancient, then serve it: the touch must
+	// bring it back to "now".
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(served, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.OpenIndex(spec, ctx); err != nil {
+		t.Fatal(err)
+	}
+	idle := writeFakeEntry(t, dir, "idle", 10, 12*time.Hour)
+
+	fi, err := os.Stat(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := fi.Size()
+	rep, err := cat.Prune(entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 1 {
+		t.Fatalf("prune removed %d entries, want 1 (report %+v)", rep.Removed, rep)
+	}
+	if _, err := os.Stat(idle); !os.IsNotExist(err) {
+		t.Error("idle entry survived; the freshly served entry must have been evicted instead")
+	}
+	if _, err := os.Stat(served); err != nil {
+		t.Errorf("freshly served entry evicted despite the touch: %v", err)
+	}
+}

@@ -2,7 +2,6 @@ package catalog
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"hydra/internal/core"
@@ -57,30 +56,6 @@ func Warmup(c *Catalog, names []string, ctx *core.BuildContext, workers int) []W
 		res, err := c.OpenOrBuild(spec, ctx)
 		out[i] = WarmupEntry{Name: name, Result: res, Err: err}
 	}
-	if workers > len(names) {
-		workers = len(names)
-	}
-	if workers <= 1 {
-		for i := range names {
-			hydrate(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				hydrate(i)
-			}
-		}()
-	}
-	for i := range names {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	core.FanOut(len(names), workers, hydrate)
 	return out
 }

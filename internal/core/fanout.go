@@ -1,0 +1,36 @@
+package core
+
+import "sync"
+
+// FanOut runs fn(i) for every i in [0, n), fanning the calls across at
+// most workers goroutines. workers <= 1 runs everything serially on the
+// calling goroutine, so measured serial paths stay goroutine-free. fn is
+// invoked exactly once per index and must be safe for concurrent calls
+// with distinct arguments; FanOut returns once every call has finished.
+func FanOut(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -33,6 +33,39 @@ type BuildContext struct {
 	hist     *DistanceHistogram
 	fpOnce   sync.Once
 	fp       string
+	subMu    sync.Mutex
+	subs     map[[2]int]*BuildContext
+}
+
+// Sub returns a context over the series range [lo, hi) of this context's
+// dataset, inheriting every build parameter. Sub-contexts are memoized per
+// range, so a multi-method sharded build sharing one parent context also
+// shares each shard's context — and therefore computes each shard's
+// fingerprint and δ-ε histogram once, not once per method. The whole-range
+// sub-context is the parent itself, which keeps a 1-shard build bit- and
+// cache-key-identical to an unsharded one.
+func (c *BuildContext) Sub(lo, hi int) *BuildContext {
+	if lo == 0 && hi == c.Data.Size() {
+		return c
+	}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if c.subs == nil {
+		c.subs = map[[2]int]*BuildContext{}
+	}
+	key := [2]int{lo, hi}
+	if s := c.subs[key]; s != nil {
+		return s
+	}
+	s := &BuildContext{
+		Data:           c.Data.Slice(lo, hi),
+		PageBytes:      c.PageBytes,
+		LeafCapacity:   c.LeafCapacity,
+		HistogramPairs: c.HistogramPairs,
+		HistogramSeed:  c.HistogramSeed,
+	}
+	c.subs[key] = s
+	return s
 }
 
 // NewStore returns a fresh private paged store over the context's dataset,

@@ -13,6 +13,7 @@ import (
 	// registration; the builders below are driven entirely off the
 	// registry, never off a per-method switch.
 	_ "hydra/internal/methods"
+	"hydra/internal/shard"
 	"hydra/internal/storage"
 )
 
@@ -26,15 +27,24 @@ var DiskMethodNames = core.DiskMethodNames()
 // Built is a constructed method with its build cost.
 type Built struct {
 	Method       core.Method
-	Store        *storage.SeriesStore // nil for purely in-memory methods
+	Store        *storage.SeriesStore // nil for in-memory and sharded methods
 	BuildSeconds float64
 	Footprint    int64
+	// DataBytes is the raw data volume behind the method's store(s) — the
+	// single store's size, or the sum across shard stores — used by the
+	// %data-accessed columns. 0 for purely in-memory methods.
+	DataBytes int64
 	// FromCache is true when the index was loaded from cfg.IndexDir's
-	// catalog instead of being built; BuildSeconds then holds the load
-	// time (the serving cost in the build-once/query-many workflow) and
-	// LoadSeconds repeats it for explicit reporting.
+	// catalog instead of being built (for sharded builds: every shard
+	// loaded); BuildSeconds then holds the load time (the serving cost in
+	// the build-once/query-many workflow) and LoadSeconds repeats it for
+	// explicit reporting.
 	FromCache   bool
 	LoadSeconds float64
+	// Shards is the shard count the method was built under (0 when
+	// unsharded); ShardHits counts the shards served from the catalog.
+	Shards    int
+	ShardHits int
 }
 
 // NewBuildContext derives the build context the suite hands to method
@@ -70,6 +80,9 @@ func buildWithContext(name string, ctx *core.BuildContext, cfg SuiteConfig) (Bui
 	if !ok {
 		return Built{}, fmt.Errorf("eval: unknown method %q", name)
 	}
+	if cfg.shardCount() > 1 {
+		return buildSharded(spec, ctx, cfg)
+	}
 	if cfg.IndexDir != "" && spec.Persistable() {
 		return buildViaCatalog(spec, ctx, cfg)
 	}
@@ -83,7 +96,89 @@ func buildWithContext(name string, ctx *core.BuildContext, cfg SuiteConfig) (Bui
 		Store:        r.Store,
 		BuildSeconds: time.Since(start).Seconds(),
 		Footprint:    r.Method.Footprint(),
+		DataBytes:    storeBytes(r.Store),
 	}, nil
+}
+
+// storeBytes reports the raw data volume behind a store (0 when nil).
+func storeBytes(st *storage.SeriesStore) int64 {
+	if st == nil {
+		return 0
+	}
+	return st.TotalBytes()
+}
+
+// shardCount maps SuiteConfig.Shards onto an effective shard count: 0 (the
+// zero value) and 1 build unsharded.
+func (c SuiteConfig) shardCount() int {
+	if c.Shards < 2 {
+		return 1
+	}
+	return c.Shards
+}
+
+// buildSharded partitions the context's dataset under cfg.Shards and
+// builds one index per shard through shard.Build, routing persistable
+// methods through the catalog (one entry per shard) when cfg.IndexDir is
+// set. Shards build concurrently under cfg.BuildWorkers; per-shard catalog
+// hit/miss lines go to cfg.BuildLog.
+func buildSharded(spec core.MethodSpec, ctx *core.BuildContext, cfg SuiteConfig) (Built, error) {
+	plan, err := shard.PlanFor(ctx, cfg.shardCount())
+	if err != nil {
+		return Built{}, err
+	}
+	var cat *catalog.Catalog
+	if cfg.IndexDir != "" && spec.Persistable() {
+		if cat, err = catalog.Open(cfg.IndexDir); err != nil {
+			return Built{}, err
+		}
+	}
+	start := time.Now()
+	m, builds, err := shard.Build(spec, ctx, plan, shard.BuildOptions{
+		Catalog: cat,
+		Workers: cfg.buildWorkersCount(),
+	})
+	if err != nil {
+		return Built{}, err
+	}
+	wall := time.Since(start).Seconds()
+	hits := 0
+	for _, sb := range builds {
+		if sb.Hit {
+			hits++
+		}
+	}
+	if cat != nil && cfg.BuildLog != nil {
+		buildLogMu.Lock()
+		for _, sb := range builds {
+			label := plan.Label(sb.Shard)
+			switch {
+			case sb.Hit:
+				fmt.Fprintf(cfg.BuildLog, "catalog hit: %s shard %s (load %.3fs) %s\n", spec.Name, label, sb.Seconds, sb.Path)
+			case sb.LoadErr != nil:
+				fmt.Fprintf(cfg.BuildLog, "catalog rejected entry, rebuilt: %s shard %s (build %.3fs): %v\n", spec.Name, label, sb.Seconds, sb.LoadErr)
+			default:
+				fmt.Fprintf(cfg.BuildLog, "catalog miss: %s shard %s (build %.3fs, saved) %s\n", spec.Name, label, sb.Seconds, sb.Path)
+			}
+			if sb.SaveErr != nil {
+				fmt.Fprintf(cfg.BuildLog, "catalog save failed (index served from memory): %s shard %s: %v\n", spec.Name, label, sb.SaveErr)
+			}
+		}
+		buildLogMu.Unlock()
+	}
+	b := Built{
+		Method:       m,
+		BuildSeconds: wall,
+		Footprint:    m.Footprint(),
+		DataBytes:    m.TotalBytes(),
+		Shards:       plan.Count(),
+		ShardHits:    hits,
+	}
+	if cat != nil && hits == plan.Count() {
+		b.FromCache = true
+		b.LoadSeconds = wall
+	}
+	return b, nil
 }
 
 // buildLogMu serialises SuiteConfig.BuildLog writes across build workers.
@@ -120,6 +215,7 @@ func buildViaCatalog(spec core.MethodSpec, ctx *core.BuildContext, cfg SuiteConf
 		Method:      res.Method,
 		Store:       res.Store,
 		Footprint:   res.Method.Footprint(),
+		DataBytes:   storeBytes(res.Store),
 		FromCache:   res.Hit,
 		LoadSeconds: res.LoadSeconds,
 	}
@@ -144,44 +240,20 @@ func BuildMethods(names []string, w Workload, cfg SuiteConfig) ([]Built, error) 
 	// safe for concurrent use.
 	ctx := NewBuildContext(w, cfg)
 	workers := cfg.buildWorkersCount()
-	if workers > len(names) {
-		workers = len(names)
+	// Sharded builds spend the worker budget *inside* each method (its
+	// shards build concurrently in buildSharded); fanning methods out on
+	// top would square the concurrency to BuildWorkers² goroutines.
+	if cfg.shardCount() > 1 {
+		workers = 1
 	}
-	if workers <= 1 {
-		for i, name := range names {
-			b, err := buildWithContext(name, ctx, cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("eval: building %s: %w", name, err)
-				continue
-			}
-			out[i] = b
+	core.FanOut(len(names), workers, func(i int) {
+		b, err := buildWithContext(names[i], ctx, cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("eval: building %s: %w", names[i], err)
+			return
 		}
-		if err := errors.Join(errs...); err != nil {
-			return nil, err
-		}
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				b, err := buildWithContext(names[i], ctx, cfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("eval: building %s: %w", names[i], err)
-					continue
-				}
-				out[i] = b
-			}
-		}()
-	}
-	for i := range names {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+		out[i] = b
+	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

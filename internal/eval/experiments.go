@@ -37,12 +37,24 @@ type SuiteConfig struct {
 	// serially, preserving the paper's build-time measurements on an
 	// otherwise idle machine; negative means all cores. Parallel builds
 	// change wall-clock build times under CPU oversubscription but never
-	// the built indexes themselves.
+	// the built indexes themselves. With Shards > 1 the budget moves
+	// inside each method — its shards build concurrently while methods
+	// build in turn — so total build concurrency never exceeds it.
 	BuildWorkers int
+	// Shards splits every dataset into N contiguous shards: each method
+	// builds one index per shard (concurrently under BuildWorkers) and
+	// queries scatter-gather across them, merging per-shard top-k
+	// candidates into the global answer. 0 (the zero value) and 1 keep the
+	// classic single-store build. Exact answers and accuracy metrics are
+	// unchanged by sharding; I/O counters reflect the partitioned layout
+	// (e.g. one seek per shard for a full scan instead of one in total).
+	Shards int
 	// IndexDir, when non-empty, routes persistable methods through the
 	// on-disk index catalog at that path: builds are saved once and later
 	// runs load them (build-once / query-many). Empty keeps the classic
-	// rebuild-every-run behaviour.
+	// rebuild-every-run behaviour. With Shards > 1 the catalog holds one
+	// entry per (shard, method), keyed by each shard slice's own content
+	// fingerprint.
 	IndexDir string
 	// BuildLog, when non-nil, receives one line per catalog-routed build
 	// reporting cache hit/miss and load-vs-build seconds.
@@ -238,8 +250,8 @@ func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []str
 			idx100 := (b.BuildSeconds + TrimmedExtrapolate(out.PerQueryModelSeconds, 100)) / 60
 			idx10k := (b.BuildSeconds + TrimmedExtrapolate(out.PerQueryModelSeconds, 10000)) / 60
 			pctData := 0.0
-			if b.Store != nil && b.Store.TotalBytes() > 0 {
-				pctData = 100 * float64(out.IO.BytesRead) / float64(b.Store.TotalBytes()) / float64(w.Queries.Size())
+			if b.DataBytes > 0 {
+				pctData = 100 * float64(out.IO.BytesRead) / float64(b.DataBytes) / float64(w.Queries.Size())
 			}
 			t.AddRow(name, plan.Label, F(out.Metrics.MAP), F(out.Metrics.AvgRecall), F(out.Metrics.MRE),
 				F(qpm), F(idx100), F(idx10k), F(pctData), I(out.IO.RandomSeeks/int64(w.Queries.Size())))
@@ -400,7 +412,10 @@ func Fig6(cfg SuiteConfig) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				pct := 100 * float64(out.IO.BytesRead) / float64(b.Store.TotalBytes()) / float64(w.Queries.Size())
+				pct := 0.0
+				if b.DataBytes > 0 {
+					pct = 100 * float64(out.IO.BytesRead) / float64(b.DataBytes) / float64(w.Queries.Size())
+				}
 				t.AddRow(name, F(eps), F(out.Metrics.MAP), F(QueriesPerMinute(out.ModelSeconds, w.Queries.Size())),
 					F(pct), I(out.IO.RandomSeeks/int64(w.Queries.Size())))
 			}

@@ -12,6 +12,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/eval"
 	"hydra/internal/series"
+	"hydra/internal/shard"
 	"hydra/internal/storage"
 )
 
@@ -79,7 +80,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	ready := 0
 	for _, h := range s.handles {
-		if hReady, _, _, _, err := h.state(); hReady && err == nil {
+		if hy, hReady := h.state(); hReady && hy.err == nil {
 			ready++
 		}
 	}
@@ -92,6 +93,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"length":      s.data.Length(),
 			"fingerprint": s.fingerprint,
 		},
+		"shards":        s.shardTotal(),
 		"methods_ready": ready,
 		"warmup":        s.WarmupReport(),
 	})
@@ -99,10 +101,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, time.Since(s.start).Seconds())
+	s.metrics.render(w, time.Since(s.start).Seconds(), s.shardUsage())
+}
+
+// shardUsage gathers cumulative per-shard query counters from every
+// hydrated scatter-gather method, for the per-shard /metrics families.
+// Unsharded servers have none.
+func (s *Server) shardUsage() []ShardUsage {
+	if s.plan == nil {
+		return nil
+	}
+	var rows []ShardUsage
+	for _, spec := range core.RegisteredMethods() {
+		h := s.handles[spec.Name]
+		if h == nil {
+			continue
+		}
+		hy, ready := h.state()
+		if !ready || hy.err != nil {
+			continue
+		}
+		sm, ok := hy.method.(*shard.Method)
+		if !ok {
+			continue
+		}
+		for _, st := range sm.ShardStats() {
+			rows = append(rows, ShardUsage{
+				Method:    spec.Name,
+				Shard:     st.Shard,
+				Queries:   st.Queries,
+				DistCalcs: st.DistCalcs,
+				IO:        st.IO,
+			})
+		}
+	}
+	return rows
 }
 
 // methodInfo is one row of GET /v1/methods, derived from the registry.
+// Loaded stays as the all-shards-ready summary; the shard counters expose
+// the per-shard load state behind it (1-shard totals when unsharded).
 type methodInfo struct {
 	Name          string   `json:"name"`
 	Rank          int      `json:"rank"`
@@ -111,28 +149,39 @@ type methodInfo struct {
 	FormatVersion int      `json:"format_version,omitempty"`
 	Loaded        bool     `json:"loaded"`
 	FromCatalog   bool     `json:"from_catalog"`
+	// ShardsLoaded counts shard indexes ready to serve, of ShardsTotal;
+	// ShardsFromCatalog counts the subset hydrated warm from the catalog.
+	ShardsLoaded      int `json:"shards_loaded"`
+	ShardsFromCatalog int `json:"shards_from_catalog"`
+	ShardsTotal       int `json:"shards_total"`
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 	specs := core.RegisteredMethods()
 	out := make([]methodInfo, 0, len(specs))
 	for _, spec := range specs {
-		var loaded, fromCache bool
+		var hy hydration
+		var ready bool
 		// A handle can be missing only for a method registered after this
 		// server booted (the map is snapshotted in New): report it, unloaded.
 		if h := s.handles[spec.Name]; h != nil {
-			ready, _, cached, _, err := h.state()
-			loaded = ready && err == nil
-			fromCache = cached
+			hy, ready = h.state()
+		}
+		shardsTotal := hy.shardsTotal
+		if shardsTotal == 0 { // not hydrated yet: report the serving plan
+			shardsTotal = s.shardTotal()
 		}
 		out = append(out, methodInfo{
-			Name:          spec.Name,
-			Rank:          spec.Rank,
-			Capabilities:  spec.Capabilities(),
-			Persistable:   spec.Persistable(),
-			FormatVersion: spec.FormatVersion,
-			Loaded:        loaded,
-			FromCatalog:   fromCache,
+			Name:              spec.Name,
+			Rank:              spec.Rank,
+			Capabilities:      spec.Capabilities(),
+			Persistable:       spec.Persistable(),
+			FormatVersion:     spec.FormatVersion,
+			Loaded:            ready && hy.err == nil,
+			FromCatalog:       hy.fromCache,
+			ShardsLoaded:      hy.shardsLoaded,
+			ShardsFromCatalog: hy.shardsHit,
+			ShardsTotal:       shardsTotal,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"methods": out})

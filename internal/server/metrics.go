@@ -26,17 +26,36 @@ type methodMetrics struct {
 	distCalcs int64
 }
 
+// shardHydration counts per-(method, shard) catalog outcomes.
+type shardHydration struct {
+	hits, misses int64
+}
+
+// ShardUsage is one (method, shard) row of cumulative query-time usage,
+// gathered from the hydrated scatter-gather methods at render time.
+type ShardUsage struct {
+	Method    string
+	Shard     int
+	Queries   int64
+	DistCalcs int64
+	IO        storage.Stats
+}
+
 // metrics is the server-wide counter registry behind GET /metrics. All
 // access goes through the mutex; render holds it only long enough to copy.
 type metrics struct {
 	mu            sync.Mutex
 	perMethod     map[string]*methodMetrics
+	perShard      map[string]map[int]*shardHydration
 	catalogHits   int64
 	catalogMisses int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{perMethod: map[string]*methodMetrics{}}
+	return &metrics{
+		perMethod: map[string]*methodMetrics{},
+		perShard:  map[string]map[int]*shardHydration{},
+	}
 }
 
 func (m *metrics) forMethod(name string) *methodMetrics {
@@ -86,8 +105,32 @@ func (m *metrics) recordCatalog(hit bool) {
 	}
 }
 
+// recordShardCatalog counts one per-shard catalog hydration outcome.
+func (m *metrics) recordShardCatalog(method string, shard int, hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byShard := m.perShard[method]
+	if byShard == nil {
+		byShard = map[int]*shardHydration{}
+		m.perShard[method] = byShard
+	}
+	sh := byShard[shard]
+	if sh == nil {
+		sh = &shardHydration{}
+		byShard[shard] = sh
+	}
+	if hit {
+		sh.hits++
+	} else {
+		sh.misses++
+	}
+}
+
 // render writes the Prometheus text exposition of every counter.
-func (m *metrics) render(w io.Writer, uptimeSeconds float64) {
+// shardUsage carries the per-shard query counters gathered from the
+// hydrated scatter-gather methods (nil/empty when serving unsharded, in
+// which case no per-shard family is emitted).
+func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardUsage) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.perMethod))
 	for name := range m.perMethod {
@@ -105,6 +148,23 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64) {
 		cp.latCounts = append([]int64(nil), src.latCounts...)
 		rows = append(rows, row{name, cp})
 	}
+	type shardHydRow struct {
+		method       string
+		shard        int
+		hits, misses int64
+	}
+	var hydRows []shardHydRow
+	for method, byShard := range m.perShard {
+		for shard, sh := range byShard {
+			hydRows = append(hydRows, shardHydRow{method, shard, sh.hits, sh.misses})
+		}
+	}
+	sort.Slice(hydRows, func(i, j int) bool {
+		if hydRows[i].method != hydRows[j].method {
+			return hydRows[i].method < hydRows[j].method
+		}
+		return hydRows[i].shard < hydRows[j].shard
+	})
 	hits, misses := m.catalogHits, m.catalogMisses
 	m.mu.Unlock()
 
@@ -165,5 +225,45 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64) {
 	fmt.Fprintf(w, "# TYPE hydra_dist_calcs_total counter\n")
 	for _, r := range rows {
 		fmt.Fprintf(w, "hydra_dist_calcs_total{method=%q} %d\n", r.name, r.mm.distCalcs)
+	}
+
+	if len(hydRows) > 0 {
+		fmt.Fprintf(w, "# HELP hydra_shard_catalog_hits_total Shard index hydrations served warm from the catalog.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_catalog_hits_total counter\n")
+		for _, r := range hydRows {
+			fmt.Fprintf(w, "hydra_shard_catalog_hits_total{method=%q,shard=\"%d\"} %d\n", r.method, r.shard, r.hits)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_catalog_misses_total Shard index hydrations that had to build (and save).\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_catalog_misses_total counter\n")
+		for _, r := range hydRows {
+			fmt.Fprintf(w, "hydra_shard_catalog_misses_total{method=%q,shard=\"%d\"} %d\n", r.method, r.shard, r.misses)
+		}
+	}
+	if len(shardUsage) > 0 {
+		fmt.Fprintf(w, "# HELP hydra_shard_queries_total Queries scattered to each shard index per method.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_queries_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_queries_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.Queries)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_dist_calcs_total True distance computations per shard per method.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_dist_calcs_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_dist_calcs_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.DistCalcs)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_io_random_seeks_total Modelled random seeks charged per shard per method.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_io_random_seeks_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_io_random_seeks_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.IO.RandomSeeks)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_io_sequential_pages_total Modelled sequential page reads per shard per method.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_io_sequential_pages_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_io_sequential_pages_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.IO.SequentialPages)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_io_bytes_read_total Modelled raw-data bytes read per shard per method.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_io_bytes_read_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_io_bytes_read_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.IO.BytesRead)
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/eval"
 	"hydra/internal/series"
+	"hydra/internal/shard"
 	"hydra/internal/storage"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	// workload_file query source entirely — clients must not be able to
 	// make the server open arbitrary paths.
 	WorkloadDir string
+	// Shards splits the dataset into N contiguous shards: every method is
+	// served as one index per shard with queries scatter-gathered across
+	// them, and catalog entries (and warm boots) become per-shard. 0 and 1
+	// serve unsharded.
+	Shards int
 	// Preload names the methods hydrated at startup. nil selects every
 	// persistable method (the warm-startable set); an explicit empty,
 	// non-nil slice preloads nothing. Methods outside the preload set are
@@ -73,14 +79,36 @@ type Config struct {
 }
 
 // WarmupStatus reports one method's boot-time hydration, surfaced by
-// GET /healthz and the boot log.
+// GET /healthz and the boot log. Shard counters replace the old single
+// loaded boolean: a sharded method is ready only once every shard index is
+// hydrated, and ShardsFromCatalog says how many of them came in warm.
+// Unsharded methods report 1-shard totals.
 type WarmupStatus struct {
 	Method string `json:"method"`
-	// Source is "catalog" for a warm load, "built" for a fresh build
-	// (saved to the catalog when possible), or "error".
+	// Source is "catalog" when every shard loaded warm, "built" when every
+	// shard was built fresh (saved to the catalog when possible), "mixed"
+	// when a sharded hydration combined both, or "error".
 	Source  string  `json:"source"`
 	Seconds float64 `json:"seconds"`
-	Error   string  `json:"error,omitempty"`
+	// ShardsLoaded counts shard indexes ready to serve, of ShardsTotal;
+	// ShardsFromCatalog counts the subset that hydrated from the catalog.
+	ShardsLoaded      int    `json:"shards_loaded"`
+	ShardsFromCatalog int    `json:"shards_from_catalog"`
+	ShardsTotal       int    `json:"shards_total"`
+	Error             string `json:"error,omitempty"`
+}
+
+// hydration is one method's published hydration outcome.
+type hydration struct {
+	method    core.Method
+	fromCache bool // every shard served from the catalog
+	// seconds sums per-shard hydration times (load on hits, build
+	// otherwise); for unsharded methods it is the single hydration time.
+	seconds      float64
+	shardsLoaded int // shard indexes ready to serve
+	shardsHit    int // shard indexes loaded from the catalog
+	shardsTotal  int
+	err          error
 }
 
 // handle is the per-method hydration slot. hydrateMu serialises the (slow)
@@ -92,33 +120,25 @@ type handle struct {
 	hydrateMu sync.Mutex
 	mu        sync.Mutex
 	ready     bool
-	method    core.Method
-	fromCache bool
-	// hydrateSeconds is the load time for a catalog hit, the build time
-	// otherwise.
-	hydrateSeconds float64
-	err            error
+	hy        hydration
 }
 
 // publish installs a hydration outcome (under mu).
-func (h *handle) publish(m core.Method, fromCache bool, seconds float64, err error) {
+func (h *handle) publish(hy hydration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.ready {
 		return
 	}
 	h.ready = true
-	h.method = m
-	h.fromCache = fromCache
-	h.hydrateSeconds = seconds
-	h.err = err
+	h.hy = hy
 }
 
 // state snapshots the handle (under mu).
-func (h *handle) state() (ready bool, m core.Method, fromCache bool, seconds float64, err error) {
+func (h *handle) state() (hydration, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.ready, h.method, h.fromCache, h.hydrateSeconds, h.err
+	return h.hy, h.ready
 }
 
 // Server is the hydra-serve service state: one dataset, a lazily hydrated
@@ -131,9 +151,11 @@ type Server struct {
 	fingerprint string
 	buildCtx    *core.BuildContext
 	cat         *catalog.Catalog // nil without IndexDir
+	plan        *shard.Plan      // nil when serving unsharded
 	workloadDir string           // absolute; empty = workload_file disabled
 	model       storage.CostModel
 	defWorkers  int
+	warmWorkers int
 	log         io.Writer
 	logMu       sync.Mutex
 
@@ -195,6 +217,13 @@ func New(cfg Config) (*Server, error) {
 		s.workloadDir = abs
 	}
 	s.fingerprint = s.buildCtx.DataFingerprint()
+	if cfg.Shards > 1 {
+		plan, err := shard.PlanFor(s.buildCtx, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+	}
 	if cfg.IndexDir != "" {
 		cat, err := catalog.Open(cfg.IndexDir)
 		if err != nil {
@@ -220,9 +249,21 @@ func (s *Server) logf(format string, args ...any) {
 	fmt.Fprintf(s.log, format, args...)
 }
 
-// warmStart hydrates the preload set through catalog.Warmup (which
-// tolerates a nil catalog by building everything in memory) and records
-// per-method status.
+// shardTotal returns the serving shard count (1 when unsharded).
+func (s *Server) shardTotal() int {
+	if s.plan == nil {
+		return 1
+	}
+	return s.plan.Count()
+}
+
+// warmStart hydrates the preload set and records per-method status.
+// Unsharded serving fans methods across workers through catalog.Warmup
+// (which tolerates a nil catalog by building everything in memory);
+// sharded serving hydrates methods in turn, fanning each method's shard
+// builds across workers instead. The resolved fan-out is kept for lazy
+// hydrations so a first request for a cold sharded method builds its
+// shards with the same parallelism a warm start would.
 func (s *Server) warmStart(names []string, workers int) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -230,12 +271,19 @@ func (s *Server) warmStart(names []string, workers int) {
 	if workers == 0 {
 		workers = 1
 	}
+	s.warmWorkers = workers
 	if len(names) == 0 {
 		return
 	}
 	start := time.Now()
-	for _, e := range catalog.Warmup(s.cat, names, s.buildCtx, workers) {
-		s.warmup = append(s.warmup, s.adoptWarmup(e))
+	if s.plan == nil {
+		for _, e := range catalog.Warmup(s.cat, names, s.buildCtx, workers) {
+			s.warmup = append(s.warmup, s.adoptWarmup(e))
+		}
+	} else {
+		for _, name := range names {
+			s.warmup = append(s.warmup, s.hydrateSharded(name, workers, "warm start"))
+		}
 	}
 	ready := 0
 	for _, st := range s.warmup {
@@ -244,70 +292,161 @@ func (s *Server) warmStart(names []string, workers int) {
 			s.logf("warm start: %s failed: %s\n", st.Method, st.Error)
 		case "catalog":
 			ready++
-			s.logf("warm start: catalog hit: %s (load %.3fs)\n", st.Method, st.Seconds)
+			if s.plan == nil {
+				s.logf("warm start: catalog hit: %s (load %.3fs)\n", st.Method, st.Seconds)
+			}
 		default:
 			ready++
-			s.logf("warm start: catalog miss: %s (build %.3fs)\n", st.Method, st.Seconds)
+			if s.plan == nil {
+				s.logf("warm start: catalog miss: %s (build %.3fs)\n", st.Method, st.Seconds)
+			}
+		}
+		if s.plan != nil && st.Source != "error" {
+			s.logf("warm start: %s ready: %d/%d shards, %d from catalog (%.3fs)\n",
+				st.Method, st.ShardsLoaded, st.ShardsTotal, st.ShardsFromCatalog, st.Seconds)
 		}
 	}
 	s.logf("warm start: %d/%d methods ready in %.3fs\n", ready, len(names), time.Since(start).Seconds())
 }
 
-// adoptWarmup installs one catalog Warmup outcome into the method's handle
-// and converts it to a WarmupStatus.
+// adoptWarmup installs one catalog Warmup outcome (the unsharded path)
+// into the method's handle and converts it to a WarmupStatus.
 func (s *Server) adoptWarmup(e catalog.WarmupEntry) WarmupStatus {
 	h := s.handles[e.Name]
 	if h == nil { // unknown method name in the preload list
-		return WarmupStatus{Method: e.Name, Source: "error", Error: e.Err.Error()}
+		return WarmupStatus{Method: e.Name, Source: "error", Error: e.Err.Error(), ShardsTotal: 1}
 	}
 	if e.Err != nil {
-		h.publish(nil, false, 0, e.Err)
-		return WarmupStatus{Method: e.Name, Source: "error", Error: e.Err.Error()}
+		h.publish(hydration{err: e.Err, shardsTotal: 1})
+		return s.statusFor(e.Name)
 	}
-	h.publish(e.Result.Method, e.Result.Hit, e.Result.HydrateSeconds(), nil)
+	hits := 0
+	if e.Result.Hit {
+		hits = 1
+	}
+	h.publish(hydration{
+		method:       e.Result.Method,
+		fromCache:    e.Result.Hit,
+		seconds:      e.Result.HydrateSeconds(),
+		shardsLoaded: 1,
+		shardsHit:    hits,
+		shardsTotal:  1,
+	})
 	if e.Result.SaveErr != nil {
 		s.logf("catalog save failed (index served from memory): %s: %v\n", e.Name, e.Result.SaveErr)
 	}
-	if s.cat != nil {
+	// Only catalog-routed hydrations count: a non-persistable method's
+	// in-memory build is a pass-through, not a catalog miss. The sharded
+	// path applies the same gate, so the two modes' hydra_catalog_*
+	// counters stay comparable.
+	if spec, ok := core.LookupMethod(e.Name); ok && s.cat != nil && spec.Persistable() {
 		s.metrics.recordCatalog(e.Result.Hit)
 	}
 	return s.statusFor(e.Name)
 }
 
+// hydrateSharded builds (or warm-loads) every shard index of one method
+// through shard.Build, fanning the shard hydrations across workers, and
+// publishes the assembled scatter-gather method. Per-shard catalog
+// hit/miss is logged under logPrefix ("warm start" at boot, "hydrate" for
+// lazy query-time hydration, so boot-log greps never see lazy builds as
+// warm-start rebuilds) and counted in the per-shard metrics.
+func (s *Server) hydrateSharded(name string, workers int, logPrefix string) WarmupStatus {
+	h := s.handles[name]
+	spec, ok := core.LookupMethod(name)
+	if h == nil || !ok {
+		err := fmt.Errorf("server: unknown method %q", name)
+		if h != nil {
+			h.publish(hydration{err: err, shardsTotal: s.shardTotal()})
+			return s.statusFor(name)
+		}
+		return WarmupStatus{Method: name, Source: "error", Error: err.Error(), ShardsTotal: s.shardTotal()}
+	}
+	m, builds, err := shard.Build(spec, s.buildCtx, s.plan, shard.BuildOptions{Catalog: s.cat, Workers: workers})
+	if err != nil {
+		h.publish(hydration{err: err, shardsTotal: s.shardTotal()})
+		return s.statusFor(name)
+	}
+	hits := 0
+	var seconds float64
+	for _, sb := range builds {
+		seconds += sb.Seconds
+		label := s.plan.Label(sb.Shard)
+		if sb.Hit {
+			hits++
+			s.logf("%s: catalog hit: %s shard %s (load %.3fs)\n", logPrefix, name, label, sb.Seconds)
+		} else {
+			s.logf("%s: catalog miss: %s shard %s (build %.3fs)\n", logPrefix, name, label, sb.Seconds)
+		}
+		if sb.SaveErr != nil {
+			s.logf("catalog save failed (index served from memory): %s shard %s: %v\n", name, label, sb.SaveErr)
+		}
+		if s.cat != nil && spec.Persistable() {
+			s.metrics.recordCatalog(sb.Hit)
+			s.metrics.recordShardCatalog(name, sb.Shard, sb.Hit)
+		}
+	}
+	h.publish(hydration{
+		method:       m,
+		fromCache:    s.cat != nil && hits == len(builds),
+		seconds:      seconds,
+		shardsLoaded: len(builds),
+		shardsHit:    hits,
+		shardsTotal:  len(builds),
+	})
+	return s.statusFor(name)
+}
+
 // statusFor summarises a hydrated handle.
 func (s *Server) statusFor(name string) WarmupStatus {
-	_, _, fromCache, seconds, err := s.handles[name].state()
-	if err != nil {
-		return WarmupStatus{Method: name, Source: "error", Error: err.Error()}
+	hy, _ := s.handles[name].state()
+	st := WarmupStatus{
+		Method:            name,
+		Seconds:           hy.seconds,
+		ShardsLoaded:      hy.shardsLoaded,
+		ShardsFromCatalog: hy.shardsHit,
+		ShardsTotal:       hy.shardsTotal,
 	}
-	if fromCache {
-		return WarmupStatus{Method: name, Source: "catalog", Seconds: seconds}
+	switch {
+	case hy.err != nil:
+		st.Source = "error"
+		st.Error = hy.err.Error()
+	case hy.shardsHit == hy.shardsTotal && hy.fromCache:
+		st.Source = "catalog"
+	case hy.shardsHit > 0:
+		st.Source = "mixed"
+	default:
+		st.Source = "built"
 	}
-	return WarmupStatus{Method: name, Source: "built", Seconds: seconds}
+	return st
 }
 
 // ensure hydrates the named method if needed and returns its permanent
 // hydration error, if any. Safe for concurrent use; concurrent callers of
 // one cold method block on a single hydration (on hydrateMu, never on the
 // state mutex the introspection endpoints read through). Lazy hydration is
-// the same catalog.Warmup + adoptWarmup path the boot warm start uses, so
-// the two cannot drift in accounting.
+// the same path the boot warm start uses (catalog.Warmup unsharded,
+// shard.Build sharded), so the two cannot drift in accounting.
 func (s *Server) ensure(name string) error {
 	h := s.handles[name]
 	if h == nil {
 		return fmt.Errorf("server: unknown method %q", name)
 	}
-	if ready, _, _, _, err := h.state(); ready {
-		return err
+	if hy, ready := h.state(); ready {
+		return hy.err
 	}
 	h.hydrateMu.Lock()
 	defer h.hydrateMu.Unlock()
-	if ready, _, _, _, err := h.state(); ready { // hydrated while we waited
-		return err
+	if hy, ready := h.state(); ready { // hydrated while we waited
+		return hy.err
 	}
-	s.adoptWarmup(catalog.Warmup(s.cat, []string{name}, s.buildCtx, 1)[0])
-	_, _, _, _, err := h.state()
-	return err
+	if s.plan != nil {
+		s.hydrateSharded(name, s.warmWorkers, "hydrate")
+	} else {
+		s.adoptWarmup(catalog.Warmup(s.cat, []string{name}, s.buildCtx, 1)[0])
+	}
+	hy, _ := h.state()
+	return hy.err
 }
 
 // methodFor returns the hydrated method, hydrating on first use.
@@ -315,8 +454,8 @@ func (s *Server) methodFor(name string) (core.Method, bool, error) {
 	if err := s.ensure(name); err != nil {
 		return nil, false, err
 	}
-	_, m, fromCache, _, _ := s.handles[name].state()
-	return m, fromCache, nil
+	hy, _ := s.handles[name].state()
+	return hy.method, hy.fromCache, nil
 }
 
 // WarmupReport returns the boot-time hydration statuses in preload order.

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+// TestShardedWarmStartTwoBoots pins the sharded build-once/query-many
+// contract end to end: the first boot of a 4-shard server builds and saves
+// one snapshot per (shard, persistable method); the second boot loads
+// every shard snapshot from the catalog with zero rebuilds, reports full
+// per-shard load state on /healthz and /v1/methods, and answers
+// identically to the first boot.
+func TestShardedWarmStartTwoBoots(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	dir := t.TempDir()
+	persistable := core.PersistableMethodNames()
+	if len(persistable) < 5 {
+		t.Fatalf("expected several persistable methods, got %v", persistable)
+	}
+
+	var answers []string
+	for boot, wantSource := range []string{"built", "catalog"} {
+		var log bytes.Buffer
+		s, err := New(Config{Data: data, IndexDir: dir, Shards: 4, Log: &log, WarmupWorkers: 2})
+		if err != nil {
+			t.Fatalf("boot %d: %v", boot, err)
+		}
+		for _, st := range s.WarmupReport() {
+			if st.Source != wantSource {
+				t.Errorf("boot %d: %s hydrated from %q, want %q (err %q)", boot, st.Method, st.Source, wantSource, st.Error)
+			}
+			if st.ShardsLoaded != 4 || st.ShardsTotal != 4 {
+				t.Errorf("boot %d: %s loaded %d/%d shards, want 4/4", boot, st.Method, st.ShardsLoaded, st.ShardsTotal)
+			}
+			wantHits := 0
+			if boot == 1 {
+				wantHits = 4
+			}
+			if st.ShardsFromCatalog != wantHits {
+				t.Errorf("boot %d: %s hydrated %d shards from catalog, want %d", boot, st.Method, st.ShardsFromCatalog, wantHits)
+			}
+		}
+		if boot == 1 && strings.Contains(log.String(), "catalog miss") {
+			t.Errorf("boot 1 rebuilt shard indexes:\n%s", log.String())
+		}
+		h := s.Handler()
+		for _, m := range persistable {
+			rec := postQuery(t, h, map[string]any{
+				"method": m, "mode": "ng", "nprobe": 8, "k": 5, "query": queryVec(qs, 0), "format": "text",
+			})
+			if rec.Code != 200 {
+				t.Fatalf("boot %d %s: status %d body %s", boot, m, rec.Code, rec.Body.String())
+			}
+			answers = append(answers, m+": "+rec.Body.String())
+		}
+	}
+	half := len(answers) / 2
+	for i := 0; i < half; i++ {
+		if answers[i] != answers[half+i] {
+			t.Errorf("cold and warm sharded boots answered differently:\n  boot1 %s  boot2 %s", answers[i], answers[half+i])
+		}
+	}
+}
+
+// TestShardedIntrospection pins the per-shard load state surfaced by
+// /healthz and /v1/methods, including lazy hydration: before the first
+// query a non-preloaded method reports 0/N shards, afterwards N/N.
+func TestShardedIntrospection(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data, Shards: 3})
+	h := s.Handler()
+
+	get := func(path string) map[string]any {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: %d %s", path, rec.Code, rec.Body.String())
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+	methodRow := func(name string) map[string]any {
+		for _, raw := range get("/v1/methods")["methods"].([]any) {
+			row := raw.(map[string]any)
+			if row["name"] == name {
+				return row
+			}
+		}
+		t.Fatalf("method %s missing from /v1/methods", name)
+		return nil
+	}
+
+	if got := get("/healthz")["shards"].(float64); got != 3 {
+		t.Errorf("/healthz shards = %v, want 3", got)
+	}
+	before := methodRow("DSTree")
+	if before["loaded"].(bool) || before["shards_loaded"].(float64) != 0 || before["shards_total"].(float64) != 3 {
+		t.Errorf("cold method row: %+v", before)
+	}
+	rec := postQuery(t, h, map[string]any{"method": "DSTree", "k": 3, "query": queryVec(qs, 0)})
+	if rec.Code != 200 {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	after := methodRow("DSTree")
+	if !after["loaded"].(bool) || after["shards_loaded"].(float64) != 3 || after["shards_total"].(float64) != 3 {
+		t.Errorf("hydrated method row: %+v", after)
+	}
+
+	// The per-shard usage families appear on /metrics once a sharded
+	// method has answered queries.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`hydra_shard_queries_total{method="DSTree",shard="0"} 1`,
+		`hydra_shard_queries_total{method="DSTree",shard="2"} 1`,
+		`hydra_shard_io_bytes_read_total{method="DSTree",shard="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

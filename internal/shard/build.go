@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hydra/internal/catalog"
+	"hydra/internal/core"
+	"hydra/internal/storage"
+)
+
+// BuildOptions configures a sharded build.
+type BuildOptions struct {
+	// Catalog, when non-nil, routes every shard through the persistent
+	// index catalog: a valid per-shard entry is loaded, anything else is
+	// built and (for persistable specs) saved. Entries are keyed by each
+	// shard slice's own content fingerprint, so they are naturally
+	// per-(shard, method) and stable across runs of the same plan.
+	Catalog *catalog.Catalog
+	// Workers bounds how many shards build concurrently; <=1 builds
+	// serially.
+	Workers int
+	// SearchWorkers is the per-query shard fan-out of the assembled
+	// Method; 0 selects min(shards, GOMAXPROCS).
+	SearchWorkers int
+}
+
+// ShardBuild reports how one shard's index was obtained.
+type ShardBuild struct {
+	// Shard is the shard's index in the plan; ID its stable identifier.
+	Shard int
+	ID    string
+	// Hit is true when the shard's index was loaded from the catalog.
+	Hit bool
+	// Seconds is the shard's hydration time (load on a hit, build
+	// otherwise).
+	Seconds float64
+	// Path is the shard's catalog entry ("" when nothing was persisted).
+	Path string
+	// LoadErr records why a present entry was rejected before the shard
+	// was rebuilt; SaveErr records a failed persist of a fresh build (the
+	// built index is still served).
+	LoadErr error
+	SaveErr error
+}
+
+// Build constructs one index per shard of the plan from spec's registered
+// recipe and assembles them into a scatter-gather Method. Each shard gets
+// the parent context's Sub-context over its range (inheriting leaf budget,
+// page size and histogram parameters), so shard builds are exactly the
+// recipe the unsharded build runs, over less data. Shards build
+// concurrently under opts.Workers; per-shard failures are joined into one
+// error. The returned ShardBuild slice is in shard order.
+func Build(spec core.MethodSpec, parent *core.BuildContext, plan *Plan, opts BuildOptions) (*Method, []ShardBuild, error) {
+	if plan.Size() != parent.Data.Size() {
+		return nil, nil, fmt.Errorf("shard: plan covers %d series, context holds %d", plan.Size(), parent.Data.Size())
+	}
+	n := plan.Count()
+	parts := make([]core.Method, n)
+	stores := make([]*storage.SeriesStore, n)
+	infos := make([]ShardBuild, n)
+	errs := make([]error, n)
+	buildOne := func(i int) {
+		r := plan.Range(i)
+		ctx := parent.Sub(r.Lo, r.Hi)
+		info := ShardBuild{Shard: i, ID: plan.ID(i)}
+		if opts.Catalog != nil {
+			res, err := opts.Catalog.OpenOrBuild(spec, ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", plan.Label(i), err)
+				return
+			}
+			parts[i], stores[i] = res.Method, res.Store
+			info.Hit = res.Hit
+			info.Seconds = res.HydrateSeconds()
+			info.Path = res.Path
+			info.LoadErr = res.LoadErr
+			info.SaveErr = res.SaveErr
+		} else {
+			start := time.Now()
+			br, err := spec.Build(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", plan.Label(i), err)
+				return
+			}
+			parts[i], stores[i] = br.Method, br.Store
+			info.Seconds = time.Since(start).Seconds()
+		}
+		infos[i] = info
+	}
+
+	core.FanOut(n, opts.Workers, buildOne)
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+
+	var store *Store
+	anyStore := false
+	for _, st := range stores {
+		if st != nil {
+			anyStore = true
+			break
+		}
+	}
+	if anyStore {
+		var err error
+		if store, err = NewStore(plan, stores); err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := NewMethod(spec.Name, plan, parts, store, opts.SearchWorkers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, infos, nil
+}

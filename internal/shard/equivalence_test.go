@@ -1,0 +1,187 @@
+package shard_test
+
+import (
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/eval"
+	"hydra/internal/storage"
+)
+
+// equivalenceMethods are the store-backed methods the sharded-vs-unsharded
+// contract is pinned on: the scan baseline, a filter file and a tree index.
+var equivalenceMethods = []string{"SerialScan", "VA+file", "iSAX2+"}
+
+func equivalenceWorkload() (eval.Workload, eval.SuiteConfig) {
+	cfg := eval.DefaultSuite()
+	cfg.N, cfg.Length, cfg.Queries, cfg.K = 900, 32, 6, 5
+	cfg.HistogramPairs = 200
+	w := eval.NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+77)
+	return w, cfg
+}
+
+// answerLines renders every query's neighbours in the CLI's canonical
+// byte format, the same representation the smoke tests diff.
+func answerLines(out eval.RunOutcome) string {
+	var sb strings.Builder
+	for qi, res := range out.Results {
+		sb.WriteString(eval.AnswerLine(qi, res.Neighbors))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runExact(t *testing.T, m core.Method, w eval.Workload) eval.RunOutcome {
+	t.Helper()
+	out, err := eval.Run(m, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestShardedVersusUnshardedEquivalence pins the scatter-gather contract
+// for SerialScan, VA+file and iSAX2+ at shards = 1, 3 and 4:
+//
+//   - exact answers are byte-identical to the unsharded method's (same
+//     neighbours, same full-precision distances, same order), and so are
+//     the accuracy metrics computed from them;
+//   - at shards=1 the whole accounting — Results, Metrics, IO, DistCalcs —
+//     is byte-identical, because the 1-shard plan reuses the parent build
+//     context and therefore builds the identical index over the identical
+//     store geometry;
+//   - at shards>1 the summed IO counters reflect the partitioned layout
+//     (each shard is its own store, so e.g. a full scan pays one seek per
+//     shard instead of one in total) and pruning thresholds are shard-
+//     local, so IO/DistCalcs are compared for bitwise determinism across
+//     independent sharded builds rather than against the unsharded run.
+func TestShardedVersusUnshardedEquivalence(t *testing.T) {
+	w, cfg := equivalenceWorkload()
+	for _, name := range equivalenceMethods {
+		t.Run(name, func(t *testing.T) {
+			flat, err := eval.BuildMethod(name, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flatOut := runExact(t, flat.Method, w)
+			flatAnswers := answerLines(flatOut)
+			for _, shards := range []int{1, 3, 4} {
+				scfg := cfg
+				scfg.Shards = shards
+				a, err := eval.BuildMethod(name, w, scfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				aOut := runExact(t, a.Method, w)
+				if got := answerLines(aOut); got != flatAnswers {
+					t.Errorf("shards=%d: answers differ from unsharded:\n%s\nvs\n%s", shards, got, flatAnswers)
+				}
+				if aOut.Metrics != flatOut.Metrics {
+					t.Errorf("shards=%d: metrics %+v, want %+v", shards, aOut.Metrics, flatOut.Metrics)
+				}
+				if shards == 1 {
+					if aOut.IO != flatOut.IO || aOut.DistCalcs != flatOut.DistCalcs {
+						t.Errorf("shards=1: accounting differs: IO %+v/%d vs %+v/%d",
+							aOut.IO, aOut.DistCalcs, flatOut.IO, flatOut.DistCalcs)
+					}
+					continue
+				}
+				// An independent second sharded build must reproduce the
+				// exact same Results, Metrics, IO and DistCalcs.
+				b, err := eval.BuildMethod(name, w, scfg)
+				if err != nil {
+					t.Fatalf("shards=%d rebuild: %v", shards, err)
+				}
+				bOut := runExact(t, b.Method, w)
+				if answerLines(bOut) != flatAnswers {
+					t.Errorf("shards=%d rebuild: answers drifted", shards)
+				}
+				if aOut.IO != bOut.IO || aOut.DistCalcs != bOut.DistCalcs || aOut.Metrics != bOut.Metrics {
+					t.Errorf("shards=%d: sharded accounting is not deterministic: %+v/%d vs %+v/%d",
+						shards, aOut.IO, aOut.DistCalcs, bOut.IO, bOut.DistCalcs)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedWarmReloadEquivalence pins the per-shard catalog round trip:
+// a sharded build that saved every shard snapshot, reopened from the
+// catalog (all shards hit, zero rebuilds), answers with byte-identical
+// Results, Metrics, IO and DistCalcs.
+func TestShardedWarmReloadEquivalence(t *testing.T) {
+	w, cfg := equivalenceWorkload()
+	cfg.Shards = 3
+	cfg.IndexDir = t.TempDir()
+	for _, name := range []string{"VA+file", "iSAX2+"} {
+		t.Run(name, func(t *testing.T) {
+			var coldLog, warmLog strings.Builder
+			ccfg := cfg
+			ccfg.BuildLog = &coldLog
+			cold, err := eval.BuildMethod(name, w, ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.FromCache || cold.ShardHits != 0 {
+				t.Fatalf("cold build reported cache use: %+v", cold)
+			}
+			if got := strings.Count(coldLog.String(), "catalog miss: "+name+" shard"); got != 3 {
+				t.Errorf("cold build logged %d per-shard misses, want 3:\n%s", got, coldLog.String())
+			}
+			wcfg := cfg
+			wcfg.BuildLog = &warmLog
+			warm, err := eval.BuildMethod(name, w, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.FromCache || warm.ShardHits != 3 || warm.Shards != 3 {
+				t.Fatalf("warm build did not load every shard from the catalog: %+v\n%s", warm, warmLog.String())
+			}
+			if strings.Contains(warmLog.String(), "catalog miss") {
+				t.Errorf("warm build rebuilt a shard:\n%s", warmLog.String())
+			}
+			a := runExact(t, cold.Method, w)
+			b := runExact(t, warm.Method, w)
+			if answerLines(a) != answerLines(b) {
+				t.Error("cold and warm sharded answers differ")
+			}
+			if a.IO != b.IO || a.DistCalcs != b.DistCalcs || a.Metrics != b.Metrics {
+				t.Errorf("cold/warm accounting differs: %+v/%d vs %+v/%d", a.IO, a.DistCalcs, b.IO, b.DistCalcs)
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentQueries is the race-mode check: many goroutines
+// querying one sharded method (whose Search itself fans across shards)
+// must produce exactly the serial outcome — Results in workload order,
+// IO/DistCalcs exact sums — with no data race under -race.
+func TestShardedConcurrentQueries(t *testing.T) {
+	w, cfg := equivalenceWorkload()
+	cfg.Shards = 4
+	for _, name := range []string{"SerialScan", "iSAX2+"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := eval.BuildMethod(name, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := eval.ParallelRun(b.Method, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel(), eval.RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := eval.ParallelRun(b.Method, w, core.Query{Mode: core.ModeExact}, storage.DefaultCostModel(), eval.RunOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if answerLines(serial) != answerLines(parallel) {
+				t.Error("concurrent sharded answers differ from serial")
+			}
+			if serial.IO != parallel.IO || serial.DistCalcs != parallel.DistCalcs {
+				t.Errorf("concurrent sharded accounting differs: %+v/%d vs %+v/%d",
+					serial.IO, serial.DistCalcs, parallel.IO, parallel.DistCalcs)
+			}
+		})
+	}
+}

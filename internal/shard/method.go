@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hydra/internal/core"
+	"hydra/internal/storage"
+)
+
+// Method implements core.Method by scatter-gather over per-shard indexes:
+// each query fans out to every shard's index, per-shard top-k candidates
+// are translated back to global series IDs and merged into one k-NN set,
+// and the per-shard work counters (IO, DistCalcs, leaves, pops) are summed.
+//
+// For exact queries the merged answer is byte-identical to the unsharded
+// method's: every shard returns its true local top-k, the union contains
+// the global top-k, and each surviving distance is the same full-precision
+// sum the unsharded method computes. The one caveat is exact distance
+// ties straddling the k-th position (e.g. duplicate series): KNNSet keeps
+// the first-offered of tied candidates, and the merge's shard-order
+// offering can pick a different tied ID than the unsharded traversal
+// did — both answers remain correct k-NN sets at identical distances.
+// Approximate modes apply their budgets (NProbe, examined-candidate caps)
+// per shard, so a sharded ng-approximate query probes up to shards×NProbe
+// leaves in total.
+//
+// Search honours the core.Method concurrency contract: per-query state is
+// local to the call, shards are queried on their own race-safe indexes, and
+// the only shared mutable state — the cumulative per-shard usage counters
+// behind ShardStats — is mutex-guarded.
+type Method struct {
+	name    string
+	plan    *Plan
+	parts   []core.Method
+	store   *Store
+	workers int
+
+	mu  sync.Mutex
+	cum []ShardStat
+}
+
+// ShardStat is one shard's cumulative query-time usage, for per-shard
+// observability (hydra-serve exports these on /metrics).
+type ShardStat struct {
+	Shard     int
+	Queries   int64
+	DistCalcs int64
+	IO        storage.Stats
+}
+
+// NewMethod assembles a scatter-gather method from per-shard indexes.
+// name is the display name (the underlying method's, e.g. "DSTree": the
+// sharding is transparent to callers). searchWorkers bounds the per-query
+// shard fan-out; 0 selects min(shards, GOMAXPROCS), 1 queries shards
+// serially. store may be nil for purely in-memory methods.
+func NewMethod(name string, plan *Plan, parts []core.Method, store *Store, searchWorkers int) (*Method, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("shard: method needs a plan")
+	}
+	if len(parts) != plan.Count() {
+		return nil, fmt.Errorf("shard: %d shard indexes for a %d-shard plan", len(parts), plan.Count())
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("shard: shard %s has no index", plan.Label(i))
+		}
+	}
+	if searchWorkers <= 0 {
+		searchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if searchWorkers > len(parts) {
+		searchWorkers = len(parts)
+	}
+	cum := make([]ShardStat, len(parts))
+	for i := range cum {
+		cum[i].Shard = i
+	}
+	return &Method{
+		name:    name,
+		plan:    plan,
+		parts:   parts,
+		store:   store,
+		workers: searchWorkers,
+		cum:     cum,
+	}, nil
+}
+
+// Name implements core.Method.
+func (m *Method) Name() string { return m.name }
+
+// Plan returns the partitioning the method was assembled under.
+func (m *Method) Plan() *Plan { return m.plan }
+
+// Store returns the aggregated per-shard store wrapper (nil when every
+// shard index is purely in-memory).
+func (m *Method) Store() *Store { return m.store }
+
+// TotalBytes returns the raw data volume behind all shard stores.
+func (m *Method) TotalBytes() int64 {
+	if m.store == nil {
+		return 0
+	}
+	return m.store.TotalBytes()
+}
+
+// Footprint implements core.Method: the sum of the shard indexes'.
+func (m *Method) Footprint() int64 {
+	var total int64
+	for _, p := range m.parts {
+		total += p.Footprint()
+	}
+	return total
+}
+
+// ShardStats returns a copy of the cumulative per-shard usage counters.
+func (m *Method) ShardStats() []ShardStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ShardStat, len(m.cum))
+	copy(out, m.cum)
+	return out
+}
+
+// Search implements core.Method: scatter the query across every shard
+// index (up to the configured shard fan-out concurrently), then gather.
+// The merge is deterministic — candidates are offered in shard order into
+// one core.KNNSet regardless of which shard answered first — so the result
+// does not depend on scheduling, and counters are exact sums.
+func (m *Method) Search(q core.Query) (core.Result, error) {
+	if err := q.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("shard: %w", err)
+	}
+	n := len(m.parts)
+	results := make([]core.Result, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		sq := q
+		// A shard smaller than k answers with everything it holds; the
+		// merge still sees every candidate that could make the global top-k.
+		if size := m.plan.Range(i).Len(); sq.K > size {
+			sq.K = size
+		}
+		r, err := m.parts[i].Search(sq)
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %s: %w", m.plan.Label(i), err)
+			return
+		}
+		results[i] = r
+	}
+	core.FanOut(n, m.workers, run)
+	if err := errors.Join(errs...); err != nil {
+		return core.Result{}, err
+	}
+
+	kset := core.NewKNNSet(q.K)
+	out := core.Result{}
+	for i, r := range results {
+		lo := m.plan.Range(i).Lo
+		for _, nb := range r.Neighbors {
+			kset.Offer(nb.ID+lo, nb.Dist)
+		}
+		out.DistCalcs += r.DistCalcs
+		out.LeavesVisited += r.LeavesVisited
+		out.NodesPopped += r.NodesPopped
+		out.IO = out.IO.Add(r.IO)
+	}
+	out.Neighbors = kset.Sorted()
+
+	m.mu.Lock()
+	for i, r := range results {
+		m.cum[i].Queries++
+		m.cum[i].DistCalcs += r.DistCalcs
+		m.cum[i].IO = m.cum[i].IO.Add(r.IO)
+	}
+	m.mu.Unlock()
+	return out, nil
+}

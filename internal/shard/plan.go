@@ -1,0 +1,117 @@
+// Package shard implements horizontal partitioning of one dataset into N
+// contiguous shards with independent per-shard indexes: the process-internal
+// analogue of a multi-node sharded deployment, and the scaling step for
+// datasets that outgrow a single storage.SeriesStore and its accountant.
+//
+// The pieces compose bottom-up:
+//
+//   - A Plan deterministically splits a dataset of `size` series into N
+//     contiguous ranges, so the same data sharded the same way always
+//     yields the same slices — which is what lets per-shard index
+//     snapshots (keyed in the catalog by each slice's own content
+//     fingerprint) be found again on a warm boot. Shard IDs derive from
+//     the dataset fingerprint and the shard count and give logs, metrics
+//     and build reports an equally stable identity.
+//   - A Store wraps the per-shard storage.SeriesStores (each with its own
+//     accountant) and exposes aggregated Stats and TotalBytes.
+//   - A Method implements core.Method by scattering each query across the
+//     per-shard indexes and gathering the per-shard top-k candidates into
+//     one global k-NN answer. Exact answers are byte-identical to the
+//     unsharded method's; IO and DistCalcs are summed across shards.
+//   - Build constructs the per-shard indexes from any registered
+//     core.MethodSpec recipe, routing each shard through the persistent
+//     index catalog when one is supplied (per-(shard, method) entries).
+//
+// Sharded accounting is honest about partitioning: each shard is its own
+// store (its own "file"), so a query that scans every shard pays one seek
+// per shard where the unsharded scan paid one in total. Answers and
+// accuracy metrics are equivalent; the I/O counters reflect the sharded
+// layout and are bitwise deterministic for a given plan.
+package shard
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+)
+
+// Range is one shard's contiguous slice [Lo, Hi) of the dataset's series.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of series in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Plan is a deterministic partition of a dataset into contiguous shards.
+// Two plans over byte-identical data with the same shard count are
+// identical — same ranges, same shard IDs — so every layer keyed off a
+// plan (catalog entries, metrics labels, log lines) is stable across runs.
+type Plan struct {
+	fingerprint string
+	size        int
+	ranges      []Range
+}
+
+// NewPlan partitions `size` series into `shards` contiguous ranges of
+// near-equal length (the first size%shards ranges hold one extra series).
+// fingerprint is the dataset's content address (series.Dataset.Fingerprint)
+// and seeds the shard IDs. A shard count exceeding size is clamped to size
+// so every shard holds at least one series.
+func NewPlan(fingerprint string, size, shards int) (*Plan, error) {
+	if fingerprint == "" {
+		return nil, fmt.Errorf("shard: plan needs a dataset fingerprint")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("shard: cannot plan over %d series", size)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: shard count must be positive, got %d", shards)
+	}
+	if shards > size {
+		shards = size
+	}
+	base, rem := size/shards, size%shards
+	ranges := make([]Range, shards)
+	lo := 0
+	for i := range ranges {
+		n := base
+		if i < rem {
+			n++
+		}
+		ranges[i] = Range{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return &Plan{fingerprint: fingerprint, size: size, ranges: ranges}, nil
+}
+
+// PlanFor builds the plan for a build context's dataset, reusing the
+// context's memoized fingerprint so multi-method builds hash the data once.
+func PlanFor(ctx *core.BuildContext, shards int) (*Plan, error) {
+	return NewPlan(ctx.DataFingerprint(), ctx.Data.Size(), shards)
+}
+
+// Count returns the number of shards.
+func (p *Plan) Count() int { return len(p.ranges) }
+
+// Size returns the total number of series the plan partitions.
+func (p *Plan) Size() int { return p.size }
+
+// Fingerprint returns the dataset fingerprint the plan was derived from.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
+
+// Range returns shard i's series range.
+func (p *Plan) Range(i int) Range { return p.ranges[i] }
+
+// ID returns shard i's stable identifier, derived from the dataset
+// fingerprint and the shard count (e.g. "3f9a1c2b4d5e-4.2"): the same data
+// sharded the same way always produces the same IDs.
+func (p *Plan) ID(i int) string {
+	return fmt.Sprintf("%.12s-%d.%d", p.fingerprint, len(p.ranges), i)
+}
+
+// Label returns shard i's human-readable position, e.g. "2/4". Log lines
+// and metrics labels use it alongside the method name.
+func (p *Plan) Label(i int) string {
+	return fmt.Sprintf("%d/%d", i, len(p.ranges))
+}

@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	_ "hydra/internal/methods" // register every MethodSpec for LookupMethod
+	"hydra/internal/storage"
+)
+
+const testFP = "0123456789abcdef0123456789abcdef"
+
+func TestNewPlanPartitions(t *testing.T) {
+	cases := []struct {
+		size, shards int
+		want         []Range
+	}{
+		{10, 1, []Range{{0, 10}}},
+		{10, 2, []Range{{0, 5}, {5, 10}}},
+		{10, 3, []Range{{0, 4}, {4, 7}, {7, 10}}},
+		{10, 4, []Range{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{3, 8, []Range{{0, 1}, {1, 2}, {2, 3}}}, // clamped to size
+	}
+	for _, c := range cases {
+		p, err := NewPlan(testFP, c.size, c.shards)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", c.size, c.shards, err)
+		}
+		if p.Count() != len(c.want) {
+			t.Fatalf("NewPlan(%d, %d): %d shards, want %d", c.size, c.shards, p.Count(), len(c.want))
+		}
+		for i, want := range c.want {
+			if p.Range(i) != want {
+				t.Errorf("NewPlan(%d, %d) shard %d: %+v, want %+v", c.size, c.shards, i, p.Range(i), want)
+			}
+		}
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan("", 10, 2); err == nil {
+		t.Error("empty fingerprint accepted")
+	}
+	if _, err := NewPlan(testFP, 0, 2); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewPlan(testFP, 10, 0); err == nil {
+		t.Error("zero shard count accepted")
+	}
+	if _, err := NewPlan(testFP, 10, -3); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestShardIDsStable pins that shard IDs depend only on (fingerprint,
+// shard count, index): the catalog keys and metrics labels built on them
+// must not drift between runs.
+func TestShardIDsStable(t *testing.T) {
+	a, _ := NewPlan(testFP, 100, 4)
+	b, _ := NewPlan(testFP, 100, 4)
+	for i := 0; i < 4; i++ {
+		if a.ID(i) != b.ID(i) {
+			t.Errorf("shard %d ID unstable: %q vs %q", i, a.ID(i), b.ID(i))
+		}
+		if !strings.HasPrefix(a.ID(i), testFP[:12]) {
+			t.Errorf("shard %d ID %q does not embed the fingerprint prefix", i, a.ID(i))
+		}
+	}
+	other, _ := NewPlan(testFP, 100, 5)
+	if a.ID(0) == other.ID(0) {
+		t.Error("different shard counts produced the same shard ID")
+	}
+	if a.Label(2) != "2/4" {
+		t.Errorf("Label(2) = %q, want 2/4", a.Label(2))
+	}
+}
+
+func TestStoreAggregates(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 90, Length: 16, Seed: 1})
+	plan, err := NewPlan(testFP, data.Size(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]*storage.SeriesStore, 3)
+	for i := range stores {
+		r := plan.Range(i)
+		stores[i] = storage.NewSeriesStore(data.Slice(r.Lo, r.Hi), 0)
+	}
+	st, err := NewStore(plan, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalBytes() != data.Bytes() {
+		t.Errorf("TotalBytes %d, want %d", st.TotalBytes(), data.Bytes())
+	}
+	stores[0].Read(0)
+	stores[2].Read(5)
+	agg := st.Stats()
+	if agg.RandomSeeks != 2 {
+		t.Errorf("aggregated seeks %d, want 2", agg.RandomSeeks)
+	}
+	if _, err := NewStore(plan, stores[:2]); err == nil {
+		t.Error("store count mismatch accepted")
+	}
+}
+
+// fakePart is a per-shard stub returning canned neighbours so the merge
+// logic can be pinned without building a real index.
+type fakePart struct {
+	neighbors []core.Neighbor
+	calls     int64
+}
+
+func (f *fakePart) Name() string     { return "Fake" }
+func (f *fakePart) Footprint() int64 { return 10 }
+func (f *fakePart) Search(q core.Query) (core.Result, error) {
+	n := f.neighbors
+	if len(n) > q.K {
+		n = n[:q.K]
+	}
+	return core.Result{Neighbors: n, DistCalcs: 7, LeavesVisited: 2, IO: storage.Stats{RandomSeeks: 1}}, nil
+}
+
+func TestMethodMergesShardAnswers(t *testing.T) {
+	plan, err := NewPlan(testFP, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local IDs are shard-relative; the merge must translate them by the
+	// shard's Lo offset and keep the k globally closest.
+	parts := []core.Method{
+		&fakePart{neighbors: []core.Neighbor{{ID: 0, Dist: 0.5}, {ID: 3, Dist: 2.0}}},
+		&fakePart{neighbors: []core.Neighbor{{ID: 1, Dist: 0.25}, {ID: 2, Dist: 3.0}}},
+		&fakePart{neighbors: []core.Neighbor{{ID: 4, Dist: 1.0}, {ID: 5, Dist: 4.0}}},
+	}
+	m, err := NewMethod("Fake", plan, parts, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard identities must be set before the first query: hydra-serve
+	// exports one Prometheus series per ShardStat, and duplicate shard
+	// labels would invalidate the whole /metrics scrape.
+	for i, st := range m.ShardStats() {
+		if st.Shard != i {
+			t.Errorf("pre-query stat %d has shard %d", i, st.Shard)
+		}
+	}
+	res, err := m.Search(core.Query{Series: make([]float32, 8), K: 3, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Neighbor{
+		{ID: 11, Dist: 0.25}, // shard 1 local 1 -> global 10+1
+		{ID: 0, Dist: 0.5},   // shard 0 local 0
+		{ID: 24, Dist: 1.0},  // shard 2 local 4 -> global 20+4
+	}
+	if len(res.Neighbors) != len(want) {
+		t.Fatalf("%d neighbours, want %d (%+v)", len(res.Neighbors), len(want), res.Neighbors)
+	}
+	for i := range want {
+		if res.Neighbors[i] != want[i] {
+			t.Errorf("rank %d: %+v, want %+v", i, res.Neighbors[i], want[i])
+		}
+	}
+	if res.DistCalcs != 21 || res.LeavesVisited != 6 || res.IO.RandomSeeks != 3 {
+		t.Errorf("summed counters wrong: %+v", res)
+	}
+	if m.Footprint() != 30 {
+		t.Errorf("footprint %d, want 30", m.Footprint())
+	}
+	stats := m.ShardStats()
+	if len(stats) != 3 {
+		t.Fatalf("%d shard stats, want 3", len(stats))
+	}
+	for i, st := range stats {
+		if st.Queries != 1 || st.DistCalcs != 7 || st.IO.RandomSeeks != 1 {
+			t.Errorf("shard %d stats %+v", i, st)
+		}
+	}
+}
+
+func TestMethodClampsKToShardSize(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 9, Length: 8, Seed: 2})
+	ctx := &core.BuildContext{Data: data, LeafCapacity: 16}
+	plan, err := PlanFor(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := core.LookupMethod("SerialScan")
+	if !ok {
+		t.Fatal("SerialScan not registered")
+	}
+	m, _, err := Build(spec, ctx, plan, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=5 exceeds every shard's 3 series: each shard answers with all it
+	// has and the merge still returns the global top-5.
+	res, err := m.Search(core.Query{Series: data.At(0), K: 5, Mode: core.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 5 {
+		t.Fatalf("%d neighbours, want 5", len(res.Neighbors))
+	}
+	if res.Neighbors[0].ID != 0 || res.Neighbors[0].Dist != 0 {
+		t.Errorf("self-match missing: %+v", res.Neighbors[0])
+	}
+}
+
+func TestBuildValidatesPlan(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 20, Length: 8, Seed: 3})
+	ctx := &core.BuildContext{Data: data, LeafCapacity: 16}
+	foreign, err := NewPlan(testFP, 99, 3) // covers a different dataset size
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := core.LookupMethod("SerialScan")
+	if _, _, err := Build(spec, ctx, foreign, BuildOptions{}); err == nil {
+		t.Error("plan/context size mismatch accepted")
+	}
+}
+
+// TestSubContextsShared pins that shard sub-contexts are memoized on the
+// parent: a second Build over the same parent reuses them (and therefore
+// their memoized fingerprints and histograms).
+func TestSubContextsShared(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 40, Length: 8, Seed: 4})
+	ctx := &core.BuildContext{Data: data, LeafCapacity: 16, HistogramPairs: 50, HistogramSeed: 9}
+	a := ctx.Sub(0, 20)
+	b := ctx.Sub(0, 20)
+	if a != b {
+		t.Error("Sub did not memoize the shard context")
+	}
+	if whole := ctx.Sub(0, data.Size()); whole != ctx {
+		t.Error("whole-range Sub must return the parent context itself")
+	}
+	if a.Data.Size() != 20 || a.LeafCapacity != 16 || a.HistogramPairs != 50 || a.HistogramSeed != 9 {
+		t.Errorf("sub-context did not inherit parameters: %+v", a)
+	}
+}
+
+func ExamplePlan() {
+	p, _ := NewPlan("3f9a1c2b4d5e00000000", 10, 3)
+	for i := 0; i < p.Count(); i++ {
+		fmt.Printf("%s -> [%d,%d)\n", p.Label(i), p.Range(i).Lo, p.Range(i).Hi)
+	}
+	// Output:
+	// 0/3 -> [0,4)
+	// 1/3 -> [4,7)
+	// 2/3 -> [7,10)
+}

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"fmt"
+
+	"hydra/internal/storage"
+)
+
+// Store wraps one storage.SeriesStore per shard. Each per-shard store keeps
+// its own accountant (and hands out its own per-query views), so shards
+// account their raw-data I/O independently and in parallel; Stats sums the
+// base accountants for an aggregated view. Entries may be nil for purely
+// in-memory methods that build no store.
+type Store struct {
+	plan   *Plan
+	stores []*storage.SeriesStore
+}
+
+// NewStore assembles the per-shard stores under a plan. len(stores) must
+// equal the plan's shard count; individual entries may be nil.
+func NewStore(plan *Plan, stores []*storage.SeriesStore) (*Store, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("shard: store needs a plan")
+	}
+	if len(stores) != plan.Count() {
+		return nil, fmt.Errorf("shard: %d stores for a %d-shard plan", len(stores), plan.Count())
+	}
+	return &Store{plan: plan, stores: stores}, nil
+}
+
+// Plan returns the partitioning the store was assembled under.
+func (s *Store) Plan() *Plan { return s.plan }
+
+// Count returns the number of shards.
+func (s *Store) Count() int { return len(s.stores) }
+
+// Shard returns shard i's store (nil for in-memory methods).
+func (s *Store) Shard(i int) *storage.SeriesStore { return s.stores[i] }
+
+// TotalBytes returns the raw data volume across all shard stores.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	for _, st := range s.stores {
+		if st != nil {
+			total += st.TotalBytes()
+		}
+	}
+	return total
+}
+
+// Stats returns the element-wise sum of every shard store's base
+// accountant. Methods charge per-query I/O to private store views, so this
+// aggregates only accesses charged directly to the base stores.
+func (s *Store) Stats() storage.Stats {
+	var total storage.Stats
+	for _, st := range s.stores {
+		if st != nil {
+			total = total.Add(st.Accountant().Snapshot())
+		}
+	}
+	return total
+}

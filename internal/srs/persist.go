@@ -1,0 +1,61 @@
+package srs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hydra/internal/storage"
+	"hydra/internal/summaries/proj"
+)
+
+// Persistence: the index structure is the configuration plus the projected
+// table. The Gaussian projection matrix is derived deterministically from
+// (M, series length, Seed), so it is rebuilt on Load rather than stored;
+// the projected vectors are stored to keep Load O(n·m) in I/O instead of
+// O(n·m·len) in CPU.
+
+type indexSnap struct {
+	Version   int
+	Cfg       Config
+	Projected [][]float64
+}
+
+const persistVersion = 1
+
+// Save serialises the SRS index structure (never the raw data) to w.
+func (idx *Index) Save(w io.Writer) error {
+	snap := indexSnap{
+		Version:   persistVersion,
+		Cfg:       idx.cfg,
+		Projected: idx.projected,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("srs: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index saved with Save and attaches it to the store holding
+// the same dataset it was built over.
+func Load(store *storage.SeriesStore, r io.Reader) (*Index, error) {
+	var snap indexSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("srs: decoding: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("srs: unsupported snapshot version %d", snap.Version)
+	}
+	if err := snap.Cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Projected) != store.Size() {
+		return nil, fmt.Errorf("srs: snapshot holds %d projections, store holds %d series", len(snap.Projected), store.Size())
+	}
+	return &Index{
+		store:     store,
+		cfg:       snap.Cfg,
+		projector: proj.NewGaussian(snap.Cfg.M, store.Length(), snap.Cfg.Seed),
+		projected: snap.Projected,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package srs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/storage"
+)
+
+func testStore(t *testing.T, n, length int) *storage.SeriesStore {
+	t.Helper()
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: 11})
+	return storage.NewSeriesStore(data, 0)
+}
+
+// TestSaveLoadRoundTrip pins that a reloaded SRS index answers exactly like
+// the one it was saved from: the projected table round-trips bit-for-bit
+// and the projector is re-derived from the same (M, length, Seed).
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store := testStore(t, 400, 48)
+	fresh, err := Build(store, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(store.View(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Footprint() != fresh.Footprint() {
+		t.Errorf("footprint %d after reload, want %d", loaded.Footprint(), fresh.Footprint())
+	}
+	queries := []core.Query{
+		{Series: store.Peek(3), K: 5, Mode: core.ModeNG, NProbe: 16},
+		{Series: store.Peek(7), K: 5, Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 0.9},
+		{Series: store.Peek(9), K: 3, Mode: core.ModeExact},
+	}
+	for _, q := range queries {
+		a, err := fresh.Search(q)
+		if err != nil {
+			t.Fatalf("fresh %v: %v", q.Mode, err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatalf("loaded %v: %v", q.Mode, err)
+		}
+		if a.DistCalcs != b.DistCalcs || a.IO != b.IO {
+			t.Errorf("%v: counters differ: (%d,%+v) vs (%d,%+v)", q.Mode, a.DistCalcs, a.IO, b.DistCalcs, b.IO)
+		}
+		if len(a.Neighbors) != len(b.Neighbors) {
+			t.Fatalf("%v: %d vs %d neighbours", q.Mode, len(a.Neighbors), len(b.Neighbors))
+		}
+		for i := range a.Neighbors {
+			if a.Neighbors[i] != b.Neighbors[i] {
+				t.Fatalf("%v rank %d: %+v vs %+v", q.Mode, i, a.Neighbors[i], b.Neighbors[i])
+			}
+		}
+	}
+}
+
+// TestLoadRejections pins the defensive Load paths: version skew and a
+// snapshot from a differently sized dataset are refused.
+func TestLoadRejections(t *testing.T) {
+	store := testStore(t, 100, 32)
+	idx, err := Build(store, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(testStore(t, 60, 32), bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "projections") {
+		t.Errorf("wrong-size store: got %v", err)
+	}
+	if _, err := Load(store, bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage snapshot loaded successfully")
+	}
+}

@@ -1,17 +1,39 @@
 package srs
 
-import "hydra/internal/core"
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/core"
+)
 
 func init() {
 	core.RegisterMethod(core.MethodSpec{
-		Name:         "SRS",
-		Rank:         80,
-		NG:           true,
-		DeltaEpsilon: true,
-		DiskResident: true,
+		Name:          "SRS",
+		Rank:          80,
+		NG:            true,
+		DeltaEpsilon:  true,
+		DiskResident:  true,
+		FormatVersion: persistVersion,
+		ConfigString:  fmt.Sprintf("%+v", DefaultConfig()),
 		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
 			st := ctx.NewStore()
 			idx, err := Build(st, DefaultConfig())
+			if err != nil {
+				return core.BuildResult{}, err
+			}
+			return core.BuildResult{Method: idx, Store: st}, nil
+		},
+		Save: func(m core.Method, w io.Writer) error {
+			idx, ok := m.(*Index)
+			if !ok {
+				return fmt.Errorf("srs: cannot save %T", m)
+			}
+			return idx.Save(w)
+		},
+		Load: func(ctx *core.BuildContext, r io.Reader) (core.BuildResult, error) {
+			st := ctx.NewStore()
+			idx, err := Load(st, r)
 			if err != nil {
 				return core.BuildResult{}, err
 			}
