@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke persist-smoke serve-smoke shard-smoke fmt
+.PHONY: all build vet test race bench-smoke bench-json persist-smoke serve-smoke shard-smoke fmt
 
 all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke
 
@@ -17,7 +17,7 @@ test:
 # index catalog, the sharded scatter-gather method and the HTTP server
 # under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/...
+	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -139,6 +139,14 @@ shard-smoke:
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
+
+# Real (non-smoke) kernel benchmark run: prints the benchstat-able
+# micro-benchmarks, then measures both kernels through testing.Benchmark
+# and writes BENCH_kernels.json at the repo root (name, ns/op, dims,
+# block width, speedup vs scalar). Takes a minute or two.
+bench-json:
+	$(GO) test -run=XXX -bench=. -benchtime=100x ./internal/kernel/
+	HYDRA_BENCH_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run=TestWriteBenchJSON -v -count=1 ./internal/eval/
 
 # Fails when any file needs gofmt (prints the offenders).
 fmt:

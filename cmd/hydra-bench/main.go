@@ -30,6 +30,7 @@ func main() {
 		buildWork  = flag.Int("build-workers", 1, "concurrent index builds per workload (0 = all cores); >1 speeds up wall clock but skews the paper's build-time columns, the indexes are unaffected")
 		indexDir   = flag.String("index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs (reported build times become load times on cache hits)")
 		shards     = flag.Int("shards", 1, "split every dataset into N contiguous shards with one index each; queries scatter-gather across them (accuracy columns are unchanged, I/O columns reflect the partitioned layout)")
+		kern       = flag.String("kernel", "", "distance kernel: scalar|blocked (default blocked); answers are bit-identical, only speed differs")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		cfg.BuildWorkers = -1 // same convention as Workers
 	}
 	cfg.Shards = *shards
+	cfg.Kernel = *kern
 	cfg.IndexDir = *indexDir
 	if *indexDir != "" {
 		cfg.BuildLog = os.Stderr

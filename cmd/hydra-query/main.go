@@ -23,6 +23,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/eval"
+	"hydra/internal/kernel"
 	"hydra/internal/scan"
 	"hydra/internal/series"
 	"hydra/internal/storage"
@@ -42,6 +43,7 @@ type options struct {
 	workers   int
 	indexDir  string
 	shards    int
+	kernel    string
 }
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "concurrent query workers for the workload run (0 = all cores)")
 	flag.StringVar(&o.indexDir, "index-dir", "", "persistent index catalog directory: save built indexes and reuse them on later runs")
 	flag.IntVar(&o.shards, "shards", 1, "split the dataset into N contiguous shards with one index each; queries scatter-gather across them (exact answers are identical to unsharded)")
+	flag.StringVar(&o.kernel, "kernel", "", "distance kernel: scalar|blocked (default blocked); answers are bit-identical, only speed differs")
 	flag.Parse()
 	if o.dataPath == "" || o.queryPath == "" {
 		fmt.Fprintln(os.Stderr, "hydra-query: -data and -queries are required")
@@ -70,6 +73,11 @@ func main() {
 }
 
 func run(o options, out io.Writer) error {
+	k, err := kernel.Parse(o.kernel)
+	if err != nil {
+		return err
+	}
+	kernel.Use(k)
 	data, err := series.LoadFile(o.dataPath)
 	if err != nil {
 		return err

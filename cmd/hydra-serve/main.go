@@ -32,6 +32,7 @@ import (
 
 	"hydra/internal/catalog"
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/server"
 )
@@ -49,12 +50,19 @@ func main() {
 		warmupPar  = flag.Int("warmup-workers", -1, "boot hydration fan-out (negative = all cores)")
 		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+		kern       = flag.String("kernel", "", "distance kernel: scalar|blocked (default blocked); answers are bit-identical, only speed differs")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "hydra-serve: -data is required")
 		os.Exit(2)
 	}
+	k, err := kernel.Parse(*kern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
+		os.Exit(2)
+	}
+	kernel.Use(k)
 	if err := run(*dataPath, *addr, *indexDir, *workload, *preload, *workers, *warmupPar, *shards, *maxBytes, *reqTimeout, *drainWait); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
 		os.Exit(1)
@@ -67,8 +75,8 @@ func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupP
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %s: %d series of length %d (%.3fs)\n",
-		dataPath, data.Size(), data.Length(), time.Since(start).Seconds())
+	fmt.Printf("loaded %s: %d series of length %d (%.3fs), %s distance kernel\n",
+		dataPath, data.Size(), data.Length(), time.Since(start).Seconds(), kernel.Active())
 
 	names, err := parsePreload(preload)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 )
 
@@ -42,7 +43,7 @@ func BuildHistogram(data *series.Dataset, pairs int, seed int64) *DistanceHistog
 		for b == a {
 			b = rng.Intn(data.Size())
 		}
-		dists = append(dists, series.Dist(data.At(a), data.At(b)))
+		dists = append(dists, kernel.Dist(data.At(a), data.At(b)))
 	}
 	sort.Float64s(dists)
 	return &DistanceHistogram{sorted: dists}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"hydra/internal/kernel"
+	"hydra/internal/series"
+)
+
+// LeafScratch holds the reusable buffers a TreeCursor needs to refine a
+// gathered leaf cluster through the blocked distance kernel. Cursors
+// embed one by value; the zero value is ready to use.
+type LeafScratch struct {
+	cands [][]float32
+	d2s   []float64
+}
+
+// Refine scores every series of a leaf cluster against q with the active
+// kernel and reports each through visit, exactly once and in id order,
+// preserving the one-DistCalc-per-candidate accounting of the
+// per-candidate loop it replaces.
+//
+// The early-abandon limit is snapshotted once at leaf entry rather than
+// refreshed per candidate. That is answer-preserving: an abandoned
+// candidate's reported distance exceeds the snapshot, which is at least
+// the evolving k-NN worst, so the engine's result set rejects it exactly
+// as it would have rejected the per-candidate abandoned value; every
+// candidate that could enter the result set still yields its exact
+// distance.
+func (s *LeafScratch) Refine(q series.Series, ids []int, raw []series.Series, limit func() float64, visit func(id int, dist float64)) {
+	n := len(raw)
+	if cap(s.cands) < n {
+		s.cands = make([][]float32, n)
+		s.d2s = make([]float64, n)
+	}
+	cands := s.cands[:n]
+	d2s := s.d2s[:n]
+	for i, r := range raw {
+		cands[i] = r
+	}
+	lim := limit()
+	kernel.SquaredDistsGather(q, cands, lim*lim, d2s)
+	for i, d2 := range d2s {
+		visit(ids[i], kernel.Distance(d2))
+	}
+}

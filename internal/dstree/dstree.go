@@ -296,11 +296,12 @@ func (t *Tree) split(n *node) {
 // per-query state (query prefix, stat cache) is equally cursor-local, which
 // is what makes Tree.Search safe for concurrent use.
 type cursor struct {
-	t      *Tree
-	store  *storage.SeriesStore // per-query accounting view
-	q      series.Series
-	prefix eapca.Prefix
-	cache  map[*node][]eapca.Stat
+	t       *Tree
+	store   *storage.SeriesStore // per-query accounting view
+	q       series.Series
+	prefix  eapca.Prefix
+	cache   map[*node][]eapca.Stat
+	scratch core.LeafScratch
 }
 
 // newCursor opens a per-query cursor over a private store view.
@@ -342,19 +343,12 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 }
 
 // ScanLeaf implements core.TreeCursor: reads the leaf cluster (charged as
-// one contiguous read) and refines with early-abandoning distances.
+// one contiguous read) and refines it in one batched kernel call (see
+// core.LeafScratch.Refine).
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
 	raw := c.store.ReadLeafCluster(n.ids)
-	for i, s := range raw {
-		lim := limit()
-		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		visit(n.ids[i], d)
-	}
+	c.scratch.Refine(c.q, n.ids, raw, limit, visit)
 }
 
 // Search implements core.Method.

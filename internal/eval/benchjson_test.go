@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/storage"
+)
+
+// BenchEntry is one row of BENCH_kernels.json: a benchmark measured under
+// one kernel, with the blocked rows carrying their speedup over the
+// scalar measurement of the same benchmark.
+type BenchEntry struct {
+	Name       string  `json:"name"`
+	Kernel     string  `json:"kernel"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Dims       int     `json:"dims"`
+	BlockWidth int     `json:"block_width"`
+	// SpeedupVsScalar is scalar ns/op divided by this row's ns/op; 1.0 on
+	// the scalar rows by construction.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+}
+
+// TestWriteBenchJSON measures the kernel micro-benchmarks and two whole-
+// method workloads under both kernels and writes BENCH_kernels.json to
+// the path in HYDRA_BENCH_JSON. It is skipped when the variable is unset
+// so `go test ./...` stays fast; `make bench-json` runs it for real.
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("HYDRA_BENCH_JSON")
+	if path == "" {
+		t.Skip("HYDRA_BENCH_JSON not set; run via `make bench-json`")
+	}
+	defer kernel.Use(kernel.Default)
+
+	var entries []BenchEntry
+	measure := func(name string, dims, blockWidth int, run func(k kernel.Kernel, b *testing.B)) {
+		var scalarNs float64
+		for _, k := range kernel.Kernels() {
+			kernel.Use(k)
+			r := testing.Benchmark(func(b *testing.B) { run(k, b) })
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			e := BenchEntry{Name: name, Kernel: k.String(), NsPerOp: ns, Dims: dims, BlockWidth: blockWidth, SpeedupVsScalar: 1}
+			if k == kernel.Scalar {
+				scalarNs = ns
+			} else if ns > 0 {
+				e.SpeedupVsScalar = scalarNs / ns
+			}
+			entries = append(entries, e)
+			t.Logf("%s kernel=%s: %.0f ns/op (%.2fx)", name, k, ns, e.SpeedupVsScalar)
+		}
+	}
+
+	// Micro: one query against a block of candidates, the shape behind
+	// scan chunk scoring and leaf refinement.
+	const cands = 1024
+	for _, dims := range []int{64, 128, 256} {
+		rng := rand.New(rand.NewSource(1))
+		q := make([]float32, dims)
+		for i := range q {
+			q[i] = rng.Float32()
+		}
+		block := make([]float32, dims*cands)
+		for i := range block {
+			block[i] = rng.Float32()
+		}
+		out := make([]float64, cands)
+		measure(fmt.Sprintf("SquaredDists/cands=%d", cands), dims, cands, func(k kernel.Kernel, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.SquaredDists(q, block, out)
+			}
+		})
+		if dims == 256 {
+			// Tight-limit regime: most candidates abandon, as in a k-NN
+			// refinement pass late in the scan.
+			k := kernel.Scalar
+			k.SquaredDists(q, block, out)
+			sorted := append([]float64(nil), out...)
+			for i := range sorted {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			limit := sorted[10]
+			measure(fmt.Sprintf("SquaredDistsEarlyAbandon/cands=%d", cands), dims, cands, func(k kernel.Kernel, b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					k.SquaredDistsEarlyAbandon(q, block, limit, out)
+				}
+			})
+			views := make([][]float32, cands)
+			for i := range views {
+				views[i] = block[i*dims : (i+1)*dims]
+			}
+			measure(fmt.Sprintf("SquaredDistsGather/cands=%d", cands), dims, cands, func(k kernel.Kernel, b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					k.SquaredDistsGather(q, views, math.Inf(1), out)
+				}
+			})
+		}
+	}
+
+	// Whole-method: exact workloads through the real refinement paths, so
+	// the JSON records how much of the micro win survives index traversal,
+	// I/O accounting and heap maintenance.
+	cfg := SuiteConfig{N: 2000, Length: 256, Queries: 20, K: 10, Seed: 42, HistogramPairs: 500}
+	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed)
+	for _, method := range []string{"SerialScan", "DSTree"} {
+		built, err := BuildMethod(method, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measure("method/"+method+"/exact", cfg.Length, 0, func(k kernel.Kernel, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelRun(built.Method, w, core.Query{Mode: core.ModeExact}, storage.CostModel{}, RunOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d entries to %s", len(entries), path)
+}

@@ -6,6 +6,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/dataset"
+	"hydra/internal/kernel"
 	"hydra/internal/scan"
 	"hydra/internal/storage"
 )
@@ -59,6 +60,23 @@ type SuiteConfig struct {
 	// BuildLog, when non-nil, receives one line per catalog-routed build
 	// reporting cache hit/miss and load-vs-build seconds.
 	BuildLog io.Writer
+	// Kernel selects the distance-kernel implementation ("scalar" or
+	// "blocked") installed process-wide before an experiment runs. Empty
+	// keeps kernel.Default. Both kernels return bit-identical distances,
+	// so answers and accuracy metrics never depend on this knob — only
+	// wall-clock-derived numbers do.
+	Kernel string
+}
+
+// applyKernel installs the configured kernel, defaulting when unset. Every
+// exported experiment entry point calls it so the knob works uniformly.
+func (c SuiteConfig) applyKernel() error {
+	k, err := kernel.Parse(c.Kernel)
+	if err != nil {
+		return err
+	}
+	kernel.Use(k)
+	return nil
 }
 
 // runOptions maps the suite's Workers knob onto RunOptions: the zero value
@@ -151,6 +169,9 @@ func Table1() *Table {
 // generated once and shared by every method, and the per-size builds fan
 // out across cfg.BuildWorkers.
 func Fig2(cfg SuiteConfig, sizes []int, methods []string) ([]*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	timeT := &Table{Title: "Fig 2a: indexing time (seconds) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
 	footT := &Table{Title: "Fig 2b: index footprint (bytes) vs dataset size", Columns: append([]string{"Method"}, sizeLabels(sizes)...)}
 	timeRows := make([][]string, len(methods))
@@ -264,6 +285,9 @@ func efficiencyAccuracy(title string, w Workload, cfg SuiteConfig, methods []str
 // series, long Walk series, and the two vector-dataset analogues, for both
 // ng-approximate and δ-ε-approximate query answering.
 func Fig3(cfg SuiteConfig) ([]*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	inMem := storage.CostModel{} // in-memory: wall time only
 	methodsAll := []string{"DSTree", "iSAX2+", "VA+file", "HNSW", "IMI", "FLANN", "SRS", "QALSH"}
 	var tables []*Table
@@ -322,6 +346,9 @@ func Fig3(cfg SuiteConfig) ([]*Table, error) {
 // Fig4 reproduces the on-disk panels: disk-capable methods with the I/O
 // cost model included in timings, on the large Walk and vector analogues.
 func Fig4(cfg SuiteConfig) ([]*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	model := storage.DefaultCostModel()
 	methods := []string{"DSTree", "iSAX2+", "VA+file", "IMI", "SRS"}
 	var tables []*Table
@@ -353,6 +380,9 @@ func Fig4(cfg SuiteConfig) ([]*Table, error) {
 // (paper Fig. 5a/5b): for each method/configuration it reports MAP,
 // Avg Recall and MRE side by side.
 func Fig5(cfg SuiteConfig) (*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	w := NewWorkload(dataset.KindClustered, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+20)
 	t := &Table{
 		Title:   "Fig 5: accuracy measure comparison on Sift-analogue (Recall vs MAP vs MRE)",
@@ -383,6 +413,9 @@ func Fig5(cfg SuiteConfig) (*Table, error) {
 // dataset analogues under an ε sweep, reporting throughput, % of data
 // accessed and random I/O per query (paper Fig. 6 panels).
 func Fig6(cfg SuiteConfig) ([]*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	model := storage.DefaultCostModel()
 	var tables []*Table
 	specs := []struct {
@@ -428,6 +461,9 @@ func Fig6(cfg SuiteConfig) ([]*Table, error) {
 // Fig7 measures total workload time vs k (paper Fig. 7): the first
 // neighbour dominates the cost; additional neighbours are nearly free.
 func Fig7(cfg SuiteConfig) (*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	model := storage.DefaultCostModel()
 	t := &Table{
 		Title:   "Fig 7: total time vs k (eps-approximate, eps=1)",
@@ -461,6 +497,9 @@ func Fig7(cfg SuiteConfig) (*Table, error) {
 // Fig8 sweeps ε (δ=1) and δ (ε=0) for the extended tree methods
 // (paper Fig. 8a–e).
 func Fig8(cfg SuiteConfig) ([]*Table, error) {
+	if err := cfg.applyKernel(); err != nil {
+		return nil, err
+	}
 	model := storage.DefaultCostModel()
 	w := NewWorkload(dataset.KindWalk, cfg.N, cfg.Length, cfg.Queries, cfg.K, cfg.Seed+50)
 	epsT := &Table{

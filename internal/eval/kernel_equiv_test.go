@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/storage"
+)
+
+// TestKernelEquivalenceEndToEnd is the whole-system proof of the kernel
+// equivalence contract: full workload runs answer byte-identically under
+// the scalar and blocked kernels — same neighbour ids, same distance
+// strings, same DistCalcs, same I/O counters — for the disk-based
+// methods, sharded and unsharded, across query modes. Each index is
+// built once and queried under both kernels, which is exactly the flip a
+// production operator would make.
+func TestKernelEquivalenceEndToEnd(t *testing.T) {
+	defer kernel.Use(kernel.Default)
+	w := NewWorkload(dataset.KindWalk, 600, 64, 8, 5, 99)
+	model := storage.DefaultCostModel()
+	methods := []string{"SerialScan", "VA+file", "iSAX2+", "DSTree"}
+	modes := []struct {
+		label    string
+		template core.Query
+	}{
+		{"exact", core.Query{Mode: core.ModeExact}},
+		{"eps=1", core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}},
+		{"ng=4", core.Query{Mode: core.ModeNG, NProbe: 4}},
+	}
+
+	for _, shards := range []int{1, 3} {
+		cfg := DefaultSuite()
+		cfg.N = w.Data.Size()
+		cfg.Shards = shards
+		for _, name := range methods {
+			built, err := BuildMethod(name, w, cfg)
+			if err != nil {
+				t.Fatalf("shards=%d: build %s: %v", shards, name, err)
+			}
+			for _, mode := range modes {
+				var ref []string
+				var refIO storage.Stats
+				var refCalcs int64
+				for ki, k := range kernel.Kernels() {
+					kernel.Use(k)
+					out, err := ParallelRun(built.Method, w, mode.template, model, RunOptions{Workers: 1})
+					if err != nil {
+						t.Fatalf("shards=%d %s %s under %v: %v", shards, name, mode.label, k, err)
+					}
+					lines := make([]string, len(out.Results))
+					for qi, res := range out.Results {
+						lines[qi] = AnswerLine(qi, res.Neighbors)
+					}
+					if ki == 0 {
+						ref, refIO, refCalcs = lines, out.IO, out.DistCalcs
+						continue
+					}
+					for qi := range lines {
+						if lines[qi] != ref[qi] {
+							t.Errorf("shards=%d %s %s: query %d answers differ between kernels:\n  %v: %s\n  %v: %s",
+								shards, name, mode.label, qi, kernel.Kernels()[0], ref[qi], k, lines[qi])
+						}
+					}
+					if out.DistCalcs != refCalcs {
+						t.Errorf("shards=%d %s %s: DistCalcs %d under %v != %d under %v",
+							shards, name, mode.label, out.DistCalcs, k, refCalcs, kernel.Kernels()[0])
+					}
+					if got, want := fmt.Sprintf("%+v", out.IO), fmt.Sprintf("%+v", refIO); got != want {
+						t.Errorf("shards=%d %s %s: IO differs between kernels:\n  %s\n  %s",
+							shards, name, mode.label, want, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 )
 
@@ -75,7 +76,7 @@ func RelativeError(q series.Series, data *series.Dataset, result []core.Neighbor
 		if exact <= 0 {
 			continue
 		}
-		got := series.Dist(q, data.At(result[r].ID))
+		got := kernel.Dist(q, data.At(result[r].ID))
 		sum += (got - exact) / exact
 		counted++
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/quant"
 	"hydra/internal/series"
 )
@@ -270,7 +271,7 @@ func (idx *Index) autoTune(rng *rand.Rand) Algorithm {
 				if i == qid {
 					continue
 				}
-				if d := series.SquaredDist(q, idx.data.At(i)); d < bestD {
+				if d := kernel.SquaredDist(q, idx.data.At(i)); d < bestD {
 					best, bestD = i, d
 				}
 			}
@@ -391,7 +392,7 @@ func (idx *Index) searchKD(q series.Series, k, checks int, calcs *int64) []core.
 			}
 			*calcs++
 			examined++
-			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
+			kset.Offer(id, kernel.Dist(q, idx.data.At(id)))
 		}
 	}
 	for _, t := range idx.kd {
@@ -446,7 +447,7 @@ func (idx *Index) searchKM(q series.Series, k, checks int, calcs *int64) []core.
 			}
 			*calcs++
 			examined++
-			kset.Offer(id, math.Sqrt(series.SquaredDist(q, idx.data.At(id))))
+			kset.Offer(id, kernel.Dist(q, idx.data.At(id)))
 		}
 	}
 	descend(idx.km)

@@ -17,6 +17,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/hilbert"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/storage"
 )
@@ -218,13 +219,9 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 	for _, c := range cands[:refine] {
 		raw := st.Read(c.id)
 		lim := kset.Worst()
-		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		d2 := kernel.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
 		res.DistCalcs++
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		kset.Offer(c.id, d)
+		kset.Offer(c.id, kernel.Distance(d2))
 	}
 	res.Neighbors = kset.Sorted()
 	res.IO = st.Accountant().Snapshot()

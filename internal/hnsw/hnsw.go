@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 )
 
@@ -110,7 +111,7 @@ func (g *Graph) Footprint() int64 {
 }
 
 func (g *Graph) dist(a, b int) float64 {
-	return series.SquaredDist(g.data.At(a), g.data.At(b))
+	return kernel.SquaredDist(g.data.At(a), g.data.At(b))
 }
 
 // distTo computes the query-to-node distance, tallying it into the caller's
@@ -118,7 +119,7 @@ func (g *Graph) dist(a, b int) float64 {
 // so concurrent searches do not race.
 func (g *Graph) distTo(q series.Series, id int, calcs *int64) float64 {
 	*calcs++
-	return series.SquaredDist(q, g.data.At(id))
+	return kernel.SquaredDist(q, g.data.At(id))
 }
 
 func (g *Graph) randomLevel() int {

@@ -257,10 +257,11 @@ func (t *Tree) split(n *node) {
 // safe for concurrent use; in adaptive (ADS+) mode Search additionally
 // serialises on Tree.adaptMu because queries refine the shared tree.
 type cursor struct {
-	t     *Tree
-	store *storage.SeriesStore // per-query accounting view
-	q     series.Series
-	qp    []float64 // query PAA
+	t       *Tree
+	store   *storage.SeriesStore // per-query accounting view
+	q       series.Series
+	qp      []float64 // query PAA
+	scratch core.LeafScratch
 }
 
 // newCursor opens a per-query cursor over a private store view.
@@ -312,19 +313,12 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 	return []core.NodeRef{n.left, n.right}
 }
 
-// ScanLeaf implements core.TreeCursor.
+// ScanLeaf implements core.TreeCursor: the gathered leaf cluster is
+// refined in one batched kernel call (see core.LeafScratch.Refine).
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
 	raw := c.store.ReadLeafCluster(n.ids)
-	for i, s := range raw {
-		lim := limit()
-		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		visit(n.ids[i], d)
-	}
+	c.scratch.Refine(c.q, n.ids, raw, limit, visit)
 }
 
 // Search implements core.Method.

@@ -1,0 +1,82 @@
+//go:build amd64
+
+package kernel
+
+// ea4avx2 is the AVX2 inner loop (avx_amd64.s): it scores q against four
+// candidates over the first chunks*8 dimensions with the standard
+// 8-dimension early-abandon cadence, leaving per-lane partial sums in acc
+// and returning the active-lane bitmask (bit l set = lane l not
+// abandoned).
+//
+//go:noescape
+func ea4avx2(q, s0, s1, s2, s3 *float32, chunks int64, limit float64, acc *[4]float64) int32
+
+// useAVX2 reports whether the blocked kernel may use the assembly path.
+var useAVX2 = cpuHasAVX2()
+
+// cpuid executes CPUID for the given leaf/subleaf (avx_amd64.s).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (avx_amd64.s); only valid
+// when CPUID reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2 checks CPU and OS support for the ymm state the kernel uses.
+func cpuHasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// ea4 dispatches one 4-candidate group: the AVX2 fast path for the full
+// 8-dimension chunks plus a Go tail, or the portable fallback.
+func ea4(q, s0, s1, s2, s3 []float32, limit float64, out []float64) {
+	n := len(q)
+	if !useAVX2 || n < 8 {
+		ea4Fallback(q, s0, s1, s2, s3, limit, out)
+		return
+	}
+	var acc [4]float64
+	mask := ea4avx2(&q[0], &s0[0], &s1[0], &s2[0], &s3[0], int64(n/8), limit, &acc)
+	if i := n &^ 7; i < n {
+		// Abandoned lanes keep their frozen partial sums; active lanes
+		// finish the sub-8 tail unconditionally, like the scalar kernel.
+		if mask&1 != 0 {
+			for j := i; j < n; j++ {
+				acc[0] += sq(q[j], s0[j])
+			}
+		}
+		if mask&2 != 0 {
+			for j := i; j < n; j++ {
+				acc[1] += sq(q[j], s1[j])
+			}
+		}
+		if mask&4 != 0 {
+			for j := i; j < n; j++ {
+				acc[2] += sq(q[j], s2[j])
+			}
+		}
+		if mask&8 != 0 {
+			for j := i; j < n; j++ {
+				acc[3] += sq(q[j], s3[j])
+			}
+		}
+	}
+	out[0] = acc[0]
+	out[1] = acc[1]
+	out[2] = acc[2]
+	out[3] = acc[3]
+}

@@ -1,0 +1,179 @@
+// AVX2 candidate-blocked Euclidean kernel.
+//
+// ea4avx2 scores a query against four candidate series at once. The four
+// candidates live in the four lanes of a ymm accumulator: lane l holds
+// candidate l's partial squared distance, accumulated in dimension order
+// exactly like the scalar kernel (the vectorisation is across candidates,
+// never across a candidate's own additions), so every lane is bit-identical
+// to the scalar result. After each 8-dimension chunk the partial sums are
+// compared against the limit; lanes that exceed it are frozen by masking
+// their further contributions to +0.0 (x + 0.0 == x for the non-negative
+// partial sums involved), which reproduces the scalar kernel's
+// early-abandon contract per candidate.
+//
+// func ea4avx2(q, s0, s1, s2, s3 *float32, chunks int64, limit float64, acc *[4]float64) int32
+// Processes chunks*8 leading dimensions; returns the active-lane bitmask
+// (bit l set = candidate l never exceeded the limit).
+
+#include "textflag.h"
+
+TEXT ·ea4avx2(SB), NOSPLIT, $0-68
+	MOVQ q+0(FP), DI
+	MOVQ s0+8(FP), SI
+	MOVQ s1+16(FP), DX
+	MOVQ s2+24(FP), CX
+	MOVQ s3+32(FP), R8
+	MOVQ chunks+40(FP), R9
+	MOVQ acc+56(FP), R11
+
+	// Y0 = accumulators (zero), Y1 = active-lane mask (all ones),
+	// Y2 = broadcast limit.
+	VXORPD       Y0, Y0, Y0
+	VPCMPEQD     Y1, Y1, Y1
+	VBROADCASTSD limit+48(FP), Y2
+
+	XORQ R10, R10 // byte offset into the float32 rows
+	TESTQ R9, R9
+	JZ   done
+
+chunk:
+	// ---- first 4-dimension group ----
+	VMOVUPS (SI)(R10*1), X3 // c0[d..d+3]
+	VMOVUPS (DX)(R10*1), X4 // c1[d..d+3]
+	VMOVUPS (CX)(R10*1), X5 // c2[d..d+3]
+	VMOVUPS (R8)(R10*1), X6 // c3[d..d+3]
+
+	// 4x4 float32 transpose: X3..X6 become per-dimension vectors
+	// [c0_d, c1_d, c2_d, c3_d].
+	VUNPCKLPS X4, X3, X7  // c0_0 c1_0 c0_1 c1_1
+	VUNPCKHPS X4, X3, X8  // c0_2 c1_2 c0_3 c1_3
+	VUNPCKLPS X6, X5, X9  // c2_0 c3_0 c2_1 c3_1
+	VUNPCKHPS X6, X5, X10 // c2_2 c3_2 c2_3 c3_3
+	VMOVLHPS  X9, X7, X3  // dim d+0 across candidates
+	VMOVHLPS  X7, X9, X4  // dim d+1
+	VMOVLHPS  X10, X8, X5 // dim d+2
+	VMOVHLPS  X8, X10, X6 // dim d+3
+
+	// dim d+0
+	VBROADCASTSS (DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11 // q_d in all four lanes (float64)
+	VCVTPS2PD    X3, Y3
+	VSUBPD       Y3, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12 // freeze abandoned lanes
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+1
+	VBROADCASTSS 4(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X4, Y4
+	VSUBPD       Y4, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+2
+	VBROADCASTSS 8(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X5, Y5
+	VSUBPD       Y5, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+3
+	VBROADCASTSS 12(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X6, Y6
+	VSUBPD       Y6, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// ---- second 4-dimension group ----
+	VMOVUPS 16(SI)(R10*1), X3
+	VMOVUPS 16(DX)(R10*1), X4
+	VMOVUPS 16(CX)(R10*1), X5
+	VMOVUPS 16(R8)(R10*1), X6
+
+	VUNPCKLPS X4, X3, X7
+	VUNPCKHPS X4, X3, X8
+	VUNPCKLPS X6, X5, X9
+	VUNPCKHPS X6, X5, X10
+	VMOVLHPS  X9, X7, X3
+	VMOVHLPS  X7, X9, X4
+	VMOVLHPS  X10, X8, X5
+	VMOVHLPS  X8, X10, X6
+
+	// dim d+4
+	VBROADCASTSS 16(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X3, Y3
+	VSUBPD       Y3, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+5
+	VBROADCASTSS 20(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X4, Y4
+	VSUBPD       Y4, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+6
+	VBROADCASTSS 24(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X5, Y5
+	VSUBPD       Y5, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// dim d+7
+	VBROADCASTSS 28(DI)(R10*1), X11
+	VCVTPS2PD    X11, Y11
+	VCVTPS2PD    X6, Y6
+	VSUBPD       Y6, Y11, Y12
+	VMULPD       Y12, Y12, Y12
+	VANDPD       Y1, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+
+	// ---- 8-dimension chunk boundary: abandon check ----
+	VCMPPD    $0x0E, Y2, Y0, Y12 // GT_OS: partial > limit, false on NaN
+	VANDNPD   Y1, Y12, Y1        // active &= ^exceeded
+	VMOVMSKPD Y1, AX
+	TESTL     AX, AX
+	JZ        done
+
+	ADDQ $32, R10 // 8 float32 dimensions
+	DECQ R9
+	JNZ  chunk
+
+done:
+	VMOVUPD   Y0, (R11)
+	VMOVMSKPD Y1, AX
+	MOVL      AX, ret+64(FP)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

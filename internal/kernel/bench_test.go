@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBlock returns a query and a flat block of cands candidates, all of
+// the given dimensionality, from a fixed seed.
+func randBlock(dims, cands int, seed int64) (q, block []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	q = make([]float32, dims)
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	block = make([]float32, dims*cands)
+	for i := range block {
+		block[i] = rng.Float32()
+	}
+	return q, block
+}
+
+// BenchmarkSquaredDists is the block-scoring micro-benchmark behind
+// BENCH_kernels.json: one query scored against a block of candidates,
+// no early abandoning, both kernels.
+func BenchmarkSquaredDists(b *testing.B) {
+	const cands = 1024
+	for _, dims := range []int{64, 128, 256, 320} {
+		q, block := randBlock(dims, cands, 1)
+		out := make([]float64, cands)
+		for _, k := range Kernels() {
+			b.Run(fmt.Sprintf("dims=%d/kernel=%s", dims, k), func(b *testing.B) {
+				b.SetBytes(int64(dims * cands * 4))
+				for i := 0; i < b.N; i++ {
+					k.SquaredDists(q, block, out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSquaredDistsEarlyAbandon scores a block under a tight limit
+// (the pruning regime of candidate refinement).
+func BenchmarkSquaredDistsEarlyAbandon(b *testing.B) {
+	const cands = 1024
+	for _, dims := range []int{256} {
+		q, block := randBlock(dims, cands, 1)
+		out := make([]float64, cands)
+		// A limit near the block's 10th-smallest distance: most candidates
+		// abandon, a few complete — the steady state of a k-NN scan.
+		Scalar.SquaredDists(q, block, out)
+		sorted := append([]float64(nil), out...)
+		for i := range sorted {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		limit := sorted[10]
+		for _, k := range Kernels() {
+			b.Run(fmt.Sprintf("dims=%d/kernel=%s", dims, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					k.SquaredDistsEarlyAbandon(q, block, limit, out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSquaredDistPair is the per-pair form both kernels expose.
+func BenchmarkSquaredDistPair(b *testing.B) {
+	for _, dims := range []int{256} {
+		q, block := randBlock(dims, 1, 1)
+		for _, k := range Kernels() {
+			b.Run(fmt.Sprintf("dims=%d/kernel=%s", dims, k), func(b *testing.B) {
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += k.SquaredDist(q, block)
+				}
+				if math.IsNaN(sink) {
+					b.Fatal("NaN")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSquaredDistsGather scores a gathered candidate list (the tree
+// leaf refinement shape) with no abandoning.
+func BenchmarkSquaredDistsGather(b *testing.B) {
+	const cands = 256
+	for _, dims := range []int{256} {
+		q, block := randBlock(dims, cands, 1)
+		views := make([][]float32, cands)
+		for i := range views {
+			views[i] = block[i*dims : (i+1)*dims]
+		}
+		out := make([]float64, cands)
+		for _, k := range Kernels() {
+			b.Run(fmt.Sprintf("dims=%d/kernel=%s", dims, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					k.SquaredDistsGather(q, views, math.Inf(1), out)
+				}
+			})
+		}
+	}
+}

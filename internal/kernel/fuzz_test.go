@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzBlockedEquivalence fuzzes the scalar ≡ blocked contract: from raw
+// bytes it derives a query length (deliberately including non-multiple-
+// of-8 remainders), a candidate block, and a limit — reinterpreting the
+// bytes as float32s, so NaN, Inf, subnormals and huge magnitudes all
+// occur naturally — and requires byte-identical float64 results from
+// every entry point. The seed corpus (wired into every `go test` run via
+// f.Add) covers the tail widths, the special values and the abandon
+// regimes explicitly.
+func FuzzBlockedEquivalence(f *testing.F) {
+	mk := func(dims byte, limit float64, vals ...float32) []byte {
+		buf := []byte{dims}
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(limit))
+		buf = append(buf, tmp[:]...)
+		for _, v := range vals {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			buf = append(buf, b[:]...)
+		}
+		return buf
+	}
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	// dims=1..n with assorted candidate counts, tails and limits.
+	f.Add(mk(1, math.Inf(1), 1, 2, 3, 4, 5))
+	f.Add(mk(3, 2.5, 1, 2, 3, 3, 2, 1, 0, 0, 0, 9, 9, 9))
+	f.Add(mk(8, 1.0, 1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1))
+	f.Add(mk(9, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+	f.Add(mk(17, 100, make([]float32, 17*5)...))
+	f.Add(mk(5, math.NaN(), nan, inf, -inf, 0, 1, 1, 2, 3, 4, 5))
+	f.Add(mk(12, 1e-300, inf, inf, nan, 0, 1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(mk(16, 50, func() []float32 {
+		vals := make([]float32, 16*9)
+		for i := range vals {
+			vals[i] = float32(i%7) - 3
+		}
+		vals[20] = nan
+		vals[40] = inf
+		return vals
+	}()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 13 {
+			return
+		}
+		dims := int(data[0])%64 + 1
+		limit := math.Float64frombits(binary.LittleEndian.Uint64(data[1:9]))
+		vals := data[9:]
+		n := len(vals) / 4
+		if n < dims {
+			return
+		}
+		floats := make([]float32, n)
+		for i := range floats {
+			floats[i] = math.Float32frombits(binary.LittleEndian.Uint32(vals[i*4:]))
+		}
+		q := floats[:dims]
+		cands := (n - dims) / dims
+		if cands > 9 {
+			cands = 9
+		}
+		block := floats[dims : dims+cands*dims]
+
+		check := func(label string, s, b float64) {
+			if math.Float64bits(s) != math.Float64bits(b) {
+				t.Fatalf("%s (dims %d, limit %v): scalar %v != blocked %v", label, dims, limit, s, b)
+			}
+		}
+
+		check("SquaredDist", Scalar.SquaredDist(q, q), Blocked.SquaredDist(q, q))
+		if cands > 0 {
+			pair := block[:dims]
+			check("SquaredDistPair", Scalar.SquaredDist(q, pair), Blocked.SquaredDist(q, pair))
+			check("SquaredDistEarlyAbandon",
+				Scalar.SquaredDistEarlyAbandon(q, pair, limit),
+				Blocked.SquaredDistEarlyAbandon(q, pair, limit))
+
+			outS := make([]float64, cands)
+			outB := make([]float64, cands)
+			Scalar.SquaredDistsEarlyAbandon(q, block, limit, outS)
+			Blocked.SquaredDistsEarlyAbandon(q, block, limit, outB)
+			for i := range outS {
+				check("SquaredDistsEarlyAbandon", outS[i], outB[i])
+			}
+
+			views := make([][]float32, cands)
+			for i := range views {
+				views[i] = block[i*dims : (i+1)*dims]
+			}
+			Scalar.SquaredDistsGather(q, views, limit, outS)
+			Blocked.SquaredDistsGather(q, views, limit, outB)
+			for i := range outS {
+				check("SquaredDistsGather", outS[i], outB[i])
+			}
+
+			iS, dS := Scalar.NearestInBlock(q, block, limit)
+			iB, dB := Blocked.NearestInBlock(q, block, limit)
+			if iS != iB {
+				t.Fatalf("NearestInBlock index: scalar %d != blocked %d", iS, iB)
+			}
+			check("NearestInBlock", dS, dB)
+		}
+	})
+}

@@ -1,0 +1,518 @@
+// Package kernel provides the Euclidean distance kernels used by every
+// index method in the benchmark, behind one small scoring API with two
+// interchangeable implementations:
+//
+//   - Scalar: the straightforward per-pair loops the repository started
+//     with, kept as the always-trusted reference.
+//   - Blocked: candidate-blocked kernels that score a query against four
+//     candidates at a time with bounds checks hoisted out of the inner
+//     loops. Interleaving candidates gives the CPU four independent
+//     floating-point accumulator chains, hiding the add latency that
+//     serialises the scalar loop.
+//
+// # Equivalence contract
+//
+// Both implementations compute bit-identical results for every entry
+// point, which is what makes the selector safe to flip in production and
+// trivially testable: each candidate's squared distance is accumulated in
+// dimension order into a single float64 accumulator (blocked kernels
+// interleave *candidates*, never a candidate's own additions), and the
+// early-abandon forms check the partial sum against the limit after every
+// full 8-dimension chunk — never inside a chunk, never in the final
+// sub-8 tail. An abandoned result is therefore the identical partial sum
+// under both kernels: a value strictly greater than limit but smaller
+// than the true squared distance. Callers must treat any result > limit
+// as "pruned", not as a distance.
+//
+// NaN inputs yield NaN results under both kernels, canonicalized to the
+// single quiet NaN returned by math.NaN: which NaN payload survives a
+// float addition is operand-order dependent, and the compiler and the
+// vector hardware make different (equally legal) choices, so the raw
+// payloads cannot be part of the contract — the canonical bits can. A
+// NaN partial sum never abandons (every comparison against the limit is
+// false for NaN, in both kernels), so canonicalization at the API
+// boundary covers every path.
+//
+// # Accounting semantics
+//
+// The kernels do no accounting themselves: one candidate scored = one
+// distance calculation, whatever the block width, so call sites charge
+// DistCalcs by candidate count exactly as they did with the per-pair
+// loops.
+//
+// The active kernel is a process-wide selector (default Blocked) read
+// atomically by the package-level convenience functions; tests that need
+// a specific implementation call methods on a Kernel value directly.
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Kernel selects a distance-kernel implementation.
+type Kernel uint8
+
+const (
+	// Scalar is the reference per-pair implementation.
+	Scalar Kernel = iota
+	// Blocked is the candidate-blocked implementation (default).
+	Blocked
+)
+
+// Default is the kernel used when nothing is configured.
+const Default = Blocked
+
+// String returns the flag spelling of k ("scalar" or "blocked").
+func (k Kernel) String() string {
+	switch k {
+	case Scalar:
+		return "scalar"
+	case Blocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// Parse maps a -kernel flag value to a Kernel. The empty string selects
+// Default.
+func Parse(s string) (Kernel, error) {
+	switch s {
+	case "":
+		return Default, nil
+	case "scalar":
+		return Scalar, nil
+	case "blocked":
+		return Blocked, nil
+	}
+	return Default, fmt.Errorf("kernel: unknown kernel %q (want scalar or blocked)", s)
+}
+
+// Kernels lists every selectable kernel, scalar first.
+func Kernels() []Kernel { return []Kernel{Scalar, Blocked} }
+
+// active holds the process-wide kernel, read on every package-level call.
+var active atomic.Uint32
+
+func init() { active.Store(uint32(Default)) }
+
+// Use installs k as the process-wide kernel used by the package-level
+// functions. It is safe for concurrent use, but flipping it mid-workload
+// mixes implementations across queries (harmless — they are bit-identical
+// — but it muddies benchmarking).
+func Use(k Kernel) { active.Store(uint32(k)) }
+
+// Active returns the process-wide kernel.
+func Active() Kernel { return Kernel(active.Load()) }
+
+// checkLen panics on mismatched series lengths: mixing lengths is always a
+// programming error in whole-matching search.
+func checkLen(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("kernel: length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// canonNaN collapses any NaN to the canonical math.NaN bit pattern; see
+// the package comment's equivalence contract.
+func canonNaN(d float64) float64 {
+	if d != d {
+		return math.NaN()
+	}
+	return d
+}
+
+// canonNaNs applies canonNaN across a result buffer.
+func canonNaNs(out []float64) {
+	for i, v := range out {
+		if v != v {
+			out[i] = math.NaN()
+		}
+	}
+}
+
+// Distance converts a squared distance to a Euclidean distance, clamping
+// tiny negative partial sums (possible after early abandoning) to zero.
+func Distance(d2 float64) float64 {
+	if d2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(d2)
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise forms.
+
+// SquaredDist returns the squared Euclidean distance between a and b.
+func (k Kernel) SquaredDist(a, b []float32) float64 {
+	checkLen(a, b)
+	if k == Blocked {
+		return canonNaN(blockedSquaredDist(a, b))
+	}
+	return canonNaN(scalarSquaredDist(a, b))
+}
+
+// Dist returns the Euclidean distance between a and b.
+func (k Kernel) Dist(a, b []float32) float64 {
+	return math.Sqrt(k.SquaredDist(a, b))
+}
+
+// SquaredDistEarlyAbandon computes the squared Euclidean distance between
+// a and b but abandons the computation as soon as the partial sum exceeds
+// limit at an 8-dimension chunk boundary, returning the partial sum
+// (> limit) in that case. See the package comment for the exact contract.
+func (k Kernel) SquaredDistEarlyAbandon(a, b []float32, limit float64) float64 {
+	checkLen(a, b)
+	if k == Blocked {
+		return canonNaN(blockedSquaredDistEA(a, b, limit))
+	}
+	return canonNaN(scalarSquaredDistEA(a, b, limit))
+}
+
+func scalarSquaredDist(a, b []float32) float64 {
+	var acc float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+func scalarSquaredDistEA(a, b []float32, limit float64) float64 {
+	var acc float64
+	n := len(a)
+	i := 0
+	// Process in blocks of 8 between limit checks: checking every element
+	// costs more than it saves on modern hardware.
+	for ; i+8 <= n; i += 8 {
+		for j := i; j < i+8; j++ {
+			d := float64(a[j]) - float64(b[j])
+			acc += d * d
+		}
+		if acc > limit {
+			return acc
+		}
+	}
+	for ; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+func blockedSquaredDist(a, b []float32) float64 {
+	n := len(a)
+	b = b[:n] // hoist the bounds check on b out of the loops
+	var acc float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		acc += sq(x[0], y[0])
+		acc += sq(x[1], y[1])
+		acc += sq(x[2], y[2])
+		acc += sq(x[3], y[3])
+		acc += sq(x[4], y[4])
+		acc += sq(x[5], y[5])
+		acc += sq(x[6], y[6])
+		acc += sq(x[7], y[7])
+	}
+	for ; i < n; i++ {
+		acc += sq(a[i], b[i])
+	}
+	return acc
+}
+
+func blockedSquaredDistEA(a, b []float32, limit float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var acc float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		acc += sq(x[0], y[0])
+		acc += sq(x[1], y[1])
+		acc += sq(x[2], y[2])
+		acc += sq(x[3], y[3])
+		acc += sq(x[4], y[4])
+		acc += sq(x[5], y[5])
+		acc += sq(x[6], y[6])
+		acc += sq(x[7], y[7])
+		if acc > limit {
+			return acc
+		}
+	}
+	for ; i < n; i++ {
+		acc += sq(a[i], b[i])
+	}
+	return acc
+}
+
+// sq is the shared per-dimension term; using the same expression shape in
+// every implementation keeps results bit-identical even on architectures
+// where the compiler may fuse multiply-adds.
+func sq(x, y float32) float64 {
+	d := float64(x) - float64(y)
+	return d * d
+}
+
+// ---------------------------------------------------------------------------
+// Block forms over a flat candidate block (row-major, len(q)-strided).
+
+// blockCandidates validates a flat block against the query length and
+// returns the candidate count.
+func blockCandidates(q, block []float32) int {
+	n := len(q)
+	if n == 0 {
+		panic("kernel: empty query")
+	}
+	if len(block)%n != 0 {
+		panic(fmt.Sprintf("kernel: block size %d is not a multiple of query length %d", len(block), n))
+	}
+	return len(block) / n
+}
+
+// blockCount additionally checks that out can hold every result.
+func blockCount(q, block []float32, outLen int) int {
+	c := blockCandidates(q, block)
+	if outLen < c {
+		panic(fmt.Sprintf("kernel: out buffer holds %d results, block has %d candidates", outLen, c))
+	}
+	return c
+}
+
+// SquaredDists scores q against every candidate in block (a flat slice of
+// candidates, each len(q) values, row-major) and writes the exact squared
+// distance of candidate i to out[i]. It returns the candidate count.
+func (k Kernel) SquaredDists(q, block []float32, out []float64) int {
+	return k.SquaredDistsEarlyAbandon(q, block, math.Inf(1), out)
+}
+
+// SquaredDistsEarlyAbandon scores like SquaredDists but may abandon any
+// candidate whose partial sum exceeds limit at an 8-dimension chunk
+// boundary; the abandoned entry then holds that partial sum (> limit).
+// It returns the candidate count.
+func (k Kernel) SquaredDistsEarlyAbandon(q, block []float32, limit float64, out []float64) int {
+	c := blockCount(q, block, len(out))
+	n := len(q)
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= c; i += 4 {
+			base := i * n
+			ea4(q,
+				block[base:base+n:base+n],
+				block[base+n:base+2*n:base+2*n],
+				block[base+2*n:base+3*n:base+3*n],
+				block[base+3*n:base+4*n:base+4*n],
+				limit, out[i:i+4:i+4])
+		}
+		for ; i < c; i++ {
+			out[i] = blockedSquaredDistEA(q, block[i*n:(i+1)*n], limit)
+		}
+		canonNaNs(out[:c])
+		return c
+	}
+	for i := 0; i < c; i++ {
+		out[i] = scalarSquaredDistEA(q, block[i*n:(i+1)*n], limit)
+	}
+	canonNaNs(out[:c])
+	return c
+}
+
+// SquaredDistsGather is SquaredDistsEarlyAbandon over a gathered candidate
+// list (one slice per candidate, e.g. the series of a tree leaf) instead
+// of a flat block. Every candidate must have length len(q).
+func (k Kernel) SquaredDistsGather(q []float32, cands [][]float32, limit float64, out []float64) {
+	if len(out) < len(cands) {
+		panic(fmt.Sprintf("kernel: out buffer holds %d results, %d candidates given", len(out), len(cands)))
+	}
+	for _, s := range cands {
+		checkLen(q, s)
+	}
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= len(cands); i += 4 {
+			ea4(q, cands[i], cands[i+1], cands[i+2], cands[i+3], limit, out[i:i+4:i+4])
+		}
+		for ; i < len(cands); i++ {
+			out[i] = blockedSquaredDistEA(q, cands[i], limit)
+		}
+		canonNaNs(out[:len(cands)])
+		return
+	}
+	for i, s := range cands {
+		out[i] = scalarSquaredDistEA(q, s, limit)
+	}
+	canonNaNs(out[:len(cands)])
+}
+
+// NearestInBlock returns the index and exact squared distance of the
+// candidate in block strictly closer than limit that is nearest to q
+// (lowest index on ties), or (-1, limit) when no candidate qualifies.
+// Scoring early-abandons against the best bound seen so far.
+func (k Kernel) NearestInBlock(q, block []float32, limit float64) (int, float64) {
+	c := blockCandidates(q, block)
+	n := len(q)
+	best, bestD2 := -1, limit
+	var out [4]float64
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= c; i += 4 {
+			base := i * n
+			ea4(q,
+				block[base:base+n:base+n],
+				block[base+n:base+2*n:base+2*n],
+				block[base+2*n:base+3*n:base+3*n],
+				block[base+3*n:base+4*n:base+4*n],
+				bestD2, out[:])
+			for j := 0; j < 4; j++ {
+				if out[j] < bestD2 {
+					best, bestD2 = i+j, out[j]
+				}
+			}
+		}
+		for ; i < c; i++ {
+			if d2 := blockedSquaredDistEA(q, block[i*n:(i+1)*n], bestD2); d2 < bestD2 {
+				best, bestD2 = i, d2
+			}
+		}
+		return best, bestD2
+	}
+	for i := 0; i < c; i++ {
+		if d2 := scalarSquaredDistEA(q, block[i*n:(i+1)*n], bestD2); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, bestD2
+}
+
+// ea4Fallback is the portable 4-candidate group kernel: it scores q
+// against four candidates at once, writing the four results (exact
+// squared distances, or partial sums > limit when abandoned) to out[0:4].
+// The four accumulator chains are independent, which is where the blocked
+// kernel's instruction-level parallelism comes from; each candidate's own
+// additions stay in dimension order so every result is bit-identical to
+// the scalar kernel's. On amd64 with AVX2 the ea4 dispatcher replaces it
+// with the assembly kernel in avx_amd64.s, which vectorises the same
+// computation across the four candidate lanes.
+func ea4Fallback(q, s0, s1, s2, s3 []float32, limit float64, out []float64) {
+	n := len(q)
+	s0 = s0[:n]
+	s1 = s1[:n]
+	s2 = s2[:n]
+	s3 = s3[:n]
+	var a0, a1, a2, a3 float64
+	var done0, done1, done2, done3 bool
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := q[i : i+8 : i+8]
+		if !done0 {
+			y := s0[i : i+8 : i+8]
+			a0 += sq(x[0], y[0])
+			a0 += sq(x[1], y[1])
+			a0 += sq(x[2], y[2])
+			a0 += sq(x[3], y[3])
+			a0 += sq(x[4], y[4])
+			a0 += sq(x[5], y[5])
+			a0 += sq(x[6], y[6])
+			a0 += sq(x[7], y[7])
+			done0 = a0 > limit
+		}
+		if !done1 {
+			y := s1[i : i+8 : i+8]
+			a1 += sq(x[0], y[0])
+			a1 += sq(x[1], y[1])
+			a1 += sq(x[2], y[2])
+			a1 += sq(x[3], y[3])
+			a1 += sq(x[4], y[4])
+			a1 += sq(x[5], y[5])
+			a1 += sq(x[6], y[6])
+			a1 += sq(x[7], y[7])
+			done1 = a1 > limit
+		}
+		if !done2 {
+			y := s2[i : i+8 : i+8]
+			a2 += sq(x[0], y[0])
+			a2 += sq(x[1], y[1])
+			a2 += sq(x[2], y[2])
+			a2 += sq(x[3], y[3])
+			a2 += sq(x[4], y[4])
+			a2 += sq(x[5], y[5])
+			a2 += sq(x[6], y[6])
+			a2 += sq(x[7], y[7])
+			done2 = a2 > limit
+		}
+		if !done3 {
+			y := s3[i : i+8 : i+8]
+			a3 += sq(x[0], y[0])
+			a3 += sq(x[1], y[1])
+			a3 += sq(x[2], y[2])
+			a3 += sq(x[3], y[3])
+			a3 += sq(x[4], y[4])
+			a3 += sq(x[5], y[5])
+			a3 += sq(x[6], y[6])
+			a3 += sq(x[7], y[7])
+			done3 = a3 > limit
+		}
+		if done0 && done1 && done2 && done3 {
+			break
+		}
+	}
+	if i+8 > n { // only candidates that reached the tail finish it
+		for ; i < n; i++ {
+			x := q[i]
+			if !done0 {
+				a0 += sq(x, s0[i])
+			}
+			if !done1 {
+				a1 += sq(x, s1[i])
+			}
+			if !done2 {
+				a2 += sq(x, s2[i])
+			}
+			if !done3 {
+				a3 += sq(x, s3[i])
+			}
+		}
+	}
+	out[0] = a0
+	out[1] = a1
+	out[2] = a2
+	out[3] = a3
+}
+
+// ---------------------------------------------------------------------------
+// Package-level convenience forms dispatching on the active kernel.
+
+// SquaredDist is Active().SquaredDist.
+func SquaredDist(a, b []float32) float64 { return Active().SquaredDist(a, b) }
+
+// Dist is Active().Dist.
+func Dist(a, b []float32) float64 { return Active().Dist(a, b) }
+
+// SquaredDistEarlyAbandon is Active().SquaredDistEarlyAbandon.
+func SquaredDistEarlyAbandon(a, b []float32, limit float64) float64 {
+	return Active().SquaredDistEarlyAbandon(a, b, limit)
+}
+
+// SquaredDists is Active().SquaredDists.
+func SquaredDists(q, block []float32, out []float64) int {
+	return Active().SquaredDists(q, block, out)
+}
+
+// SquaredDistsEarlyAbandon is Active().SquaredDistsEarlyAbandon.
+func SquaredDistsEarlyAbandon(q, block []float32, limit float64, out []float64) int {
+	return Active().SquaredDistsEarlyAbandon(q, block, limit, out)
+}
+
+// SquaredDistsGather is Active().SquaredDistsGather.
+func SquaredDistsGather(q []float32, cands [][]float32, limit float64, out []float64) {
+	Active().SquaredDistsGather(q, cands, limit, out)
+}
+
+// NearestInBlock is Active().NearestInBlock.
+func NearestInBlock(q, block []float32, limit float64) (int, float64) {
+	return Active().NearestInBlock(q, block, limit)
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package kernel
+
+// useAVX2 is false off amd64; the portable blocked kernel is used.
+const useAVX2 = false
+
+// ea4 dispatches one 4-candidate group to the portable implementation.
+func ea4(q, s0, s1, s2, s3 []float32, limit float64, out []float64) {
+	ea4Fallback(q, s0, s1, s2, s3, limit, out)
+}

@@ -1,0 +1,262 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseAndString(t *testing.T) {
+	for _, k := range Kernels() {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := Parse(""); err != nil || k != Default {
+		t.Errorf("Parse(\"\") = %v, %v; want Default", k, err)
+	}
+	if _, err := Parse("simd9000"); err == nil {
+		t.Error("Parse of unknown kernel did not fail")
+	}
+}
+
+func TestUseActive(t *testing.T) {
+	defer Use(Default)
+	for _, k := range Kernels() {
+		Use(k)
+		if Active() != k {
+			t.Fatalf("Active() = %v after Use(%v)", Active(), k)
+		}
+	}
+}
+
+func TestSquaredDistBasics(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{2, 0, 1}
+	for _, k := range Kernels() {
+		if got := k.SquaredDist(a, b); got != 9 {
+			t.Errorf("%v.SquaredDist = %v, want 9", k, got)
+		}
+		if got := k.Dist(a, b); got != 3 {
+			t.Errorf("%v.Dist = %v, want 3", k, got)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for _, k := range Kernels() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v.SquaredDist length mismatch did not panic", k)
+				}
+			}()
+			k.SquaredDist([]float32{1}, []float32{1, 2})
+		}()
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if got := Distance(9); got != 3 {
+		t.Errorf("Distance(9) = %v", got)
+	}
+	if got := Distance(-1e-12); got != 0 {
+		t.Errorf("Distance(-1e-12) = %v, want 0", got)
+	}
+	if got := Distance(0); got != 0 {
+		t.Errorf("Distance(0) = %v, want 0", got)
+	}
+}
+
+// randSeries fills out with values from rng, occasionally injecting the
+// special values the equivalence contract must survive.
+func randSeries(rng *rand.Rand, n int, special bool) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		switch {
+		case special && rng.Intn(17) == 0:
+			switch rng.Intn(4) {
+			case 0:
+				s[i] = float32(math.NaN())
+			case 1:
+				s[i] = float32(math.Inf(1))
+			case 2:
+				s[i] = float32(math.Inf(-1))
+			default:
+				s[i] = 0
+			}
+		default:
+			s[i] = float32(rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+// assertBitIdentical compares two float64s as bit patterns (NaN == NaN).
+func assertBitIdentical(t *testing.T, label string, scalar, blocked float64) {
+	t.Helper()
+	if math.Float64bits(scalar) != math.Float64bits(blocked) {
+		t.Fatalf("%s: scalar %v (%#x) != blocked %v (%#x)",
+			label, scalar, math.Float64bits(scalar), blocked, math.Float64bits(blocked))
+	}
+}
+
+// TestBlockedEquivalence is the table-driven scalar ≡ blocked proof over
+// random dims (including non-multiple-of-8 remainders), random block
+// sizes, random and special (NaN/Inf) inputs, and random limits. Every
+// entry point must produce byte-identical float64 results.
+func TestBlockedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 128, 250, 256, 257}
+	for _, n := range dims {
+		for trial := 0; trial < 20; trial++ {
+			special := trial%3 == 0
+			q := randSeries(rng, n, special)
+			cands := rng.Intn(13) + 1
+			block := randSeries(rng, n*cands, special)
+
+			var limit float64
+			switch trial % 4 {
+			case 0:
+				limit = math.Inf(1)
+			case 1:
+				limit = 0
+			case 2:
+				limit = math.NaN()
+			default:
+				limit = rng.Float64() * float64(n)
+			}
+
+			// Pairwise forms.
+			b := block[:n]
+			assertBitIdentical(t, "SquaredDist",
+				Scalar.SquaredDist(q, b), Blocked.SquaredDist(q, b))
+			assertBitIdentical(t, "SquaredDistEarlyAbandon",
+				Scalar.SquaredDistEarlyAbandon(q, b, limit),
+				Blocked.SquaredDistEarlyAbandon(q, b, limit))
+
+			// Flat block forms.
+			outS := make([]float64, cands)
+			outB := make([]float64, cands)
+			Scalar.SquaredDists(q, block, outS)
+			Blocked.SquaredDists(q, block, outB)
+			for i := range outS {
+				assertBitIdentical(t, "SquaredDists", outS[i], outB[i])
+			}
+			Scalar.SquaredDistsEarlyAbandon(q, block, limit, outS)
+			Blocked.SquaredDistsEarlyAbandon(q, block, limit, outB)
+			for i := range outS {
+				assertBitIdentical(t, "SquaredDistsEarlyAbandon", outS[i], outB[i])
+			}
+
+			// Gather form over views of the same block.
+			views := make([][]float32, cands)
+			for i := range views {
+				views[i] = block[i*n : (i+1)*n]
+			}
+			Scalar.SquaredDistsGather(q, views, limit, outS)
+			Blocked.SquaredDistsGather(q, views, limit, outB)
+			for i := range outS {
+				assertBitIdentical(t, "SquaredDistsGather", outS[i], outB[i])
+			}
+
+			// Nearest-in-block agrees on index and bits.
+			iS, dS := Scalar.NearestInBlock(q, block, limit)
+			iB, dB := Blocked.NearestInBlock(q, block, limit)
+			if iS != iB {
+				t.Fatalf("NearestInBlock index: scalar %d != blocked %d (dims %d)", iS, iB, n)
+			}
+			assertBitIdentical(t, "NearestInBlock", dS, dB)
+		}
+	}
+}
+
+// TestEarlyAbandonContract pins the documented abandon semantics for both
+// kernels: a result <= limit is the exact squared distance; a result >
+// limit is a partial sum never exceeding the exact squared distance, and
+// abandonment can only happen at 8-dimension chunk boundaries.
+func TestEarlyAbandonContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(80) + 1
+		a := randSeries(rng, n, false)
+		b := randSeries(rng, n, false)
+		exact := Scalar.SquaredDist(a, b)
+		limit := rng.Float64() * exact
+		for _, k := range Kernels() {
+			got := k.SquaredDistEarlyAbandon(a, b, limit)
+			if got <= limit && got != exact {
+				t.Fatalf("%v: result %v <= limit %v but exact is %v", k, got, limit, exact)
+			}
+			if got > exact+1e-9 {
+				t.Fatalf("%v: partial %v exceeds exact %v", k, got, exact)
+			}
+		}
+	}
+}
+
+// TestEarlyAbandonMatchesFull pins that an infinite limit reproduces the
+// full distance bit-for-bit.
+func TestEarlyAbandonMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{5, 8, 64, 129} {
+		a := randSeries(rng, n, false)
+		b := randSeries(rng, n, false)
+		for _, k := range Kernels() {
+			assertBitIdentical(t, "full-vs-abandon",
+				k.SquaredDist(a, b), k.SquaredDistEarlyAbandon(a, b, math.Inf(1)))
+		}
+	}
+}
+
+// TestNearestInBlock pins the selection semantics: nearest strictly under
+// the limit, lowest index on ties, (-1, limit) when nothing qualifies.
+func TestNearestInBlock(t *testing.T) {
+	q := []float32{0, 0}
+	block := []float32{3, 4, 1, 0, 0, 1, 5, 12}
+	for _, k := range Kernels() {
+		idx, d2 := k.NearestInBlock(q, block, math.Inf(1))
+		if idx != 1 || d2 != 1 {
+			t.Errorf("%v: NearestInBlock = (%d, %v), want (1, 1)", k, idx, d2)
+		}
+		idx, d2 = k.NearestInBlock(q, block, 1.0)
+		if idx != -1 || d2 != 1.0 {
+			t.Errorf("%v: NearestInBlock under tight limit = (%d, %v), want (-1, 1)", k, idx, d2)
+		}
+	}
+}
+
+// TestPackageLevelDispatch exercises the Active()-dispatching wrappers.
+func TestPackageLevelDispatch(t *testing.T) {
+	defer Use(Default)
+	a := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []float32{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want := Scalar.SquaredDist(a, b)
+	for _, k := range Kernels() {
+		Use(k)
+		if got := SquaredDist(a, b); got != want {
+			t.Errorf("SquaredDist under %v = %v, want %v", k, got, want)
+		}
+		if got := Dist(a, b); got != math.Sqrt(want) {
+			t.Errorf("Dist under %v = %v", k, got)
+		}
+		if got := SquaredDistEarlyAbandon(a, b, math.Inf(1)); got != want {
+			t.Errorf("SquaredDistEarlyAbandon under %v = %v", k, got)
+		}
+		out := make([]float64, 1)
+		if c := SquaredDists(a, b, out); c != 1 || out[0] != want {
+			t.Errorf("SquaredDists under %v = %d, %v", k, c, out[0])
+		}
+		if c := SquaredDistsEarlyAbandon(a, b, math.Inf(1), out); c != 1 || out[0] != want {
+			t.Errorf("SquaredDistsEarlyAbandon under %v = %d, %v", k, c, out[0])
+		}
+		SquaredDistsGather(a, [][]float32{b}, math.Inf(1), out)
+		if out[0] != want {
+			t.Errorf("SquaredDistsGather under %v = %v", k, out[0])
+		}
+		if idx, d2 := NearestInBlock(a, b, math.Inf(1)); idx != 0 || d2 != want {
+			t.Errorf("NearestInBlock under %v = (%d, %v)", k, idx, d2)
+		}
+	}
+}

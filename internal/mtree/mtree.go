@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/storage"
 )
@@ -83,7 +84,7 @@ func Build(store *storage.SeriesStore, cfg Config) (*Tree, error) {
 }
 
 func (t *Tree) dist(a, b int) float64 {
-	return series.Dist(t.store.Peek(a), t.store.Peek(b))
+	return kernel.Dist(t.store.Peek(a), t.store.Peek(b))
 }
 
 // bulkLoad builds the subtree for ids with the given routing object
@@ -218,9 +219,10 @@ func (t *Tree) Footprint() int64 {
 // cursor adapts a query to the generic engine. The per-query store view
 // keeps I/O accounting independent across concurrent searches.
 type cursor struct {
-	t     *Tree
-	store *storage.SeriesStore
-	q     series.Series
+	t       *Tree
+	store   *storage.SeriesStore
+	q       series.Series
+	scratch core.LeafScratch
 }
 
 // newCursor opens a per-query cursor over a private store view.
@@ -238,7 +240,7 @@ func (c *cursor) MinDist(ref core.NodeRef) float64 {
 	if n.routing < 0 {
 		return 0
 	}
-	d := series.Dist(c.q, c.t.store.Peek(n.routing)) - n.radius
+	d := kernel.Dist(c.q, c.t.store.Peek(n.routing)) - n.radius
 	if d < 0 {
 		return 0
 	}
@@ -258,19 +260,12 @@ func (c *cursor) Children(ref core.NodeRef) []core.NodeRef {
 	return out
 }
 
-// ScanLeaf implements core.TreeCursor.
+// ScanLeaf implements core.TreeCursor: the gathered leaf cluster is
+// refined in one batched kernel call (see core.LeafScratch.Refine).
 func (c *cursor) ScanLeaf(ref core.NodeRef, limit func() float64, visit func(id int, dist float64)) {
 	n := ref.(*node)
 	raw := c.store.ReadLeafCluster(n.ids)
-	for i, s := range raw {
-		lim := limit()
-		d2 := series.SquaredDistEarlyAbandon(c.q, s, lim*lim)
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		visit(n.ids[i], d)
-	}
+	c.scratch.Refine(c.q, n.ids, raw, limit, visit)
 }
 
 // Search implements core.Method: all four modes via the generic engine.

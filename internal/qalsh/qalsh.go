@@ -16,11 +16,10 @@ package qalsh
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"hydra/internal/core"
-	"hydra/internal/series"
+	"hydra/internal/kernel"
 	"hydra/internal/storage"
 	"hydra/internal/summaries/proj"
 )
@@ -179,13 +178,9 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		raw := st.Read(id)
 		res.LeavesVisited++
 		lim := kset.Worst()
-		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		d2 := kernel.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
 		res.DistCalcs++
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		kset.Offer(id, d)
+		kset.Offer(id, kernel.Distance(d2))
 	}
 
 	// Virtual rehashing: R = 1, c, c², ... widening the per-line windows.

@@ -10,12 +10,18 @@ package scan
 
 import (
 	"fmt"
-	"math"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/storage"
 )
+
+// scoreBlock is the number of candidates scored per kernel call. The
+// k-NN limit used for early abandoning is snapshotted once per score
+// block, which is what lets the kernel score candidates in parallel
+// lanes; the final answers are unchanged (see Search).
+const scoreBlock = 64
 
 // Scan is the exact baseline method.
 type Scan struct {
@@ -49,20 +55,35 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 	res := core.Result{}
 	n := st.Size()
 	// One sequential pass: charge it as a range read in chunks so the
-	// accountant sees a scan, then compute distances on the views.
+	// accountant sees a scan, then score the flat chunk in kernel-sized
+	// blocks. The abandon limit is snapshotted at each score block's
+	// start; that is answer-preserving because an abandoned result
+	// (> snapshot >= the evolving k-NN worst) could never enter the
+	// result set, while every admissible candidate still yields its
+	// exact distance, offered in the same order as the per-candidate
+	// loop this replaces.
 	const chunk = 4096
+	dim := len(q.Series)
+	var d2s [scoreBlock]float64
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		block := st.ReadRange(lo, hi)
-		for i := 0; i < block.Size(); i++ {
+		raw := block.Raw()
+		for i := 0; i < block.Size(); i += scoreBlock {
+			j := i + scoreBlock
+			if j > block.Size() {
+				j = block.Size()
+			}
 			limit := kset.Worst()
-			d2 := series.SquaredDistEarlyAbandon(q.Series, block.At(i), limit*limit)
-			res.DistCalcs++
-			if d := sqrt(d2); d < limit {
-				kset.Offer(lo+i, d)
+			cnt := kernel.SquaredDistsEarlyAbandon(q.Series, raw[i*dim:j*dim], limit*limit, d2s[:j-i])
+			res.DistCalcs += int64(cnt)
+			for t := 0; t < cnt; t++ {
+				if d := sqrt(d2s[t]); d < kset.Worst() {
+					kset.Offer(lo+i+t, d)
+				}
 			}
 		}
 	}
@@ -75,14 +96,23 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 // for use by the accuracy metrics.
 func GroundTruth(data *series.Dataset, queries *series.Dataset, k int) [][]core.Neighbor {
 	out := make([][]core.Neighbor, queries.Size())
+	raw := data.Raw()
+	dim := data.Length()
+	var d2s [scoreBlock]float64
 	for qi := 0; qi < queries.Size(); qi++ {
 		q := queries.At(qi)
 		kset := core.NewKNNSet(k)
-		for i := 0; i < data.Size(); i++ {
+		for i := 0; i < data.Size(); i += scoreBlock {
+			j := i + scoreBlock
+			if j > data.Size() {
+				j = data.Size()
+			}
 			limit := kset.Worst()
-			d2 := series.SquaredDistEarlyAbandon(q, data.At(i), limit*limit)
-			if d := sqrt(d2); d < limit {
-				kset.Offer(i, d)
+			cnt := kernel.SquaredDistsEarlyAbandon(q, raw[i*dim:j*dim], limit*limit, d2s[:j-i])
+			for t := 0; t < cnt; t++ {
+				if d := sqrt(d2s[t]); d < kset.Worst() {
+					kset.Offer(i+t, d)
+				}
 			}
 		}
 		out[qi] = kset.Sorted()
@@ -91,9 +121,4 @@ func GroundTruth(data *series.Dataset, queries *series.Dataset, k int) [][]core.
 }
 
 // sqrt guards against tiny negative partial sums from early abandoning.
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
-}
+func sqrt(x float64) float64 { return kernel.Distance(x) }

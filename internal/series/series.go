@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"hydra/internal/kernel"
 )
 
 // Series is an ordered sequence of real values. Values use float32, matching
@@ -80,51 +82,26 @@ func (s Series) ZNormalized() Series {
 // SquaredDist returns the squared Euclidean distance between a and b.
 // It panics if the lengths differ: mixing lengths is always a programming
 // error in whole-matching search.
-func SquaredDist(a, b Series) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("series: length mismatch %d vs %d", len(a), len(b)))
-	}
-	var acc float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		acc += d * d
-	}
-	return acc
-}
+//
+// Deprecated: use [hydra/internal/kernel.SquaredDist], which dispatches on
+// the process-wide kernel selector and offers batched block forms.
+func SquaredDist(a, b Series) float64 { return kernel.SquaredDist(a, b) }
 
 // Dist returns the Euclidean distance between a and b.
-func Dist(a, b Series) float64 {
-	return math.Sqrt(SquaredDist(a, b))
-}
+//
+// Deprecated: use [hydra/internal/kernel.Dist].
+func Dist(a, b Series) float64 { return kernel.Dist(a, b) }
 
 // SquaredDistEarlyAbandon computes the squared Euclidean distance between a
 // and b but abandons the computation as soon as the partial sum exceeds
 // limit, returning a value > limit in that case. Early abandoning is the
 // classic optimisation used by sequential-scan and leaf refinement code
 // paths (UCR suite style).
+//
+// Deprecated: use [hydra/internal/kernel.SquaredDistEarlyAbandon]; see the
+// kernel package comment for the exact abandon contract.
 func SquaredDistEarlyAbandon(a, b Series, limit float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("series: length mismatch %d vs %d", len(a), len(b)))
-	}
-	var acc float64
-	n := len(a)
-	i := 0
-	// Process in blocks of 8 between limit checks: checking every element
-	// costs more than it saves on modern hardware.
-	for ; i+8 <= n; i += 8 {
-		for j := i; j < i+8; j++ {
-			d := float64(a[j]) - float64(b[j])
-			acc += d * d
-		}
-		if acc > limit {
-			return acc
-		}
-	}
-	for ; i < n; i++ {
-		d := float64(a[i]) - float64(b[i])
-		acc += d * d
-	}
-	return acc
+	return kernel.SquaredDistEarlyAbandon(a, b, limit)
 }
 
 // Dataset is an in-memory collection of equal-length series, stored in one

@@ -11,6 +11,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/eval"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/shard"
 	"hydra/internal/storage"
@@ -94,6 +95,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"fingerprint": s.fingerprint,
 		},
 		"shards":        s.shardTotal(),
+		"kernel":        kernel.Active().String(),
 		"methods_ready": ready,
 		"warmup":        s.WarmupReport(),
 	})
@@ -201,6 +203,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			"bytes":       s.data.Bytes(),
 			"fingerprint": s.fingerprint,
 			"index_dir":   indexDir,
+			"kernel":      kernel.Active().String(),
 			"cost_model":  costModelJSON(s.model),
 		}},
 	})

@@ -20,7 +20,7 @@ import (
 	"sort"
 
 	"hydra/internal/core"
-	"hydra/internal/series"
+	"hydra/internal/kernel"
 	"hydra/internal/storage"
 	"hydra/internal/summaries/proj"
 )
@@ -150,13 +150,9 @@ func (idx *Index) Search(q core.Query) (core.Result, error) {
 		raw := st.Read(c.id)
 		res.LeavesVisited++
 		lim := kset.Worst()
-		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
+		d2 := kernel.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
 		res.DistCalcs++
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
-		}
-		kset.Offer(c.id, d)
+		kset.Offer(c.id, kernel.Distance(d2))
 
 		if useStop && kset.Full() && rank+1 < len(cands) {
 			// Early-termination test: a point with true distance

@@ -23,8 +23,8 @@ import (
 	"sort"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/quant"
-	"hydra/internal/series"
 	"hydra/internal/storage"
 	"hydra/internal/summaries/dft"
 )
@@ -222,25 +222,59 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 
 	kset := core.NewKNNSet(q.K)
 	res := core.Result{}
-	// Phase 2: visit raw series in increasing lower-bound order.
-	for _, c := range cands {
-		if c.lb > kset.Worst()/epsFactor {
+	// Phase 2: visit raw series in increasing lower-bound order, refined
+	// in small gathered batches through the active kernel. The prune
+	// condition is evaluated against the k-NN worst at batch-gather time;
+	// because candidates arrive in increasing lower-bound order, any
+	// over-gathered candidate has lb above the final worst, so its exact
+	// distance is rejected by the result set and the answers match the
+	// per-candidate loop this replaces. The NProbe cap bounds the gather
+	// exactly; the δ-ε stop is re-checked after each offer.
+	const refineBatch = 16
+	ids := make([]int, 0, refineBatch)
+	views := make([][]float32, 0, refineBatch)
+	var d2s [refineBatch]float64
+	i := 0
+	pruned := false
+	for i < len(cands) && !pruned {
+		ids = ids[:0]
+		views = views[:0]
+		worst := kset.Worst()
+		batchCap := refineBatch
+		if q.Mode == core.ModeNG {
+			if left := q.NProbe - res.LeavesVisited; left < batchCap {
+				batchCap = left
+			}
+			if batchCap <= 0 {
+				break
+			}
+		}
+		for i < len(cands) && len(ids) < batchCap {
+			c := cands[i]
+			if c.lb > worst/epsFactor {
+				pruned = true
+				break
+			}
+			i++
+			ids = append(ids, c.id)
+			views = append(views, st.Read(c.id))
+			res.LeavesVisited++ // for VA+file, a "leaf" is one raw series visit
+		}
+		if len(ids) == 0 {
 			break
 		}
-		if q.Mode == core.ModeNG && res.LeavesVisited >= q.NProbe {
-			break
-		}
-		raw := st.Read(c.id)
-		res.LeavesVisited++ // for VA+file, a "leaf" is one raw series visit
 		lim := kset.Worst()
-		d2 := series.SquaredDistEarlyAbandon(q.Series, raw, lim*lim)
-		res.DistCalcs++
-		d := 0.0
-		if d2 > 0 {
-			d = math.Sqrt(d2)
+		kernel.SquaredDistsGather(q.Series, views, lim*lim, d2s[:len(ids)])
+		res.DistCalcs += int64(len(ids))
+		stopped := false
+		for t, d2 := range d2s[:len(ids)] {
+			kset.Offer(ids[t], kernel.Distance(d2))
+			if q.Mode == core.ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
+				stopped = true
+				break
+			}
 		}
-		kset.Offer(c.id, d)
-		if q.Mode == core.ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
+		if stopped {
 			break
 		}
 	}
