@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json persist-smoke serve-smoke shard-smoke fmt
+.PHONY: all build vet test race bench-smoke bench-json bench-gate persist-smoke serve-smoke shard-smoke cache-smoke fmt
 
-all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke
+all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -136,17 +136,63 @@ shard-smoke:
 	diff $$dir/serve1.txt $$dir/serve2.txt || { echo "shard-smoke: warm-boot answers differ from cold-boot answers"; exit 1; }; \
 	echo "shard-smoke OK ($$hits warm shard loads on second boot)"
 
+# End-to-end cache + router check: boot hydra-serve with the result cache
+# and auto-routing on, fire the same query twice (the second must replay
+# byte-identically with "cached":true), then ask "method":"auto" in text
+# format and require the answer to be byte-identical to naming the routed
+# method directly.
+CACHE_SMOKE_ADDR ?= 127.0.0.1:18321
+cache-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap '{ [ -z "$$pid" ] || kill $$pid 2>/dev/null || true; } ; rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) build -o $$dir/hydra-gen ./cmd/hydra-gen; \
+	$(GO) build -o $$dir/hydra-serve ./cmd/hydra-serve; \
+	$$dir/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$$dir/hydra-gen -kind walk -n 4 -seed 5 -queries-for $$dir/data.bin -out $$dir/queries.bin >/dev/null; \
+	$$dir/hydra-serve -data $$dir/data.bin -workload-dir $$dir -cache-max-bytes 1048576 -max-inflight 4 -addr $(CACHE_SMOKE_ADDR) > $$dir/boot.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(CACHE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "cache-smoke: server did not become healthy"; cat $$dir/boot.log; exit 1; }; \
+	grep -q "result cache enabled" $$dir/boot.log || { echo "cache-smoke: boot log missing cache banner"; cat $$dir/boot.log; exit 1; }; \
+	printf '{"method":"DSTree","mode":"exact","k":5,"workload_file":"%s"}' $$dir/queries.bin > $$dir/req.json; \
+	curl -sf -X POST --data @$$dir/req.json http://$(CACHE_SMOKE_ADDR)/v1/query > $$dir/miss.json; \
+	grep -q '"cached": false' $$dir/miss.json || { echo "cache-smoke: first response not marked uncached"; cat $$dir/miss.json; exit 1; }; \
+	curl -sf -D $$dir/hit-headers.txt -X POST --data @$$dir/req.json http://$(CACHE_SMOKE_ADDR)/v1/query > $$dir/hit.json; \
+	grep -q '"cached": true' $$dir/hit.json || { echo "cache-smoke: second response not served from cache"; cat $$dir/hit.json; exit 1; }; \
+	grep -qi '^X-Hydra-Cached: true' $$dir/hit-headers.txt || { echo "cache-smoke: hit missing X-Hydra-Cached header"; cat $$dir/hit-headers.txt; exit 1; }; \
+	sed 's/"cached": false/"cached": true/' $$dir/miss.json | diff - $$dir/hit.json || { echo "cache-smoke: hit is not a byte-identical replay of the miss"; exit 1; }; \
+	printf '{"method":"auto","mode":"exact","k":5,"workload_file":"%s","format":"text"}' $$dir/queries.bin > $$dir/req-auto.json; \
+	curl -sf -D $$dir/auto-headers.txt -X POST --data @$$dir/req-auto.json http://$(CACHE_SMOKE_ADDR)/v1/query > $$dir/auto.txt; \
+	routed=$$(grep -i '^X-Hydra-Routed-Method:' $$dir/auto-headers.txt | tr -d '\r' | awk '{print $$2}'); \
+	[ -n "$$routed" ] || { echo "cache-smoke: auto response missing X-Hydra-Routed-Method"; cat $$dir/auto-headers.txt; exit 1; }; \
+	printf '{"method":"%s","mode":"exact","k":5,"workload_file":"%s","format":"text"}' $$routed $$dir/queries.bin > $$dir/req-fixed.json; \
+	curl -sf -X POST --data @$$dir/req-fixed.json http://$(CACHE_SMOKE_ADDR)/v1/query > $$dir/fixed.txt; \
+	diff $$dir/auto.txt $$dir/fixed.txt || { echo "cache-smoke: auto answers differ from fixed $$routed answers"; exit 1; }; \
+	curl -sf http://$(CACHE_SMOKE_ADDR)/metrics | grep -q '^hydra_cache_hits_total [1-9]' || { echo "cache-smoke: /metrics shows no cache hits"; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	echo "cache-smoke OK (auto routed to $$routed)"
+
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
 
-# Real (non-smoke) kernel benchmark run: prints the benchstat-able
-# micro-benchmarks, then measures both kernels through testing.Benchmark
-# and writes BENCH_kernels.json at the repo root (name, ns/op, dims,
-# block width, speedup vs scalar). Takes a minute or two.
+# Real (non-smoke) benchmark run: prints the benchstat-able kernel
+# micro-benchmarks, measures both kernels through testing.Benchmark and
+# writes BENCH_kernels.json at the repo root (name, ns/op, dims, block
+# width, speedup vs scalar), then measures the serve path (cached vs
+# uncached, auto vs fixed method) into BENCH_servecache.json. Takes a
+# minute or two.
 bench-json:
 	$(GO) test -run=XXX -bench=. -benchtime=100x ./internal/kernel/
 	HYDRA_BENCH_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run=TestWriteBenchJSON -v -count=1 ./internal/eval/
+	HYDRA_BENCH_SERVECACHE_JSON=$(CURDIR)/BENCH_servecache.json $(GO) test -run=TestWriteServeCacheBenchJSON -v -count=1 -timeout=20m ./internal/server/
+
+# CI perf-regression gate: every speedup in the fresh BENCH_*.json files
+# must clear its committed floor in bench_thresholds.json. Run after
+# bench-json.
+bench-gate:
+	$(GO) run ./cmd/hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_servecache.json
 
 # Fails when any file needs gofmt (prints the offenders).
 fmt:

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchRow is the union of the BENCH_*.json row shapes: kernel benchmarks
+// carry Kernel and SpeedupVsScalar, serve benchmarks carry Baseline and
+// Speedup. Unknown fields are ignored so the gate survives new columns.
+type benchRow struct {
+	Name            string  `json:"name"`
+	Kernel          string  `json:"kernel"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+	Baseline        string  `json:"baseline"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// comparison returns the row's gated speedup, or ok=false for baseline
+// rows that measure nothing relative (scalar kernel rows, serve rows with
+// no baseline).
+func (r benchRow) comparison() (speedup float64, ok bool) {
+	if r.Kernel != "" {
+		if r.Kernel == "scalar" {
+			return 0, false
+		}
+		return r.SpeedupVsScalar, true
+	}
+	if r.Baseline == "" {
+		return 0, false
+	}
+	return r.Speedup, true
+}
+
+// run checks every threshold against every comparison row from the given
+// bench files, writing one verdict line per (threshold, row) pair, and
+// returns an error describing all failures if any bar is missed.
+func run(w io.Writer, thresholdsPath string, benchFiles []string) error {
+	buf, err := os.ReadFile(thresholdsPath)
+	if err != nil {
+		return err
+	}
+	var thresholds map[string]float64
+	if err := json.Unmarshal(buf, &thresholds); err != nil {
+		return fmt.Errorf("%s: %w", thresholdsPath, err)
+	}
+	if len(thresholds) == 0 {
+		return fmt.Errorf("%s: no thresholds defined", thresholdsPath)
+	}
+
+	type measured struct {
+		file    string
+		row     benchRow
+		speedup float64
+	}
+	byName := map[string][]measured{}
+	for _, file := range benchFiles {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var rows []benchRow
+		if err := json.Unmarshal(buf, &rows); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		for _, r := range rows {
+			if speedup, ok := r.comparison(); ok {
+				byName[r.Name] = append(byName[r.Name], measured{file, r, speedup})
+			}
+		}
+	}
+
+	names := make([]string, 0, len(thresholds))
+	for name := range thresholds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		min := thresholds[name]
+		rows := byName[name]
+		if len(rows) == 0 {
+			failures = append(failures, fmt.Sprintf("%s: threshold %.2fx matches no comparison row in %s", name, min, strings.Join(benchFiles, ", ")))
+			continue
+		}
+		for _, m := range rows {
+			verdict := "ok"
+			if m.speedup < min {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s (%s): speedup %.2fx below threshold %.2fx", name, m.file, m.speedup, min))
+			}
+			detail := ""
+			if m.row.Kernel != "" {
+				detail = fmt.Sprintf(" kernel=%s", m.row.Kernel)
+			}
+			fmt.Fprintf(w, "%-4s %s%s: %.2fx (threshold %.2fx)\n", verdict, name, detail, m.speedup, min)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) below threshold:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "bench gate passed: %d threshold(s) held\n", len(names))
+	return nil
+}

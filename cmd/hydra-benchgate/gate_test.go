@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const kernelRows = `[
+  {"name": "SquaredDists/cands=1024", "kernel": "scalar", "ns_per_op": 100, "speedup_vs_scalar": 1},
+  {"name": "SquaredDists/cands=1024", "kernel": "blocked", "ns_per_op": 40, "speedup_vs_scalar": 2.5},
+  {"name": "SquaredDists/cands=1024", "kernel": "blocked", "ns_per_op": 55, "speedup_vs_scalar": 1.8},
+  {"name": "method/DSTree/exact", "kernel": "scalar", "ns_per_op": 900, "speedup_vs_scalar": 1},
+  {"name": "method/DSTree/exact", "kernel": "blocked", "ns_per_op": 500, "speedup_vs_scalar": 1.8}
+]`
+
+const serveRows = `[
+  {"name": "serve/DSTree-exact/uncached", "ns_per_op": 3000000, "speedup": 1},
+  {"name": "serve/DSTree-exact/cache-hit", "ns_per_op": 400000, "baseline": "serve/DSTree-exact/uncached", "speedup": 7.5}
+]`
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json", `{"SquaredDists/cands=1024": 1.2, "method/DSTree/exact": 1.2, "serve/DSTree-exact/cache-hit": 5.0}`)
+	k := write(t, dir, "k.json", kernelRows)
+	s := write(t, dir, "s.json", serveRows)
+	var out strings.Builder
+	if err := run(&out, th, []string{k, s}); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bench gate passed: 3 threshold(s) held") {
+		t.Fatalf("missing pass summary:\n%s", out.String())
+	}
+	// Scalar baselines (speedup 1.0 by construction) must not be gated.
+	if strings.Contains(out.String(), "kernel=scalar") {
+		t.Fatalf("scalar baseline rows were gated:\n%s", out.String())
+	}
+}
+
+func TestGateFailsBelowThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// 1.8 < 2.0: the second blocked measurement of the same name misses.
+	th := write(t, dir, "thresholds.json", `{"SquaredDists/cands=1024": 2.0}`)
+	k := write(t, dir, "k.json", kernelRows)
+	var out strings.Builder
+	err := run(&out, th, []string{k})
+	if err == nil {
+		t.Fatalf("gate passed despite 1.8x < 2.0x:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "below threshold") {
+		t.Fatalf("error = %v", err)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("no FAIL verdict line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnUnmatchedThreshold(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json", `{"method/Renamed/exact": 1.2}`)
+	k := write(t, dir, "k.json", kernelRows)
+	var out strings.Builder
+	err := run(&out, th, []string{k})
+	if err == nil || !strings.Contains(err.Error(), "matches no comparison row") {
+		t.Fatalf("renamed benchmark not caught: %v", err)
+	}
+}
+
+func TestGateRejectsEmptyThresholds(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json", `{}`)
+	k := write(t, dir, "k.json", kernelRows)
+	if err := run(&strings.Builder{}, th, []string{k}); err == nil {
+		t.Fatal("empty thresholds accepted")
+	}
+}

@@ -1,0 +1,39 @@
+// Command hydra-benchgate is the CI performance-regression gate: it reads
+// one or more BENCH_*.json files produced by `make bench-json` and fails
+// (exit 1) when any measured speedup falls below its committed threshold
+// in bench_thresholds.json.
+//
+// Usage:
+//
+//	hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_servecache.json
+//
+// The thresholds file maps benchmark names to minimum speedups, e.g.
+//
+//	{"SquaredDists/cands=1024": 1.2, "serve/DSTree-exact/cache-hit": 5.0}
+//
+// A threshold applies to every comparison row with that name (a kernel
+// benchmark is measured at several dims under the same name; all must
+// clear the bar). Baseline rows — kernel "scalar", or servecache rows
+// without a baseline — are skipped: their speedup is 1.0 by construction.
+// A threshold that matches no row fails the gate too, so a renamed or
+// dropped benchmark cannot silently stop being enforced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	thresholds := flag.String("thresholds", "bench_thresholds.json", "JSON file mapping benchmark names to minimum speedups")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "hydra-benchgate: at least one BENCH_*.json file is required")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *thresholds, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,9 @@ func main() {
 		shards     = flag.Int("shards", 1, "split the dataset into N contiguous shards with one index per (shard, method); queries scatter-gather across them and warm boots load every shard snapshot")
 		maxBytes   = flag.Int64("catalog-max-bytes", 0, "after the warm start, prune the -index-dir catalog least-recently-used-first until its entries fit this budget (0 disables)")
 		preload    = flag.String("preload", "persistable", "methods to hydrate at boot: \"persistable\", \"all\", \"none\", or a comma-separated list")
+		cacheMax   = flag.Int64("cache-max-bytes", 64<<20, "byte budget of the in-memory query-result cache (LRU-evicted; repeated identical requests replay with \"cached\":true); 0 disables")
+		inflight   = flag.Int("max-inflight", 0, "admission control: at most N /v1/query requests execute concurrently, up to 2N more queue, the rest are shed with 429 \"overloaded\"; also clamps per-request workers to cores/N (0 disables)")
+		auto       = flag.Bool("auto", true, "enable the adaptive method router behind \"method\":\"auto\" (Fig. 9 seed matrix refined by live per-method latency)")
 		workers    = flag.Int("workers", 0, "default per-request query fan-out (0 = serial, negative = all cores)")
 		warmupPar  = flag.Int("warmup-workers", -1, "boot hydration fan-out (negative = all cores)")
 		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
@@ -63,13 +66,30 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.Use(k)
-	if err := run(*dataPath, *addr, *indexDir, *workload, *preload, *workers, *warmupPar, *shards, *maxBytes, *reqTimeout, *drainWait); err != nil {
+	opts := options{
+		dataPath: *dataPath, addr: *addr, indexDir: *indexDir, workloadDir: *workload,
+		preload: *preload, workers: *workers, warmupPar: *warmupPar, shards: *shards,
+		catalogMaxBytes: *maxBytes, cacheMax: *cacheMax, inflight: *inflight, auto: *auto,
+		reqTimeout: *reqTimeout, drainWait: *drainWait,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupPar, shards int, catalogMaxBytes int64, reqTimeout, drainWait time.Duration) error {
+// options carries the parsed flag set into run.
+type options struct {
+	dataPath, addr, indexDir, workloadDir, preload string
+	workers, warmupPar, shards, inflight           int
+	catalogMaxBytes, cacheMax                      int64
+	auto                                           bool
+	reqTimeout, drainWait                          time.Duration
+}
+
+func run(opts options) error {
+	dataPath, addr, indexDir := opts.dataPath, opts.addr, opts.indexDir
+	reqTimeout, drainWait := opts.reqTimeout, opts.drainWait
 	start := time.Now()
 	data, err := series.LoadFile(dataPath)
 	if err != nil {
@@ -78,7 +98,7 @@ func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupP
 	fmt.Printf("loaded %s: %d series of length %d (%.3fs), %s distance kernel\n",
 		dataPath, data.Size(), data.Length(), time.Since(start).Seconds(), kernel.Active())
 
-	names, err := parsePreload(preload)
+	names, err := parsePreload(opts.preload)
 	if err != nil {
 		return err
 	}
@@ -86,17 +106,26 @@ func run(dataPath, addr, indexDir, workloadDir, preload string, workers, warmupP
 		Data:           data,
 		DatasetPath:    dataPath,
 		IndexDir:       indexDir,
-		WorkloadDir:    workloadDir,
-		Shards:         shards,
+		WorkloadDir:    opts.workloadDir,
+		Shards:         opts.shards,
 		Preload:        names,
-		DefaultWorkers: workers,
-		WarmupWorkers:  warmupPar,
+		DefaultWorkers: opts.workers,
+		WarmupWorkers:  opts.warmupPar,
+		CacheMaxBytes:  opts.cacheMax,
+		MaxInflight:    opts.inflight,
+		DisableAuto:    !opts.auto,
 		Log:            os.Stdout,
 	})
 	if err != nil {
 		return err
 	}
-	if catalogMaxBytes > 0 && indexDir != "" {
+	if opts.cacheMax > 0 {
+		fmt.Printf("result cache enabled: %d byte budget\n", opts.cacheMax)
+	}
+	if opts.inflight > 0 {
+		fmt.Printf("admission control enabled: %d in-flight, %d queued, then 429\n", opts.inflight, 2*opts.inflight)
+	}
+	if catalogMaxBytes := opts.catalogMaxBytes; catalogMaxBytes > 0 && indexDir != "" {
 		// Prune after the warm start so the freshly touched (or written)
 		// serving set is the youngest and survives the LRU eviction. Like
 		// a failed catalog save, a failed prune must not take down a

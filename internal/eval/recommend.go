@@ -1,5 +1,7 @@
 package eval
 
+import "fmt"
+
 // Recommendation implements the paper's Figure 9 decision matrix: the best
 // technique for answering a query workload, given whether the data fits in
 // memory, whether guarantees are required, and whether index-construction
@@ -49,4 +51,37 @@ func Recommend(s Scenario) (method, rationale string) {
 		return "iSAX2+", "on-disk ng with a small workload: iSAX2+ remains competitive when the build dominates (Fig. 4)"
 	}
 	return "DSTree", "on-disk: DSTree and iSAX2+ dominate; DSTree is the overall winner (Fig. 4, Fig. 9)"
+}
+
+// matrixFallback is the Fig. 9 matrix's overall ranking, used when the
+// scenario's pick cannot answer the request (e.g. HNSW recommended but the
+// query needs exact answers, which HNSW does not support): DSTree is the
+// paper's overall winner, iSAX2+ the build-cheap runner-up, VA+file the
+// filter-based alternative, HNSW the ng-only throughput leader.
+var matrixFallback = []string{"DSTree", "iSAX2+", "VA+file", "HNSW"}
+
+// RecommendCapable is the capability-aware form of Recommend used as the
+// serve-time router's seed policy: it returns the Fig. 9 matrix pick when
+// that method is in the allowed set, and otherwise falls back through the
+// matrix's overall ranking, then to the first allowed method. allowed is
+// typically the registered methods whose capability flags satisfy the
+// request's mode; an empty set returns "".
+func RecommendCapable(s Scenario, allowed []string) (method, rationale string) {
+	if len(allowed) == 0 {
+		return "", "no capability-compatible method"
+	}
+	set := make(map[string]bool, len(allowed))
+	for _, name := range allowed {
+		set[name] = true
+	}
+	pick, why := Recommend(s)
+	if set[pick] {
+		return pick, why
+	}
+	for _, fb := range matrixFallback {
+		if set[fb] {
+			return fb, fmt.Sprintf("Fig. 9 fallback: matrix pick %s lacks a required capability; %s is the next overall winner", pick, fb)
+		}
+	}
+	return allowed[0], fmt.Sprintf("fallback: matrix pick %s lacks a required capability; %s is the first capability-compatible method", pick, allowed[0])
 }

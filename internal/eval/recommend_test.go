@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectRecommend mirrors the Fig. 9 decision matrix branch by branch so
+// the exhaustive sweep below states each expectation independently of the
+// implementation's control flow.
+func expectRecommend(s Scenario) string {
+	if s.NeedGuarantees {
+		if s.CountIndexing && !s.LargeWorkload {
+			return "iSAX2+"
+		}
+		return "DSTree"
+	}
+	if s.InMemory {
+		if !s.CountIndexing {
+			if s.HighAccuracy {
+				return "DSTree"
+			}
+			return "HNSW"
+		}
+		if s.LargeWorkload {
+			return "DSTree"
+		}
+		return "iSAX2+"
+	}
+	if s.CountIndexing && !s.LargeWorkload {
+		return "iSAX2+"
+	}
+	return "DSTree"
+}
+
+// TestRecommendAllScenarioCombinations sweeps every combination of the five
+// Scenario booleans (2^5 = 32), so every branch of the decision matrix —
+// and every don't-care field — is pinned down.
+func TestRecommendAllScenarioCombinations(t *testing.T) {
+	for bits := 0; bits < 32; bits++ {
+		s := Scenario{
+			InMemory:       bits&1 != 0,
+			NeedGuarantees: bits&2 != 0,
+			CountIndexing:  bits&4 != 0,
+			LargeWorkload:  bits&8 != 0,
+			HighAccuracy:   bits&16 != 0,
+		}
+		method, rationale := Recommend(s)
+		if want := expectRecommend(s); method != want {
+			t.Errorf("Recommend(%+v) = %q, want %q", s, method, want)
+		}
+		if rationale == "" {
+			t.Errorf("Recommend(%+v): empty rationale", s)
+		}
+	}
+}
+
+func TestRecommendCapable(t *testing.T) {
+	exactScenario := Scenario{InMemory: true, HighAccuracy: true} // matrix: DSTree
+	ngScenario := Scenario{InMemory: true}                        // matrix: HNSW
+
+	t.Run("matrix pick allowed", func(t *testing.T) {
+		method, _ := RecommendCapable(ngScenario, []string{"HNSW", "DSTree"})
+		if method != "HNSW" {
+			t.Fatalf("method = %q, want HNSW", method)
+		}
+	})
+	t.Run("falls back through the matrix ranking", func(t *testing.T) {
+		// HNSW recommended but not capable (e.g. exact mode): DSTree is
+		// the next overall winner present.
+		method, rationale := RecommendCapable(ngScenario, []string{"VA+file", "DSTree"})
+		if method != "DSTree" {
+			t.Fatalf("method = %q, want DSTree", method)
+		}
+		if !strings.Contains(rationale, "HNSW") {
+			t.Fatalf("rationale should name the incapable matrix pick: %q", rationale)
+		}
+		method, _ = RecommendCapable(ngScenario, []string{"VA+file"})
+		if method != "VA+file" {
+			t.Fatalf("method = %q, want VA+file", method)
+		}
+	})
+	t.Run("first allowed when nothing ranked matches", func(t *testing.T) {
+		method, _ := RecommendCapable(exactScenario, []string{"SerialScan"})
+		if method != "SerialScan" {
+			t.Fatalf("method = %q, want SerialScan", method)
+		}
+	})
+	t.Run("empty allowed set", func(t *testing.T) {
+		method, _ := RecommendCapable(exactScenario, nil)
+		if method != "" {
+			t.Fatalf("method = %q, want empty", method)
+		}
+	})
+	t.Run("exhaustive scenarios never escape the allowed set", func(t *testing.T) {
+		allowed := []string{"DSTree", "VA+file"}
+		for bits := 0; bits < 32; bits++ {
+			s := Scenario{
+				InMemory:       bits&1 != 0,
+				NeedGuarantees: bits&2 != 0,
+				CountIndexing:  bits&4 != 0,
+				LargeWorkload:  bits&8 != 0,
+				HighAccuracy:   bits&16 != 0,
+			}
+			method, _ := RecommendCapable(s, allowed)
+			if method != "DSTree" && method != "VA+file" {
+				t.Fatalf("RecommendCapable(%+v) escaped the allowed set: %q", s, method)
+			}
+		}
+	})
+}

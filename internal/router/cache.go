@@ -1,0 +1,117 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a byte-bounded, LRU-evicting query-result cache. Keys are the
+// caller's full request identity (dataset fingerprint, method-or-auto,
+// mode, k, ε/δ, probe budget, query-vector hash); values are opaque to the
+// cache — the server stores its fully built response so a hit replays the
+// original answer byte-identically with zero index work, zero modelled
+// I/O and zero distance computations re-spent.
+//
+// A nil *Cache is valid and always misses, which is how a server with
+// caching disabled runs the same handler code path.
+type Cache struct {
+	mu        sync.Mutex
+	max       int64
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheItem struct {
+	key   string
+	value any
+	bytes int64
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	UsedBytes int64
+	MaxBytes  int64
+}
+
+// NewCache returns a cache bounded to maxBytes, or nil (caching disabled)
+// when maxBytes is not positive.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the value stored under key and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheItem).value, true
+}
+
+// Put stores value under key, charging it `bytes` against the budget, and
+// evicts least-recently-used entries until the cache fits again. Values
+// larger than the whole budget are not admitted (they would evict
+// everything and then miss anyway).
+func (c *Cache) Put(key string, value any, bytes int64) {
+	if c == nil || bytes <= 0 || bytes > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		item := el.Value.(*cacheItem)
+		c.used += bytes - item.bytes
+		item.value, item.bytes = value, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheItem{key: key, value: value, bytes: bytes})
+		c.used += bytes
+	}
+	for c.used > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		item := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, item.key)
+		c.used -= item.bytes
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters (zero for a nil cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.items),
+		UsedBytes: c.used,
+		MaxBytes:  c.max,
+	}
+}

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissAndLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("a", "A", 40)
+	c.Put("b", "B", 40)
+	if v, ok := c.Get("a"); !ok || v != "A" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" was just touched, so inserting "c" must evict "b" (the LRU).
+	c.Put("c", "C", 40)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a should have survived")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.UsedBytes != 80 || st.MaxBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Hits: a (before eviction), a (after). Misses: initial a, b.
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestCachePutUpdatesInPlace(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", "old", 30)
+	c.Put("a", "new", 50)
+	if v, _ := c.Get("a"); v != "new" {
+		t.Fatalf("Get(a) = %v, want new", v)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.UsedBytes != 50 {
+		t.Fatalf("stats after update = %+v", st)
+	}
+}
+
+func TestCacheRefusesOversizedAndNonPositiveEntries(t *testing.T) {
+	c := NewCache(100)
+	c.Put("big", "x", 101) // would evict everything and still not fit
+	c.Put("zero", "x", 0)
+	c.Put("neg", "x", -5)
+	if st := c.Stats(); st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("oversized/empty entries were admitted: %+v", st)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c = NewCache(0); c != nil {
+		t.Fatal("NewCache(0) should disable caching")
+	}
+	c.Put("a", "A", 10)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache must always miss")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, g, 512)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.UsedBytes > st.MaxBytes {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if st.Entries == 0 || st.Hits == 0 {
+		t.Fatalf("concurrent workload left no trace: %+v", st)
+	}
+}

@@ -1,0 +1,109 @@
+package router
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Gate is the admission controller on the serve boundary: at most
+// maxInflight requests execute concurrently, at most maxQueue more wait
+// for a slot, and everything beyond that is shed immediately — the caller
+// turns a shed into the documented 429 "overloaded" error, which is the
+// difference between a server that degrades by refusing excess work and
+// one that collapses by accepting it.
+//
+// A nil *Gate is valid and admits everything (admission control disabled).
+type Gate struct {
+	slots     chan struct{}
+	maxQueue  int64
+	queued    atomic.Int64
+	shed      atomic.Int64
+	workerCap int
+}
+
+// GateStats is a point-in-time snapshot of the gate.
+type GateStats struct {
+	Inflight  int
+	Queued    int64
+	Shed      int64
+	MaxQueue  int64
+	WorkerCap int
+}
+
+// NewGate returns a gate admitting maxInflight concurrent requests, or nil
+// (admission disabled) when maxInflight is not positive. maxQueue <= 0
+// defaults to 2*maxInflight. workerCap clamps each request's query
+// fan-out; <= 0 derives max(1, GOMAXPROCS/maxInflight), which keeps the
+// worst-case thread demand of a full gate near the core count.
+func NewGate(maxInflight, maxQueue, workerCap int) *Gate {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = 2 * maxInflight
+	}
+	if workerCap <= 0 {
+		workerCap = runtime.GOMAXPROCS(0) / maxInflight
+		if workerCap < 1 {
+			workerCap = 1
+		}
+	}
+	return &Gate{
+		slots:     make(chan struct{}, maxInflight),
+		maxQueue:  int64(maxQueue),
+		workerCap: workerCap,
+	}
+}
+
+// Acquire claims an execution slot, waiting in the queue when all slots
+// are busy. It returns false — without blocking — when the queue is also
+// full; the request must then be shed.
+func (g *Gate) Acquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shed.Add(1)
+		return false
+	}
+	g.slots <- struct{}{}
+	g.queued.Add(-1)
+	return true
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	if g != nil {
+		<-g.slots
+	}
+}
+
+// ClampWorkers bounds one request's resolved query fan-out to the
+// per-request cap, so a single caller cannot monopolise every core while
+// other admitted requests starve.
+func (g *Gate) ClampWorkers(workers int) int {
+	if g == nil || workers <= g.workerCap {
+		return workers
+	}
+	return g.workerCap
+}
+
+// Stats snapshots the gate counters (zero for a nil gate).
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Inflight:  len(g.slots),
+		Queued:    g.queued.Load(),
+		Shed:      g.shed.Load(),
+		MaxQueue:  g.maxQueue,
+		WorkerCap: g.workerCap,
+	}
+}

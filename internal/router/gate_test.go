@@ -1,0 +1,95 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsQueuesAndSheds(t *testing.T) {
+	g := NewGate(1, 1, 0)
+	if !g.Acquire() {
+		t.Fatal("first request should get the slot")
+	}
+	// Second request queues (blocking); park it in a goroutine.
+	admitted := make(chan bool, 1)
+	go func() { admitted <- g.Acquire() }()
+	waitFor(t, func() bool { return g.Stats().Queued == 1 })
+
+	// Slot busy, queue full: the third request is shed without blocking.
+	done := make(chan bool, 1)
+	go func() { done <- g.Acquire() }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("third request should have been shed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shed Acquire blocked")
+	}
+	if got := g.Stats().Shed; got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+
+	// Releasing the slot admits the queued request.
+	g.Release()
+	select {
+	case ok := <-admitted:
+		if !ok {
+			t.Fatal("queued request should have been admitted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted")
+	}
+	g.Release()
+	st := g.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+}
+
+func TestGateWorkerClamp(t *testing.T) {
+	g := NewGate(2, 0, 3)
+	if got := g.ClampWorkers(8); got != 3 {
+		t.Fatalf("ClampWorkers(8) = %d, want 3", got)
+	}
+	if got := g.ClampWorkers(2); got != 2 {
+		t.Fatalf("ClampWorkers(2) = %d, want 2 (under the cap)", got)
+	}
+	// Derived cap is at least 1 even when inflight exceeds the cores.
+	if NewGate(4096, 0, 0).ClampWorkers(64) != 1 {
+		t.Fatal("derived worker cap should floor at 1")
+	}
+	// Default queue is 2x inflight.
+	if st := NewGate(3, 0, 0).Stats(); st.MaxQueue != 6 {
+		t.Fatalf("default MaxQueue = %d, want 6", st.MaxQueue)
+	}
+}
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	if g = NewGate(0, 0, 0); g != nil {
+		t.Fatal("NewGate(0) should disable admission control")
+	}
+	if !g.Acquire() {
+		t.Fatal("nil gate must admit")
+	}
+	g.Release() // must not panic
+	if got := g.ClampWorkers(64); got != 64 {
+		t.Fatalf("nil gate clamped workers to %d", got)
+	}
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Fatalf("nil gate stats = %+v, want zero", st)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,226 @@
+// Package router implements the serve-path performance layer in front of
+// the method registry: an adaptive method router (the "method":"auto"
+// request mode), a byte-bounded LRU query-result cache, and an admission
+// gate that sheds load at the serve boundary instead of collapsing under
+// it.
+//
+// The router exploits the paper's central finding — no single method wins
+// across workloads (Fig. 9) — at serve time. Its seed policy is the Fig. 9
+// decision matrix (eval.Recommend, constrained to the methods whose
+// capability flags can answer the request's mode), refined online from the
+// per-query latencies the server observes: once the seed method and a
+// rival both have enough samples, the lowest observed p50 wins. Routing
+// never changes answers for exact queries (every exact-capable method
+// returns the true k-NN) and is always answer-honest for approximate
+// modes: the response names the method that actually ran.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hydra/internal/core"
+	"hydra/internal/eval"
+)
+
+// Request is the routing-relevant shape of one query request.
+type Request struct {
+	Mode    core.Mode
+	K       int
+	Epsilon float64
+	Delta   float64
+}
+
+// Decision is one routing outcome: the method to run and why.
+type Decision struct {
+	Method string
+	// Source is "observed" when the pick came from live latency samples,
+	// "seed" when it came from the Fig. 9 matrix.
+	Source    string
+	Rationale string
+}
+
+// Config parameterises a Router. The zero value selects serving defaults.
+type Config struct {
+	// MinSamples is how many per-query latency observations a method needs
+	// before its observed p50 is trusted over the seed matrix (default 3).
+	MinSamples int
+	// WindowSize is the per-method sliding window the p50 is computed over
+	// (default 64) — a window, not a lifetime mean, so the router tracks
+	// behaviour shifts (cache warmup, competing load) instead of averaging
+	// them away.
+	WindowSize int
+	// Scenario maps a request onto the Fig. 9 scenario used to seed cold
+	// methods; nil selects ServeScenario.
+	Scenario func(Request) eval.Scenario
+	// Candidates lists the method names able to answer a mode; nil scans
+	// the core registry's capability flags. Tests override it.
+	Candidates func(core.Mode) []string
+}
+
+// Router picks a serving method per request. Safe for concurrent use.
+type Router struct {
+	mu         sync.Mutex
+	minSamples int
+	windowSize int
+	windows    map[string]*window
+	scenario   func(Request) eval.Scenario
+	candidates func(core.Mode) []string
+}
+
+// New builds a Router from cfg.
+func New(cfg Config) *Router {
+	r := &Router{
+		minSamples: cfg.MinSamples,
+		windowSize: cfg.WindowSize,
+		windows:    map[string]*window{},
+		scenario:   cfg.Scenario,
+		candidates: cfg.Candidates,
+	}
+	if r.minSamples <= 0 {
+		r.minSamples = 3
+	}
+	if r.windowSize <= 0 {
+		r.windowSize = 64
+	}
+	if r.scenario == nil {
+		r.scenario = ServeScenario
+	}
+	if r.candidates == nil {
+		r.candidates = RegistryCandidates
+	}
+	return r
+}
+
+// ServeScenario is the Fig. 9 scenario a long-running hydra-serve process
+// is in: the dataset is held in RAM, indexes are prebuilt (warm-started
+// through the catalog) so construction time is sunk, and the process
+// lifetime amortises any build over a large workload. Guarantees and the
+// accuracy requirement follow from the request's mode.
+func ServeScenario(req Request) eval.Scenario {
+	return eval.Scenario{
+		InMemory:       true,
+		NeedGuarantees: req.Mode == core.ModeEpsilon || req.Mode == core.ModeDeltaEpsilon,
+		CountIndexing:  false,
+		LargeWorkload:  true,
+		HighAccuracy:   req.Mode == core.ModeExact,
+	}
+}
+
+// Supports reports whether a method spec's capability flags can answer
+// queries in the given mode.
+func Supports(spec core.MethodSpec, mode core.Mode) bool {
+	switch mode {
+	case core.ModeExact:
+		return spec.Exact
+	case core.ModeNG:
+		return spec.NG
+	case core.ModeEpsilon:
+		return spec.Epsilon
+	case core.ModeDeltaEpsilon:
+		return spec.DeltaEpsilon
+	default:
+		return false
+	}
+}
+
+// RegistryCandidates lists the registered methods able to answer the mode,
+// in registry (rank) order.
+func RegistryCandidates(mode core.Mode) []string {
+	var out []string
+	for _, spec := range core.RegisteredMethods() {
+		if Supports(spec, mode) {
+			out = append(out, spec.Name)
+		}
+	}
+	return out
+}
+
+// Pick routes one request. The seed method keeps winning until it has
+// MinSamples observations of its own — so the matrix pick always gets
+// measured before live data can overrule it — after which the candidate
+// with the lowest observed per-query p50 serves. Candidates that never
+// receive traffic simply never enter the comparison; the router does not
+// spend user requests exploring them.
+func (r *Router) Pick(req Request) (Decision, error) {
+	cands := r.candidates(req.Mode)
+	if len(cands) == 0 {
+		return Decision{}, fmt.Errorf("router: no registered method supports mode %s", req.Mode)
+	}
+	seed, why := eval.RecommendCapable(r.scenario(req), cands)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.windows[seed]; w == nil || w.count() < r.minSamples {
+		return Decision{Method: seed, Source: "seed", Rationale: why}, nil
+	}
+	best, bestP50 := "", 0.0
+	for _, name := range cands {
+		w := r.windows[name]
+		if w == nil || w.count() < r.minSamples {
+			continue
+		}
+		if p50 := w.p50(); best == "" || p50 < bestP50 {
+			best, bestP50 = name, p50
+		}
+	}
+	return Decision{
+		Method:    best,
+		Source:    "observed",
+		Rationale: fmt.Sprintf("lowest observed per-query p50 (%.3gs) among sampled capable methods", bestP50),
+	}, nil
+}
+
+// Observe records one request's per-query latency for a method. Every
+// served request should be observed — fixed-method traffic teaches the
+// router too — but cache hits must NOT be: they measure the cache, not the
+// method, and would poison the p50 the router compares.
+func (r *Router) Observe(method string, perQuerySeconds float64) {
+	if perQuerySeconds < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.windows[method]
+	if w == nil {
+		w = &window{samples: make([]float64, 0, r.windowSize), cap: r.windowSize}
+		r.windows[method] = w
+	}
+	w.add(perQuerySeconds)
+}
+
+// Samples reports how many latency observations a method currently holds
+// in its window (introspection and tests).
+func (r *Router) Samples(method string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.windows[method]; w != nil {
+		return w.count()
+	}
+	return 0
+}
+
+// window is a fixed-capacity ring of latency samples.
+type window struct {
+	samples []float64
+	next    int
+	cap     int
+}
+
+func (w *window) add(v float64) {
+	if len(w.samples) < w.cap {
+		w.samples = append(w.samples, v)
+		return
+	}
+	w.samples[w.next] = v
+	w.next = (w.next + 1) % w.cap
+}
+
+func (w *window) count() int { return len(w.samples) }
+
+func (w *window) p50() float64 {
+	sorted := append([]float64(nil), w.samples...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,138 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+// fixedCandidates builds a Candidates func serving one fixed list.
+func fixedCandidates(names ...string) func(core.Mode) []string {
+	return func(core.Mode) []string { return names }
+}
+
+func TestPickSeedsFromMatrixUntilSeedIsSampled(t *testing.T) {
+	r := New(Config{MinSamples: 2, Candidates: fixedCandidates("DSTree", "iSAX2+", "HNSW")})
+
+	// Cold router: the Fig. 9 matrix seeds every mode.
+	dec, err := r.Pick(Request{Mode: core.ModeExact, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Method != "DSTree" || dec.Source != "seed" {
+		t.Fatalf("cold exact pick = %+v, want DSTree via seed", dec)
+	}
+	dec, _ = r.Pick(Request{Mode: core.ModeNG, K: 10})
+	if dec.Method != "HNSW" || dec.Source != "seed" {
+		t.Fatalf("cold ng pick = %+v, want HNSW via seed", dec)
+	}
+	dec, _ = r.Pick(Request{Mode: core.ModeDeltaEpsilon, K: 10, Epsilon: 1, Delta: 0.99})
+	if dec.Method != "DSTree" || dec.Source != "seed" {
+		t.Fatalf("cold delta-epsilon pick = %+v, want DSTree via seed", dec)
+	}
+
+	// A rival having samples does not overrule an unsampled seed: the
+	// matrix pick must get measured before live data can replace it.
+	r.Observe("iSAX2+", 0.001)
+	r.Observe("iSAX2+", 0.001)
+	dec, _ = r.Pick(Request{Mode: core.ModeExact, K: 10})
+	if dec.Method != "DSTree" || dec.Source != "seed" {
+		t.Fatalf("pick with unsampled seed = %+v, want seed DSTree", dec)
+	}
+
+	// Once the seed has MinSamples, the lowest observed p50 wins.
+	r.Observe("DSTree", 0.010)
+	r.Observe("DSTree", 0.012)
+	dec, _ = r.Pick(Request{Mode: core.ModeExact, K: 10})
+	if dec.Method != "iSAX2+" || dec.Source != "observed" {
+		t.Fatalf("sampled pick = %+v, want observed iSAX2+", dec)
+	}
+	if !strings.Contains(dec.Rationale, "p50") {
+		t.Errorf("observed rationale should name the p50: %q", dec.Rationale)
+	}
+
+	// The seed keeps serving when it is the fastest sampled method.
+	r2 := New(Config{MinSamples: 2, Candidates: fixedCandidates("DSTree", "iSAX2+")})
+	r2.Observe("DSTree", 0.001)
+	r2.Observe("DSTree", 0.001)
+	r2.Observe("iSAX2+", 0.010)
+	r2.Observe("iSAX2+", 0.010)
+	dec, _ = r2.Pick(Request{Mode: core.ModeExact, K: 10})
+	if dec.Method != "DSTree" || dec.Source != "observed" {
+		t.Fatalf("fast seed pick = %+v, want observed DSTree", dec)
+	}
+}
+
+func TestPickWindowForgetsOldLatencies(t *testing.T) {
+	r := New(Config{MinSamples: 2, WindowSize: 4, Candidates: fixedCandidates("DSTree", "iSAX2+")})
+	// DSTree starts slow, iSAX2+ fast.
+	for i := 0; i < 4; i++ {
+		r.Observe("DSTree", 0.100)
+		r.Observe("iSAX2+", 0.010)
+	}
+	if dec, _ := r.Pick(Request{Mode: core.ModeExact}); dec.Method != "iSAX2+" {
+		t.Fatalf("pick = %+v, want iSAX2+ while DSTree is slow", dec)
+	}
+	// DSTree speeds up (e.g. page cache warmed); the 4-sample window must
+	// forget the slow past instead of averaging it in forever.
+	for i := 0; i < 4; i++ {
+		r.Observe("DSTree", 0.001)
+	}
+	if dec, _ := r.Pick(Request{Mode: core.ModeExact}); dec.Method != "DSTree" {
+		t.Fatalf("pick = %+v, want DSTree after its window refreshed", dec)
+	}
+	if n := r.Samples("DSTree"); n != 4 {
+		t.Fatalf("window holds %d samples, want 4", n)
+	}
+}
+
+func TestPickErrorsWithoutCandidates(t *testing.T) {
+	r := New(Config{Candidates: fixedCandidates()})
+	if _, err := r.Pick(Request{Mode: core.ModeExact}); err == nil {
+		t.Fatal("expected an error with no capable candidates")
+	}
+}
+
+func TestRegistryCandidatesFollowCapabilities(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeExact, core.ModeNG, core.ModeEpsilon, core.ModeDeltaEpsilon} {
+		names := RegistryCandidates(mode)
+		if len(names) == 0 {
+			t.Fatalf("no registered method supports mode %s", mode)
+		}
+		for _, name := range names {
+			spec, ok := core.LookupMethod(name)
+			if !ok || !Supports(spec, mode) {
+				t.Errorf("candidate %q does not support mode %s", name, mode)
+			}
+		}
+	}
+	// HNSW is ng-only: it must appear for ng and never for exact.
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(RegistryCandidates(core.ModeNG), "HNSW") {
+		t.Error("HNSW missing from ng candidates")
+	}
+	if has(RegistryCandidates(core.ModeExact), "HNSW") {
+		t.Error("HNSW must not be an exact candidate")
+	}
+}
+
+func TestServeScenarioTracksMode(t *testing.T) {
+	if s := ServeScenario(Request{Mode: core.ModeDeltaEpsilon}); !s.NeedGuarantees {
+		t.Error("delta-epsilon requests need guarantees")
+	}
+	if s := ServeScenario(Request{Mode: core.ModeNG}); s.NeedGuarantees || s.HighAccuracy {
+		t.Error("ng requests need neither guarantees nor MAP 1")
+	}
+	s := ServeScenario(Request{Mode: core.ModeExact})
+	if !s.HighAccuracy || !s.InMemory || s.CountIndexing || !s.LargeWorkload {
+		t.Errorf("exact serve scenario = %+v", s)
+	}
+}

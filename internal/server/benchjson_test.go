@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+)
+
+// serveBenchEntry is one row of BENCH_servecache.json: a serve-path request
+// shape measured end to end through the HTTP handler, with each variant row
+// carrying its speedup over the named baseline row.
+type serveBenchEntry struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Baseline string  `json:"baseline,omitempty"`
+	// Speedup is the baseline row's ns/op divided by this row's; 1.0 on
+	// baseline rows by construction.
+	Speedup float64 `json:"speedup"`
+}
+
+// TestWriteServeCacheBenchJSON measures the serve path with and without the
+// result cache, and "method":"auto" against the fixed method it resolves
+// to, writing BENCH_servecache.json to the path in
+// HYDRA_BENCH_SERVECACHE_JSON. Skipped when the variable is unset so
+// `go test ./...` stays fast; `make bench-json` runs it for real.
+func TestWriteServeCacheBenchJSON(t *testing.T) {
+	path := os.Getenv("HYDRA_BENCH_SERVECACHE_JSON")
+	if path == "" {
+		t.Skip("HYDRA_BENCH_SERVECACHE_JSON not set; run via `make bench-json`")
+	}
+
+	// The dataset is sized so the uncached index search dominates request
+	// decode/encode: the cache-hit speedup is meant to measure avoided
+	// search work, not JSON plumbing.
+	data, qs := testWorkload(t, 24000, 128, 8)
+	vecs := make([][]float32, 8)
+	for i := range vecs {
+		vecs[i] = queryVec(qs, i)
+	}
+	body := map[string]any{"method": "DSTree", "k": 10, "queries": vecs}
+	autoBody := map[string]any{"method": "auto", "k": 10, "queries": vecs}
+
+	uncachedSrv := newTestServer(t, Config{Data: data})
+	cachedSrv := newTestServer(t, Config{Data: data, CacheMaxBytes: 64 << 20})
+	uncached, cached := uncachedSrv.Handler(), cachedSrv.Handler()
+
+	post := func(h http.Handler, b map[string]any) {
+		if rec := postQuery(t, h, b); rec.Code != http.StatusOK {
+			t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	measure := func(h http.Handler, b map[string]any) float64 {
+		post(h, b) // hydrate the index (and prime the cache when enabled)
+		r := testing.Benchmark(func(bm *testing.B) {
+			for i := 0; i < bm.N; i++ {
+				post(h, b)
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+
+	var entries []serveBenchEntry
+	record := func(name string, ns float64, baseline string, baseNs float64) {
+		e := serveBenchEntry{Name: name, NsPerOp: ns, Baseline: baseline, Speedup: 1}
+		if baseline != "" && ns > 0 {
+			e.Speedup = baseNs / ns
+		}
+		entries = append(entries, e)
+		t.Logf("%s: %.0f ns/op (%.2fx)", name, ns, e.Speedup)
+	}
+
+	coldNs := measure(uncached, body)
+	record("serve/DSTree-exact/uncached", coldNs, "", 0)
+	hitNs := measure(cached, body)
+	record("serve/DSTree-exact/cache-hit", hitNs, "serve/DSTree-exact/uncached", coldNs)
+
+	// Auto routing overhead: same request through the router (which
+	// resolves to DSTree on this exact workload) vs naming the method.
+	fixedNs := measure(uncached, body)
+	record("serve/fixed-exact", fixedNs, "", 0)
+	autoNs := measure(uncached, autoBody)
+	record("serve/auto-exact", autoNs, "serve/fixed-exact", fixedNs)
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d entries to %s", len(entries), path)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hydra/internal/kernel"
+)
+
+// equivResponse is the slice of queryResponse the equivalence test compares:
+// the answers themselves plus the modelled work counters. A cache hit or an
+// "auto"-routed call must match a direct uncached fixed-method call on every
+// one of these fields.
+type equivResponse struct {
+	Method  string `json:"method"`
+	Cached  bool   `json:"cached"`
+	Answers []struct {
+		Query     int `json:"query"`
+		Neighbors []struct {
+			ID   int     `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	} `json:"answers"`
+	IO struct {
+		RandomSeeks     int64 `json:"random_seeks"`
+		SequentialPages int64 `json:"sequential_pages"`
+		BytesRead       int64 `json:"bytes_read"`
+	} `json:"io"`
+	DistCalcs int64 `json:"dist_calcs"`
+}
+
+func decodeEquiv(t *testing.T, rec *httptest.ResponseRecorder) equivResponse {
+	t.Helper()
+	var resp equivResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, rec.Body.String())
+	}
+	return resp
+}
+
+func sameAnswers(a, b equivResponse) bool {
+	if len(a.Answers) != len(b.Answers) {
+		return false
+	}
+	for i := range a.Answers {
+		if a.Answers[i].Query != b.Answers[i].Query ||
+			len(a.Answers[i].Neighbors) != len(b.Answers[i].Neighbors) {
+			return false
+		}
+		for j := range a.Answers[i].Neighbors {
+			if a.Answers[i].Neighbors[j] != b.Answers[i].Neighbors[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCacheAndAutoEquivalentToDirectCalls is the acceptance gate for the
+// serve-path cache and router: for a mixed workload, under both distance
+// kernels and both shard layouts, the cache-hit replay and the
+// "method":"auto" answer are identical — answers, modelled IO, DistCalcs —
+// to a direct uncached fixed-method call against a separate server.
+// ADS+ is deliberately absent: its query-time index refinement makes its
+// counters depend on query order, so it has no stable fixed-method baseline.
+func TestCacheAndAutoEquivalentToDirectCalls(t *testing.T) {
+	defer kernel.Use(kernel.Default)
+	data, qs := testWorkload(t, 300, 32, 3)
+	vecs := [][]float32{queryVec(qs, 0), queryVec(qs, 1), queryVec(qs, 2)}
+
+	requests := []map[string]any{
+		{"method": "DSTree", "mode": "exact", "k": 5, "queries": vecs},
+		{"method": "iSAX2+", "mode": "ng", "nprobe": 4, "k": 3, "queries": vecs},
+		{"method": "VA+file", "mode": "exact", "k": 3, "query": vecs[0]},
+		{"method": "DSTree", "mode": "delta-epsilon", "epsilon": 1.0, "delta": 0.99, "k": 5, "query": vecs[1]},
+		{"method": "auto", "mode": "exact", "k": 5, "queries": vecs},
+		{"method": "auto", "mode": "ng", "nprobe": 4, "k": 3, "query": vecs[2]},
+	}
+
+	for _, kern := range kernel.Kernels() {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", kern, shards), func(t *testing.T) {
+				kernel.Use(kern)
+				direct := newTestServer(t, Config{Data: data, Shards: shards}) // no cache
+				routed := newTestServer(t, Config{Data: data, Shards: shards, CacheMaxBytes: 1 << 20})
+				dh, rh := direct.Handler(), routed.Handler()
+
+				for i, req := range requests {
+					missRec := postQuery(t, rh, req)
+					if missRec.Code != http.StatusOK {
+						t.Fatalf("req %d miss: %d %s", i, missRec.Code, missRec.Body.String())
+					}
+					miss := decodeEquiv(t, missRec)
+					if miss.Cached {
+						t.Fatalf("req %d: first call reported cached", i)
+					}
+
+					hitRec := postQuery(t, rh, req)
+					if hitRec.Code != http.StatusOK {
+						t.Fatalf("req %d hit: %d %s", i, hitRec.Code, hitRec.Body.String())
+					}
+					hit := decodeEquiv(t, hitRec)
+					if !hit.Cached {
+						t.Fatalf("req %d: second call not served from cache", i)
+					}
+					wantHit := strings.Replace(missRec.Body.String(), `"cached": false`, `"cached": true`, 1)
+					if hitRec.Body.String() != wantHit {
+						t.Fatalf("req %d: hit not a byte replay of miss\nmiss:\n%s\nhit:\n%s",
+							i, missRec.Body.String(), hitRec.Body.String())
+					}
+
+					// The direct baseline names the resolved method, so for
+					// "auto" it re-asks the same question as a fixed call.
+					base := make(map[string]any, len(req))
+					for k, v := range req {
+						base[k] = v
+					}
+					base["method"] = miss.Method
+					baseRec := postQuery(t, dh, base)
+					if baseRec.Code != http.StatusOK {
+						t.Fatalf("req %d baseline: %d %s", i, baseRec.Code, baseRec.Body.String())
+					}
+					want := decodeEquiv(t, baseRec)
+					for name, got := range map[string]equivResponse{"miss": miss, "hit": hit} {
+						if !sameAnswers(got, want) {
+							t.Fatalf("req %d (%s, %s): answers diverge from direct %s call\nwant: %s\ngot:  %s",
+								i, req["method"], name, miss.Method, baseRec.Body.String(),
+								map[string]string{"miss": missRec.Body.String(), "hit": hitRec.Body.String()}[name])
+						}
+						if got.IO != want.IO || got.DistCalcs != want.DistCalcs {
+							t.Fatalf("req %d (%s, %s): counters diverge: io %+v vs %+v, dist %d vs %d",
+								i, req["method"], name, got.IO, want.IO, got.DistCalcs, want.DistCalcs)
+						}
+					}
+				}
+			})
+		}
+	}
+}

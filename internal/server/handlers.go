@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/eval"
 	"hydra/internal/kernel"
+	"hydra/internal/router"
 	"hydra/internal/series"
 	"hydra/internal/shard"
 	"hydra/internal/storage"
@@ -103,7 +105,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, time.Since(s.start).Seconds(), s.shardUsage())
+	s.metrics.render(w, time.Since(s.start).Seconds(), s.shardUsage(), s.cache.Stats(), s.gate.Stats())
 }
 
 // shardUsage gathers cumulative per-shard query counters from every
@@ -254,13 +256,21 @@ type answerJSON struct {
 
 // queryResponse is the POST /v1/query JSON body: answers plus the
 // request's exact cost accounting (raw-data I/O counters, distance
-// computations) and the storage cost model's pricing of it.
+// computations) and the storage cost model's pricing of it. It is also the
+// value the result cache stores: a hit replays the stored response with
+// only Cached flipped to true, so a hit body is byte-identical to the miss
+// that populated it everywhere else (including wall_seconds, which
+// reports the original computation, not the replay).
 type queryResponse struct {
-	Method       string       `json:"method"`
-	Mode         string       `json:"mode"`
-	K            int          `json:"k"`
-	Workers      int          `json:"workers"`
-	FromCatalog  bool         `json:"from_catalog"`
+	Method      string `json:"method"`
+	Mode        string `json:"mode"`
+	K           int    `json:"k"`
+	Workers     int    `json:"workers"`
+	FromCatalog bool   `json:"from_catalog"`
+	// Cached is true when this response was replayed from the result cache
+	// without touching any index (zero modelled I/O or distance
+	// computations re-spent; the counters below report the original run).
+	Cached       bool         `json:"cached"`
 	Answers      []answerJSON `json:"answers"`
 	WallSeconds  float64      `json:"wall_seconds"`
 	ModelSeconds float64      `json:"model_seconds"`
@@ -271,6 +281,30 @@ type queryResponse struct {
 	} `json:"io"`
 	DistCalcs int64          `json:"dist_calcs"`
 	CostModel map[string]any `json:"cost_model"`
+}
+
+// responseBytes estimates a response's cache footprint: the struct and its
+// JSON rendering are both dominated by the neighbour rows, priced here at
+// their in-memory cost plus encoding overhead.
+func responseBytes(resp *queryResponse) int64 {
+	n := int64(512) // fixed fields, cost model map, struct overhead
+	for _, a := range resp.Answers {
+		n += 48 + int64(len(a.Neighbors))*40
+	}
+	return n
+}
+
+// cacheKey is the full identity of a query request's answer: dataset
+// content, requested method (the literal "auto" for routed requests — a
+// routed answer may legally differ from any one fixed method's in
+// approximate modes, so the two must not share entries), mode and its
+// parameters, and a content hash of the query vectors themselves. Workers
+// and format are deliberately excluded: neither changes answers or
+// counters (the Method.Search concurrency contract), and both renderings
+// come from the same stored response.
+func (s *Server) cacheKey(methodField string, mode core.Mode, k int, epsilon, delta float64, nprobe int, queries *series.Dataset) string {
+	return fmt.Sprintf("%s|%s|%s|k=%d|eps=%g|delta=%g|nprobe=%d|q=%s",
+		s.fingerprint, methodField, mode, k, epsilon, delta, nprobe, queries.Fingerprint())
 }
 
 // maxRequestBytes bounds a /v1/query body. 64 MiB fits a ~65k-query batch
@@ -294,10 +328,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "\"method\" is required (see GET /v1/methods)")
 		return
 	}
-	spec, ok := core.LookupMethod(req.Method)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_method", "unknown method %q (see GET /v1/methods)", req.Method)
-		return
+	auto := strings.EqualFold(req.Method, "auto")
+	var spec core.MethodSpec
+	if auto {
+		if s.route == nil {
+			writeError(w, http.StatusBadRequest, "auto_disabled", "\"method\":\"auto\" is disabled (start hydra-serve with -auto)")
+			return
+		}
+	} else {
+		var ok bool
+		spec, ok = core.LookupMethod(req.Method)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_method", "unknown method %q (see GET /v1/methods)", req.Method)
+			return
+		}
 	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
@@ -320,6 +364,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_k", "k=%d exceeds dataset size %d", req.K, s.data.Size())
 		return
 	}
+	// Admission control sits on the serve boundary, before any query
+	// materialisation (a workload_file load is real work) — a shed request
+	// must cost almost nothing.
+	if !s.gate.Acquire() {
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"server is at -max-inflight capacity with a full queue; retry with backoff or against another replica")
+		return
+	}
+	defer s.gate.Release()
+
 	queries, qerr := s.gatherQueries(req)
 	if qerr != nil {
 		writeError(w, qerr.Status, qerr.Code, "%s", qerr.Message)
@@ -343,10 +397,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	m, fromCache, err := s.methodFor(req.Method)
+	methodField := spec.Name
+	if auto {
+		methodField = "auto"
+	}
+	key := s.cacheKey(methodField, mode, req.K, req.Epsilon, delta, nprobe, queries)
+	if v, ok := s.cache.Get(key); ok {
+		// Replay the stored response: the answer identical to the original
+		// run, with zero index work, I/O or distance computations re-spent.
+		hit := *v.(*queryResponse)
+		hit.Cached = true
+		w.Header().Set("X-Hydra-Cached", "true")
+		s.writeQueryResponse(w, r, req, &hit)
+		return
+	}
+
+	if auto {
+		dec, err := s.route.Pick(router.Request{Mode: mode, K: req.K, Epsilon: req.Epsilon, Delta: delta})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "unroutable", "%v", err)
+			return
+		}
+		spec, _ = core.LookupMethod(dec.Method)
+		s.metrics.recordRouted(dec.Method)
+		w.Header().Set("X-Hydra-Routed-Method", dec.Method)
+		w.Header().Set("X-Hydra-Routed-Source", dec.Source)
+	}
+
+	m, fromCache, err := s.methodFor(spec.Name)
 	if err != nil {
-		s.metrics.recordError(req.Method)
-		writeError(w, http.StatusInternalServerError, "method_unavailable", "hydrating %s: %v", req.Method, err)
+		s.metrics.recordError(spec.Name)
+		writeError(w, http.StatusInternalServerError, "method_unavailable", "hydrating %s: %v", spec.Name, err)
 		return
 	}
 
@@ -354,33 +435,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if workers == 0 {
 		workers = s.defWorkers
 	}
-	if workers == 0 {
-		workers = 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	workers = s.gate.ClampWorkers(workers)
 	workload := eval.Workload{Data: s.data, Queries: queries, K: req.K}
 	start := time.Now()
 	outcome, err := eval.ParallelRun(m, workload, template, s.model, eval.RunOptions{Workers: workers})
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
-		s.metrics.recordError(req.Method)
+		s.metrics.recordError(spec.Name)
 		writeError(w, http.StatusInternalServerError, "query_failed", "%v", err)
 		return
 	}
-	s.metrics.recordRequest(req.Method, queries.Size(), elapsed, outcome.IO, outcome.DistCalcs)
-
-	format := req.Format
-	if f := r.URL.Query().Get("format"); f != "" {
-		format = f
-	}
-	if strings.EqualFold(format, "text") {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for qi, res := range outcome.Results {
-			fmt.Fprintln(w, eval.AnswerLine(qi, res.Neighbors))
-		}
-		return
+	s.metrics.recordRequest(spec.Name, queries.Size(), elapsed, outcome.IO, outcome.DistCalcs)
+	if s.route != nil && queries.Size() > 0 {
+		// Per-query latency (not per-request) so batch size does not skew
+		// the router's cross-method comparison. Cache hits never reach
+		// here, so replays cannot poison the p50.
+		s.route.Observe(spec.Name, elapsed/float64(queries.Size()))
 	}
 
-	resp := queryResponse{
+	resp := &queryResponse{
 		Method:       spec.Name,
 		Mode:         mode.String(),
 		K:            req.K,
@@ -401,6 +477,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			nbs[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
 		}
 		resp.Answers[qi] = answerJSON{Query: qi, Neighbors: nbs}
+	}
+	s.cache.Put(key, resp, responseBytes(resp))
+	s.writeQueryResponse(w, r, req, resp)
+}
+
+// writeQueryResponse renders a query response in the requested format.
+// Both the fresh path and the cache-replay path come through here, and the
+// text rendering reads the same stored answers the JSON rendering does —
+// which is what makes a cache hit byte-identical to the miss that
+// populated it in either format.
+func (s *Server) writeQueryResponse(w http.ResponseWriter, r *http.Request, req queryRequest, resp *queryResponse) {
+	format := req.Format
+	if f := r.URL.Query().Get("format"); f != "" {
+		format = f
+	}
+	if strings.EqualFold(format, "text") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, a := range resp.Answers {
+			nbs := make([]core.Neighbor, len(a.Neighbors))
+			for i, nb := range a.Neighbors {
+				nbs[i] = core.Neighbor{ID: nb.ID, Dist: nb.Dist}
+			}
+			fmt.Fprintln(w, eval.AnswerLine(a.Query, nbs))
+		}
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hydra/internal/router"
 	"hydra/internal/storage"
 )
 
@@ -47,6 +48,7 @@ type metrics struct {
 	mu            sync.Mutex
 	perMethod     map[string]*methodMetrics
 	perShard      map[string]map[int]*shardHydration
+	routed        map[string]int64 // "method":"auto" decisions per resolved method
 	catalogHits   int64
 	catalogMisses int64
 }
@@ -55,6 +57,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		perMethod: map[string]*methodMetrics{},
 		perShard:  map[string]map[int]*shardHydration{},
+		routed:    map[string]int64{},
 	}
 }
 
@@ -94,6 +97,13 @@ func (m *metrics) recordError(method string) {
 	m.forMethod(method).errors++
 }
 
+// recordRouted counts one "method":"auto" decision resolved to a method.
+func (m *metrics) recordRouted(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routed[method]++
+}
+
 // recordCatalog counts one catalog-routed hydration outcome.
 func (m *metrics) recordCatalog(hit bool) {
 	m.mu.Lock()
@@ -129,8 +139,11 @@ func (m *metrics) recordShardCatalog(method string, shard int, hit bool) {
 // render writes the Prometheus text exposition of every counter.
 // shardUsage carries the per-shard query counters gathered from the
 // hydrated scatter-gather methods (nil/empty when serving unsharded, in
-// which case no per-shard family is emitted).
-func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardUsage) {
+// which case no per-shard family is emitted); cache and gate carry the
+// serve-path layer's counters, snapshotted by the handler at scrape time
+// (zero-valued when the feature is disabled, so the families stay stable
+// for scrapers either way).
+func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardUsage, cache router.CacheStats, gate router.GateStats) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.perMethod))
 	for name := range m.perMethod {
@@ -165,6 +178,15 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 		}
 		return hydRows[i].shard < hydRows[j].shard
 	})
+	type routedRow struct {
+		method string
+		n      int64
+	}
+	routedRows := make([]routedRow, 0, len(m.routed))
+	for method, n := range m.routed {
+		routedRows = append(routedRows, routedRow{method, n})
+	}
+	sort.Slice(routedRows, func(i, j int) bool { return routedRows[i].method < routedRows[j].method })
 	hits, misses := m.catalogHits, m.catalogMisses
 	m.mu.Unlock()
 
@@ -177,6 +199,30 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 	fmt.Fprintf(w, "# HELP hydra_catalog_misses_total Index hydrations that had to build (and save).\n")
 	fmt.Fprintf(w, "# TYPE hydra_catalog_misses_total counter\n")
 	fmt.Fprintf(w, "hydra_catalog_misses_total %d\n", misses)
+
+	fmt.Fprintf(w, "# HELP hydra_cache_hits_total Query requests answered by replaying the result cache.\n")
+	fmt.Fprintf(w, "# TYPE hydra_cache_hits_total counter\n")
+	fmt.Fprintf(w, "hydra_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# HELP hydra_cache_misses_total Query requests that missed the result cache and ran an index search.\n")
+	fmt.Fprintf(w, "# TYPE hydra_cache_misses_total counter\n")
+	fmt.Fprintf(w, "hydra_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP hydra_cache_evictions_total Result-cache entries evicted to stay under -cache-max-bytes.\n")
+	fmt.Fprintf(w, "# TYPE hydra_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "hydra_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "# HELP hydra_cache_bytes Estimated bytes currently held by the result cache.\n")
+	fmt.Fprintf(w, "# TYPE hydra_cache_bytes gauge\n")
+	fmt.Fprintf(w, "hydra_cache_bytes %d\n", cache.UsedBytes)
+	fmt.Fprintf(w, "# HELP hydra_cache_entries Responses currently held by the result cache.\n")
+	fmt.Fprintf(w, "# TYPE hydra_cache_entries gauge\n")
+	fmt.Fprintf(w, "hydra_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(w, "# HELP hydra_requests_shed_total Query requests shed with 429 overloaded at the admission gate.\n")
+	fmt.Fprintf(w, "# TYPE hydra_requests_shed_total counter\n")
+	fmt.Fprintf(w, "hydra_requests_shed_total %d\n", gate.Shed)
+	fmt.Fprintf(w, "# HELP hydra_router_decisions_total \"method\":\"auto\" requests routed to each method.\n")
+	fmt.Fprintf(w, "# TYPE hydra_router_decisions_total counter\n")
+	for _, r := range routedRows {
+		fmt.Fprintf(w, "hydra_router_decisions_total{method=%q} %d\n", r.method, r.n)
+	}
 
 	fmt.Fprintf(w, "# HELP hydra_query_requests_total Answered /v1/query requests per method.\n")
 	fmt.Fprintf(w, "# TYPE hydra_query_requests_total counter\n")

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.String()
+}
+
+// requireMetric asserts an exact `name value` or `name{labels} value` line.
+func requireMetric(t *testing.T, body, line string) {
+	t.Helper()
+	for _, l := range strings.Split(body, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("metrics missing line %q in:\n%s", line, body)
+}
+
+// TestMetricsScrapeFormat drives cache misses/hits, router decisions and a
+// metrics scrape through the handler, then checks both the serve-path
+// counter values and that the whole body is well-formed Prometheus text
+// exposition: every sample line's family has a # HELP and # TYPE line
+// before it, and every line parses as comment or `name{labels} value`.
+func TestMetricsScrapeFormat(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	s := newTestServer(t, Config{Data: data, CacheMaxBytes: 1 << 20})
+	h := s.Handler()
+
+	// Two misses, one hit, and two auto decisions (exact → DSTree twice).
+	body1 := map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)}
+	body2 := map[string]any{"method": "auto", "k": 3, "query": queryVec(qs, 1)}
+	for _, b := range []map[string]any{body1, body1, body2, body2} {
+		if rec := postQuery(t, h, b); rec.Code != http.StatusOK {
+			t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	body := scrapeMetrics(t, h)
+	// body2 repeats route through the cache ("auto" is part of the key), so
+	// the second one is a hit and only the first is a router decision...
+	requireMetric(t, body, "hydra_cache_hits_total 2")
+	requireMetric(t, body, "hydra_cache_misses_total 2")
+	requireMetric(t, body, "hydra_cache_evictions_total 0")
+	requireMetric(t, body, "hydra_cache_entries 2")
+	requireMetric(t, body, "hydra_requests_shed_total 0")
+	requireMetric(t, body, `hydra_router_decisions_total{method="DSTree"} 1`)
+	// ...and the cached auto replay must not re-count requests or queries.
+	requireMetric(t, body, `hydra_query_requests_total{method="DSTree"} 1`)
+	requireMetric(t, body, `hydra_query_requests_total{method="SerialScan"} 1`)
+
+	validatePromText(t, body)
+}
+
+// validatePromText is a structural check of the Prometheus text format:
+// lines are either comments or samples, each sample's metric name resolves
+// to a family that was announced with # HELP and # TYPE beforehand, and
+// the value field is present.
+func validatePromText(t *testing.T, body string) {
+	t.Helper()
+	announced := map[string]bool{} // family name -> saw HELP and TYPE
+	helped := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", i+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+			helped[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			name := fields[2]
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", i+1, fields[3])
+			}
+			if !helped[name] {
+				t.Fatalf("line %d: TYPE for %s before its HELP", i+1, name)
+			}
+			announced[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment form: %q", i+1, line)
+		}
+		name := line
+		if cut := strings.IndexAny(name, "{ "); cut >= 0 {
+			name = name[:cut]
+		}
+		// Histogram samples hang off the family name.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && announced[base] {
+				family = base
+			}
+		}
+		if !announced[family] {
+			t.Fatalf("line %d: sample %q has no preceding # HELP/# TYPE", i+1, line)
+		}
+		rest := line[len(name):]
+		if open := strings.Index(rest, "{"); open >= 0 {
+			close := strings.LastIndex(rest, "}")
+			if close < open {
+				t.Fatalf("line %d: unbalanced label braces: %q", i+1, line)
+			}
+			rest = rest[close+1:]
+		}
+		var value float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%g", &value); err != nil {
+			t.Fatalf("line %d: sample %q has no numeric value: %v", i+1, line, err)
+		}
+	}
+	for _, family := range []string{
+		"hydra_cache_hits_total", "hydra_cache_misses_total",
+		"hydra_cache_evictions_total", "hydra_cache_bytes",
+		"hydra_cache_entries", "hydra_requests_shed_total",
+		"hydra_router_decisions_total",
+	} {
+		if !announced[family] {
+			t.Fatalf("family %s missing from exposition", family)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCacheHitIsByteIdenticalAndFlagged(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	s := newTestServer(t, Config{Data: data, CacheMaxBytes: 1 << 20})
+	h := s.Handler()
+	body := map[string]any{"method": "DSTree", "k": 5, "queries": [][]float32{queryVec(qs, 0), queryVec(qs, 1)}}
+
+	miss := postQuery(t, h, body)
+	if miss.Code != http.StatusOK {
+		t.Fatalf("miss: %d %s", miss.Code, miss.Body.String())
+	}
+	if !strings.Contains(miss.Body.String(), `"cached": false`) {
+		t.Fatalf("first response should carry \"cached\": false:\n%s", miss.Body.String())
+	}
+	if miss.Header().Get("X-Hydra-Cached") != "" {
+		t.Fatal("miss must not set the X-Hydra-Cached header")
+	}
+
+	hit := postQuery(t, h, body)
+	if hit.Code != http.StatusOK {
+		t.Fatalf("hit: %d %s", hit.Code, hit.Body.String())
+	}
+	if hit.Header().Get("X-Hydra-Cached") != "true" {
+		t.Fatal("hit should set X-Hydra-Cached: true")
+	}
+	// The replay is byte-identical to the response that populated it —
+	// answers, counters, even wall_seconds — except the cached flag.
+	want := strings.Replace(miss.Body.String(), `"cached": false`, `"cached": true`, 1)
+	if hit.Body.String() != want {
+		t.Fatalf("cache hit is not a byte-identical replay:\nmiss:\n%s\nhit:\n%s", miss.Body.String(), hit.Body.String())
+	}
+
+	// Text renderings of miss and hit agree byte for byte too.
+	textBody := map[string]any{"method": "DSTree", "k": 5, "query": queryVec(qs, 0), "format": "text"}
+	textMiss := postQuery(t, h, textBody)
+	textHit := postQuery(t, h, textBody)
+	if textHit.Header().Get("X-Hydra-Cached") != "true" {
+		t.Fatal("text hit should set X-Hydra-Cached: true")
+	}
+	if textMiss.Body.String() != textHit.Body.String() {
+		t.Fatalf("text replay differs:\n%s\nvs\n%s", textMiss.Body.String(), textHit.Body.String())
+	}
+	if !strings.HasPrefix(textMiss.Body.String(), "query   0:") {
+		t.Fatalf("text body lost the CLI answer-line format: %q", textMiss.Body.String())
+	}
+
+	st := s.cache.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("cache hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheKeySeparatesRequestShapes(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	s := newTestServer(t, Config{Data: data, CacheMaxBytes: 1 << 20})
+	h := s.Handler()
+	vec := queryVec(qs, 0)
+
+	// Same vector, different method / mode / k / query: all misses.
+	bodies := []map[string]any{
+		{"method": "SerialScan", "k": 5, "query": vec},
+		{"method": "DSTree", "k": 5, "query": vec},
+		{"method": "DSTree", "k": 3, "query": vec},
+		{"method": "DSTree", "mode": "ng", "nprobe": 4, "k": 5, "query": vec},
+		{"method": "DSTree", "mode": "ng", "nprobe": 8, "k": 5, "query": vec},
+		{"method": "DSTree", "k": 5, "query": queryVec(qs, 1)},
+	}
+	for i, b := range bodies {
+		if rec := postQuery(t, h, b); rec.Code != http.StatusOK {
+			t.Fatalf("body %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	st := s.cache.Stats()
+	if st.Hits != 0 || st.Misses != int64(len(bodies)) {
+		t.Fatalf("distinct request shapes collided: hits=%d misses=%d, want 0/%d", st.Hits, st.Misses, len(bodies))
+	}
+	// Workers are excluded from the key: a different fan-out replays the
+	// same answer.
+	rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 5, "query": vec, "workers": 4})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"cached": true`) {
+		t.Fatalf("workers should not fragment the cache: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAutoRoutesSeedThenObserved(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	vec := queryVec(qs, 0)
+
+	// Cold router: the Fig. 9 matrix seeds exact traffic onto DSTree.
+	rec := postQuery(t, h, map[string]any{"method": "auto", "k": 5, "query": vec})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("auto exact: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Hydra-Routed-Method"); got != "DSTree" {
+		t.Fatalf("routed method = %q, want DSTree", got)
+	}
+	if got := rec.Header().Get("X-Hydra-Routed-Source"); got != "seed" {
+		t.Fatalf("routed source = %q, want seed", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"method": "DSTree"`) {
+		t.Fatalf("response should name the resolved method:\n%s", rec.Body.String())
+	}
+
+	// ng traffic seeds onto HNSW (in-memory, query-only, no MAP-1 need).
+	rec = postQuery(t, h, map[string]any{"method": "auto", "mode": "ng", "nprobe": 4, "k": 5, "query": vec})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("auto ng: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Hydra-Routed-Method"); got != "HNSW" {
+		t.Fatalf("ng routed method = %q, want HNSW", got)
+	}
+
+	// Once live samples say SerialScan answers exact queries faster than
+	// the (sampled) seed, the router must follow the data.
+	for i := 0; i < 3; i++ {
+		s.route.Observe("SerialScan", 0.0001)
+		s.route.Observe("DSTree", 0.1)
+	}
+	rec = postQuery(t, h, map[string]any{"method": "auto", "k": 3, "query": vec})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("auto observed: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Hydra-Routed-Method"); got != "SerialScan" {
+		t.Fatalf("observed routed method = %q, want SerialScan", got)
+	}
+	if got := rec.Header().Get("X-Hydra-Routed-Source"); got != "observed" {
+		t.Fatalf("observed routed source = %q", got)
+	}
+}
+
+func TestAutoDisabledIsRefused(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data, DisableAuto: true})
+	rec := postQuery(t, s.Handler(), map[string]any{"method": "auto", "k": 3, "query": queryVec(qs, 0)})
+	if code := decodeError(t, rec, http.StatusBadRequest); code != "auto_disabled" {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestAdmissionGateShedsWith429(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data, MaxInflight: 1})
+	h := s.Handler()
+	body := map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)}
+
+	// Occupy the single execution slot, then fill the queue (2*inflight)
+	// with two parked requests.
+	if !s.gate.Acquire() {
+		t.Fatal("slot acquire failed on an idle gate")
+	}
+	results := make(chan *httptest.ResponseRecorder, 2)
+	for i := 0; i < 2; i++ {
+		go func() { results <- postQuery(t, h, body) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.Stats().Queued != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", s.gate.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Slot busy, queue full: the next request is shed immediately.
+	rec := postQuery(t, h, body)
+	if code := decodeError(t, rec, http.StatusTooManyRequests); code != "overloaded" {
+		t.Fatalf("code = %q", code)
+	}
+
+	// Releasing the slot drains the queue; both parked requests answer.
+	s.gate.Release()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.Code != http.StatusOK {
+				t.Fatalf("queued request %d: %d %s", i, r.Code, r.Body.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued request never completed")
+		}
+	}
+
+	// The shed shows up on /metrics.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, req)
+	if !strings.Contains(mrec.Body.String(), "hydra_requests_shed_total 1") {
+		t.Fatalf("metrics missing the shed:\n%s", mrec.Body.String())
+	}
+}

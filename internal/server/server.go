@@ -25,6 +25,7 @@ import (
 	"hydra/internal/catalog"
 	"hydra/internal/core"
 	"hydra/internal/eval"
+	"hydra/internal/router"
 	"hydra/internal/series"
 	"hydra/internal/shard"
 	"hydra/internal/storage"
@@ -74,6 +75,18 @@ type Config struct {
 	// WarmupWorkers is the startup hydration fan-out; 0 or 1 hydrates
 	// serially, negative uses all cores.
 	WarmupWorkers int
+	// CacheMaxBytes bounds the in-memory query-result cache; entries are
+	// LRU-evicted to stay under it. 0 disables result caching.
+	CacheMaxBytes int64
+	// MaxInflight caps concurrently executing /v1/query requests; up to
+	// 2*MaxInflight more wait in a queue, and everything beyond that is
+	// shed with the documented 429 "overloaded" error. It also clamps each
+	// request's worker fan-out to GOMAXPROCS/MaxInflight (min 1). 0
+	// disables admission control.
+	MaxInflight int
+	// DisableAuto turns off the adaptive method router; "method":"auto"
+	// requests are then refused with the documented 400 error.
+	DisableAuto bool
 	// Log receives boot and hydration log lines; nil discards them.
 	Log io.Writer
 }
@@ -161,6 +174,13 @@ type Server struct {
 
 	handles map[string]*handle // one slot per registered method
 
+	// The serve-path performance layer: all three are nil-safe, so a
+	// server with caching/routing/admission disabled runs the same handler
+	// code path (see internal/router).
+	cache *router.Cache
+	gate  *router.Gate
+	route *router.Router // nil when Config.DisableAuto
+
 	metrics *metrics
 	start   time.Time
 	down    atomic.Bool
@@ -195,8 +215,13 @@ func New(cfg Config) (*Server, error) {
 		defWorkers:  cfg.DefaultWorkers,
 		log:         cfg.Log,
 		handles:     map[string]*handle{},
+		cache:       router.NewCache(cfg.CacheMaxBytes),
+		gate:        router.NewGate(cfg.MaxInflight, 0, 0),
 		metrics:     newMetrics(),
 		start:       time.Now(),
+	}
+	if !cfg.DisableAuto {
+		s.route = router.New(router.Config{})
 	}
 	if cfg.Model != nil {
 		s.model = *cfg.Model
