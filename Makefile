@@ -17,7 +17,7 @@ test:
 # index catalog, the sharded scatter-gather method and the HTTP server
 # under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/...
+	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/... ./internal/vafile/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -180,19 +180,22 @@ bench-smoke:
 # Real (non-smoke) benchmark run: prints the benchstat-able kernel
 # micro-benchmarks, measures both kernels through testing.Benchmark and
 # writes BENCH_kernels.json at the repo root (name, ns/op, dims, block
-# width, speedup vs scalar), then measures the serve path (cached vs
-# uncached, auto vs fixed method) into BENCH_servecache.json. Takes a
-# minute or two.
+# width, speedup vs scalar), the lower-bound phase-1/node-bound shapes
+# (legacy loops vs gap-table/packed-region kernels, plus scalar-vs-
+# blocked on each form) into BENCH_lowerbounds.json, then measures the
+# serve path (cached vs uncached, auto vs fixed method) into
+# BENCH_servecache.json. Takes a minute or two.
 bench-json:
 	$(GO) test -run=XXX -bench=. -benchtime=100x ./internal/kernel/
 	HYDRA_BENCH_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run=TestWriteBenchJSON -v -count=1 ./internal/eval/
+	HYDRA_BENCH_LOWERBOUNDS_JSON=$(CURDIR)/BENCH_lowerbounds.json $(GO) test -run=TestWriteLowerBoundBenchJSON -v -count=1 ./internal/eval/
 	HYDRA_BENCH_SERVECACHE_JSON=$(CURDIR)/BENCH_servecache.json $(GO) test -run=TestWriteServeCacheBenchJSON -v -count=1 -timeout=20m ./internal/server/
 
 # CI perf-regression gate: every speedup in the fresh BENCH_*.json files
 # must clear its committed floor in bench_thresholds.json. Run after
 # bench-json.
 bench-gate:
-	$(GO) run ./cmd/hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_servecache.json
+	$(GO) run ./cmd/hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_lowerbounds.json BENCH_servecache.json
 
 # Fails when any file needs gofmt (prints the offenders).
 fmt:

@@ -30,6 +30,42 @@ type TreeCursor interface {
 // Values must be usable as map keys (the engine deduplicates leaf visits).
 type NodeRef interface{}
 
+// BatchTreeCursor is an optional TreeCursor extension for cursors that can
+// lower-bound several nodes in one kernel call (precomputed region bounds
+// scored through internal/kernel). When a cursor implements it, the engine
+// scores all children of a popped node — and all roots — through MinDists
+// instead of per-node MinDist calls.
+type BatchTreeCursor interface {
+	TreeCursor
+	// MinDists writes MinDist(nodes[i]) to out[i] for every node
+	// (len(out) >= len(nodes)). Values must be bit-identical to per-node
+	// MinDist calls: the engine treats the two paths as interchangeable.
+	MinDists(nodes []NodeRef, out []float64)
+}
+
+// lbScratch reuses one bound buffer across the expansions of a traversal.
+type lbScratch struct {
+	lbs []float64
+}
+
+// minDists scores nodes through the cursor's batch path when available,
+// falling back to per-node MinDist. The returned slice is valid until the
+// next call.
+func (s *lbScratch) minDists(cur TreeCursor, nodes []NodeRef) []float64 {
+	if cap(s.lbs) < len(nodes) {
+		s.lbs = make([]float64, len(nodes))
+	}
+	out := s.lbs[:len(nodes)]
+	if bc, ok := cur.(BatchTreeCursor); ok {
+		bc.MinDists(nodes, out)
+		return out
+	}
+	for i, n := range nodes {
+		out[i] = cur.MinDist(n)
+	}
+	return out
+}
+
 // nodeItem is a priority-queue entry ordered by lower-bound distance.
 type nodeItem struct {
 	node NodeRef
@@ -92,13 +128,15 @@ func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize in
 	}
 
 	// ng-approximate seeding descent (Algorithm 1 line 6): follow the most
-	// promising child from the best root down to one leaf.
+	// promising child from the best root down to one leaf. Sibling bounds
+	// are scored in one batched call per level.
+	var sc lbScratch
 	roots := cur.Roots()
 	if len(roots) > 0 {
-		best := roots[0]
-		bestLB := cur.MinDist(best)
-		for _, r := range roots[1:] {
-			if lb := cur.MinDist(r); lb < bestLB {
+		lbs := sc.minDists(cur, roots)
+		best, bestLB := roots[0], lbs[0]
+		for i, r := range roots[1:] {
+			if lb := lbs[i+1]; lb < bestLB {
 				best, bestLB = r, lb
 			}
 		}
@@ -108,10 +146,10 @@ func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize in
 			if len(children) == 0 {
 				break
 			}
-			c := children[0]
-			cLB := cur.MinDist(c)
-			for _, cc := range children[1:] {
-				if lb := cur.MinDist(cc); lb < cLB {
+			lbs = sc.minDists(cur, children)
+			c, cLB := children[0], lbs[0]
+			for i, cc := range children[1:] {
+				if lb := lbs[i+1]; lb < cLB {
 					c, cLB = cc, lb
 				}
 			}
@@ -130,8 +168,9 @@ func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize in
 		return res
 	}
 
-	for _, r := range roots {
-		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	rootLBs := sc.minDists(cur, roots)
+	for i, r := range roots {
+		heap.Push(pq, nodeItem{node: r, lb: rootLBs[i]})
 	}
 
 	for pq.Len() > 0 {
@@ -150,9 +189,10 @@ func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize in
 			}
 			continue
 		}
-		for _, c := range cur.Children(it.node) {
-			lb := cur.MinDist(c)
-			if lb < kset.Worst()/epsFactor {
+		children := cur.Children(it.node)
+		lbs := sc.minDists(cur, children)
+		for i, c := range children {
+			if lb := lbs[i]; lb < kset.Worst()/epsFactor {
 				heap.Push(pq, nodeItem{node: c, lb: lb})
 			}
 		}

@@ -25,6 +25,7 @@ type Incremental struct {
 	eps     float64
 	pq      *nodeQueue // unexplored nodes by lower bound
 	cand    *resultHeap
+	sc      lbScratch
 	distOps int64
 	leaves  int
 }
@@ -51,8 +52,10 @@ func NewIncremental(cur TreeCursor, eps float64) *Incremental {
 	inc := &Incremental{cur: cur, eps: eps, pq: &nodeQueue{}, cand: &resultHeap{}}
 	heap.Init(inc.pq)
 	heap.Init(inc.cand)
-	for _, r := range cur.Roots() {
-		heap.Push(inc.pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	roots := cur.Roots()
+	lbs := inc.sc.minDists(cur, roots)
+	for i, r := range roots {
+		heap.Push(inc.pq, nodeItem{node: r, lb: lbs[i]})
 	}
 	return inc
 }
@@ -82,8 +85,10 @@ func (inc *Incremental) Next() (nb Neighbor, ok bool) {
 			})
 			continue
 		}
-		for _, c := range inc.cur.Children(it.node) {
-			heap.Push(inc.pq, nodeItem{node: c, lb: inc.cur.MinDist(c)})
+		children := inc.cur.Children(it.node)
+		lbs := inc.sc.minDists(inc.cur, children)
+		for i, c := range children {
+			heap.Push(inc.pq, nodeItem{node: c, lb: lbs[i]})
 		}
 	}
 }
@@ -111,8 +116,11 @@ func SearchTreeProgressive(cur TreeCursor, q Query, onUpdate func(ProgressiveUpd
 	res := Result{}
 	pq := &nodeQueue{}
 	heap.Init(pq)
-	for _, r := range cur.Roots() {
-		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	var sc lbScratch
+	roots := cur.Roots()
+	rootLBs := sc.minDists(cur, roots)
+	for i, r := range roots {
+		heap.Push(pq, nodeItem{node: r, lb: rootLBs[i]})
 	}
 	stopped := false
 	for pq.Len() > 0 && !stopped {
@@ -137,9 +145,10 @@ func SearchTreeProgressive(cur TreeCursor, q Query, onUpdate func(ProgressiveUpd
 			}
 			continue
 		}
-		for _, c := range cur.Children(it.node) {
-			lb := cur.MinDist(c)
-			if lb < kset.Worst() {
+		children := cur.Children(it.node)
+		lbs := sc.minDists(cur, children)
+		for i, c := range children {
+			if lb := lbs[i]; lb < kset.Worst() {
 				heap.Push(pq, nodeItem{node: c, lb: lb})
 			}
 		}

@@ -50,8 +50,11 @@ func SearchTreeRange(cur TreeCursor, q RangeQuery) RangeResult {
 	accept := (1 + q.Epsilon) * q.Radius
 	pq := &nodeQueue{}
 	heap.Init(pq)
-	for _, r := range cur.Roots() {
-		heap.Push(pq, nodeItem{node: r, lb: cur.MinDist(r)})
+	var sc lbScratch
+	roots := cur.Roots()
+	rootLBs := sc.minDists(cur, roots)
+	for i, r := range roots {
+		heap.Push(pq, nodeItem{node: r, lb: rootLBs[i]})
 	}
 	limit := func() float64 { return accept }
 	for pq.Len() > 0 {
@@ -69,9 +72,10 @@ func SearchTreeRange(cur TreeCursor, q RangeQuery) RangeResult {
 			res.LeavesVisited++
 			continue
 		}
-		for _, c := range cur.Children(it.node) {
-			lb := cur.MinDist(c)
-			if lb <= q.Radius {
+		children := cur.Children(it.node)
+		lbs := sc.minDists(cur, children)
+		for i, c := range children {
+			if lb := lbs[i]; lb <= q.Radius {
 				heap.Push(pq, nodeItem{node: c, lb: lb})
 			}
 		}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/storage"
 	"hydra/internal/summaries/eapca"
@@ -84,6 +85,12 @@ func (r splitRule) goesLeft(stats []eapca.Stat) bool {
 type node struct {
 	seg eapca.Segmentation
 	syn *eapca.Synopsis
+	// Kernel-ready synopsis layout, derived by Tree.finalize once the tree
+	// is complete (synopses keep widening while inserts route through):
+	// bounds is syn.PackedBounds() (nil while empty — bound +Inf), weights
+	// is seg.FloatWidths().
+	bounds  []float64
+	weights []float64
 	// Leaf state.
 	ids          []int
 	memberStats  [][]eapca.Stat // stats of members under seg, parallel to ids
@@ -123,7 +130,25 @@ func Build(store *storage.SeriesStore, cfg Config) (*Tree, error) {
 	for i := 0; i < store.Size(); i++ {
 		t.insert(i)
 	}
+	t.finalize()
 	return t, nil
+}
+
+// finalize precomputes every node's kernel-ready synopsis layout (packed
+// [lo,hi] bound rows plus float segment widths). It must run only after
+// the tree is complete: insertion widens the synopses of every node on the
+// routing path, so packing earlier would freeze stale ranges.
+func (t *Tree) finalize() {
+	var walk func(n *node)
+	walk = func(n *node) {
+		n.bounds = n.syn.PackedBounds()
+		n.weights = n.seg.FloatWidths()
+		if !n.isLeaf() {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(t.root)
 }
 
 // SetHistogram installs the distance-distribution histogram used by
@@ -148,6 +173,7 @@ func (t *Tree) Footprint() int64 {
 	var walk func(n *node)
 	walk = func(n *node) {
 		total += int64(len(n.seg))*8 + int64(4*len(n.syn.MinMean))*8 + 64
+		total += int64(len(n.bounds)+len(n.weights)) * 8
 		if n.isLeaf() {
 			total += int64(len(n.ids)) * 8
 			for _, st := range n.memberStats {
@@ -300,8 +326,9 @@ type cursor struct {
 	store   *storage.SeriesStore // per-query accounting view
 	q       series.Series
 	prefix  eapca.Prefix
-	cache   map[*node][]eapca.Stat
+	cache   map[*node][]float64 // packed [mean,std] query stats per node
 	scratch core.LeafScratch
+	regs    [][]float64 // reused bound-row gather buffer for MinDists
 }
 
 // newCursor opens a per-query cursor over a private store view.
@@ -311,26 +338,84 @@ func (t *Tree) newCursor(q series.Series) *cursor {
 		store:  t.store.View(),
 		q:      q,
 		prefix: eapca.NewPrefix(q),
-		cache:  make(map[*node][]eapca.Stat),
+		cache:  make(map[*node][]float64),
 	}
 }
 
-func (c *cursor) statsFor(n *node) []eapca.Stat {
-	if st, ok := c.cache[n]; ok {
-		return st
+// packedFor returns the query's EAPCA stats under n's segmentation in the
+// interleaved [mean, std] layout of the pair-region kernel, cached per
+// node so re-segmentation work is paid once per visited segmentation.
+func (c *cursor) packedFor(n *node) []float64 {
+	if v, ok := c.cache[n]; ok {
+		return v
 	}
-	st := eapca.ComputeFromPrefix(c.prefix, n.seg)
-	c.cache[n] = st
-	return st
+	v := eapca.PackStats(eapca.ComputeFromPrefix(c.prefix, n.seg), nil)
+	c.cache[n] = v
+	return v
 }
 
 // Roots implements core.TreeCursor.
 func (c *cursor) Roots() []core.NodeRef { return []core.NodeRef{c.t.root} }
 
-// MinDist implements core.TreeCursor.
+// MinDist implements core.TreeCursor: the pair-region kernel over the
+// node's packed synopsis bounds — bit-identical to
+// math.Sqrt(n.syn.LowerBound2(stats, n.seg)), which tests pin.
 func (c *cursor) MinDist(ref core.NodeRef) float64 {
 	n := ref.(*node)
-	return math.Sqrt(n.syn.LowerBound2(c.statsFor(n), n.seg))
+	if n.bounds == nil {
+		return math.Inf(1)
+	}
+	return math.Sqrt(kernel.PairRegionLowerBound2(c.packedFor(n), n.weights, n.bounds))
+}
+
+// sameSeg reports whether two segmentations are identical by value.
+func sameSeg(a, b eapca.Segmentation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDists implements core.BatchTreeCursor. Children of one expansion
+// share a segmentation by construction; when every node in the batch does
+// (and none is empty), their packed bound rows are scored in one kernel
+// call. Diverging segmentations fall back to the pairwise path.
+func (c *cursor) MinDists(refs []core.NodeRef, out []float64) {
+	if len(refs) == 0 {
+		return
+	}
+	first := refs[0].(*node)
+	batch := first.bounds != nil
+	for _, ref := range refs[1:] {
+		n := ref.(*node)
+		if n.bounds == nil || !sameSeg(first.seg, n.seg) {
+			batch = false
+			break
+		}
+	}
+	if !batch {
+		for i, ref := range refs {
+			out[i] = c.MinDist(ref)
+		}
+		return
+	}
+	if cap(c.regs) < len(refs) {
+		c.regs = make([][]float64, len(refs))
+	}
+	regs := c.regs[:len(refs)]
+	for i, ref := range refs {
+		regs[i] = ref.(*node).bounds
+	}
+	kernel.PairRegionLowerBounds2(c.packedFor(first), first.weights, regs, out)
+	for i := range regs {
+		out[i] = math.Sqrt(out[i])
+		regs[i] = nil
+	}
 }
 
 // IsLeaf implements core.TreeCursor.

@@ -1,0 +1,164 @@
+package dstree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/eapca"
+)
+
+// collectNodes flattens the tree in DFS order.
+func collectNodes(t *Tree) []*node {
+	var out []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		out = append(out, n)
+		if !n.isLeaf() {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// TestKernelMinDistMatchesSynopsis pins the cursor's packed-bounds kernel
+// path against the reference eapca.Synopsis.LowerBound2, bit-for-bit, for
+// every node under both kernels — including adversarial NaN/Inf/constant
+// queries.
+func TestKernelMinDistMatchesSynopsis(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 400, 64, DefaultConfig(), dataset.KindWalk, 61)
+	nodes := collectNodes(tree)
+	if len(nodes) < 3 {
+		t.Fatalf("tree too small: %d nodes", len(nodes))
+	}
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	adversarial := make([]float32, 64)
+	for i := range adversarial {
+		adversarial[i] = 1
+	}
+	adversarial[0] = nan
+	adversarial[1] = inf
+	adversarial[2] = -inf
+	qs := [][]float32{queries.At(0), queries.At(1), queries.At(2), adversarial, make([]float32, 64)}
+
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi, q := range qs {
+			cur := tree.newCursor(q)
+			for ni, n := range nodes {
+				got := cur.MinDist(n)
+				stats := eapca.ComputeFromPrefix(cur.prefix, n.seg)
+				want := math.Sqrt(n.syn.LowerBound2(stats, n.seg))
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("kernel %v query %d node %d: kernel MinDist %v, synopsis %v", k, qi, ni, got, want)
+				}
+			}
+			// Batched MinDists must agree with the per-node path (the batch
+			// groups sibling pairs sharing a segmentation; mix in the root
+			// and deep nodes to exercise the fallback too).
+			refs := make([]core.NodeRef, len(nodes))
+			for i, n := range nodes {
+				refs[i] = n
+			}
+			out := make([]float64, len(refs))
+			cur.MinDists(refs, out)
+			for i, n := range nodes {
+				want := cur.MinDist(n)
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("kernel %v query %d node %d: batch %v, single %v", k, qi, i, out[i], want)
+				}
+			}
+			// Sibling pairs (the engine's real batch shape).
+			for _, n := range nodes {
+				if n.isLeaf() {
+					continue
+				}
+				pair := []core.NodeRef{n.left, n.right}
+				pairOut := make([]float64, 2)
+				cur.MinDists(pair, pairOut)
+				for j, c := range pair {
+					want := cur.MinDist(c)
+					if math.Float64bits(pairOut[j]) != math.Float64bits(want) {
+						t.Fatalf("kernel %v query %d sibling %d: batch %v, single %v", k, qi, j, pairOut[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMinDistNeverExceedsLeafMembers is the property test: a leaf's lower
+// bound never exceeds the exact distance to any of its members.
+func TestMinDistNeverExceedsLeafMembers(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 400, 64, DefaultConfig(), dataset.KindWalk, 63)
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi := 0; qi < queries.Size(); qi++ {
+			q := queries.At(qi)
+			cur := tree.newCursor(q)
+			for _, n := range collectNodes(tree) {
+				if !n.isLeaf() {
+					continue
+				}
+				lb := cur.MinDist(n)
+				for _, id := range n.ids {
+					exact := kernel.Dist(q, data.At(id))
+					if lb > exact+1e-6 {
+						t.Fatalf("kernel %v query %d: leaf bound %v > exact %v (id %d)", k, qi, lb, exact, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkNodeBound(b *testing.B) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 2048, Length: 64, Seed: 65})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 1, 66)
+	q := queries.At(0)
+	nodes := collectNodes(tree)
+
+	// Legacy shape: per-node stats + four-array synopsis walk per query.
+	b.Run("legacy-synopsis", func(b *testing.B) {
+		prefix := eapca.NewPrefix(q)
+		for i := 0; i < b.N; i++ {
+			cache := make(map[*node][]eapca.Stat)
+			for _, n := range nodes {
+				st, ok := cache[n]
+				if !ok {
+					st = eapca.ComputeFromPrefix(prefix, n.seg)
+					cache[n] = st
+				}
+				_ = math.Sqrt(n.syn.LowerBound2(st, n.seg))
+			}
+		}
+	})
+	refs := make([]core.NodeRef, len(nodes))
+	for i, n := range nodes {
+		refs[i] = n
+	}
+	for _, k := range kernel.Kernels() {
+		b.Run("packed-kernel/"+k.String(), func(b *testing.B) {
+			defer kernel.Use(kernel.Default)
+			kernel.Use(k)
+			out := make([]float64, len(refs))
+			for i := 0; i < b.N; i++ {
+				cur := tree.newCursor(q)
+				cur.MinDists(refs, out)
+			}
+		})
+	}
+}

@@ -147,5 +147,6 @@ func Load(store *storage.SeriesStore, r io.Reader) (*Tree, error) {
 		vsplits:   snap.VSplits,
 		root:      restoreNode(snap.Root),
 	}
+	t.finalize()
 	return t, nil
 }

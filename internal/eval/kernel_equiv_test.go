@@ -27,7 +27,8 @@ func TestKernelEquivalenceEndToEnd(t *testing.T) {
 		template core.Query
 	}{
 		{"exact", core.Query{Mode: core.ModeExact}},
-		{"eps=1", core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}},
+		{"eps=0.5", core.Query{Mode: core.ModeEpsilon, Epsilon: 0.5}},
+		{"deps=1", core.Query{Mode: core.ModeDeltaEpsilon, Epsilon: 1, Delta: 1}},
 		{"ng=4", core.Query{Mode: core.ModeNG, NProbe: 4}},
 	}
 

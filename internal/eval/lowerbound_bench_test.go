@@ -1,0 +1,270 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/quant"
+	"hydra/internal/summaries/dft"
+	"hydra/internal/summaries/eapca"
+	"hydra/internal/summaries/paa"
+	"hydra/internal/summaries/sax"
+)
+
+// LowerBoundBenchEntry is one row of BENCH_lowerbounds.json. Two row
+// shapes share the file, mirroring the hydra-benchgate union: rows with
+// Baseline set compare the restructured lower-bound path against the
+// seed's per-candidate shape (Speedup = baseline ns / this row's ns);
+// rows with Kernel set compare the blocked kernel against scalar on the
+// same shape (SpeedupVsScalar). Baseline-less, kernel-less rows are the
+// reference measurements and gate nothing.
+type LowerBoundBenchEntry struct {
+	Name            string  `json:"name"`
+	Kernel          string  `json:"kernel,omitempty"`
+	Baseline        string  `json:"baseline,omitempty"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Dims            int     `json:"dims"`
+	Count           int     `json:"count"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+}
+
+// TestWriteLowerBoundBenchJSON measures the phase-1 and node-bound
+// lower-bound shapes — legacy per-candidate loops versus the gap-table /
+// packed-region kernel paths — and writes BENCH_lowerbounds.json to the
+// path in HYDRA_BENCH_LOWERBOUNDS_JSON. Skipped when the variable is
+// unset so `go test ./...` stays fast; `make bench-json` runs it for real.
+func TestWriteLowerBoundBenchJSON(t *testing.T) {
+	path := os.Getenv("HYDRA_BENCH_LOWERBOUNDS_JSON")
+	if path == "" {
+		t.Skip("HYDRA_BENCH_LOWERBOUNDS_JSON not set; run via `make bench-json`")
+	}
+	defer kernel.Use(kernel.Default)
+
+	var entries []LowerBoundBenchEntry
+	ns := func(run func(b *testing.B)) float64 {
+		r := testing.Benchmark(run)
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	// compare measures a legacy shape against its kernel replacement (the
+	// replacement under the blocked kernel, the shipped default) and
+	// appends both rows; the replacement row carries the gated speedup.
+	compare := func(name, baseline string, dims, count int, legacy, replacement func(b *testing.B)) {
+		kernel.Use(kernel.Blocked)
+		legacyNs := ns(legacy)
+		newNs := ns(replacement)
+		entries = append(entries,
+			LowerBoundBenchEntry{Name: name + "/" + baseline, NsPerOp: legacyNs, Dims: dims, Count: count},
+			LowerBoundBenchEntry{Name: name, Baseline: baseline, NsPerOp: newNs, Dims: dims, Count: count, Speedup: legacyNs / newNs})
+		t.Logf("%s: legacy %.0f ns/op, kernel %.0f ns/op (%.2fx)", name, legacyNs, newNs, legacyNs/newNs)
+	}
+	// kernels measures one kernel shape under both kernels and appends a
+	// row per kernel with the blocked row carrying SpeedupVsScalar.
+	kernels := func(name string, dims, count int, run func(b *testing.B)) {
+		var scalarNs float64
+		for _, k := range kernel.Kernels() {
+			kernel.Use(k)
+			got := ns(run)
+			e := LowerBoundBenchEntry{Name: name, Kernel: k.String(), NsPerOp: got, Dims: dims, Count: count, SpeedupVsScalar: 1}
+			if k == kernel.Scalar {
+				scalarNs = got
+			} else if got > 0 {
+				e.SpeedupVsScalar = scalarNs / got
+			}
+			entries = append(entries, e)
+			t.Logf("%s kernel=%s: %.0f ns/op (%.2fx)", name, k, got, e.SpeedupVsScalar)
+		}
+	}
+
+	// --- VA+file phase 1: per-candidate LowerGap scan + full sort versus
+	// gap-table gather + bounded heap selection. Same quantizers, same
+	// codes, same candidate count as a mid-size file.
+	const (
+		vaCands  = 4096
+		vaCoeffs = 16
+		vaCells  = 64
+	)
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: vaCands, Length: 256, Seed: 71})
+	coeffs := make([][]float64, vaCands)
+	for i := range coeffs {
+		coeffs[i] = dft.Coefficients(data.At(i), vaCoeffs)
+	}
+	quants := make([]*quant.Scalar, vaCoeffs)
+	samples := make([]float64, vaCands)
+	for d := 0; d < vaCoeffs; d++ {
+		for i := range coeffs {
+			samples[i] = coeffs[i][d]
+		}
+		quants[d] = quant.TrainScalar(samples, vaCells, 10)
+	}
+	codes := make([]uint16, vaCands*vaCoeffs)
+	for i, c := range coeffs {
+		for d, v := range c {
+			codes[i*vaCoeffs+d] = uint16(quants[d].Encode(v))
+		}
+	}
+	qc := dft.Coefficients(dataset.Queries(data, dataset.KindWalk, 1, 72).At(0), vaCoeffs)
+	const visited = 64 // candidates a typical exact query refines before pruning
+	compare("lb/va-phase1", "sorted-scan", vaCoeffs, vaCands,
+		func(b *testing.B) {
+			lbs := make([]float64, vaCands)
+			ids := make([]int, vaCands)
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < vaCands; j++ {
+					var acc float64
+					for d := 0; d < vaCoeffs; d++ {
+						g := quants[d].LowerGap(qc[d], int(codes[j*vaCoeffs+d]))
+						acc += g * g
+					}
+					lbs[j] = math.Sqrt(acc)
+					ids[j] = j
+				}
+				sort.Slice(ids, func(a, c int) bool { return lbs[ids[a]] < lbs[ids[c]] })
+			}
+		},
+		func(b *testing.B) {
+			tab := kernel.GapTable{Gaps2: make([]float64, vaCoeffs*vaCells), Off: make([]int, vaCoeffs), Dims: vaCoeffs}
+			for d := range tab.Off {
+				tab.Off[d] = d * vaCells
+			}
+			lb2 := make([]float64, vaCands)
+			idx := make([]int32, vaCands)
+			for i := 0; i < b.N; i++ {
+				for d := 0; d < vaCoeffs; d++ {
+					quants[d].LowerGaps2(qc[d], tab.Gaps2[tab.Off[d]:tab.Off[d]+vaCells])
+				}
+				kernel.VALowerBounds2(tab, codes, lb2)
+				idx = idx[:vaCands]
+				for j := range idx {
+					idx[j] = int32(j)
+				}
+				kernel.SelectLowerBounds2(lb2, idx)
+				heap := idx
+				for j := 0; j < visited && len(heap) > 0; j++ {
+					_, heap = kernel.PopLowerBound2(lb2, heap)
+				}
+			}
+		})
+
+	// --- iSAX node bound: MinDistPAA breakpoint walks versus the
+	// precomputed-region kernel over a node population the size of a
+	// deep tree.
+	const (
+		saxNodes = 512
+		saxSegs  = 16
+		saxBits  = 8
+		saxLen   = 256
+	)
+	words := make([]sax.Word, saxNodes)
+	regions := make([][]float64, saxNodes)
+	for i := range words {
+		words[i] = sax.FromSeries(data.At(i), saxSegs, saxBits)
+		regions[i] = words[i].Regions()
+	}
+	qp := paa.Transform(data.At(saxNodes), saxSegs)
+	widths := sax.SegmentWidths(saxLen, saxSegs)
+	compare("lb/isax-node-bound", "mindist-paa", saxSegs, saxNodes,
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, w := range words {
+					_ = sax.MinDistPAA(qp, w, saxLen)
+				}
+			}
+		},
+		func(b *testing.B) {
+			out := make([]float64, saxNodes)
+			for i := 0; i < b.N; i++ {
+				kernel.RegionLowerBounds2(qp, widths, regions, out)
+				for j := range out {
+					out[j] = math.Sqrt(out[j])
+				}
+			}
+		})
+
+	// --- DSTree node bound: per-synopsis four-array walks versus the
+	// packed-bounds pair-region kernel.
+	const (
+		dtNodes = 512
+		dtSegs  = 16
+	)
+	seg := eapca.Uniform(256, dtSegs)
+	syns := make([]*eapca.Synopsis, dtNodes)
+	packed := make([][]float64, dtNodes)
+	for i := range syns {
+		syns[i] = eapca.NewSynopsis(dtSegs)
+		for j := 0; j < 8; j++ {
+			syns[i].Update(eapca.Compute(data.At((i*8+j)%vaCands), seg))
+		}
+		packed[i] = syns[i].PackedBounds()
+	}
+	qPrefix := eapca.NewPrefix(data.At(dtNodes))
+	fw := seg.FloatWidths()
+	compare("lb/dstree-node-bound", "synopsis-walk", dtSegs, dtNodes,
+		func(b *testing.B) {
+			// The seed cursor resolved query stats through a per-node map
+			// cache before each synopsis walk; keep that per-query shape.
+			for i := 0; i < b.N; i++ {
+				cache := make(map[*eapca.Synopsis][]eapca.Stat)
+				for _, z := range syns {
+					st, ok := cache[z]
+					if !ok {
+						st = eapca.ComputeFromPrefix(qPrefix, seg)
+						cache[z] = st
+					}
+					_ = math.Sqrt(z.LowerBound2(st, seg))
+				}
+			}
+		},
+		func(b *testing.B) {
+			out := make([]float64, dtNodes)
+			var qbuf []float64
+			for i := 0; i < b.N; i++ {
+				qbuf = eapca.PackStats(eapca.ComputeFromPrefix(qPrefix, seg), qbuf[:0])
+				kernel.PairRegionLowerBounds2(qbuf, fw, packed, out)
+				for j := range out {
+					out[j] = math.Sqrt(out[j])
+				}
+			}
+		})
+
+	// --- scalar vs blocked on the raw kernel shapes (the dims/counts
+	// above, isolated from table fill and selection).
+	gapTab := kernel.GapTable{Gaps2: make([]float64, vaCoeffs*vaCells), Off: make([]int, vaCoeffs), Dims: vaCoeffs}
+	for d := range gapTab.Off {
+		gapTab.Off[d] = d * vaCells
+		quants[d].LowerGaps2(qc[d], gapTab.Gaps2[d*vaCells:(d+1)*vaCells])
+	}
+	vaOut := make([]float64, vaCands)
+	kernels("lb/kernel/va-gather", vaCoeffs, vaCands, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernel.VALowerBounds2(gapTab, codes, vaOut)
+		}
+	})
+	regOut := make([]float64, saxNodes)
+	kernels("lb/kernel/region", saxSegs, saxNodes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernel.RegionLowerBounds2(qp, widths, regions, regOut)
+		}
+	})
+	qPacked := eapca.PackStats(eapca.ComputeFromPrefix(qPrefix, seg), nil)
+	prOut := make([]float64, dtNodes)
+	kernels("lb/kernel/pair-region", dtSegs, dtNodes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernel.PairRegionLowerBounds2(qPacked, fw, packed, prOut)
+		}
+	})
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d entries to %s", len(entries), path)
+}

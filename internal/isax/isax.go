@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"hydra/internal/core"
+	"hydra/internal/kernel"
 	"hydra/internal/series"
 	"hydra/internal/storage"
 	"hydra/internal/summaries/paa"
@@ -67,6 +68,11 @@ func (c Config) validate(length int) error {
 
 type node struct {
 	word sax.Word
+	// regions is word.Regions(): the packed [lo,hi] breakpoint regions the
+	// MINDIST kernel consumes, precomputed once when the node is created
+	// (build, split promotion, or snapshot restore) instead of per query
+	// per node.
+	regions []float64
 	// Leaf state: ids plus each member's full-resolution word.
 	ids          []int
 	words        []sax.Word
@@ -74,6 +80,11 @@ type node struct {
 	// Internal state.
 	splitSeg    int
 	left, right *node // next bit of splitSeg: 0 -> left, 1 -> right
+}
+
+// newNode creates a node for word w with its kernel regions precomputed.
+func newNode(w sax.Word) *node {
+	return &node{word: w, regions: w.Regions()}
 }
 
 func (n *node) isLeaf() bool { return n.left == nil }
@@ -85,6 +96,10 @@ type Tree struct {
 	roots map[uint64]*node
 	size  int
 	hist  *core.DistanceHistogram
+
+	// widths is the PAA segment-width weight vector of the MINDIST kernel,
+	// fixed by (series length, Segments) at build/load time.
+	widths []float64
 
 	nodeCount int
 	leafCount int
@@ -101,6 +116,7 @@ func Build(store *storage.SeriesStore, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{store: store, cfg: cfg, roots: make(map[uint64]*node)}
+	t.widths = sax.SegmentWidths(store.Length(), cfg.Segments)
 	for i := 0; i < store.Size(); i++ {
 		t.insert(i)
 	}
@@ -129,7 +145,7 @@ func (t *Tree) Footprint() int64 {
 	var total int64
 	var walk func(n *node)
 	walk = func(n *node) {
-		total += int64(len(n.word.Symbols))*3 + 48
+		total += int64(len(n.word.Symbols))*3 + int64(len(n.regions))*8 + 48
 		if n.isLeaf() {
 			total += int64(len(n.ids)) * 8
 			total += int64(len(n.words)) * int64(t.cfg.Segments) * 3
@@ -171,7 +187,7 @@ func (t *Tree) insert(id int) {
 	key := t.rootKey(w)
 	n, ok := t.roots[key]
 	if !ok {
-		n = &node{word: t.rootWord(key)}
+		n = newNode(t.rootWord(key))
 		t.roots[key] = n
 		t.nodeCount++
 		t.leafCount++
@@ -233,7 +249,7 @@ func (t *Tree) split(n *node) {
 		w := n.word.Clone()
 		w.Bits[bestSeg] = childBits
 		w.Symbols[bestSeg] = n.word.Symbols[bestSeg]<<1 | bit
-		return &node{word: w}
+		return newNode(w)
 	}
 	left, right := mkChild(0), mkChild(1)
 	for i, w := range n.words {
@@ -262,6 +278,7 @@ type cursor struct {
 	q       series.Series
 	qp      []float64 // query PAA
 	scratch core.LeafScratch
+	regs    [][]float64 // reused region-row gather buffer for MinDists
 }
 
 // newCursor opens a per-query cursor over a private store view.
@@ -288,10 +305,29 @@ func (c *cursor) Roots() []core.NodeRef {
 	return out
 }
 
-// MinDist implements core.TreeCursor.
+// MinDist implements core.TreeCursor: the clamp-accumulate MINDIST kernel
+// over the node's precomputed regions — bit-identical to
+// sax.MinDistPAA(c.qp, n.word, len(c.q)), which tests pin.
 func (c *cursor) MinDist(ref core.NodeRef) float64 {
 	n := ref.(*node)
-	return sax.MinDistPAA(c.qp, n.word, len(c.q))
+	return math.Sqrt(kernel.RegionLowerBound2(c.qp, c.t.widths, n.regions))
+}
+
+// MinDists implements core.BatchTreeCursor: all nodes of one expansion are
+// bounded in a single kernel call over their precomputed region rows.
+func (c *cursor) MinDists(refs []core.NodeRef, out []float64) {
+	if cap(c.regs) < len(refs) {
+		c.regs = make([][]float64, len(refs))
+	}
+	regs := c.regs[:len(refs)]
+	for i, ref := range refs {
+		regs[i] = ref.(*node).regions
+	}
+	kernel.RegionLowerBounds2(c.qp, c.t.widths, regs, out)
+	for i := range regs {
+		out[i] = math.Sqrt(out[i])
+		regs[i] = nil
+	}
 }
 
 // IsLeaf implements core.TreeCursor.

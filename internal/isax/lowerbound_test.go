@@ -1,0 +1,140 @@
+package isax
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/paa"
+	"hydra/internal/summaries/sax"
+)
+
+// collectNodes flattens the tree in DFS order.
+func collectNodes(t *Tree) []*node {
+	var out []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		out = append(out, n)
+		if !n.isLeaf() {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	return out
+}
+
+// TestKernelMinDistMatchesMinDistPAA pins the cursor's precomputed-region
+// kernel path against the reference sax.MinDistPAA, bit-for-bit, for every
+// node under both kernels — including adversarial NaN/Inf/constant queries.
+func TestKernelMinDistMatchesMinDistPAA(t *testing.T) {
+	tree, _, queries := buildTestTree(t, 400, 64, DefaultConfig(), 51)
+	nodes := collectNodes(tree)
+	if len(nodes) < 3 {
+		t.Fatalf("tree too small: %d nodes", len(nodes))
+	}
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	adversarial := make([]float32, 64)
+	adversarial[0] = nan
+	adversarial[1] = inf
+	adversarial[2] = -inf
+	qs := [][]float32{queries.At(0), queries.At(1), queries.At(2), adversarial, make([]float32, 64)}
+
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi, q := range qs {
+			cur := tree.newCursor(q)
+			for ni, n := range nodes {
+				got := cur.MinDist(n)
+				want := sax.MinDistPAA(cur.qp, n.word, len(q))
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("kernel %v query %d node %d: kernel MinDist %v, MinDistPAA %v", k, qi, ni, got, want)
+				}
+			}
+			// Batched MinDists must agree with the per-node path.
+			refs := make([]core.NodeRef, len(nodes))
+			for i, n := range nodes {
+				refs[i] = n
+			}
+			out := make([]float64, len(refs))
+			cur.MinDists(refs, out)
+			for i, n := range nodes {
+				want := cur.MinDist(n)
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("kernel %v query %d node %d: batch %v, single %v", k, qi, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMinDistNeverExceedsLeafMembers is the property test: a leaf's lower
+// bound never exceeds the exact distance to any of its members.
+func TestMinDistNeverExceedsLeafMembers(t *testing.T) {
+	tree, data, queries := buildTestTree(t, 400, 64, DefaultConfig(), 53)
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi := 0; qi < queries.Size(); qi++ {
+			q := queries.At(qi)
+			cur := tree.newCursor(q)
+			for _, n := range collectNodes(tree) {
+				if !n.isLeaf() {
+					continue
+				}
+				lb := cur.MinDist(n)
+				for _, id := range n.ids {
+					exact := kernel.Dist(q, data.At(id))
+					if lb > exact+1e-6 {
+						t.Fatalf("kernel %v query %d: leaf bound %v > exact %v (id %d)", k, qi, lb, exact, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkNodeBound(b *testing.B) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 2048, Length: 64, Seed: 55, ZNorm: true})
+	store := storage.NewSeriesStore(data, 0)
+	tree, err := Build(store, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 1, 56)
+	queries.ZNormalizeAll()
+	nodes := collectNodes(tree)
+	q := queries.At(0)
+	qp := paa.Transform(q, tree.cfg.Segments)
+
+	// Legacy shape: per-node MinDistPAA (breakpoint walks per query per node).
+	b.Run("legacy-mindist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, n := range nodes {
+				_ = sax.MinDistPAA(qp, n.word, len(q))
+			}
+		}
+	})
+	refs := make([]core.NodeRef, len(nodes))
+	for i, n := range nodes {
+		refs[i] = n
+	}
+	for _, k := range kernel.Kernels() {
+		b.Run("region-kernel/"+k.String(), func(b *testing.B) {
+			defer kernel.Use(kernel.Default)
+			kernel.Use(k)
+			cur := tree.newCursor(q)
+			out := make([]float64, len(refs))
+			for i := 0; i < b.N; i++ {
+				cur.MinDists(refs, out)
+			}
+		})
+	}
+}

@@ -55,12 +55,10 @@ func snapshotNode(n *node) *nodeSnap {
 }
 
 func restoreNode(s *nodeSnap) *node {
-	n := &node{
-		word:         sax.Word{Symbols: s.Symbols, Bits: s.Bits},
-		ids:          s.IDs,
-		unsplittable: s.Unsplittable,
-		splitSeg:     s.SplitSeg,
-	}
+	n := newNode(sax.Word{Symbols: s.Symbols, Bits: s.Bits})
+	n.ids = s.IDs
+	n.unsplittable = s.Unsplittable
+	n.splitSeg = s.SplitSeg
 	for i := range s.WordSymbols {
 		n.words = append(n.words, sax.Word{Symbols: s.WordSymbols[i], Bits: s.WordBits[i]})
 	}
@@ -111,6 +109,7 @@ func Load(store *storage.SeriesStore, r io.Reader) (*Tree, error) {
 		leafCount: snap.Leaves,
 		roots:     make(map[uint64]*node, len(snap.Roots)),
 	}
+	t.widths = sax.SegmentWidths(store.Length(), snap.Cfg.Segments)
 	for k, n := range snap.Roots {
 		t.roots[k] = restoreNode(n)
 	}

@@ -1,0 +1,395 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the summarisation-space lower-bound kernels to the
+// scoring API: the VA-file gap-table form and the clamp-accumulate region
+// forms behind iSAX MINDIST and the DSTree synopsis bound. They follow the
+// same equivalence contract as the raw-series kernels (see the package
+// comment): each candidate's bound is accumulated in dimension order into
+// a single float64 accumulator, blocked implementations interleave
+// *candidates* (never a candidate's own additions), and NaN results are
+// canonicalised at the API boundary. Lower bounds never early-abandon:
+// they are the pruning filter itself, and a full bound costs a handful of
+// flops per dimension.
+//
+// All lower-bound forms work in squared-distance space; callers compare
+// against squared thresholds (one boundary squaring instead of one sqrt
+// per candidate) or take a single sqrt per surviving node.
+
+// GapTable is a per-query VA-file pruning table: for every (dimension,
+// quantizer cell) pair, the squared gap between the query's coefficient
+// and the nearest edge of the cell. Building it costs O(total cells) once
+// per query, after which every candidate's lower bound is a pure
+// table-gather accumulation over its packed code word — no quantizer
+// boundary searches in the per-candidate loop.
+type GapTable struct {
+	// Gaps2 holds the per-dimension rows back to back: the squared gap of
+	// cell c in dimension d is Gaps2[Off[d]+c].
+	Gaps2 []float64
+	// Off[d] is the start of dimension d's row; len(Off) == Dims.
+	Off []int
+	// Dims is the number of code dimensions (the stride of a code word).
+	Dims int
+}
+
+// validate checks the table against a packed code array and an output
+// buffer, returning the candidate count.
+func (t GapTable) validate(codes []uint16, outLen int) int {
+	if t.Dims <= 0 || len(t.Off) != t.Dims {
+		panic(fmt.Sprintf("kernel: gap table with %d offsets for %d dims", len(t.Off), t.Dims))
+	}
+	if len(codes)%t.Dims != 0 {
+		panic(fmt.Sprintf("kernel: code array length %d is not a multiple of %d dims", len(codes), t.Dims))
+	}
+	c := len(codes) / t.Dims
+	if outLen < c {
+		panic(fmt.Sprintf("kernel: out buffer holds %d results, %d candidates given", outLen, c))
+	}
+	return c
+}
+
+// VALowerBounds2 writes the squared VA-file lower bound of every candidate
+// in codes (packed row-major code words, stride tab.Dims) to out, by
+// gathering and summing the candidate's per-dimension squared gaps from
+// the table in dimension order. It returns the candidate count.
+func (k Kernel) VALowerBounds2(tab GapTable, codes []uint16, out []float64) int {
+	c := tab.validate(codes, len(out))
+	d := tab.Dims
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= c; i += 4 {
+			base := i * d
+			vaGap4(tab,
+				codes[base:base+d:base+d],
+				codes[base+d:base+2*d:base+2*d],
+				codes[base+2*d:base+3*d:base+3*d],
+				codes[base+3*d:base+4*d:base+4*d],
+				out[i:i+4:i+4])
+		}
+		for ; i < c; i++ {
+			out[i] = vaGap1(tab, codes[i*d:(i+1)*d])
+		}
+		canonNaNs(out[:c])
+		return c
+	}
+	for i := 0; i < c; i++ {
+		out[i] = vaGap1(tab, codes[i*d:(i+1)*d])
+	}
+	canonNaNs(out[:c])
+	return c
+}
+
+// vaGap1 accumulates one candidate's table gathers in dimension order.
+func vaGap1(tab GapTable, code []uint16) float64 {
+	var acc float64
+	for d, c := range code {
+		acc += tab.Gaps2[tab.Off[d]+int(c)]
+	}
+	return acc
+}
+
+// vaGap4 is the 4-candidate gather group: four independent accumulator
+// chains hide the load latency of the table gathers, and each candidate's
+// own additions stay in dimension order, keeping results bit-identical to
+// vaGap1.
+func vaGap4(tab GapTable, c0, c1, c2, c3 []uint16, out []float64) {
+	d := tab.Dims
+	c0 = c0[:d]
+	c1 = c1[:d]
+	c2 = c2[:d]
+	c3 = c3[:d]
+	var a0, a1, a2, a3 float64
+	for i := 0; i < d; i++ {
+		row := tab.Gaps2[tab.Off[i]:]
+		a0 += row[c0[i]]
+		a1 += row[c1[i]]
+		a2 += row[c2[i]]
+		a3 += row[c3[i]]
+	}
+	out[0] = a0
+	out[1] = a1
+	out[2] = a2
+	out[3] = a3
+}
+
+// boundGap returns the distance from v to the interval [lo, hi] (0 when v
+// lies inside, and 0 for NaN v: every comparison is false, matching the
+// scalar consumers this replaces).
+func boundGap(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// checkRegion validates one packed bounds row against q and w.
+func checkRegion(qLen, wLen, boundsLen, perDim int) {
+	if wLen*perDim != boundsLen || qLen == 0 {
+		panic(fmt.Sprintf("kernel: region bounds length %d does not match %d weighted dims (stride %d)", boundsLen, wLen, perDim))
+	}
+}
+
+// RegionLowerBound2 returns the squared region lower bound of a query
+// vector against one axis-aligned region: for every dimension d it clamps
+// q[d] into [bounds[2d], bounds[2d+1]] and accumulates w[d]·gap². This is
+// the iSAX MINDIST shape (q = query PAA, bounds = the word's per-segment
+// breakpoint regions, w = segment widths); both kernels accumulate
+// identically, so the value is bit-identical to the per-query scalar loop
+// it replaces.
+func (k Kernel) RegionLowerBound2(q, w, bounds []float64) float64 {
+	if len(q) != len(w) {
+		panic(fmt.Sprintf("kernel: %d query dims vs %d weights", len(q), len(w)))
+	}
+	checkRegion(len(q), len(w), len(bounds), 2)
+	return canonNaN(regionLB2(q, w, bounds))
+}
+
+func regionLB2(q, w, bounds []float64) float64 {
+	var acc float64
+	for d := range q {
+		g := boundGap(q[d], bounds[2*d], bounds[2*d+1])
+		acc += w[d] * g * g
+	}
+	return acc
+}
+
+// RegionLowerBounds2 scores q against every region in regions (one packed
+// [lo,hi] bounds row per region, each of length 2·len(q)) and writes the
+// squared lower bounds to out. The blocked kernel scores four regions at a
+// time with independent accumulator chains.
+func (k Kernel) RegionLowerBounds2(q, w []float64, regions [][]float64, out []float64) {
+	if len(out) < len(regions) {
+		panic(fmt.Sprintf("kernel: out buffer holds %d results, %d regions given", len(out), len(regions)))
+	}
+	if len(q) != len(w) {
+		panic(fmt.Sprintf("kernel: %d query dims vs %d weights", len(q), len(w)))
+	}
+	for _, b := range regions {
+		checkRegion(len(q), len(w), len(b), 2)
+	}
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= len(regions); i += 4 {
+			regionLB4(q, w, regions[i], regions[i+1], regions[i+2], regions[i+3], out[i:i+4:i+4])
+		}
+		for ; i < len(regions); i++ {
+			out[i] = regionLB2(q, w, regions[i])
+		}
+		canonNaNs(out[:len(regions)])
+		return
+	}
+	for i, b := range regions {
+		out[i] = regionLB2(q, w, b)
+	}
+	canonNaNs(out[:len(regions)])
+}
+
+// regionLB4 is the 4-region clamp-accumulate group; per-region accumulation
+// order matches regionLB2 exactly.
+func regionLB4(q, w, b0, b1, b2, b3 []float64, out []float64) {
+	n := len(q)
+	w = w[:n]
+	b0 = b0[:2*n]
+	b1 = b1[:2*n]
+	b2 = b2[:2*n]
+	b3 = b3[:2*n]
+	var a0, a1, a2, a3 float64
+	for d := 0; d < n; d++ {
+		qd, wd := q[d], w[d]
+		lo, hi := 2*d, 2*d+1
+		g := boundGap(qd, b0[lo], b0[hi])
+		a0 += wd * g * g
+		g = boundGap(qd, b1[lo], b1[hi])
+		a1 += wd * g * g
+		g = boundGap(qd, b2[lo], b2[hi])
+		a2 += wd * g * g
+		g = boundGap(qd, b3[lo], b3[hi])
+		a3 += wd * g * g
+	}
+	out[0] = a0
+	out[1] = a1
+	out[2] = a2
+	out[3] = a3
+}
+
+// PairRegionLowerBound2 is the DSTree synopsis shape: the query packs two
+// values per segment (q[2i], q[2i+1] — mean and standard deviation), the
+// region packs two [lo,hi] intervals per segment (bounds[4i..4i+3]), and
+// each segment contributes w[i]·(gapA² + gapB²) — the exact accumulation
+// of eapca.Synopsis.LowerBound2, so values are bit-identical to it.
+func (k Kernel) PairRegionLowerBound2(q, w, bounds []float64) float64 {
+	if len(q) != 2*len(w) {
+		panic(fmt.Sprintf("kernel: paired query length %d != 2x%d weights", len(q), len(w)))
+	}
+	checkRegion(len(q), len(w), len(bounds), 4)
+	return canonNaN(pairRegionLB2(q, w, bounds))
+}
+
+func pairRegionLB2(q, w, bounds []float64) float64 {
+	var acc float64
+	for i := range w {
+		ga := boundGap(q[2*i], bounds[4*i], bounds[4*i+1])
+		gb := boundGap(q[2*i+1], bounds[4*i+2], bounds[4*i+3])
+		acc += w[i] * (ga*ga + gb*gb)
+	}
+	return acc
+}
+
+// PairRegionLowerBounds2 scores the paired query against every packed
+// region row (each of length 4·len(w)), writing squared bounds to out;
+// the blocked kernel runs four regions per pass.
+func (k Kernel) PairRegionLowerBounds2(q, w []float64, regions [][]float64, out []float64) {
+	if len(out) < len(regions) {
+		panic(fmt.Sprintf("kernel: out buffer holds %d results, %d regions given", len(out), len(regions)))
+	}
+	if len(q) != 2*len(w) {
+		panic(fmt.Sprintf("kernel: paired query length %d != 2x%d weights", len(q), len(w)))
+	}
+	for _, b := range regions {
+		checkRegion(len(q), len(w), len(b), 4)
+	}
+	if k == Blocked {
+		i := 0
+		for ; i+4 <= len(regions); i += 4 {
+			pairRegionLB4(q, w, regions[i], regions[i+1], regions[i+2], regions[i+3], out[i:i+4:i+4])
+		}
+		for ; i < len(regions); i++ {
+			out[i] = pairRegionLB2(q, w, regions[i])
+		}
+		canonNaNs(out[:len(regions)])
+		return
+	}
+	for i, b := range regions {
+		out[i] = pairRegionLB2(q, w, b)
+	}
+	canonNaNs(out[:len(regions)])
+}
+
+// pairRegionLB4 is the 4-region paired clamp-accumulate group; per-region
+// accumulation order matches pairRegionLB2 exactly.
+func pairRegionLB4(q, w, b0, b1, b2, b3 []float64, out []float64) {
+	n := len(w)
+	q = q[:2*n]
+	b0 = b0[:4*n]
+	b1 = b1[:4*n]
+	b2 = b2[:4*n]
+	b3 = b3[:4*n]
+	var a0, a1, a2, a3 float64
+	for i := 0; i < n; i++ {
+		qa, qb, wi := q[2*i], q[2*i+1], w[i]
+		la, ha, lb, hb := 4*i, 4*i+1, 4*i+2, 4*i+3
+		ga := boundGap(qa, b0[la], b0[ha])
+		gb := boundGap(qb, b0[lb], b0[hb])
+		a0 += wi * (ga*ga + gb*gb)
+		ga = boundGap(qa, b1[la], b1[ha])
+		gb = boundGap(qb, b1[lb], b1[hb])
+		a1 += wi * (ga*ga + gb*gb)
+		ga = boundGap(qa, b2[la], b2[ha])
+		gb = boundGap(qb, b2[lb], b2[hb])
+		a2 += wi * (ga*ga + gb*gb)
+		ga = boundGap(qa, b3[la], b3[ha])
+		gb = boundGap(qb, b3[lb], b3[hb])
+		a3 += wi * (ga*ga + gb*gb)
+	}
+	out[0] = a0
+	out[1] = a1
+	out[2] = a2
+	out[3] = a3
+}
+
+// SelectLowerBounds2 heapifies idx (candidate identifiers, typically
+// 0..n-1) into a min-heap ordered by (lb2, id): the bounded phase-1
+// selection primitive. Heapify costs O(n); each PopLowerBound2 costs
+// O(log n), so visiting only the m candidates that survive pruning costs
+// O(n + m·log n) instead of the O(n·log n) full sort it replaces. Ties
+// order by ascending id under both kernels, making the visit order
+// deterministic and kernel-independent (NaN bounds order last).
+func SelectLowerBounds2(lb2 []float64, idx []int32) {
+	for i := len(idx)/2 - 1; i >= 0; i-- {
+		siftLowerBound2(lb2, idx, i)
+	}
+}
+
+// PopLowerBound2 removes and returns the candidate with the smallest
+// (lb2, id) key from a heap built by SelectLowerBounds2, shrinking idx.
+func PopLowerBound2(lb2 []float64, idx []int32) (int32, []int32) {
+	top := idx[0]
+	last := len(idx) - 1
+	idx[0] = idx[last]
+	idx = idx[:last]
+	if len(idx) > 1 {
+		siftLowerBound2(lb2, idx, 0)
+	}
+	return top, idx
+}
+
+// lbLess orders candidates by (lb2, id); NaN bounds sort after everything
+// (they can never be pruned, only refined last).
+func lbLess(lb2 []float64, a, b int32) bool {
+	la, lb := lb2[a], lb2[b]
+	if la != lb {
+		if la < lb {
+			return true
+		}
+		if lb < la {
+			return false
+		}
+		// Exactly one of the two is NaN: the non-NaN one comes first.
+		return !math.IsNaN(la)
+	}
+	return a < b
+}
+
+func siftLowerBound2(lb2 []float64, idx []int32, i int) {
+	n := len(idx)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && lbLess(lb2, idx[l], idx[small]) {
+			small = l
+		}
+		if r < n && lbLess(lb2, idx[r], idx[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		idx[i], idx[small] = idx[small], idx[i]
+		i = small
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Package-level convenience forms dispatching on the active kernel.
+
+// VALowerBounds2 is Active().VALowerBounds2.
+func VALowerBounds2(tab GapTable, codes []uint16, out []float64) int {
+	return Active().VALowerBounds2(tab, codes, out)
+}
+
+// RegionLowerBound2 is Active().RegionLowerBound2.
+func RegionLowerBound2(q, w, bounds []float64) float64 {
+	return Active().RegionLowerBound2(q, w, bounds)
+}
+
+// RegionLowerBounds2 is Active().RegionLowerBounds2.
+func RegionLowerBounds2(q, w []float64, regions [][]float64, out []float64) {
+	Active().RegionLowerBounds2(q, w, regions, out)
+}
+
+// PairRegionLowerBound2 is Active().PairRegionLowerBound2.
+func PairRegionLowerBound2(q, w, bounds []float64) float64 {
+	return Active().PairRegionLowerBound2(q, w, bounds)
+}
+
+// PairRegionLowerBounds2 is Active().PairRegionLowerBounds2.
+func PairRegionLowerBounds2(q, w []float64, regions [][]float64, out []float64) {
+	Active().PairRegionLowerBounds2(q, w, regions, out)
+}

@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzLowerBoundEquivalence fuzzes the scalar ≡ blocked contract of the
+// lower-bound kernels: raw bytes are reinterpreted as float64s (so NaN,
+// ±Inf, subnormals and constants occur naturally) and carved into a query,
+// a weight vector, region rows and a gap table with packed codes; every
+// form must return bit-identical results under both kernels. The seed
+// corpus pins the special values and the 4-wide block tails explicitly.
+func FuzzLowerBoundEquivalence(f *testing.F) {
+	mk := func(segs byte, vals ...float64) []byte {
+		buf := []byte{segs}
+		var tmp [8]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			buf = append(buf, tmp[:]...)
+		}
+		return buf
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	f.Add(mk(1, 0, 1, -1, 1, -2, 2, 0.5, 0.5))
+	f.Add(mk(2, 1, 2, 3, 4, -1, 1, -1, 1, 0, 2, 0, 2, -3, -2, 5, 6))
+	f.Add(mk(3, nan, inf, -inf, 0, 1, 2, -1, 1, -1, 1, -1, 1, nan, nan, inf, inf, 0, 0))
+	f.Add(mk(4, func() []float64 {
+		vals := make([]float64, 4*2+4*2*5) // q+w plus five region rows
+		for i := range vals {
+			vals[i] = float64(i%5) - 2
+		}
+		vals[3] = nan
+		vals[11] = -inf
+		return vals
+	}()...))
+	f.Add(mk(5, make([]float64, 5*2+5*2*9)...)) // all-zero constants
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1+3*8 {
+			return
+		}
+		segs := int(data[0])%8 + 1
+		raw := data[1:]
+		n := len(raw) / 8
+		floats := make([]float64, n)
+		for i := range floats {
+			floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		if n < 2*segs {
+			return
+		}
+		q := floats[:segs]
+		w := floats[segs : 2*segs]
+		rest := floats[2*segs:]
+
+		check := func(label string, a, b []float64) {
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("%s (segs %d, row %d): scalar %v != blocked %v", label, segs, i, a[i], b[i])
+				}
+			}
+		}
+
+		// Region form: rows of 2·segs bounds.
+		rows := len(rest) / (2 * segs)
+		if rows > 9 {
+			rows = 9
+		}
+		regions := make([][]float64, rows)
+		for i := range regions {
+			regions[i] = rest[i*2*segs : (i+1)*2*segs]
+		}
+		sOut := make([]float64, rows)
+		bOut := make([]float64, rows)
+		Scalar.RegionLowerBounds2(q, w, regions, sOut)
+		Blocked.RegionLowerBounds2(q, w, regions, bOut)
+		check("RegionLowerBounds2", sOut, bOut)
+
+		// Pair-region form: the same floats viewed as a 2·segs paired query
+		// (q then w) against rows of 4·segs bounds.
+		qPair := floats[:2*segs]
+		prows := len(rest) / (4 * segs)
+		if prows > 9 {
+			prows = 9
+		}
+		if prows > 0 {
+			pregions := make([][]float64, prows)
+			for i := range pregions {
+				pregions[i] = rest[i*4*segs : (i+1)*4*segs]
+			}
+			ps := make([]float64, prows)
+			pb := make([]float64, prows)
+			Scalar.PairRegionLowerBounds2(qPair, w, pregions, ps)
+			Blocked.PairRegionLowerBounds2(qPair, w, pregions, pb)
+			check("PairRegionLowerBounds2", ps, pb)
+		}
+
+		// VA gap-table form: segs dimensions of 4 cells each, table entries
+		// from the floats, codes from the raw bytes.
+		if n >= 2*segs+4*segs {
+			tab := GapTable{Gaps2: rest[:4*segs], Off: make([]int, segs), Dims: segs}
+			for d := range tab.Off {
+				tab.Off[d] = 4 * d
+			}
+			cands := len(raw) / segs
+			if cands > 9 {
+				cands = 9
+			}
+			codes := make([]uint16, cands*segs)
+			for i := range codes {
+				codes[i] = uint16(raw[i]) % 4
+			}
+			vs := make([]float64, cands)
+			vb := make([]float64, cands)
+			Scalar.VALowerBounds2(tab, codes, vs)
+			Blocked.VALowerBounds2(tab, codes, vb)
+			check("VALowerBounds2", vs, vb)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randGapTable builds a gap table with rows of varying cell counts and a
+// matching random packed code array.
+func randGapTable(rng *rand.Rand, dims, cands int) (GapTable, []uint16) {
+	tab := GapTable{Off: make([]int, dims), Dims: dims}
+	cells := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		cells[d] = 1 + rng.Intn(9)
+		tab.Off[d] = len(tab.Gaps2)
+		for c := 0; c < cells[d]; c++ {
+			tab.Gaps2 = append(tab.Gaps2, rng.Float64()*3)
+		}
+	}
+	codes := make([]uint16, dims*cands)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(cells[i%dims]))
+	}
+	return tab, codes
+}
+
+func TestVALowerBounds2Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range []int{1, 3, 8, 16} {
+		for _, cands := range []int{0, 1, 3, 4, 5, 17, 64} {
+			tab, codes := randGapTable(rng, dims, cands)
+			want := make([]float64, cands)
+			got := make([]float64, cands)
+			if n := Scalar.VALowerBounds2(tab, codes, want); n != cands {
+				t.Fatalf("scalar count = %d, want %d", n, cands)
+			}
+			if n := Blocked.VALowerBounds2(tab, codes, got); n != cands {
+				t.Fatalf("blocked count = %d, want %d", n, cands)
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("dims=%d cands=%d cand %d: scalar %v blocked %v", dims, cands, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestVALowerBounds2Values(t *testing.T) {
+	// 2 dims: row 0 = [0, 1, 4], row 1 = [9, 16].
+	tab := GapTable{Gaps2: []float64{0, 1, 4, 9, 16}, Off: []int{0, 3}, Dims: 2}
+	codes := []uint16{0, 0, 2, 1, 1, 0}
+	out := make([]float64, 3)
+	for _, k := range Kernels() {
+		k.VALowerBounds2(tab, codes, out)
+		want := []float64{9, 20, 10}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("%v cand %d: got %v, want %v", k, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVALowerBounds2Panics(t *testing.T) {
+	tab := GapTable{Gaps2: []float64{0}, Off: []int{0}, Dims: 1}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ragged codes", func() {
+		Scalar.VALowerBounds2(GapTable{Gaps2: []float64{0, 0}, Off: []int{0, 1}, Dims: 2}, []uint16{0, 0, 0}, make([]float64, 2))
+	})
+	mustPanic("short out", func() {
+		Scalar.VALowerBounds2(tab, []uint16{0, 0}, make([]float64, 1))
+	})
+	mustPanic("bad offsets", func() {
+		Scalar.VALowerBounds2(GapTable{Gaps2: []float64{0}, Off: nil, Dims: 1}, []uint16{0}, make([]float64, 1))
+	})
+}
+
+// randRegions builds random packed [lo,hi] rows (perDim intervals of width
+// stride 2) for region-bound tests, with occasional infinite edges.
+func randRegions(rng *rand.Rand, segs, count, pairs int) [][]float64 {
+	rows := make([][]float64, count)
+	for i := range rows {
+		row := make([]float64, 2*pairs*segs)
+		for j := 0; j < len(row); j += 2 {
+			lo := rng.NormFloat64()
+			hi := lo + rng.Float64()
+			if rng.Intn(8) == 0 {
+				lo = math.Inf(-1)
+			}
+			if rng.Intn(8) == 0 {
+				hi = math.Inf(1)
+			}
+			row[j], row[j+1] = lo, hi
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestRegionLowerBounds2Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, segs := range []int{1, 4, 7} {
+		for _, count := range []int{0, 1, 4, 9, 33} {
+			q := make([]float64, segs)
+			w := make([]float64, segs)
+			for d := range q {
+				q[d] = rng.NormFloat64()
+				w[d] = 1 + rng.Float64()*7
+			}
+			regions := randRegions(rng, segs, count, 1)
+			want := make([]float64, count)
+			got := make([]float64, count)
+			Scalar.RegionLowerBounds2(q, w, regions, want)
+			Blocked.RegionLowerBounds2(q, w, regions, got)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("segs=%d count=%d region %d: scalar %v blocked %v", segs, count, i, want[i], got[i])
+				}
+				single := Blocked.RegionLowerBound2(q, w, regions[i])
+				if math.Float64bits(single) != math.Float64bits(want[i]) {
+					t.Fatalf("region %d: single %v batch %v", i, single, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPairRegionLowerBounds2Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, segs := range []int{1, 3, 6} {
+		for _, count := range []int{0, 1, 2, 4, 5, 19} {
+			q := make([]float64, 2*segs)
+			w := make([]float64, segs)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			for i := range w {
+				w[i] = float64(1 + rng.Intn(16))
+			}
+			regions := randRegions(rng, segs, count, 2)
+			want := make([]float64, count)
+			got := make([]float64, count)
+			Scalar.PairRegionLowerBounds2(q, w, regions, want)
+			Blocked.PairRegionLowerBounds2(q, w, regions, got)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("segs=%d count=%d region %d: scalar %v blocked %v", segs, count, i, want[i], got[i])
+				}
+				single := Blocked.PairRegionLowerBound2(q, w, regions[i])
+				if math.Float64bits(single) != math.Float64bits(want[i]) {
+					t.Fatalf("region %d: single %v batch %v", i, single, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRegionLowerBoundAdversarial(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	q := []float64{nan, inf, -inf, 0}
+	w := []float64{1, 2, 3, 4}
+	bounds := []float64{-1, 1, -1, 1, -1, 1, -1, 1}
+	for _, k := range Kernels() {
+		got := k.RegionLowerBound2(q, w, bounds)
+		// NaN coordinate contributes 0 (every comparison false); the two
+		// infinite coordinates contribute +Inf.
+		if !math.IsInf(got, 1) {
+			t.Errorf("%v adversarial bound = %v, want +Inf", k, got)
+		}
+	}
+	// A zero weight against an infinite gap produces NaN; it must be the
+	// canonical NaN under both kernels.
+	w0 := []float64{0, 0, 0, 0}
+	for _, k := range Kernels() {
+		got := k.RegionLowerBound2(q, w0, bounds)
+		if math.Float64bits(got) != math.Float64bits(math.NaN()) {
+			t.Errorf("%v zero-weight bound bits = %x, want canonical NaN", k, math.Float64bits(got))
+		}
+	}
+	// Inside every interval: exactly zero.
+	for _, k := range Kernels() {
+		if got := k.RegionLowerBound2([]float64{0, 0, 0, 0}, w, bounds); got != 0 {
+			t.Errorf("%v inside bound = %v, want 0", k, got)
+		}
+	}
+}
+
+func TestSelectLowerBounds2Order(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		lb2 := make([]float64, n)
+		for i := range lb2 {
+			lb2[i] = float64(rng.Intn(5)) // heavy ties
+		}
+		if n > 3 {
+			lb2[1] = math.NaN()
+			lb2[3] = math.Inf(1)
+		}
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		SelectLowerBounds2(lb2, idx)
+		got := make([]int32, 0, n)
+		for len(idx) > 0 {
+			var top int32
+			top, idx = PopLowerBound2(lb2, idx)
+			got = append(got, top)
+		}
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = int32(i)
+		}
+		sort.SliceStable(want, func(a, b int) bool { return lbLess(lb2, want[a], want[b]) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d pop %d: got id %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkVALowerBounds2(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const dims, cands = 16, 4096
+	tab, codes := randGapTable(rng, dims, cands)
+	out := make([]float64, cands)
+	for _, k := range Kernels() {
+		b.Run(k.String(), func(b *testing.B) {
+			b.SetBytes(int64(cands * dims * 2))
+			for i := 0; i < b.N; i++ {
+				k.VALowerBounds2(tab, codes, out)
+			}
+		})
+	}
+}
+
+func BenchmarkRegionLowerBounds2(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const segs, count = 16, 256
+	q := make([]float64, segs)
+	w := make([]float64, segs)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+		w[i] = 16
+	}
+	regions := randRegions(rng, segs, count, 1)
+	out := make([]float64, count)
+	for _, k := range Kernels() {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.RegionLowerBounds2(q, w, regions, out)
+			}
+		})
+	}
+}
+
+func BenchmarkPairRegionLowerBounds2(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const segs, count = 8, 256
+	q := make([]float64, 2*segs)
+	w := make([]float64, segs)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	for i := range w {
+		w[i] = 32
+	}
+	regions := randRegions(rng, segs, count, 2)
+	out := make([]float64, count)
+	for _, k := range Kernels() {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.PairRegionLowerBounds2(q, w, regions, out)
+			}
+		})
+	}
+}

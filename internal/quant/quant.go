@@ -129,6 +129,22 @@ func (s *Scalar) LowerGap(v float64, c int) float64 {
 	return 0
 }
 
+// LowerGaps2 fills out[:Cells()] with the squared lower gap from v to
+// every cell: out[c] = LowerGap(v, c)². Filling this row once per query
+// turns the per-candidate VA-file bound into pure table gathers (see
+// kernel.GapTable); each entry is computed exactly as LowerGap does, so
+// gathered bounds accumulate bit-identically to per-candidate LowerGap
+// calls.
+func (s *Scalar) LowerGaps2(v float64, out []float64) {
+	if len(out) < len(s.Centers) {
+		panic(fmt.Sprintf("quant: gap row holds %d cells, quantizer has %d", len(out), len(s.Centers)))
+	}
+	for c := range s.Centers {
+		g := s.LowerGap(v, c)
+		out[c] = g * g
+	}
+}
+
 // UpperGap returns the maximum possible |v - x| over x in cell c. For the
 // unbounded extreme cells the cell is clipped at its center (the standard
 // VA+ practical convention), keeping the bound finite.

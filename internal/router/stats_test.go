@@ -1,0 +1,67 @@
+package router
+
+import (
+	"runtime"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+func TestDataScenarioSeedsInMemoryFromStats(t *testing.T) {
+	req := Request{Mode: core.ModeNG}
+	cases := []struct {
+		name         string
+		bytes, ram   int64
+		wantInMemory bool
+	}{
+		{"fits-with-headroom", 1 << 20, 1 << 30, true},
+		{"exactly-half", 1 << 29, 1 << 30, true},
+		{"over-half", 1<<29 + 1, 1 << 30, false},
+		{"larger-than-ram", 1 << 31, 1 << 30, false},
+		{"unknown-ram", 1 << 31, 0, true},
+		{"unknown-bytes", 0, 1 << 30, true},
+	}
+	for _, tc := range cases {
+		sc := DataScenario(tc.bytes, tc.ram)(req)
+		if sc.InMemory != tc.wantInMemory {
+			t.Errorf("%s: InMemory = %v, want %v", tc.name, sc.InMemory, tc.wantInMemory)
+		}
+		// Every other axis must still match the serve scenario.
+		want := ServeScenario(req)
+		want.InMemory = tc.wantInMemory
+		if sc != want {
+			t.Errorf("%s: scenario %+v, want %+v", tc.name, sc, want)
+		}
+	}
+}
+
+func TestDataScenarioRoutesDiskResident(t *testing.T) {
+	// A dataset larger than RAM must seed the on-disk Fig. 9 column: for
+	// an ng request the in-memory serve seed is HNSW, the on-disk seed is
+	// a disk-capable tree method.
+	r := New(Config{
+		Scenario:   DataScenario(1<<40, 1<<30),
+		Candidates: func(core.Mode) []string { return []string{"HNSW", "DSTree", "iSAX2+"} },
+	})
+	d, err := r.Pick(Request{Mode: core.ModeNG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method == "HNSW" {
+		t.Fatalf("disk-resident scenario still routed to %s: %s", d.Method, d.Rationale)
+	}
+	if d.Source != "seed" {
+		t.Fatalf("cold router should pick from the seed matrix, got %q", d.Source)
+	}
+}
+
+func TestAvailableRAM(t *testing.T) {
+	got := AvailableRAM()
+	if runtime.GOOS == "linux" {
+		if got <= 0 {
+			t.Fatalf("AvailableRAM() = %d on linux; expected a positive MemAvailable", got)
+		}
+	} else if got < 0 {
+		t.Fatalf("AvailableRAM() = %d; must be non-negative", got)
+	}
+}

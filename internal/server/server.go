@@ -221,7 +221,12 @@ func New(cfg Config) (*Server, error) {
 		start:       time.Now(),
 	}
 	if !cfg.DisableAuto {
-		s.route = router.New(router.Config{})
+		// Seed the router's Fig. 9 scenario from the dataset's actual
+		// footprint against this machine's RAM, so oversized datasets
+		// route to disk-capable methods from the first request.
+		s.route = router.New(router.Config{
+			Scenario: router.DataScenario(cfg.Data.Bytes(), router.AvailableRAM()),
+		})
 	}
 	if cfg.Model != nil {
 		s.model = *cfg.Model

@@ -235,6 +235,47 @@ func (z *Synopsis) Update(stats []Stat) {
 	z.Count++
 }
 
+// FloatWidths returns Widths() as float64 — the weight vector of the
+// pair-region MINDIST kernel (kernel.PairRegionLowerBound2).
+func (g Segmentation) FloatWidths() []float64 {
+	out := make([]float64, len(g))
+	prev := 0
+	for i, e := range g {
+		out[i] = float64(e - prev)
+		prev = e
+	}
+	return out
+}
+
+// PackedBounds returns the synopsis as one packed kernel region row —
+// [MinMean, MaxMean, MinStd, MaxStd] per segment, length 4·l — or nil for
+// an empty synopsis, whose lower bound is +Inf. Precomputing this at
+// build/load time removes the four-array walk from the traversal hot loop;
+// kernel.PairRegionLowerBound2(PackStats(qs, nil), g.FloatWidths(),
+// z.PackedBounds()) equals z.LowerBound2(qs, g) bit-for-bit.
+func (z *Synopsis) PackedBounds() []float64 {
+	if z.Count == 0 {
+		return nil
+	}
+	out := make([]float64, 4*len(z.MinMean))
+	for i := range z.MinMean {
+		out[4*i] = z.MinMean[i]
+		out[4*i+1] = z.MaxMean[i]
+		out[4*i+2] = z.MinStd[i]
+		out[4*i+3] = z.MaxStd[i]
+	}
+	return out
+}
+
+// PackStats appends stats to out as interleaved [mean, std] pairs — the
+// paired-query layout of the pair-region kernel.
+func PackStats(stats []Stat, out []float64) []float64 {
+	for _, st := range stats {
+		out = append(out, st.Mean, st.Std)
+	}
+	return out
+}
+
 // gap returns the distance from v to the interval [lo, hi] (0 if inside).
 func gap(v, lo, hi float64) float64 {
 	if v < lo {

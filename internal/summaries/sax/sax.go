@@ -191,6 +191,34 @@ func regionBounds(sym uint16, bits uint8) (lo, hi float64) {
 	return lo, hi
 }
 
+// Regions returns the word's packed breakpoint regions — interleaved
+// [lo, hi] pairs, length 2·len(w.Symbols) — the precomputed per-node form
+// consumed by the kernel MINDIST path (kernel.RegionLowerBound(s)2).
+// Computing this once at node creation instead of per query per node
+// removes the breakpoint-table walks from the traversal hot loop.
+func (w Word) Regions() []float64 {
+	out := make([]float64, 2*len(w.Symbols))
+	for i := range w.Symbols {
+		lo, hi := regionBounds(w.Symbols[i], w.Bits[i])
+		out[2*i] = lo
+		out[2*i+1] = hi
+	}
+	return out
+}
+
+// SegmentWidths returns the PAA segment widths of a length-n series split
+// into l segments, as the float64 weight vector of the MINDIST kernels.
+// kernel.RegionLowerBound2(qp, SegmentWidths(n, l), w.Regions()) equals
+// MinDistPAA(qp, w, n)² bit-for-bit.
+func SegmentWidths(n, l int) []float64 {
+	out := make([]float64, l)
+	for i := 0; i < l; i++ {
+		lo, hi := paa.SegmentBounds(n, l, i)
+		out[i] = float64(hi - lo)
+	}
+	return out
+}
+
 // MinDistPAA returns the iSAX lower-bounding distance (MINDIST) between a
 // query's PAA representation and an iSAX word (typically an index node),
 // for series of length n. It is zero when every PAA value falls inside the

@@ -1,0 +1,201 @@
+package vafile
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/storage"
+	"hydra/internal/summaries/dft"
+)
+
+// adversarialQueries returns query series exercising the lower-bound edge
+// cases: NaN, ±Inf and constant values.
+func adversarialQueries(length int) [][]float32 {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	mk := func(fill float32) []float32 {
+		s := make([]float32, length)
+		for i := range s {
+			s[i] = fill
+		}
+		return s
+	}
+	withNaN := mk(1)
+	withNaN[0] = nan
+	withNaN[length/2] = nan
+	withInf := mk(-1)
+	withInf[1] = inf
+	withInf[length-1] = -inf
+	return [][]float32{mk(0), mk(3.5), withNaN, withInf}
+}
+
+// TestGapTablePathMatchesReference pins the tentpole contract at the
+// method layer: for every series, the gathered squared bound equals the
+// reference per-dimension lowerBound loop bit-for-bit, under both kernels.
+func TestGapTablePathMatchesReference(t *testing.T) {
+	f, data, queries := buildTestFile(t, 400, 64, DefaultConfig(), 31)
+	_ = data
+	qs := make([][]float32, 0, queries.Size()+4)
+	for qi := 0; qi < queries.Size(); qi++ {
+		qs = append(qs, queries.At(qi))
+	}
+	qs = append(qs, adversarialQueries(64)...)
+
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi, q := range qs {
+			qc := dft.Coefficients(q, f.cfg.Coeffs)
+			buf := make([]float64, f.gapLen)
+			tab := f.gapTable(qc, buf)
+			lb2 := make([]float64, f.Size())
+			kernel.VALowerBounds2(tab, f.codes, lb2)
+			for i := 0; i < f.Size(); i++ {
+				want := f.lowerBound(qc, i)
+				got := math.Sqrt(lb2[i])
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("kernel %v query %d series %d: gather bound %v, reference %v", k, qi, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundNeverExceedsExact is the property test: under both
+// kernels, every gathered lower bound is <= the exact distance, for random
+// and adversarial queries (NaN bounds are excluded: NaN exact distances
+// admit no ordering).
+func TestLowerBoundNeverExceedsExact(t *testing.T) {
+	f, data, queries := buildTestFile(t, 300, 64, DefaultConfig(), 33)
+	qs := make([][]float32, 0, queries.Size()+4)
+	for qi := 0; qi < queries.Size(); qi++ {
+		qs = append(qs, queries.At(qi))
+	}
+	qs = append(qs, adversarialQueries(64)...)
+	defer kernel.Use(kernel.Default)
+	for _, k := range kernel.Kernels() {
+		kernel.Use(k)
+		for qi, q := range qs {
+			qc := dft.Coefficients(q, f.cfg.Coeffs)
+			buf := make([]float64, f.gapLen)
+			tab := f.gapTable(qc, buf)
+			lb2 := make([]float64, f.Size())
+			kernel.VALowerBounds2(tab, f.codes, lb2)
+			for i := 0; i < f.Size(); i++ {
+				exact := kernel.Dist(q, data.At(i))
+				lb := math.Sqrt(lb2[i])
+				if math.IsNaN(lb) || math.IsNaN(exact) {
+					continue
+				}
+				if lb > exact+1e-6 {
+					t.Fatalf("kernel %v query %d series %d: lower bound %v > exact %v", k, qi, i, lb, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSearchesShareScratchPool exercises the per-File scratch
+// pool under concurrency (meaningful under -race): parallel searches must
+// not interfere and must agree with a serial run.
+func TestConcurrentSearchesShareScratchPool(t *testing.T) {
+	f, _, queries := buildTestFile(t, 500, 64, DefaultConfig(), 35)
+	want := make([][]core.Neighbor, queries.Size())
+	for i := range want {
+		res, err := f.Search(core.Query{Series: queries.At(i), K: 5, Mode: core.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Neighbors
+	}
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*queries.Size())
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < queries.Size(); i++ {
+			wg.Add(1)
+			go func(i int, q []float32) {
+				defer wg.Done()
+				res, err := f.Search(core.Query{Series: q, K: 5, Mode: core.ModeExact})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Neighbors) != len(want[i]) {
+					errs <- fmt.Errorf("query %d: got %d neighbors, want %d", i, len(res.Neighbors), len(want[i]))
+					return
+				}
+				for j, nb := range res.Neighbors {
+					if nb != want[i][j] {
+						errs <- fmt.Errorf("query %d neighbor %d: got %+v, want %+v", i, j, nb, want[i][j])
+						return
+					}
+				}
+			}(i, queries.At(i))
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchAllocatesNoCandidateSlice guards the satellite: steady-state
+// searches reuse pooled scratch instead of allocating O(N) per query.
+func TestSearchAllocatesNoCandidateSlice(t *testing.T) {
+	f, _, queries := buildTestFile(t, 2000, 64, DefaultConfig(), 37)
+	q := core.Query{Series: queries.At(0), K: 5, Mode: core.ModeExact}
+	// Warm the pool.
+	if _, err := f.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := f.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The remaining allocations are O(k + coeffs): DFT coefficients, the
+	// k-NN set, the result slice, store view — nothing proportional to N
+	// (which would add thousands per run at this size).
+	if allocs > 60 {
+		t.Errorf("Search allocates %v objects per query; scratch pool not effective", allocs)
+	}
+}
+
+func BenchmarkPhase1(b *testing.B) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 4096, Length: 64, Seed: 40})
+	store := storage.NewSeriesStore(data, 0)
+	f, err := Build(store, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.Queries(data, dataset.KindWalk, 1, 41)
+	qc := dft.Coefficients(queries.At(0), f.cfg.Coeffs)
+	n := f.Size()
+
+	// Legacy shape: per-candidate LowerGap calls + sqrt per series.
+	b.Run("legacy-scan", func(b *testing.B) {
+		lbs := make([]float64, n)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				lbs[j] = f.lowerBound(qc, j)
+			}
+		}
+	})
+	for _, k := range kernel.Kernels() {
+		b.Run("gap-table/"+k.String(), func(b *testing.B) {
+			buf := make([]float64, f.gapLen)
+			lb2 := make([]float64, n)
+			for i := 0; i < b.N; i++ {
+				tab := f.gapTable(qc, buf)
+				k.VALowerBounds2(tab, f.codes, lb2)
+			}
+		})
+	}
+}

@@ -20,11 +20,14 @@ type fileSnap struct {
 	Bits       []int
 	Boundaries [][]float64
 	Centers    [][]float64
-	Codes      [][]uint16
+	Codes      []uint16 // packed row-major, stride Cfg.Coeffs (version 2+)
 	Coeffs     [][]float64
 }
 
-const persistVersion = 1
+// persistVersion 2 packs the codes into one row-major array (the query-time
+// layout of the gather kernel); version-1 snapshots stored one slice per
+// series and are rebuilt.
+const persistVersion = 2
 
 // Save serialises the approximation file to w.
 func (f *File) Save(w io.Writer) error {
@@ -55,8 +58,9 @@ func Load(store *storage.SeriesStore, r io.Reader) (*File, error) {
 	if snap.Version != persistVersion {
 		return nil, fmt.Errorf("vafile: unsupported snapshot version %d", snap.Version)
 	}
-	if len(snap.Codes) != store.Size() {
-		return nil, fmt.Errorf("vafile: snapshot holds %d codes, store holds %d series", len(snap.Codes), store.Size())
+	if len(snap.Codes) != store.Size()*snap.Cfg.Coeffs {
+		return nil, fmt.Errorf("vafile: snapshot holds %d code words, store holds %d series of %d dims",
+			len(snap.Codes), store.Size(), snap.Cfg.Coeffs)
 	}
 	f := &File{
 		store:  store,
@@ -71,5 +75,6 @@ func Load(store *storage.SeriesStore, r io.Reader) (*File, error) {
 			Centers:    snap.Centers[i],
 		})
 	}
+	f.finish()
 	return f, nil
 }

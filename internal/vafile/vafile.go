@@ -20,7 +20,7 @@ package vafile
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"hydra/internal/core"
 	"hydra/internal/kernel"
@@ -63,8 +63,12 @@ type File struct {
 
 	quantizers []*quant.Scalar
 	bits       []int
-	codes      [][]uint16  // approximation per series
+	codes      []uint16    // packed approximations, row-major with stride Coeffs
 	coeffs     [][]float64 // retained for tests/ablation (footprint-counted)
+
+	gapOff  []int // per-dimension row offsets into a query gap table
+	gapLen  int   // total gap-table cells across all dimensions
+	scratch sync.Pool
 }
 
 // Build constructs the VA+file.
@@ -134,15 +138,50 @@ func Build(store *storage.SeriesStore, cfg Config) (*File, error) {
 		}
 		f.quantizers[d] = quant.TrainScalar(sample, 1<<uint(f.bits[d]), 20)
 	}
-	f.codes = make([][]uint16, n)
+	f.codes = make([]uint16, n*l)
 	for i := 0; i < n; i++ {
-		code := make([]uint16, l)
+		code := f.codes[i*l : (i+1)*l]
 		for d := 0; d < l; d++ {
 			code[d] = uint16(f.quantizers[d].Encode(f.coeffs[i][d]))
 		}
-		f.codes[i] = code
 	}
+	f.finish()
 	return f, nil
+}
+
+// vaScratch is the per-query working set: the gap table, the squared
+// lower bounds, the candidate heap and the refinement gather buffers.
+// Pooled per File so steady-state queries allocate nothing O(N).
+type vaScratch struct {
+	gaps2 []float64
+	lb2   []float64
+	idx   []int32
+	ids   []int
+	views [][]float32
+	d2s   [refineBatch]float64
+}
+
+// finish derives the query-time layout (gap-table row offsets) and wires
+// the per-File scratch pool; called at the end of Build and Load.
+func (f *File) finish() {
+	l := f.cfg.Coeffs
+	f.gapOff = make([]int, l)
+	total := 0
+	for d, q := range f.quantizers {
+		f.gapOff[d] = total
+		total += q.Cells()
+	}
+	f.gapLen = total
+	n := f.Size()
+	f.scratch.New = func() interface{} {
+		return &vaScratch{
+			gaps2: make([]float64, total),
+			lb2:   make([]float64, n),
+			idx:   make([]int32, n),
+			ids:   make([]int, 0, refineBatch),
+			views: make([][]float32, 0, refineBatch),
+		}
+	}
 }
 
 // SetHistogram installs the histogram for δ-ε-approximate search.
@@ -152,7 +191,7 @@ func (f *File) SetHistogram(h *core.DistanceHistogram) { f.hist = h }
 func (f *File) Name() string { return "VA+file" }
 
 // Size returns the number of indexed series.
-func (f *File) Size() int { return len(f.codes) }
+func (f *File) Size() int { return len(f.codes) / f.cfg.Coeffs }
 
 // Bits returns the per-dimension bit allocation (tests, reports).
 func (f *File) Bits() []int { return append([]int(nil), f.bits...) }
@@ -160,10 +199,7 @@ func (f *File) Bits() []int { return append([]int(nil), f.bits...) }
 // Footprint implements core.Method: codes plus quantizer tables plus the
 // retained coefficient cache.
 func (f *File) Footprint() int64 {
-	var total int64
-	for _, c := range f.codes {
-		total += int64(len(c)) * 2
-	}
+	total := int64(len(f.codes)) * 2
 	for _, q := range f.quantizers {
 		total += int64(len(q.Centers))*8 + int64(len(q.Boundaries))*8
 	}
@@ -174,15 +210,28 @@ func (f *File) Footprint() int64 {
 }
 
 // lowerBound returns the VA lower bound between the query coefficients and
-// the approximation of series i.
+// the approximation of series i. Retained as the reference implementation:
+// Search computes the same accumulation (squared) through the gap-table
+// kernel, and tests/benchmarks pin the two against each other.
 func (f *File) lowerBound(qc []float64, i int) float64 {
 	var acc float64
-	code := f.codes[i]
+	l := f.cfg.Coeffs
+	code := f.codes[i*l : (i+1)*l]
 	for d := range qc {
 		g := f.quantizers[d].LowerGap(qc[d], int(code[d]))
 		acc += g * g
 	}
 	return math.Sqrt(acc)
+}
+
+// gapTable fills the per-query VA pruning table into buf: for every
+// dimension, the squared lower gap from the query coefficient to each
+// quantizer cell.
+func (f *File) gapTable(qc []float64, buf []float64) kernel.GapTable {
+	for d, q := range f.quantizers {
+		q.LowerGaps2(qc[d], buf[f.gapOff[d]:])
+	}
+	return kernel.GapTable{Gaps2: buf, Off: f.gapOff, Dims: f.cfg.Coeffs}
 }
 
 // Search implements core.Method. It is safe for concurrent use: the
@@ -198,17 +247,23 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 	st := f.store.View()
 	qc := dft.Coefficients(q.Series, f.cfg.Coeffs)
 
-	// Phase 1: lower bounds from the in-memory approximation file.
-	n := len(f.codes)
-	type cand struct {
-		id int
-		lb float64
+	// Phase 1: squared lower bounds for every series — one per-(dimension,
+	// cell) squared-gap table per query, then a blocked table-gather over
+	// the packed code array. The candidate min-heap keyed by (lb², id)
+	// replaces the full sort of all N candidates: heapify is O(N) and each
+	// visited candidate costs O(log N), so a query that prunes after m
+	// visits pays O(N + m·log N) instead of O(N·log N). Bounds stay squared
+	// end-to-end; the prune threshold is squared once per batch instead of
+	// taking N per-series square roots.
+	n := f.Size()
+	sc := f.scratch.Get().(*vaScratch)
+	tab := f.gapTable(qc, sc.gaps2)
+	kernel.VALowerBounds2(tab, f.codes, sc.lb2)
+	heapIdx := sc.idx[:n]
+	for i := range heapIdx {
+		heapIdx[i] = int32(i)
 	}
-	cands := make([]cand, n)
-	for i := 0; i < n; i++ {
-		cands[i] = cand{id: i, lb: f.lowerBound(qc, i)}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	kernel.SelectLowerBounds2(sc.lb2, heapIdx)
 
 	epsFactor := 1.0
 	if q.Mode == core.ModeEpsilon || q.Mode == core.ModeDeltaEpsilon {
@@ -222,24 +277,24 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 
 	kset := core.NewKNNSet(q.K)
 	res := core.Result{}
-	// Phase 2: visit raw series in increasing lower-bound order, refined
-	// in small gathered batches through the active kernel. The prune
-	// condition is evaluated against the k-NN worst at batch-gather time;
-	// because candidates arrive in increasing lower-bound order, any
-	// over-gathered candidate has lb above the final worst, so its exact
-	// distance is rejected by the result set and the answers match the
-	// per-candidate loop this replaces. The NProbe cap bounds the gather
-	// exactly; the δ-ε stop is re-checked after each offer.
-	const refineBatch = 16
-	ids := make([]int, 0, refineBatch)
-	views := make([][]float32, 0, refineBatch)
-	var d2s [refineBatch]float64
-	i := 0
+	// Phase 2: visit raw series in increasing (lb², id) order — heap pops,
+	// so ties visit in deterministic ascending-id order under every kernel
+	// — refined in small gathered batches through the active kernel. The
+	// prune condition compares squared bounds against the squared
+	// threshold (worst/epsFactor)², frozen at batch-gather time; because
+	// candidates arrive in increasing lower-bound order, any over-gathered
+	// candidate has lb above the final worst, so its exact distance is
+	// rejected by the result set and the answers match the per-candidate
+	// loop this replaces. The NProbe cap bounds the gather exactly; the
+	// δ-ε stop is re-checked after each offer.
+	ids := sc.ids[:0]
+	views := sc.views[:0]
 	pruned := false
-	for i < len(cands) && !pruned {
+	for len(heapIdx) > 0 && !pruned {
 		ids = ids[:0]
 		views = views[:0]
-		worst := kset.Worst()
+		t := kset.Worst() / epsFactor
+		t2 := t * t
 		batchCap := refineBatch
 		if q.Mode == core.ModeNG {
 			if left := q.NProbe - res.LeavesVisited; left < batchCap {
@@ -249,26 +304,27 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 				break
 			}
 		}
-		for i < len(cands) && len(ids) < batchCap {
-			c := cands[i]
-			if c.lb > worst/epsFactor {
+		for len(heapIdx) > 0 && len(ids) < batchCap {
+			top := heapIdx[0]
+			if sc.lb2[top] > t2 {
 				pruned = true
 				break
 			}
-			i++
-			ids = append(ids, c.id)
-			views = append(views, st.Read(c.id))
+			_, heapIdx = kernel.PopLowerBound2(sc.lb2, heapIdx)
+			id := int(top)
+			ids = append(ids, id)
+			views = append(views, st.Read(id))
 			res.LeavesVisited++ // for VA+file, a "leaf" is one raw series visit
 		}
 		if len(ids) == 0 {
 			break
 		}
 		lim := kset.Worst()
-		kernel.SquaredDistsGather(q.Series, views, lim*lim, d2s[:len(ids)])
+		kernel.SquaredDistsGather(q.Series, views, lim*lim, sc.d2s[:len(ids)])
 		res.DistCalcs += int64(len(ids))
 		stopped := false
-		for t, d2 := range d2s[:len(ids)] {
-			kset.Offer(ids[t], kernel.Distance(d2))
+		for j, d2 := range sc.d2s[:len(ids)] {
+			kset.Offer(ids[j], kernel.Distance(d2))
 			if q.Mode == core.ModeDeltaEpsilon && kset.Full() && kset.Worst() <= stopDist {
 				stopped = true
 				break
@@ -280,5 +336,17 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 	}
 	res.Neighbors = kset.Sorted()
 	res.IO = st.Accountant().Snapshot()
+	// Return the scratch with raw-series views released; everything else is
+	// safe to reuse as-is.
+	for j := range views {
+		views[j] = nil
+	}
+	sc.ids = ids[:0]
+	sc.views = views[:0]
+	f.scratch.Put(sc)
 	return res, nil
 }
+
+// refineBatch is the phase-2 gather width: candidates are refined through
+// the kernel in batches of this size.
+const refineBatch = 16
