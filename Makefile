@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json bench-gate persist-smoke serve-smoke shard-smoke cache-smoke fmt
+.PHONY: all build vet test race bench-smoke bench-json bench-gate persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke fmt
 
-all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke cache-smoke
+all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # index catalog, the sharded scatter-gather method and the HTTP server
 # under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/... ./internal/vafile/...
+	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/... ./internal/vafile/... ./internal/loadgen/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -173,6 +173,47 @@ cache-smoke:
 	kill $$pid; wait $$pid 2>/dev/null || true; pid=""; \
 	echo "cache-smoke OK (auto routed to $$routed)"
 
+# End-to-end load-test check: verify the replay schedule is byte-identical
+# per seed, boot hydra-serve with the cache + admission gate + auto router
+# on, replay a mixed open-loop profile with SLO enforcement, gate the fresh
+# BENCH_loadgen.json against the loadgen/ floors in bench_thresholds.json,
+# then SIGTERM the server mid-replay and require the drain to surface as
+# "draining" refusals — never as unexplained errors.
+LOADGEN_SMOKE_ADDR ?= 127.0.0.1:18323
+loadgen-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap '{ [ -z "$$pid" ] || kill $$pid 2>/dev/null || true; } ; rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) build -o $$dir/hydra-gen ./cmd/hydra-gen; \
+	$(GO) build -o $$dir/hydra-serve ./cmd/hydra-serve; \
+	$(GO) build -o $$dir/hydra-loadgen ./cmd/hydra-loadgen; \
+	$(GO) build -o $$dir/hydra-benchgate ./cmd/hydra-benchgate; \
+	$$dir/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$$dir/hydra-loadgen -seed 7 -requests 200 -rate 100 -dump-schedule > $$dir/sched1.txt; \
+	$$dir/hydra-loadgen -seed 7 -requests 200 -rate 100 -dump-schedule > $$dir/sched2.txt; \
+	diff $$dir/sched1.txt $$dir/sched2.txt || { echo "loadgen-smoke: same seed produced different schedules"; exit 1; }; \
+	$$dir/hydra-loadgen -seed 8 -requests 200 -rate 100 -dump-schedule | diff -q - $$dir/sched1.txt >/dev/null 2>&1 && { echo "loadgen-smoke: different seeds produced identical schedules"; exit 1; }; \
+	$$dir/hydra-serve -data $$dir/data.bin -cache-max-bytes 1048576 -max-inflight 4 -drain-grace 5s -addr $(LOADGEN_SMOKE_ADDR) > $$dir/boot.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(LOADGEN_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "loadgen-smoke: server did not become healthy"; cat $$dir/boot.log; exit 1; }; \
+	$$dir/hydra-loadgen -target http://$(LOADGEN_SMOKE_ADDR) -loop open -rate 150 -requests 450 -seed 7 \
+	  -out $$dir/BENCH_loadgen.json -enforce > $$dir/replay.txt || { echo "loadgen-smoke: replay missed its SLOs"; cat $$dir/replay.txt; exit 1; }; \
+	grep -q "^total: " $$dir/replay.txt || { echo "loadgen-smoke: replay summary missing totals"; cat $$dir/replay.txt; exit 1; }; \
+	grep -q "all SLOs held" $$dir/replay.txt || { echo "loadgen-smoke: SLO verdict missing"; cat $$dir/replay.txt; exit 1; }; \
+	grep -E "^total: .*errors=0$$" $$dir/replay.txt >/dev/null || { echo "loadgen-smoke: replay produced unexplained errors"; cat $$dir/replay.txt; exit 1; }; \
+	$$dir/hydra-benchgate -thresholds bench_thresholds.json -prefix loadgen/ $$dir/BENCH_loadgen.json \
+	  || { echo "loadgen-smoke: bench gate rejected the replay"; cat $$dir/replay.txt; exit 1; }; \
+	$$dir/hydra-loadgen -target http://$(LOADGEN_SMOKE_ADDR) -loop open -rate 150 -requests 600 -seed 9 \
+	  > $$dir/drain.txt 2>&1 & lgpid=$$!; \
+	sleep 1; kill -TERM $$pid; \
+	wait $$lgpid || true; \
+	wait $$pid 2>/dev/null || true; pid=""; \
+	grep -q "drained cleanly" $$dir/boot.log || { echo "loadgen-smoke: server did not drain cleanly"; cat $$dir/boot.log; exit 1; }; \
+	grep -E "^total: .*draining=[1-9]" $$dir/drain.txt >/dev/null || { echo "loadgen-smoke: drain surfaced no shutting_down refusals"; cat $$dir/drain.txt; exit 1; }; \
+	grep -E "^total: .*errors=0$$" $$dir/drain.txt >/dev/null || { echo "loadgen-smoke: drain produced unexplained errors"; cat $$dir/drain.txt; exit 1; }; \
+	echo "loadgen-smoke OK"
+
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
@@ -190,12 +231,13 @@ bench-json:
 	HYDRA_BENCH_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run=TestWriteBenchJSON -v -count=1 ./internal/eval/
 	HYDRA_BENCH_LOWERBOUNDS_JSON=$(CURDIR)/BENCH_lowerbounds.json $(GO) test -run=TestWriteLowerBoundBenchJSON -v -count=1 ./internal/eval/
 	HYDRA_BENCH_SERVECACHE_JSON=$(CURDIR)/BENCH_servecache.json $(GO) test -run=TestWriteServeCacheBenchJSON -v -count=1 -timeout=20m ./internal/server/
+	HYDRA_BENCH_LOADGEN_JSON=$(CURDIR)/BENCH_loadgen.json $(GO) test -run=TestWriteLoadgenBenchJSON -v -count=1 -timeout=10m ./internal/loadgen/
 
 # CI perf-regression gate: every speedup in the fresh BENCH_*.json files
 # must clear its committed floor in bench_thresholds.json. Run after
 # bench-json.
 bench-gate:
-	$(GO) run ./cmd/hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_lowerbounds.json BENCH_servecache.json
+	$(GO) run ./cmd/hydra-benchgate -thresholds bench_thresholds.json BENCH_kernels.json BENCH_lowerbounds.json BENCH_servecache.json BENCH_loadgen.json
 
 # Fails when any file needs gofmt (prints the offenders).
 fmt:

@@ -11,24 +11,44 @@ import (
 
 // benchRow is the union of the BENCH_*.json row shapes: kernel benchmarks
 // carry Kernel and SpeedupVsScalar, serve benchmarks carry Baseline and
-// Speedup. Unknown fields are ignored so the gate survives new columns.
+// Speedup, and loadgen SLO rows carry either SLOSeconds/ObservedSeconds
+// (latency floors) or BudgetAllowed/BudgetSpent (error budgets). Unknown
+// fields are ignored so the gate survives new columns.
 type benchRow struct {
 	Name            string  `json:"name"`
 	Kernel          string  `json:"kernel"`
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
 	Baseline        string  `json:"baseline"`
 	Speedup         float64 `json:"speedup"`
+	SLOSeconds      float64 `json:"slo_seconds"`
+	ObservedSeconds float64 `json:"observed_seconds"`
+	BudgetAllowed   float64 `json:"budget_allowed"`
+	BudgetSpent     float64 `json:"budget_spent"`
 }
 
-// comparison returns the row's gated speedup, or ok=false for baseline
+// comparison returns the row's gated headroom, or ok=false for baseline
 // rows that measure nothing relative (scalar kernel rows, serve rows with
-// no baseline).
+// no baseline, reporting-only loadgen rows). For speedup rows the headroom
+// is the speedup itself. For SLO latency rows it is slo/observed, so 1.0
+// means the observed tail sits exactly on the objective. For error-budget
+// rows it is the unspent budget fraction — 1.0 means no budget spent, so a
+// threshold of 1.0 demands zero unexplained errors.
 func (r benchRow) comparison() (speedup float64, ok bool) {
 	if r.Kernel != "" {
 		if r.Kernel == "scalar" {
 			return 0, false
 		}
 		return r.SpeedupVsScalar, true
+	}
+	if r.SLOSeconds > 0 && r.ObservedSeconds > 0 {
+		return r.SLOSeconds / r.ObservedSeconds, true
+	}
+	if r.BudgetAllowed > 0 {
+		headroom := (r.BudgetAllowed - r.BudgetSpent) / r.BudgetAllowed
+		if headroom < 0 {
+			headroom = 0
+		}
+		return headroom, true
 	}
 	if r.Baseline == "" {
 		return 0, false
@@ -38,8 +58,11 @@ func (r benchRow) comparison() (speedup float64, ok bool) {
 
 // run checks every threshold against every comparison row from the given
 // bench files, writing one verdict line per (threshold, row) pair, and
-// returns an error describing all failures if any bar is missed.
-func run(w io.Writer, thresholdsPath string, benchFiles []string) error {
+// returns an error describing all failures if any bar is missed. A
+// non-empty prefix restricts the gate to thresholds whose names carry it —
+// how a smoke stage gates only its own BENCH file (e.g. -prefix loadgen/)
+// without needing every other benchmark rerun first.
+func run(w io.Writer, thresholdsPath, prefix string, benchFiles []string) error {
 	buf, err := os.ReadFile(thresholdsPath)
 	if err != nil {
 		return err
@@ -47,6 +70,16 @@ func run(w io.Writer, thresholdsPath string, benchFiles []string) error {
 	var thresholds map[string]float64
 	if err := json.Unmarshal(buf, &thresholds); err != nil {
 		return fmt.Errorf("%s: %w", thresholdsPath, err)
+	}
+	if prefix != "" {
+		for name := range thresholds {
+			if !strings.HasPrefix(name, prefix) {
+				delete(thresholds, name)
+			}
+		}
+		if len(thresholds) == 0 {
+			return fmt.Errorf("%s: no thresholds match prefix %q", thresholdsPath, prefix)
+		}
 	}
 	if len(thresholds) == 0 {
 		return fmt.Errorf("%s: no thresholds defined", thresholdsPath)

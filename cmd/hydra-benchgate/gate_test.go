@@ -35,7 +35,7 @@ func TestGatePasses(t *testing.T) {
 	k := write(t, dir, "k.json", kernelRows)
 	s := write(t, dir, "s.json", serveRows)
 	var out strings.Builder
-	if err := run(&out, th, []string{k, s}); err != nil {
+	if err := run(&out, th, "", []string{k, s}); err != nil {
 		t.Fatalf("gate failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "bench gate passed: 3 threshold(s) held") {
@@ -53,7 +53,7 @@ func TestGateFailsBelowThreshold(t *testing.T) {
 	th := write(t, dir, "thresholds.json", `{"SquaredDists/cands=1024": 2.0}`)
 	k := write(t, dir, "k.json", kernelRows)
 	var out strings.Builder
-	err := run(&out, th, []string{k})
+	err := run(&out, th, "", []string{k})
 	if err == nil {
 		t.Fatalf("gate passed despite 1.8x < 2.0x:\n%s", out.String())
 	}
@@ -70,7 +70,7 @@ func TestGateFailsOnUnmatchedThreshold(t *testing.T) {
 	th := write(t, dir, "thresholds.json", `{"method/Renamed/exact": 1.2}`)
 	k := write(t, dir, "k.json", kernelRows)
 	var out strings.Builder
-	err := run(&out, th, []string{k})
+	err := run(&out, th, "", []string{k})
 	if err == nil || !strings.Contains(err.Error(), "matches no comparison row") {
 		t.Fatalf("renamed benchmark not caught: %v", err)
 	}
@@ -80,7 +80,84 @@ func TestGateRejectsEmptyThresholds(t *testing.T) {
 	dir := t.TempDir()
 	th := write(t, dir, "thresholds.json", `{}`)
 	k := write(t, dir, "k.json", kernelRows)
-	if err := run(&strings.Builder{}, th, []string{k}); err == nil {
+	if err := run(&strings.Builder{}, th, "", []string{k}); err == nil {
 		t.Fatal("empty thresholds accepted")
+	}
+}
+
+const loadgenRows = `[
+  {"name": "loadgen/exact-pinned/p99", "class": "exact-pinned", "loop": "open",
+   "requests": 200, "ok": 198, "shed": 2, "p99_seconds": 0.05,
+   "slo_seconds": 0.75, "observed_seconds": 0.05},
+  {"name": "loadgen/exact-pinned/error-budget", "class": "exact-pinned",
+   "requests": 200, "budget_allowed": 0.005, "budget_spent": 0},
+  {"name": "loadgen/overall/throughput", "loop": "open", "requests": 200,
+   "throughput_rps": 195, "baseline": "offered-rate", "speedup": 0.975}
+]`
+
+// TestGateSLORows pins the loadgen row semantics: latency rows gate on
+// slo/observed headroom, budget rows on the unspent budget fraction, and a
+// threshold of 1.0 on a budget row demands zero unexplained errors.
+func TestGateSLORows(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json",
+		`{"loadgen/exact-pinned/p99": 1.0, "loadgen/exact-pinned/error-budget": 1.0, "loadgen/overall/throughput": 0.5}`)
+	lg := write(t, dir, "lg.json", loadgenRows)
+	var out strings.Builder
+	if err := run(&out, th, "", []string{lg}); err != nil {
+		t.Fatalf("gate failed on healthy loadgen rows: %v\n%s", err, out.String())
+	}
+	// 0.75s SLO over 0.05s observed = 15x headroom.
+	if !strings.Contains(out.String(), "loadgen/exact-pinned/p99: 15.00x") {
+		t.Fatalf("latency headroom not slo/observed:\n%s", out.String())
+	}
+}
+
+func TestGateSLOViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json", `{"loadgen/slow/p99": 1.0}`)
+	lg := write(t, dir, "lg.json",
+		`[{"name": "loadgen/slow/p99", "slo_seconds": 0.1, "observed_seconds": 0.4}]`)
+	var out strings.Builder
+	err := run(&out, th, "", []string{lg})
+	if err == nil || !strings.Contains(err.Error(), "below threshold") {
+		t.Fatalf("p99 4x over SLO passed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateErrorBudgetOverspendFails(t *testing.T) {
+	dir := t.TempDir()
+	th := write(t, dir, "thresholds.json", `{"loadgen/flaky/error-budget": 1.0}`)
+	// Any spend under a 1.0 threshold fails; overspend clamps to 0 headroom.
+	for _, spent := range []string{"0.001", "0.02"} {
+		lg := write(t, dir, "lg.json",
+			`[{"name": "loadgen/flaky/error-budget", "budget_allowed": 0.005, "budget_spent": `+spent+`}]`)
+		var out strings.Builder
+		if err := run(&out, th, "", []string{lg}); err == nil {
+			t.Fatalf("budget spend %s passed a 1.0 threshold:\n%s", spent, out.String())
+		}
+	}
+}
+
+func TestGatePrefixFilter(t *testing.T) {
+	dir := t.TempDir()
+	// Thresholds for kernels AND loadgen, but only the loadgen BENCH file:
+	// without -prefix the kernel thresholds match no row and fail; with
+	// -prefix loadgen/ the gate scopes to the smoke's own rows.
+	th := write(t, dir, "thresholds.json",
+		`{"SquaredDists/cands=1024": 1.2, "loadgen/exact-pinned/p99": 1.0, "loadgen/exact-pinned/error-budget": 1.0}`)
+	lg := write(t, dir, "lg.json", loadgenRows)
+	if err := run(&strings.Builder{}, th, "", []string{lg}); err == nil {
+		t.Fatalf("unmatched kernel threshold passed without prefix")
+	}
+	var out strings.Builder
+	if err := run(&out, th, "loadgen/", []string{lg}); err != nil {
+		t.Fatalf("prefix-scoped gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bench gate passed: 2 threshold(s) held") {
+		t.Fatalf("prefix did not scope to 2 thresholds:\n%s", out.String())
+	}
+	if err := run(&strings.Builder{}, th, "nosuch/", []string{lg}); err == nil {
+		t.Fatalf("prefix matching nothing passed")
 	}
 }

@@ -27,12 +27,13 @@ import (
 
 func main() {
 	thresholds := flag.String("thresholds", "bench_thresholds.json", "JSON file mapping benchmark names to minimum speedups")
+	prefix := flag.String("prefix", "", "gate only thresholds whose names start with this prefix (e.g. loadgen/)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "hydra-benchgate: at least one BENCH_*.json file is required")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *thresholds, flag.Args()); err != nil {
+	if err := run(os.Stdout, *thresholds, *prefix, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-benchgate: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,189 @@
+// Command hydra-loadgen is the workload replay harness: a deterministic
+// (seeded) traffic generator that drives a live hydra-serve over HTTP with
+// a mixed request profile — pinned-exact, pinned-approximate and
+// router-auto classes drawing zipf-skewed queries from a shared pool so
+// the result cache is exercised honestly — and reports per-class
+// p50/p95/p99/p999, throughput, shed/error counts and an SLO error budget.
+//
+// Two replay modes:
+//
+//   - open loop (-loop open, default): requests fire at a fixed arrival
+//     rate (-rate) regardless of completions, and latency is measured from
+//     each request's *scheduled* arrival, not its send — the
+//     coordinated-omission-safe way to observe tail latency.
+//   - closed loop (-loop closed): -clients concurrent clients each issue
+//     the next request as the previous completes, measuring service time.
+//
+// Usage:
+//
+//	hydra-loadgen -target http://127.0.0.1:8080 -rate 200 -requests 1000 \
+//	    -seed 1 -out BENCH_loadgen.json -enforce
+//	hydra-loadgen -seed 1 -requests 1000 -rate 200 -dump-schedule   # no server needed
+//
+// The same seed always produces the byte-identical request schedule
+// (verify with -dump-schedule); -out writes BENCH_loadgen.json rows whose
+// SLO floors hydra-benchgate enforces from bench_thresholds.json, and
+// -enforce makes hydra-loadgen itself exit 1 when a class misses its p99
+// SLO or overspends its error budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"hydra/internal/dataset"
+	"hydra/internal/loadgen"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "hydra-serve base URL")
+		loop     = flag.String("loop", loadgen.LoopOpen, "replay mode: open (fixed arrival rate, coordinated-omission-safe) or closed (N concurrent clients)")
+		rate     = flag.Float64("rate", 100, "open-loop offered arrival rate, requests/second")
+		requests = flag.Int("requests", 500, "total requests to replay")
+		clients  = flag.Int("clients", 8, "closed-loop concurrency (open loop: transport concurrency bound)")
+		seed     = flag.Int64("seed", 1, "schedule + query-pool seed; the same seed replays the byte-identical schedule")
+		pool     = flag.Int("pool", 0, "distinct queries in the zipf-reused pool (0 = profile default)")
+		zipf     = flag.Float64("zipf", 0, "zipf skew of query reuse, > 1 (0 = profile default)")
+		length   = flag.Int("length", 0, "query series length (0 = ask the server via GET /v1/datasets)")
+		profile  = flag.String("profile", "", "JSON profile file overriding the default request-class mix")
+		out      = flag.String("out", "", "write BENCH_loadgen.json rows to this path")
+		dump     = flag.Bool("dump-schedule", false, "print the request schedule and exit without contacting the server")
+		enforce  = flag.Bool("enforce", false, "exit 1 when any class misses its p99 SLO or overspends its error budget")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		sloP99   = flag.Float64("slo-p99", 0, "override every class's p99 SLO, seconds (0 keeps the profile's)")
+		budget   = flag.Float64("error-budget", -1, "override every class's error budget fraction (negative keeps the profile's)")
+	)
+	flag.Parse()
+	if err := run(options{
+		target: *target, loop: *loop, rate: *rate, requests: *requests, clients: *clients,
+		seed: *seed, pool: *pool, zipf: *zipf, length: *length, profilePath: *profile,
+		out: *out, dump: *dump, enforce: *enforce, timeout: *timeout, sloP99: *sloP99, budget: *budget,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	target, loop, profilePath, out  string
+	rate, zipf, sloP99, budget      float64
+	requests, clients, pool, length int
+	seed                            int64
+	timeout                         time.Duration
+	dump, enforce                   bool
+}
+
+func run(opts options) error {
+	p := loadgen.DefaultProfile()
+	if opts.profilePath != "" {
+		var err error
+		if p, err = loadgen.LoadProfile(opts.profilePath); err != nil {
+			return err
+		}
+	}
+	if opts.pool > 0 {
+		p.QueryPool = opts.pool
+	}
+	if opts.zipf > 0 {
+		p.ZipfS = opts.zipf
+	}
+	for i := range p.Classes {
+		if opts.sloP99 > 0 {
+			p.Classes[i].SLO.P99Seconds = opts.sloP99
+		}
+		if opts.budget >= 0 {
+			p.Classes[i].SLO.ErrorBudget = opts.budget
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if opts.requests <= 0 {
+		return fmt.Errorf("-requests must be positive, got %d", opts.requests)
+	}
+	schedRate := opts.rate
+	if opts.loop != loadgen.LoopOpen {
+		schedRate = 0
+	} else if schedRate <= 0 {
+		return fmt.Errorf("open loop needs a positive -rate, got %g", schedRate)
+	}
+	reqs := p.Schedule(opts.seed, opts.requests, schedRate)
+
+	if opts.dump {
+		return loadgen.WriteSchedule(os.Stdout, p, reqs)
+	}
+
+	length := opts.length
+	if length <= 0 {
+		var err error
+		if length, err = fetchSeriesLength(opts.target, opts.timeout); err != nil {
+			return fmt.Errorf("resolving query length from %s (set -length to skip): %w", opts.target, err)
+		}
+	}
+	// The pool is derived from the seed, so a fixed (seed, length) pair
+	// replays identical query vectors too, not just an identical schedule.
+	queries := dataset.Generate(dataset.Config{
+		Kind: dataset.KindWalk, Count: p.QueryPool, Length: length, Seed: opts.seed + 1,
+	})
+
+	rep, err := loadgen.Run(p, reqs, queries, loadgen.Options{
+		BaseURL: opts.target,
+		Loop:    opts.loop,
+		Rate:    opts.rate,
+		Clients: opts.clients,
+		Timeout: opts.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	rep.WriteSummary(os.Stdout)
+
+	if opts.out != "" {
+		if err := loadgen.WriteBenchJSON(opts.out, rep.BenchRows()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", opts.out)
+	}
+	if violations := rep.SLOViolations(); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("SLO violation: %s\n", v)
+		}
+		if opts.enforce {
+			return fmt.Errorf("%d SLO violation(s)", len(violations))
+		}
+	} else {
+		fmt.Println("all SLOs held")
+	}
+	return nil
+}
+
+// fetchSeriesLength asks the server how long its series are, so generated
+// query vectors match the dataset without the caller repeating -length.
+func fetchSeriesLength(target string, timeout time.Duration) (int, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(target + "/v1/datasets")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/datasets: status %d", resp.StatusCode)
+	}
+	var shape struct {
+		Datasets []struct {
+			Length int `json:"length"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shape); err != nil {
+		return 0, err
+	}
+	if len(shape.Datasets) == 0 || shape.Datasets[0].Length <= 0 {
+		return 0, fmt.Errorf("GET /v1/datasets reported no usable series length")
+	}
+	return shape.Datasets[0].Length, nil
+}

@@ -53,6 +53,7 @@ func main() {
 		warmupPar  = flag.Int("warmup-workers", -1, "boot hydration fan-out (negative = all cores)")
 		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+		drainGrace = flag.Duration("drain-grace", 0, "keep listening this long after SIGTERM so late requests observe 503 \"shutting_down\" instead of connection refused (0 closes listeners immediately)")
 		kern       = flag.String("kernel", "", "distance kernel: scalar|blocked (default blocked); answers are bit-identical, only speed differs")
 	)
 	flag.Parse()
@@ -70,7 +71,7 @@ func main() {
 		dataPath: *dataPath, addr: *addr, indexDir: *indexDir, workloadDir: *workload,
 		preload: *preload, workers: *workers, warmupPar: *warmupPar, shards: *shards,
 		catalogMaxBytes: *maxBytes, cacheMax: *cacheMax, inflight: *inflight, auto: *auto,
-		reqTimeout: *reqTimeout, drainWait: *drainWait,
+		reqTimeout: *reqTimeout, drainWait: *drainWait, drainGrace: *drainGrace,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
@@ -84,7 +85,7 @@ type options struct {
 	workers, warmupPar, shards, inflight           int
 	catalogMaxBytes, cacheMax                      int64
 	auto                                           bool
-	reqTimeout, drainWait                          time.Duration
+	reqTimeout, drainWait, drainGrace              time.Duration
 }
 
 func run(opts options) error {
@@ -168,6 +169,13 @@ func run(opts options) error {
 	case sig := <-stop:
 		fmt.Printf("received %s: draining (deadline %s)\n", sig, drainWait)
 		srv.BeginShutdown()
+		if opts.drainGrace > 0 {
+			// http.Server.Shutdown closes the listeners immediately, so
+			// without this window a client racing the drain sees connection
+			// refused — an unexplained error — instead of the documented 503
+			// "shutting_down" refusal the drain latch now serves.
+			time.Sleep(opts.drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/dataset"
+	"hydra/internal/server"
+)
+
+// TestWriteLoadgenBenchJSON replays the default mixed profile open-loop
+// against an in-process hydra-serve (cache + admission gate + auto router
+// enabled) and writes BENCH_loadgen.json to the path in
+// HYDRA_BENCH_LOADGEN_JSON — the rows `make bench-gate` holds against the
+// SLO floors in bench_thresholds.json. Skipped when the variable is unset
+// so `go test ./...` stays fast; `make bench-json` runs it for real.
+func TestWriteLoadgenBenchJSON(t *testing.T) {
+	path := os.Getenv("HYDRA_BENCH_LOADGEN_JSON")
+	if path == "" {
+		t.Skip("HYDRA_BENCH_LOADGEN_JSON not set; run via `make bench-json`")
+	}
+
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 2000, Length: 64, Seed: 11})
+	_, ts := newLiveServer(t, server.Config{
+		Data:          data,
+		CacheMaxBytes: 64 << 20,
+		MaxInflight:   8,
+	})
+
+	p := DefaultProfile()
+	pool := testPool(p.QueryPool, 64)
+
+	// Hydrate every class's method and prime the router before measuring.
+	if _, err := Run(p, p.Schedule(2, 48, 0), pool, Options{
+		BaseURL: ts.URL, Loop: LoopClosed, Clients: 4, Timeout: time.Minute,
+	}); err != nil {
+		t.Fatalf("warm replay: %v", err)
+	}
+
+	const rate, n = 300, 900
+	rep, err := Run(p, p.Schedule(1, n, rate), pool, Options{
+		BaseURL: ts.URL, Loop: LoopOpen, Rate: rate, Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("measured replay: %v", err)
+	}
+	var summary strings.Builder
+	rep.WriteSummary(&summary)
+	t.Logf("\n%s", summary.String())
+	if v := rep.SLOViolations(); len(v) != 0 {
+		// The gate is the enforcement point; the bench writer only reports.
+		t.Logf("SLO violations (gate will decide): %v", v)
+	}
+
+	rows := rep.BenchRows()
+	if err := WriteBenchJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d rows to %s", len(rows), path)
+}
+
+// TestBenchRowsShape pins the BENCH_loadgen.json row contract the gate and
+// the docs depend on, without any HTTP: row names, gate fields and the
+// quantile columns.
+func TestBenchRowsShape(t *testing.T) {
+	p := DefaultProfile()
+	rep := &Report{Loop: LoopOpen, OfferedRate: 100, WallSeconds: 2, Classes: make([]ClassStats, len(p.Classes))}
+	for i := range rep.Classes {
+		rep.Classes[i].Class = p.Classes[i]
+		rep.Classes[i].Requests = 50
+		rep.Classes[i].OK = 48
+		rep.Classes[i].Shed = 2
+		for j := 0; j < 48; j++ {
+			rep.Classes[i].Hist.Record(0.001 * float64(j+1))
+		}
+	}
+	rows := rep.BenchRows()
+	byName := map[string]BenchRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, c := range p.Classes {
+		lat, ok := byName["loadgen/"+c.Name+"/p99"]
+		if !ok {
+			t.Fatalf("missing latency row for class %s", c.Name)
+		}
+		if lat.SLOSeconds != c.SLO.P99Seconds || lat.ObservedSeconds != lat.P99Seconds {
+			t.Fatalf("class %s: latency gate fields wrong: %+v", c.Name, lat)
+		}
+		if lat.P50Seconds <= 0 || lat.P50Seconds > lat.P95Seconds || lat.P95Seconds > lat.P99Seconds || lat.P99Seconds > lat.P999Seconds {
+			t.Fatalf("class %s: quantiles not monotone: %+v", c.Name, lat)
+		}
+		bud, ok := byName["loadgen/"+c.Name+"/error-budget"]
+		if !ok {
+			t.Fatalf("missing error-budget row for class %s", c.Name)
+		}
+		if bud.BudgetAllowed != c.SLO.ErrorBudget || bud.BudgetSpent != 0 {
+			t.Fatalf("class %s: budget fields wrong: %+v", c.Name, bud)
+		}
+	}
+	overall, ok := byName["loadgen/overall/throughput"]
+	if !ok {
+		t.Fatalf("missing overall throughput row")
+	}
+	if overall.ThroughputRPS != 75 { // 150 requests / 2s wall
+		t.Fatalf("throughput %.1f, want 75", overall.ThroughputRPS)
+	}
+	if overall.Baseline != "offered-rate" || overall.Speedup != 0.75 {
+		t.Fatalf("throughput gate fields wrong: %+v", overall)
+	}
+
+	// The file a gate run reads must round-trip.
+	dir := t.TempDir()
+	file := dir + "/BENCH_loadgen.json"
+	if err := WriteBenchJSON(file, rows); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRow
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("written bench file does not parse: %v", err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round-trip lost rows: %d vs %d", len(back), len(rows))
+	}
+}

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hydra/internal/server"
+)
+
+// TestDrainUnderLiveLoad replays an open-loop schedule against a live
+// server and flips it into draining mode mid-replay (the same latch
+// SIGTERM trips in cmd/hydra-serve). In-flight requests must complete,
+// requests arriving after the latch must get the documented 503
+// "shutting_down", and the error budget must classify those as draining —
+// an orderly drain is not an outage, so it must not spend budget or
+// violate the SLO.
+func TestDrainUnderLiveLoad(t *testing.T) {
+	srv, ts := newLiveServer(t, server.Config{CacheMaxBytes: 1 << 20})
+
+	p := DefaultProfile()
+	p.QueryPool = 8
+	pool := testPool(p.QueryPool, 32)
+
+	// Pre-hydrate every class's method so the drain phase measures
+	// serving, not first-touch index builds.
+	warm, err := Run(p, p.Schedule(2, 24, 0), pool, Options{
+		BaseURL: ts.URL, Loop: LoopClosed, Clients: 4, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("warm replay: %v", err)
+	}
+	if _, ok, _, _, _, errs := warm.Totals(); ok == 0 || errs > 0 {
+		t.Fatalf("warm replay unhealthy: ok=%d errors=%d", ok, errs)
+	}
+
+	// 2 seconds of traffic at 200/s; the latch trips at ~0.8s, so a
+	// healthy head and a draining tail are both guaranteed.
+	reqs := p.Schedule(3, 400, 200)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(800 * time.Millisecond)
+		srv.BeginShutdown()
+	}()
+	rep, err := Run(p, reqs, pool, Options{
+		BaseURL: ts.URL, Loop: LoopOpen, Rate: 200, Timeout: 30 * time.Second,
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("drain replay: %v", err)
+	}
+
+	requests, ok, _, shed, draining, errors := rep.Totals()
+	if requests != int64(len(reqs)) {
+		t.Fatalf("requests accounted %d, scheduled %d", requests, len(reqs))
+	}
+	if ok+shed+draining+errors != requests {
+		t.Fatalf("outcomes do not sum: ok=%d shed=%d draining=%d errors=%d of %d", ok, shed, draining, errors, requests)
+	}
+	// In-flight requests from before the latch completed.
+	if ok == 0 {
+		t.Fatalf("no requests completed before the drain latch")
+	}
+	// Requests after the latch were refused with shutting_down, and the
+	// classifier filed them as draining, not as errors.
+	if draining == 0 {
+		t.Fatalf("no draining responses despite the latch tripping mid-replay")
+	}
+	if errors != 0 {
+		for i := range rep.Classes {
+			if st := &rep.Classes[i]; st.Errors > 0 {
+				t.Errorf("class %s: %d errors (first: %s)", st.Class.Name, st.Errors, st.FirstError)
+			}
+		}
+		t.Fatalf("drain produced %d unexplained errors", errors)
+	}
+	// The error budget stays untouched: draining responses are explained.
+	if v := rep.SLOViolations(); len(v) != 0 {
+		t.Fatalf("orderly drain violated SLOs: %v", v)
+	}
+	for _, row := range rep.BenchRows() {
+		if row.BudgetAllowed > 0 && row.BudgetSpent != 0 {
+			t.Fatalf("row %s spent error budget %.4f during an orderly drain", row.Name, row.BudgetSpent)
+		}
+	}
+}

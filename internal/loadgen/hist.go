@@ -1,0 +1,141 @@
+// Package loadgen is the workload replay harness behind cmd/hydra-loadgen:
+// a deterministic (seeded) traffic generator that drives a live hydra-serve
+// over HTTP in open-loop (fixed arrival rate, coordinated-omission-safe) or
+// closed-loop (N concurrent clients) mode with a mixed request profile, and
+// reports per-class tail latency, throughput and an SLO error budget as
+// machine-readable BENCH_loadgen.json rows for hydra-benchgate.
+package loadgen
+
+import "math"
+
+// The latency histogram is log-bucketed: bucket boundaries grow
+// geometrically by 2^(1/bucketsPerOctave) from histMinSeconds, so the
+// worst-case relative quantile error is bounded by the bucket width
+// (~4.4% per bucket, ~2.2% for the geometric-mean estimate) at any scale
+// from a microsecond to minutes. Buckets are a fixed array, which is what
+// makes histograms mergeable by plain element-wise addition — per-worker
+// histograms merge associatively into per-class totals.
+const (
+	histMinSeconds   = 1e-6
+	bucketsPerOctave = 16
+	histOctaves      = 30 // 1µs * 2^30 ≈ 1074s of range
+	histBucketCount  = histOctaves * bucketsPerOctave
+)
+
+// Histogram is a mergeable log-bucketed latency histogram. The zero value
+// is ready to use. Count, Sum, Min and Max are exact; quantiles are
+// bucket-resolved with a ~2.2% worst-case relative error (clamped into
+// [Min, Max], so single-sample and extreme quantiles are exact).
+type Histogram struct {
+	counts   [histBucketCount]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// bucketIndex maps a latency in seconds onto its bucket.
+func bucketIndex(seconds float64) int {
+	if seconds <= histMinSeconds {
+		return 0
+	}
+	i := int(math.Log2(seconds/histMinSeconds) * bucketsPerOctave)
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBucketCount {
+		i = histBucketCount - 1
+	}
+	return i
+}
+
+// bucketEstimate is the representative value reported for a bucket: the
+// geometric mean of its bounds, which halves the worst-case relative error
+// versus reporting either edge.
+func bucketEstimate(i int) float64 {
+	lo := histMinSeconds * math.Pow(2, float64(i)/bucketsPerOctave)
+	return lo * math.Pow(2, 0.5/bucketsPerOctave)
+}
+
+// Record adds one latency sample (negative samples count as zero).
+func (h *Histogram) Record(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.counts[bucketIndex(seconds)]++
+	if h.count == 0 || seconds < h.min {
+		h.min = seconds
+	}
+	if h.count == 0 || seconds > h.max {
+		h.max = seconds
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// Merge folds o into h. Merging is associative and commutative on the
+// bucket counts, count, min and max (sums differ only by float addition
+// order), so per-worker histograms can be combined in any tree shape.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded samples in seconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest recorded sample (exact), or 0 when empty.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest recorded sample (exact), or 0 when empty.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) under the same rank
+// convention as a sorted-sample oracle: the value at 1-based rank
+// ceil(q·count). Empty histograms return 0; q=0 returns Min and q=1
+// returns Max exactly.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return math.Min(math.Max(bucketEstimate(i), h.min), h.max)
+		}
+	}
+	return h.max
+}

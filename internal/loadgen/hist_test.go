@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracleQuantile is the exact sorted-sample reference under the same rank
+// convention Histogram.Quantile documents: the value at 1-based rank
+// ceil(q·n), with q=0 → min and q=1 → max.
+func oracleQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+var quantiles = []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+
+// lognormalSamples spreads samples across several orders of magnitude
+// around 10ms, the shape real latency distributions take.
+func lognormalSamples(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.01 * math.Exp(rng.NormFloat64())
+	}
+	return out
+}
+
+func recordAll(h *Histogram, samples []float64) {
+	for _, v := range samples {
+		h.Record(v)
+	}
+}
+
+func TestQuantileErrorBoundVsOracle(t *testing.T) {
+	for _, n := range []int{10, 100, 2000, 20000} {
+		samples := lognormalSamples(int64(n), n)
+		var h Histogram
+		recordAll(&h, samples)
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		if h.Count() != int64(n) {
+			t.Fatalf("n=%d: count %d", n, h.Count())
+		}
+		for _, q := range quantiles {
+			got, want := h.Quantile(q), oracleQuantile(sorted, q)
+			rel := math.Abs(got-want) / want
+			// One bucket spans a 2^(1/16) ratio; the geometric-mean estimate
+			// is at most half a bucket from the true value (~2.2%).
+			if rel > 0.03 {
+				t.Errorf("n=%d q=%g: got %.6g want %.6g (rel err %.4f)", n, q, got, want, rel)
+			}
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[n-1] {
+			t.Fatalf("n=%d: min/max not exact: %g/%g vs %g/%g", n, h.Min(), h.Max(), sorted[0], sorted[n-1])
+		}
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	a, b, c := lognormalSamples(1, 700), lognormalSamples(2, 1300), lognormalSamples(3, 400)
+	var all []float64
+	all = append(all, a...)
+	all = append(all, b...)
+	all = append(all, c...)
+
+	build := func(samples []float64) *Histogram {
+		var h Histogram
+		recordAll(&h, samples)
+		return &h
+	}
+	// (a ⊕ b) ⊕ c
+	left := build(a)
+	left.Merge(build(b))
+	left.Merge(build(c))
+	// a ⊕ (b ⊕ c)
+	bc := build(b)
+	bc.Merge(build(c))
+	right := build(a)
+	right.Merge(bc)
+	// one histogram over the concatenation
+	flat := build(all)
+
+	for name, h := range map[string]*Histogram{"right-assoc": right, "flat": flat} {
+		if left.counts != h.counts {
+			t.Fatalf("%s: bucket counts differ from left-assoc merge", name)
+		}
+		if left.Count() != h.Count() || left.Min() != h.Min() || left.Max() != h.Max() {
+			t.Fatalf("%s: count/min/max differ: %d/%g/%g vs %d/%g/%g",
+				name, left.Count(), left.Min(), left.Max(), h.Count(), h.Min(), h.Max())
+		}
+		for _, q := range quantiles {
+			if left.Quantile(q) != h.Quantile(q) {
+				t.Fatalf("%s: q=%g differs: %g vs %g", name, q, left.Quantile(q), h.Quantile(q))
+			}
+		}
+		// Float sums depend on addition order; they must still agree to
+		// rounding.
+		if rel := math.Abs(left.Sum()-h.Sum()) / left.Sum(); rel > 1e-9 {
+			t.Fatalf("%s: sums diverged: %g vs %g", name, left.Sum(), h.Sum())
+		}
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	var h Histogram
+	h.Record(0.5)
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if h.Count() != 1 || h.Quantile(0.5) != 0.5 {
+		t.Fatalf("merge with empty/nil disturbed the histogram: count=%d q50=%g", h.Count(), h.Quantile(0.5))
+	}
+	var empty Histogram
+	empty.Merge(&h)
+	if empty.Count() != 1 || empty.Min() != 0.5 || empty.Max() != 0.5 {
+		t.Fatalf("merge into empty lost state: count=%d min=%g max=%g", empty.Count(), empty.Min(), empty.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram has non-zero aggregates")
+	}
+	for _, q := range quantiles {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty q=%g = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestSingleSampleExact(t *testing.T) {
+	// Every quantile of a single sample is that sample exactly — the
+	// min/max clamp removes all bucket error. Includes a sub-resolution
+	// sample (below the smallest bucket bound).
+	for _, v := range []float64{2e-7, 0.00137, 4.2} {
+		var h Histogram
+		h.Record(v)
+		for _, q := range quantiles {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %g: q=%g = %g, want exact", v, q, got)
+			}
+		}
+	}
+}
+
+func TestRecordClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Record(-1)
+	if h.Count() != 1 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative sample not clamped to zero: min=%g q50=%g", h.Min(), h.Quantile(0.5))
+	}
+}

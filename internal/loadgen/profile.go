@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// SLO is one request class's service-level objective: the p99 latency the
+// class must hold and the fraction of its requests allowed to fail for
+// unexplained reasons (shed and draining responses are explained refusals
+// and are never charged against the budget).
+type SLO struct {
+	P99Seconds  float64 `json:"p99_seconds"`
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// Class is one request class of a mixed profile: a fixed method/mode/k
+// shape issued with some share of the traffic, judged against its own SLO.
+// Method may be "auto" to exercise the adaptive router.
+type Class struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	Method string  `json:"method"`
+	Mode   string  `json:"mode"`
+	K      int     `json:"k"`
+	NProbe int     `json:"nprobe,omitempty"`
+	SLO    SLO     `json:"slo"`
+}
+
+// Profile is a mixed traffic profile: weighted request classes drawing
+// queries from a shared pool with zipf-skewed reuse, so repeated queries
+// exercise the server's result cache the way real skewed traffic does.
+type Profile struct {
+	Classes []Class `json:"classes"`
+	// QueryPool is the number of distinct query series; every request picks
+	// one by a zipf draw, so low-numbered queries repeat often (cache hits)
+	// while the tail stays cold.
+	QueryPool int `json:"query_pool"`
+	// ZipfS is the zipf skew exponent (must be > 1; larger = more reuse).
+	ZipfS float64 `json:"zipf_s"`
+}
+
+// DefaultProfile is the standard mixed profile: pinned-exact, pinned-
+// approximate and router-auto classes, covering the cached/uncached,
+// exact/approximate and routed/pinned axes jointly. The SLOs are the
+// committed serving floors enforced by hydra-benchgate at smoke scale.
+func DefaultProfile() Profile {
+	slo := SLO{P99Seconds: 0.75, ErrorBudget: 0.005}
+	return Profile{
+		Classes: []Class{
+			{Name: "exact-pinned", Weight: 0.35, Method: "DSTree", Mode: "exact", K: 10, SLO: slo},
+			{Name: "approx-pinned", Weight: 0.30, Method: "iSAX2+", Mode: "ng", K: 10, NProbe: 8, SLO: slo},
+			{Name: "auto-routed", Weight: 0.35, Method: "auto", Mode: "exact", K: 5, SLO: slo},
+		},
+		QueryPool: 32,
+		ZipfS:     1.2,
+	}
+}
+
+// Validate checks the profile is runnable.
+func (p Profile) Validate() error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("loadgen: profile has no classes")
+	}
+	seen := map[string]bool{}
+	for i, c := range p.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("loadgen: class %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("loadgen: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight <= 0 {
+			return fmt.Errorf("loadgen: class %q needs a positive weight, got %g", c.Name, c.Weight)
+		}
+		if c.Method == "" {
+			return fmt.Errorf("loadgen: class %q has no method", c.Name)
+		}
+		if c.K <= 0 {
+			return fmt.Errorf("loadgen: class %q needs a positive k, got %d", c.Name, c.K)
+		}
+	}
+	if p.QueryPool < 1 {
+		return fmt.Errorf("loadgen: query pool must be at least 1, got %d", p.QueryPool)
+	}
+	if p.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: zipf skew must be > 1, got %g", p.ZipfS)
+	}
+	return nil
+}
+
+// LoadProfile reads a Profile from a JSON file, filling QueryPool and
+// ZipfS from DefaultProfile when omitted.
+func LoadProfile(path string) (Profile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	var p Profile
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return Profile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	def := DefaultProfile()
+	if p.QueryPool == 0 {
+		p.QueryPool = def.QueryPool
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = def.ZipfS
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Request is one scheduled request: which class fires, which pool query it
+// carries, and (for open-loop replays) when it is scheduled to arrive
+// relative to the replay start. Latency is measured from At, not from the
+// actual send, which is what makes the open loop coordinated-omission-safe:
+// a stalled server cannot make the generator silently omit the arrivals it
+// scheduled.
+type Request struct {
+	Seq     int
+	At      time.Duration
+	Class   int
+	QueryID int
+}
+
+// Schedule derives the deterministic request schedule for a replay: the
+// same (profile, seed, n, rate) always produces the byte-identical
+// schedule, which is what makes replays reproducible across runs and
+// machines. rate is the open-loop arrival rate in requests/second; rate 0
+// leaves every At at zero (closed-loop replays ignore arrival times).
+func (p Profile) Schedule(seed int64, n int, rate float64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.QueryPool-1))
+	var totalWeight float64
+	for _, c := range p.Classes {
+		totalWeight += c.Weight
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		var at time.Duration
+		if rate > 0 {
+			at = time.Duration(float64(i) / rate * float64(time.Second))
+		}
+		class := len(p.Classes) - 1
+		x := rng.Float64() * totalWeight
+		for ci, c := range p.Classes {
+			if x < c.Weight {
+				class = ci
+				break
+			}
+			x -= c.Weight
+		}
+		reqs[i] = Request{Seq: i, At: at, Class: class, QueryID: int(zipf.Uint64())}
+	}
+	return reqs
+}
+
+// WriteSchedule renders a schedule as one line per request. The rendering
+// is the schedule's canonical byte form: two runs with the same seed must
+// produce identical output (checked by `hydra-loadgen -dump-schedule` in
+// the loadgen-smoke CI stage).
+func WriteSchedule(w io.Writer, p Profile, reqs []Request) error {
+	for _, rq := range reqs {
+		c := p.Classes[rq.Class]
+		if _, err := fmt.Fprintf(w, "req seq=%d t=%.6f class=%s method=%s mode=%s k=%d nprobe=%d query=%d\n",
+			rq.Seq, rq.At.Seconds(), c.Name, c.Method, c.Mode, c.K, c.NProbe, rq.QueryID); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := DefaultProfile()
+	a := p.Schedule(7, 500, 200)
+	b := p.Schedule(7, 500, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules")
+	}
+	var dumpA, dumpB bytes.Buffer
+	if err := WriteSchedule(&dumpA, p, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSchedule(&dumpB, p, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumpA.Bytes(), dumpB.Bytes()) {
+		t.Fatalf("same seed produced different schedule dumps")
+	}
+	c := p.Schedule(8, 500, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	p := DefaultProfile()
+	const n = 4000
+	reqs := p.Schedule(11, n, 100)
+	if len(reqs) != n {
+		t.Fatalf("len = %d, want %d", len(reqs), n)
+	}
+	classCounts := make([]int, len(p.Classes))
+	queryCounts := make([]int, p.QueryPool)
+	for i, rq := range reqs {
+		if rq.Seq != i {
+			t.Fatalf("req %d: seq %d", i, rq.Seq)
+		}
+		if i > 0 && rq.At < reqs[i-1].At {
+			t.Fatalf("req %d: arrival %s before predecessor %s", i, rq.At, reqs[i-1].At)
+		}
+		if rq.Class < 0 || rq.Class >= len(p.Classes) {
+			t.Fatalf("req %d: class %d out of range", i, rq.Class)
+		}
+		if rq.QueryID < 0 || rq.QueryID >= p.QueryPool {
+			t.Fatalf("req %d: query %d out of pool", i, rq.QueryID)
+		}
+		classCounts[rq.Class]++
+		queryCounts[rq.QueryID]++
+	}
+	// Open-loop arrival spacing: n requests at 100/s span (n-1)/100 s.
+	if last := reqs[n-1].At.Seconds(); last < 39 || last > 41 {
+		t.Fatalf("last arrival at %.2fs, want ~%.2fs", last, float64(n-1)/100)
+	}
+	// Every class gets a meaningful share (weights are 0.30–0.35).
+	for i, c := range classCounts {
+		if c < n/10 {
+			t.Fatalf("class %s starved: %d of %d requests", p.Classes[i].Name, c, n)
+		}
+	}
+	// Zipf reuse: query 0 must dominate a uniform draw, and the pool tail
+	// must still be reachable — that skew is what makes the server's
+	// result cache measurement honest.
+	if queryCounts[0] < 3*(n/p.QueryPool) {
+		t.Fatalf("query 0 drawn %d times, want skewed reuse over uniform %d", queryCounts[0], n/p.QueryPool)
+	}
+	tail := 0
+	for _, c := range queryCounts[p.QueryPool/2:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatalf("upper half of the query pool never drawn; zipf too extreme for cache-miss traffic")
+	}
+}
+
+func TestScheduleClosedLoopRateZero(t *testing.T) {
+	p := DefaultProfile()
+	for _, rq := range p.Schedule(3, 50, 0) {
+		if rq.At != 0 {
+			t.Fatalf("rate 0 produced a non-zero arrival offset %s", rq.At)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	ok := DefaultProfile()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	bad := []Profile{
+		{},
+		{Classes: []Class{{Name: "", Weight: 1, Method: "DSTree", K: 1}}, QueryPool: 4, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 0, Method: "DSTree", K: 1}}, QueryPool: 4, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 1, Method: "", K: 1}}, QueryPool: 4, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 1, Method: "DSTree", K: 0}}, QueryPool: 4, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 1, Method: "DSTree", K: 1}, {Name: "a", Weight: 1, Method: "DSTree", K: 1}}, QueryPool: 4, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 1, Method: "DSTree", K: 1}}, QueryPool: 0, ZipfS: 1.2},
+		{Classes: []Class{{Name: "a", Weight: 1, Method: "DSTree", K: 1}}, QueryPool: 4, ZipfS: 1.0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestLoadProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	blob := `{"classes":[{"name":"only","weight":1,"method":"SerialScan","mode":"exact","k":3,"slo":{"p99_seconds":0.5,"error_budget":0.01}}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultProfile()
+	if p.QueryPool != def.QueryPool || p.ZipfS != def.ZipfS {
+		t.Fatalf("defaults not filled: pool=%d zipf=%g", p.QueryPool, p.ZipfS)
+	}
+	if len(p.Classes) != 1 || p.Classes[0].SLO.P99Seconds != 0.5 {
+		t.Fatalf("classes not loaded: %+v", p.Classes)
+	}
+	if _, err := LoadProfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"classes":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil {
+		t.Fatalf("empty class list validated")
+	}
+}

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BenchRow is one row of BENCH_loadgen.json. hydra-benchgate gates two row
+// shapes natively: latency rows carry SLOSeconds/ObservedSeconds (headroom
+// = slo/observed, so ≥ 1.0 means the SLO held), and error-budget rows
+// carry BudgetAllowed/BudgetSpent (headroom = remaining budget fraction,
+// 1.0 means untouched). Rows without gate fields are reporting-only.
+type BenchRow struct {
+	Name            string  `json:"name"`
+	Class           string  `json:"class,omitempty"`
+	Loop            string  `json:"loop,omitempty"`
+	Method          string  `json:"method,omitempty"`
+	Mode            string  `json:"mode,omitempty"`
+	Requests        int64   `json:"requests,omitempty"`
+	OK              int64   `json:"ok,omitempty"`
+	Cached          int64   `json:"cached,omitempty"`
+	Shed            int64   `json:"shed,omitempty"`
+	Draining        int64   `json:"draining,omitempty"`
+	Errors          int64   `json:"errors,omitempty"`
+	P50Seconds      float64 `json:"p50_seconds,omitempty"`
+	P95Seconds      float64 `json:"p95_seconds,omitempty"`
+	P99Seconds      float64 `json:"p99_seconds,omitempty"`
+	P999Seconds     float64 `json:"p999_seconds,omitempty"`
+	MeanSeconds     float64 `json:"mean_seconds,omitempty"`
+	ThroughputRPS   float64 `json:"throughput_rps,omitempty"`
+	SLOSeconds      float64 `json:"slo_seconds,omitempty"`
+	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
+	BudgetAllowed   float64 `json:"budget_allowed,omitempty"`
+	BudgetSpent     float64 `json:"budget_spent,omitempty"`
+	Baseline        string  `json:"baseline,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// BenchRows renders the replay as BENCH_loadgen.json rows: per class one
+// latency row (gated against the class p99 SLO) and one error-budget row,
+// plus an overall throughput row gated against the offered rate on
+// open-loop replays.
+func (r *Report) BenchRows() []BenchRow {
+	var rows []BenchRow
+	for i := range r.Classes {
+		st := &r.Classes[i]
+		c := st.Class
+		lat := BenchRow{
+			Name:        fmt.Sprintf("loadgen/%s/p99", c.Name),
+			Class:       c.Name,
+			Loop:        r.Loop,
+			Method:      c.Method,
+			Mode:        c.Mode,
+			Requests:    st.Requests,
+			OK:          st.OK,
+			Cached:      st.Cached,
+			Shed:        st.Shed,
+			Draining:    st.Draining,
+			Errors:      st.Errors,
+			P50Seconds:  st.Hist.Quantile(0.50),
+			P95Seconds:  st.Hist.Quantile(0.95),
+			P99Seconds:  st.Hist.Quantile(0.99),
+			P999Seconds: st.Hist.Quantile(0.999),
+			MeanSeconds: st.Hist.Mean(),
+		}
+		if c.SLO.P99Seconds > 0 {
+			lat.SLOSeconds = c.SLO.P99Seconds
+			lat.ObservedSeconds = lat.P99Seconds
+		}
+		rows = append(rows, lat)
+
+		budget := BenchRow{
+			Name:     fmt.Sprintf("loadgen/%s/error-budget", c.Name),
+			Class:    c.Name,
+			Loop:     r.Loop,
+			Requests: st.Requests,
+			Errors:   st.Errors,
+		}
+		if c.SLO.ErrorBudget > 0 && st.Requests > 0 {
+			budget.BudgetAllowed = c.SLO.ErrorBudget
+			budget.BudgetSpent = float64(st.Errors) / float64(st.Requests)
+		}
+		rows = append(rows, budget)
+	}
+
+	requests, ok, cached, shed, draining, errors := r.Totals()
+	overall := BenchRow{
+		Name:     "loadgen/overall/throughput",
+		Loop:     r.Loop,
+		Requests: requests,
+		OK:       ok,
+		Cached:   cached,
+		Shed:     shed,
+		Draining: draining,
+		Errors:   errors,
+	}
+	if r.WallSeconds > 0 {
+		overall.ThroughputRPS = float64(requests) / r.WallSeconds
+	}
+	if r.Loop == LoopOpen && r.OfferedRate > 0 && overall.ThroughputRPS > 0 {
+		overall.Baseline = "offered-rate"
+		overall.Speedup = overall.ThroughputRPS / r.OfferedRate
+	}
+	return append(rows, overall)
+}
+
+// WriteBenchJSON writes rows as a BENCH_*.json file.
+func WriteBenchJSON(path string, rows []BenchRow) error {
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// SLOViolations evaluates every class against its SLO and returns one
+// human-readable line per violation (empty = all SLOs held). Shed and
+// draining responses are explained refusals and never violate on their
+// own; a class violates when its successful-request p99 misses the target,
+// when unexplained errors overspend the budget, or when an SLO-carrying
+// class saw traffic but no successes at all.
+func (r *Report) SLOViolations() []string {
+	var out []string
+	for i := range r.Classes {
+		st := &r.Classes[i]
+		c := st.Class
+		if st.Requests == 0 {
+			continue
+		}
+		if c.SLO.P99Seconds > 0 {
+			if st.OK == 0 {
+				out = append(out, fmt.Sprintf("class %s: no successful requests (of %d issued) to judge the p99 SLO", c.Name, st.Requests))
+			} else if p99 := st.Hist.Quantile(0.99); p99 > c.SLO.P99Seconds {
+				out = append(out, fmt.Sprintf("class %s: p99 %.4fs exceeds SLO %.4fs", c.Name, p99, c.SLO.P99Seconds))
+			}
+		}
+		if spent := float64(st.Errors) / float64(st.Requests); spent > c.SLO.ErrorBudget {
+			out = append(out, fmt.Sprintf("class %s: error rate %.4f over budget %.4f (%d/%d failed; first: %s)",
+				c.Name, spent, c.SLO.ErrorBudget, st.Errors, st.Requests, st.FirstError))
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the human-readable replay summary.
+func (r *Report) WriteSummary(w io.Writer) {
+	requests, ok, cached, shed, draining, errors := r.Totals()
+	achieved := 0.0
+	if r.WallSeconds > 0 {
+		achieved = float64(requests) / r.WallSeconds
+	}
+	if r.Loop == LoopOpen {
+		fmt.Fprintf(w, "loadgen: loop=open offered=%.1f/s achieved=%.1f/s wall=%.2fs\n", r.OfferedRate, achieved, r.WallSeconds)
+	} else {
+		fmt.Fprintf(w, "loadgen: loop=closed achieved=%.1f/s wall=%.2fs\n", achieved, r.WallSeconds)
+	}
+	for i := range r.Classes {
+		st := &r.Classes[i]
+		fmt.Fprintf(w, "class %s: requests=%d ok=%d cached=%d shed=%d draining=%d errors=%d p50=%.4fs p95=%.4fs p99=%.4fs p999=%.4fs\n",
+			st.Class.Name, st.Requests, st.OK, st.Cached, st.Shed, st.Draining, st.Errors,
+			st.Hist.Quantile(0.50), st.Hist.Quantile(0.95), st.Hist.Quantile(0.99), st.Hist.Quantile(0.999))
+		if st.FirstError != "" {
+			fmt.Fprintf(w, "class %s: first error: %s\n", st.Class.Name, st.FirstError)
+		}
+	}
+	fmt.Fprintf(w, "total: requests=%d ok=%d cached=%d shed=%d draining=%d errors=%d\n",
+		requests, ok, cached, shed, draining, errors)
+}

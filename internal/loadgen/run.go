@@ -1,0 +1,312 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/series"
+)
+
+// Loop modes.
+const (
+	// LoopOpen fires requests at their scheduled arrival times regardless
+	// of completions, measuring latency from the scheduled arrival — the
+	// coordinated-omission-safe way to observe tail latency under a fixed
+	// offered rate.
+	LoopOpen = "open"
+	// LoopClosed runs N concurrent clients that each issue the next request
+	// as soon as the previous one completes, measuring service latency from
+	// the actual send.
+	LoopClosed = "closed"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// BaseURL is the hydra-serve base URL (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Loop is LoopOpen or LoopClosed.
+	Loop string
+	// Rate is the open-loop offered arrival rate in requests/second; it
+	// must match the rate the schedule was generated with.
+	Rate float64
+	// Clients is the closed-loop concurrency (default 8). In open loop it
+	// bounds in-flight requests only as a transport-level safety valve
+	// (default 512) — scheduled arrivals never wait for it to measure.
+	Clients int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil builds one sized for
+	// the run's concurrency.
+	Client *http.Client
+}
+
+// ClassStats accumulates one request class's replay outcome. OK counts
+// every 2xx answer and includes Cached (the subset replayed from the
+// server's result cache); Shed (429 overloaded) and Draining (503
+// shutting_down) are explained refusals counted apart from Errors, which
+// is everything unexplained — transport failures and any other status.
+// Only OK responses contribute latency samples.
+type ClassStats struct {
+	Class      Class
+	Hist       Histogram
+	Requests   int64
+	OK         int64
+	Cached     int64
+	Shed       int64
+	Draining   int64
+	Errors     int64
+	FirstError string
+}
+
+// Report is one replay's full outcome, per class plus run-level facts.
+type Report struct {
+	Loop        string
+	OfferedRate float64 // open-loop offered arrivals/second (0 closed-loop)
+	WallSeconds float64 // first scheduled arrival to last completion
+	Classes     []ClassStats
+}
+
+// Totals sums the per-class counters.
+func (r *Report) Totals() (requests, ok, cached, shed, draining, errors int64) {
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		requests += c.Requests
+		ok += c.OK
+		cached += c.Cached
+		shed += c.Shed
+		draining += c.Draining
+		errors += c.Errors
+	}
+	return
+}
+
+// outcome classifies one response.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeCached
+	outcomeShed
+	outcomeDraining
+	outcomeError
+)
+
+// runner is the per-replay state shared by the client goroutines.
+type runner struct {
+	profile Profile
+	queries *series.Dataset
+	opts    Options
+	client  *http.Client
+	mu      sync.Mutex
+	classes []ClassStats
+}
+
+// wireRequest is the POST /v1/query body a class request renders to.
+type wireRequest struct {
+	Method string    `json:"method"`
+	Mode   string    `json:"mode,omitempty"`
+	K      int       `json:"k"`
+	NProbe int       `json:"nprobe,omitempty"`
+	Query  []float32 `json:"query"`
+}
+
+// Run replays a schedule against a live server and reports per-class
+// latency and outcome counts. queries is the request query pool; every
+// Request.QueryID indexes into it.
+func Run(p Profile, reqs []Request, queries *series.Dataset, opts Options) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: options need a base URL")
+	}
+	if queries == nil || queries.Size() < p.QueryPool {
+		return nil, fmt.Errorf("loadgen: query pool needs %d series, got %d", p.QueryPool, queriesSize(queries))
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Clients <= 0 {
+		if opts.Loop == LoopOpen {
+			opts.Clients = 512
+		} else {
+			opts.Clients = 8
+		}
+	}
+	r := &runner{
+		profile: p,
+		queries: queries,
+		opts:    opts,
+		client:  opts.Client,
+		classes: make([]ClassStats, len(p.Classes)),
+	}
+	for i := range r.classes {
+		r.classes[i].Class = p.Classes[i]
+	}
+	if r.client == nil {
+		r.client = &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Clients,
+				MaxIdleConnsPerHost: opts.Clients,
+			},
+		}
+	}
+
+	start := time.Now()
+	switch opts.Loop {
+	case LoopOpen:
+		r.runOpen(reqs, start)
+	case LoopClosed:
+		r.runClosed(reqs)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown loop mode %q (want %s|%s)", opts.Loop, LoopOpen, LoopClosed)
+	}
+
+	rep := &Report{
+		Loop:        opts.Loop,
+		WallSeconds: time.Since(start).Seconds(),
+		Classes:     r.classes,
+	}
+	if opts.Loop == LoopOpen {
+		rep.OfferedRate = opts.Rate
+	}
+	return rep, nil
+}
+
+func queriesSize(d *series.Dataset) int {
+	if d == nil {
+		return 0
+	}
+	return d.Size()
+}
+
+// runOpen dispatches each request at its scheduled arrival and measures
+// latency from that arrival, never from the (possibly late) send: if the
+// dispatcher or the server falls behind, the delay is charged to the
+// request instead of being silently omitted. The semaphore bounds only
+// transport-level concurrency; a request that waited for a slot still
+// measures from its scheduled arrival.
+func (r *runner) runOpen(reqs []Request, start time.Time) {
+	sem := make(chan struct{}, r.opts.Clients)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		rq := reqs[i]
+		scheduled := start.Add(rq.At)
+		if wait := time.Until(scheduled); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.do(rq, scheduled)
+		}()
+	}
+	wg.Wait()
+}
+
+// runClosed runs Clients workers pulling requests off the schedule in
+// order; latency is measured from each actual send.
+func (r *runner) runClosed(reqs []Request) {
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for c := 0; c < r.opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(reqs)) {
+					return
+				}
+				r.do(reqs[i], time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// do issues one request and records its outcome; measureFrom is the
+// latency origin (scheduled arrival open-loop, send time closed-loop).
+func (r *runner) do(rq Request, measureFrom time.Time) {
+	c := r.profile.Classes[rq.Class]
+	body, err := json.Marshal(wireRequest{
+		Method: c.Method,
+		Mode:   c.Mode,
+		K:      c.K,
+		NProbe: c.NProbe,
+		Query:  []float32(r.queries.At(rq.QueryID)),
+	})
+	var out outcome
+	var detail string
+	if err != nil {
+		out, detail = outcomeError, err.Error()
+	} else {
+		out, detail = r.post(body)
+	}
+	elapsed := time.Since(measureFrom).Seconds()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &r.classes[rq.Class]
+	st.Requests++
+	switch out {
+	case outcomeOK, outcomeCached:
+		st.OK++
+		if out == outcomeCached {
+			st.Cached++
+		}
+		st.Hist.Record(elapsed)
+	case outcomeShed:
+		st.Shed++
+	case outcomeDraining:
+		st.Draining++
+	default:
+		st.Errors++
+		if st.FirstError == "" {
+			st.FirstError = detail
+		}
+	}
+}
+
+// post sends one query body and classifies the response.
+func (r *runner) post(body []byte) (outcome, string) {
+	resp, err := r.client.Post(r.opts.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcomeError, err.Error()
+	}
+	defer resp.Body.Close()
+	// Drain (bounded) so the connection is reusable; error bodies are
+	// small JSON, answers can be larger but still worth reading fully for
+	// keep-alive.
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode == http.StatusOK {
+		if resp.Header.Get("X-Hydra-Cached") == "true" {
+			return outcomeCached, ""
+		}
+		return outcomeOK, ""
+	}
+	var shape struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	_ = json.Unmarshal(blob, &shape)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests && shape.Error.Code == "overloaded":
+		return outcomeShed, ""
+	case resp.StatusCode == http.StatusServiceUnavailable && shape.Error.Code == "shutting_down":
+		return outcomeDraining, ""
+	}
+	return outcomeError, fmt.Sprintf("status %d code %q: %s", resp.StatusCode, shape.Error.Code, shape.Error.Message)
+}

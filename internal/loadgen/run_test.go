@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/server"
+)
+
+// testPool generates the deterministic client-side query pool used by the
+// replay tests: walk queries matching the server dataset's length.
+func testPool(n, length int) *series.Dataset {
+	return dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: n, Length: length, Seed: 1001})
+}
+
+// newLiveServer boots an in-process hydra-serve handler on a real
+// listener. Preload is empty so tests exercise lazy hydration under load.
+func newLiveServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Data == nil {
+		cfg.Data = dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 400, Length: 32, Seed: 11})
+	}
+	if cfg.Preload == nil {
+		cfg.Preload = []string{}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestClosedLoopCountsShedAsShed fires the closed-loop client pool at a
+// server running the full serve-path layer — result cache, admission gate
+// at -max-inflight 1, and auto routing — and requires shed requests to be
+// counted as shed, never as errors, while the zipf reuse still lands
+// cache hits. Runs under -race via the Makefile race target.
+func TestClosedLoopCountsShedAsShed(t *testing.T) {
+	// The dataset must be big enough that lazy index builds and cache-miss
+	// scans hold the single execution slot for real time; on a toy dataset
+	// handler time is microseconds and the gate's queue never fills.
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 20000, Length: 128, Seed: 11})
+	_, ts := newLiveServer(t, server.Config{
+		Data:          data,
+		CacheMaxBytes: 1 << 20,
+		MaxInflight:   1, // 1 executing + 2 queued: 16 clients must shed
+	})
+
+	p := DefaultProfile()
+	p.QueryPool = 8
+	reqs := p.Schedule(5, 300, 0)
+	rep, err := Run(p, reqs, testPool(p.QueryPool, 128), Options{
+		BaseURL: ts.URL,
+		Loop:    LoopClosed,
+		Clients: 16,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	requests, ok, cached, shed, draining, errors := rep.Totals()
+	if requests != int64(len(reqs)) {
+		t.Fatalf("requests accounted %d, scheduled %d", requests, len(reqs))
+	}
+	if got := ok + shed + draining + errors; got != requests {
+		t.Fatalf("outcome classes sum to %d, want %d (ok=%d shed=%d draining=%d errors=%d)",
+			got, requests, ok, shed, draining, errors)
+	}
+	for i := range rep.Classes {
+		st := &rep.Classes[i]
+		if st.Errors > 0 {
+			t.Errorf("class %s: %d unexplained errors (first: %s)", st.Class.Name, st.Errors, st.FirstError)
+		}
+		if st.Hist.Count() != st.OK {
+			t.Errorf("class %s: %d latency samples for %d ok responses", st.Class.Name, st.Hist.Count(), st.OK)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("16 clients against max-inflight 1 shed nothing; gate not exercised")
+	}
+	if ok == 0 {
+		t.Fatalf("no successful requests at all")
+	}
+	if cached == 0 {
+		t.Fatalf("zipf reuse over %d queries produced no cache hits", p.QueryPool)
+	}
+}
+
+// TestOpenLoopMeasuresFromScheduledArrival pins the coordinated-omission
+// guard: a server that stalls must be charged the full delay from each
+// request's scheduled arrival, even for requests the generator could only
+// send after the stall cleared. A stub server with a fixed 20ms service
+// time and one transport slot makes the expected queueing deterministic.
+func TestOpenLoopMeasuresFromScheduledArrival(t *testing.T) {
+	const service = 20 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		time.Sleep(service)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"answers":[]}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	p := Profile{
+		Classes:   []Class{{Name: "stub", Weight: 1, Method: "SerialScan", Mode: "exact", K: 3}},
+		QueryPool: 4,
+		ZipfS:     1.5,
+	}
+	// 30 requests offered at 400/s (2.5ms spacing) against a 20ms server
+	// squeezed through 1 transport slot: the tail request is sent ~17.5ms/
+	// request late, so its measured latency must be far above the service
+	// time. A send-time measurement would report ~20ms for every request.
+	reqs := p.Schedule(9, 30, 400)
+	rep, err := Run(p, reqs, testPool(p.QueryPool, 32), Options{
+		BaseURL: ts.URL,
+		Loop:    LoopOpen,
+		Rate:    400,
+		Clients: 1,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := &rep.Classes[0]
+	if st.OK != int64(len(reqs)) {
+		t.Fatalf("ok=%d of %d (errors=%d, first: %s)", st.OK, len(reqs), st.Errors, st.FirstError)
+	}
+	// Last arrival scheduled at ~72.5ms; its completion is ~30×20ms=600ms
+	// in, so the coordinated-omission-safe tail is several times the
+	// service time.
+	if st.Hist.Max() < 3*service.Seconds() {
+		t.Fatalf("tail latency %.4fs does not include queueing from scheduled arrivals (service %.3fs)",
+			st.Hist.Max(), service.Seconds())
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	p := DefaultProfile()
+	reqs := p.Schedule(1, 4, 0)
+	pool := testPool(p.QueryPool, 32)
+	if _, err := Run(p, reqs, pool, Options{Loop: LoopClosed}); err == nil {
+		t.Fatalf("missing base URL accepted")
+	}
+	if _, err := Run(p, reqs, nil, Options{BaseURL: "http://x", Loop: LoopClosed}); err == nil {
+		t.Fatalf("nil query pool accepted")
+	}
+	if _, err := Run(p, reqs, testPool(2, 32), Options{BaseURL: "http://x", Loop: LoopClosed}); err == nil {
+		t.Fatalf("undersized query pool accepted")
+	}
+	if _, err := Run(p, reqs, pool, Options{BaseURL: "http://x", Loop: "sawtooth"}); err == nil {
+		t.Fatalf("unknown loop mode accepted")
+	}
+}

@@ -11,8 +11,13 @@ import (
 )
 
 // latencyBounds are the upper bounds (seconds) of the request-latency
-// histogram buckets; a final +Inf bucket is implicit.
+// histogram buckets; a final +Inf bucket is implicit. The sub-millisecond
+// bounds exist so a server-side p99 is resolvable at the tails the loadgen
+// harness observes: cache hits and small approximate queries complete in
+// well under 1ms, and with a 1ms first bucket every such request would
+// land in one bin, making any quantile below it pure guesswork.
 var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005,
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 

@@ -142,3 +142,64 @@ func validatePromText(t *testing.T, body string) {
 		}
 	}
 }
+
+// TestLatencyHistogramBuckets pins the exact `le` boundary sequence of
+// hydra_query_latency_seconds. The sub-millisecond buckets are load-bearing:
+// cache hits and small approximate queries finish in well under 1ms, and
+// without them a server-side p99 at the tail the loadgen harness observes
+// would be unresolvable (everything below 1ms collapses into one bin).
+// Changing these boundaries silently breaks dashboards and recorded rules,
+// so the full sequence is asserted, not just a sample.
+func TestLatencyHistogramBuckets(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	if rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)}); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+
+	body := scrapeMetrics(t, h)
+	want := []string{
+		"0.0001", "0.00025", "0.0005",
+		"0.001", "0.0025", "0.005", "0.01", "0.025", "0.05",
+		"0.1", "0.25", "0.5", "1", "2.5", "5", "10", "+Inf",
+	}
+	var got []string
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `hydra_query_latency_seconds_bucket{method="SerialScan",le=`) {
+			continue
+		}
+		start := strings.Index(line, `le="`) + len(`le="`)
+		end := strings.Index(line[start:], `"`)
+		got = append(got, line[start:start+end])
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d boundary %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// The cumulative counts must be monotone and end at the request count.
+	var prev, last int64 = -1, 0
+	for _, le := range want {
+		line := fmt.Sprintf(`hydra_query_latency_seconds_bucket{method="SerialScan",le=%q} `, le)
+		for _, l := range strings.Split(body, "\n") {
+			if strings.HasPrefix(l, line) {
+				var v int64
+				if _, err := fmt.Sscanf(l[len(line):], "%d", &v); err != nil {
+					t.Fatalf("bucket le=%s: %v", le, err)
+				}
+				if v < prev {
+					t.Fatalf("bucket le=%s count %d below previous %d", le, v, prev)
+				}
+				prev, last = v, v
+			}
+		}
+	}
+	if last != 1 {
+		t.Fatalf("+Inf bucket %d, want 1", last)
+	}
+}
