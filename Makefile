@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json bench-gate persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke fmt
+.PHONY: all build vet test race bench-smoke bench-json bench-gate persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke obs-smoke fmt
 
-all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke
+all: fmt vet build test race bench-smoke persist-smoke serve-smoke shard-smoke cache-smoke loadgen-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # index catalog, the sharded scatter-gather method and the HTTP server
 # under concurrent independent requests.
 race:
-	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/... ./internal/vafile/... ./internal/loadgen/...
+	$(GO) test -race ./internal/kernel/... ./internal/eval/... ./internal/core/... ./internal/catalog/... ./internal/shard/... ./internal/server/... ./internal/vafile/... ./internal/loadgen/... ./internal/obs/...
 
 # End-to-end build-once/query-many check: build + save an index through
 # hydra-query -index-dir, then reload it in a second run (must be a cache
@@ -213,6 +213,54 @@ loadgen-smoke:
 	grep -E "^total: .*draining=[1-9]" $$dir/drain.txt >/dev/null || { echo "loadgen-smoke: drain surfaced no shutting_down refusals"; cat $$dir/drain.txt; exit 1; }; \
 	grep -E "^total: .*errors=0$$" $$dir/drain.txt >/dev/null || { echo "loadgen-smoke: drain produced unexplained errors"; cat $$dir/drain.txt; exit 1; }; \
 	echo "loadgen-smoke OK"
+
+# End-to-end observability check: boot hydra-serve with JSON logs, an
+# aggressive slow-query threshold and the pprof side listener, fire a
+# traced query and assert (via hydra-tracecheck) that the trace's stage
+# durations sum to within 5% of its total, confirm the trace ID from the
+# response header is retrievable at /debug/requests, confirm the stage
+# histograms and build-info gauge are scrapable, pull a pprof profile
+# from the side listener, and require the slow-query warning and drain
+# line to appear as structured JSON log records.
+OBS_SMOKE_ADDR ?= 127.0.0.1:18325
+OBS_SMOKE_PPROF ?= 127.0.0.1:18326
+obs-smoke:
+	@dir=$$(mktemp -d) || exit 1; \
+	trap '{ [ -z "$$pid" ] || kill $$pid 2>/dev/null || true; } ; rm -rf "$$dir"' EXIT; \
+	set -e; \
+	$(GO) build -o $$dir/hydra-gen ./cmd/hydra-gen; \
+	$(GO) build -o $$dir/hydra-serve ./cmd/hydra-serve; \
+	$(GO) build -o $$dir/hydra-tracecheck ./cmd/hydra-tracecheck; \
+	$$dir/hydra-gen -kind walk -n 600 -length 64 -seed 3 -out $$dir/data.bin >/dev/null; \
+	$$dir/hydra-gen -kind walk -n 4 -seed 5 -queries-for $$dir/data.bin -out $$dir/queries.bin >/dev/null; \
+	$$dir/hydra-serve -data $$dir/data.bin -workload-dir $$dir -log-format json -slow-query 1us \
+	  -pprof-addr $(OBS_SMOKE_PPROF) -addr $(OBS_SMOKE_ADDR) > $$dir/boot.log 2>&1 & pid=$$!; \
+	ok=""; for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do \
+	  curl -sf http://$(OBS_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 1; done; \
+	[ -n "$$ok" ] || { echo "obs-smoke: server did not become healthy"; cat $$dir/boot.log; exit 1; }; \
+	grep -q '"msg":"serving on' $$dir/boot.log || { echo "obs-smoke: boot log is not structured JSON"; cat $$dir/boot.log; exit 1; }; \
+	printf '{"method":"DSTree","mode":"exact","k":5,"workload_file":"%s","trace":true}' $$dir/queries.bin > $$dir/req.json; \
+	curl -sf -D $$dir/headers.txt -X POST --data @$$dir/req.json http://$(OBS_SMOKE_ADDR)/v1/query > $$dir/resp.json; \
+	id=$$(grep -i '^X-Hydra-Trace-Id:' $$dir/headers.txt | tr -d '\r' | awk '{print $$2}'); \
+	[ -n "$$id" ] || { echo "obs-smoke: response missing X-Hydra-Trace-Id"; cat $$dir/headers.txt; exit 1; }; \
+	$$dir/hydra-tracecheck -slack-ms 0.1 < $$dir/resp.json || { echo "obs-smoke: trace stages do not account for the latency"; cat $$dir/resp.json; exit 1; }; \
+	curl -sf -X POST --data @$$dir/req.json http://$(OBS_SMOKE_ADDR)/v1/query > $$dir/resp2.json; \
+	grep -q '"cached": true' $$dir/resp2.json || { echo "obs-smoke: repeat query not served from cache"; cat $$dir/resp2.json; exit 1; }; \
+	$$dir/hydra-tracecheck -slack-ms 0.1 < $$dir/resp2.json || { echo "obs-smoke: cached replay's trace does not account for its latency"; cat $$dir/resp2.json; exit 1; }; \
+	curl -sf http://$(OBS_SMOKE_ADDR)/debug/requests > $$dir/requests.json; \
+	grep -q "\"$$id\"" $$dir/requests.json || { echo "obs-smoke: /debug/requests does not retain trace $$id"; cat $$dir/requests.json; exit 1; }; \
+	curl -sf http://$(OBS_SMOKE_ADDR)/metrics > $$dir/metrics.txt; \
+	grep -q '^hydra_stage_seconds_count{stage="query"} ' $$dir/metrics.txt || { echo "obs-smoke: /metrics missing the stage histogram"; exit 1; }; \
+	grep -q '^hydra_build_info{' $$dir/metrics.txt || { echo "obs-smoke: /metrics missing hydra_build_info"; exit 1; }; \
+	grep -q '^hydra_process_uptime_seconds ' $$dir/metrics.txt || { echo "obs-smoke: /metrics missing process uptime"; exit 1; }; \
+	curl -sf "http://$(OBS_SMOKE_PPROF)/debug/pprof/goroutine?debug=1" | grep -q "^goroutine profile:" \
+	  || { echo "obs-smoke: pprof listener not serving profiles"; exit 1; }; \
+	curl -sf -o $$dir/heap.pb.gz "http://$(OBS_SMOKE_PPROF)/debug/pprof/heap"; \
+	[ -s $$dir/heap.pb.gz ] || { echo "obs-smoke: heap profile came back empty"; exit 1; }; \
+	grep -q '"msg":"slow query"' $$dir/boot.log || { echo "obs-smoke: no slow-query record despite -slow-query 1us"; cat $$dir/boot.log; exit 1; }; \
+	kill -TERM $$pid; wait $$pid 2>/dev/null || true; pid=""; \
+	grep -q '"msg":"drained cleanly"' $$dir/boot.log || { echo "obs-smoke: drain line missing from JSON log"; cat $$dir/boot.log; exit 1; }; \
+	echo "obs-smoke OK (trace $$id decomposed and retained)"
 
 # Compiles and runs every benchmark exactly once so they cannot bit-rot.
 bench-smoke:

@@ -57,12 +57,14 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		sloP99   = flag.Float64("slo-p99", 0, "override every class's p99 SLO, seconds (0 keeps the profile's)")
 		budget   = flag.Float64("error-budget", -1, "override every class's error budget fraction (negative keeps the profile's)")
+		slowest  = flag.Int("slowest", 3, "report the server trace IDs of the N slowest successful requests per class (0 disables)")
 	)
 	flag.Parse()
 	if err := run(options{
 		target: *target, loop: *loop, rate: *rate, requests: *requests, clients: *clients,
 		seed: *seed, pool: *pool, zipf: *zipf, length: *length, profilePath: *profile,
 		out: *out, dump: *dump, enforce: *enforce, timeout: *timeout, sloP99: *sloP99, budget: *budget,
+		slowest: *slowest,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-loadgen: %v\n", err)
 		os.Exit(1)
@@ -73,6 +75,7 @@ type options struct {
 	target, loop, profilePath, out  string
 	rate, zipf, sloP99, budget      float64
 	requests, clients, pool, length int
+	slowest                         int
 	seed                            int64
 	timeout                         time.Duration
 	dump, enforce                   bool
@@ -131,12 +134,19 @@ func run(opts options) error {
 		Kind: dataset.KindWalk, Count: p.QueryPool, Length: length, Seed: opts.seed + 1,
 	})
 
+	// Options.SlowTraces treats 0 as "default"; the flag treats 0 as
+	// "off", so off travels as -1.
+	slowTraces := opts.slowest
+	if slowTraces <= 0 {
+		slowTraces = -1
+	}
 	rep, err := loadgen.Run(p, reqs, queries, loadgen.Options{
-		BaseURL: opts.target,
-		Loop:    opts.loop,
-		Rate:    opts.rate,
-		Clients: opts.clients,
-		Timeout: opts.timeout,
+		BaseURL:    opts.target,
+		Loop:       opts.loop,
+		Rate:       opts.rate,
+		Clients:    opts.clients,
+		Timeout:    opts.timeout,
+		SlowTraces: slowTraces,
 	})
 	if err != nil {
 		return err

@@ -13,9 +13,10 @@
 //	     -d '{"method":"DSTree","k":10,"query":[...128 floats...]}'
 //
 // Endpoints, request fields and the error shape are documented in
-// docs/API.md; warm-start operations in docs/OPERATIONS.md. SIGINT/SIGTERM
-// begin a graceful drain: in-flight requests finish, new ones get the
-// documented 503 "shutting_down" error.
+// docs/API.md; warm-start operations in docs/OPERATIONS.md; tracing, the
+// slow-query log and the pprof listener in docs/OBSERVABILITY.md.
+// SIGINT/SIGTERM begin a graceful drain: in-flight requests finish, new
+// ones get the documented 503 "shutting_down" error.
 package main
 
 import (
@@ -23,7 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +36,7 @@ import (
 	"hydra/internal/catalog"
 	"hydra/internal/core"
 	"hydra/internal/kernel"
+	"hydra/internal/obs"
 	"hydra/internal/series"
 	"hydra/internal/server"
 )
@@ -55,6 +59,10 @@ func main() {
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 		drainGrace = flag.Duration("drain-grace", 0, "keep listening this long after SIGTERM so late requests observe 503 \"shutting_down\" instead of connection refused (0 closes listeners immediately)")
 		kern       = flag.String("kernel", "", "distance kernel: scalar|blocked (default blocked); answers are bit-identical, only speed differs")
+		logFormat  = flag.String("log-format", "text", "log output format: text|json (one object per line)")
+		slowQuery  = flag.Duration("slow-query", 0, "log any /v1/query request slower than this threshold, with its trace ID (0 disables)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060); empty disables")
+		traceRing  = flag.Int("trace-ring", 256, "request traces retained for GET /debug/requests; 0 disables tracing entirely")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -67,11 +75,21 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.Use(k)
+	logger, err := obs.NewLogger(os.Stdout, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
+		os.Exit(2)
+	}
+	ring := *traceRing
+	if ring <= 0 {
+		ring = -1 // Config.TraceRing: 0 means default, negative disables
+	}
 	opts := options{
 		dataPath: *dataPath, addr: *addr, indexDir: *indexDir, workloadDir: *workload,
 		preload: *preload, workers: *workers, warmupPar: *warmupPar, shards: *shards,
 		catalogMaxBytes: *maxBytes, cacheMax: *cacheMax, inflight: *inflight, auto: *auto,
 		reqTimeout: *reqTimeout, drainWait: *drainWait, drainGrace: *drainGrace,
+		logger: logger, slowQuery: *slowQuery, pprofAddr: *pprofAddr, traceRing: ring,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "hydra-serve: %v\n", err)
@@ -86,18 +104,23 @@ type options struct {
 	catalogMaxBytes, cacheMax                      int64
 	auto                                           bool
 	reqTimeout, drainWait, drainGrace              time.Duration
+	logger                                         *slog.Logger
+	slowQuery                                      time.Duration
+	pprofAddr                                      string
+	traceRing                                      int
 }
 
 func run(opts options) error {
 	dataPath, addr, indexDir := opts.dataPath, opts.addr, opts.indexDir
 	reqTimeout, drainWait := opts.reqTimeout, opts.drainWait
+	logger := opts.logger
 	start := time.Now()
 	data, err := series.LoadFile(dataPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %s: %d series of length %d (%.3fs), %s distance kernel\n",
-		dataPath, data.Size(), data.Length(), time.Since(start).Seconds(), kernel.Active())
+	logger.Info(fmt.Sprintf("loaded %s: %d series of length %d", dataPath, data.Size(), data.Length()),
+		"seconds", time.Since(start).Seconds(), "kernel", kernel.Active().String())
 
 	names, err := parsePreload(opts.preload)
 	if err != nil {
@@ -115,16 +138,21 @@ func run(opts options) error {
 		CacheMaxBytes:  opts.cacheMax,
 		MaxInflight:    opts.inflight,
 		DisableAuto:    !opts.auto,
-		Log:            os.Stdout,
+		Logger:         logger,
+		SlowQuery:      opts.slowQuery,
+		TraceRing:      opts.traceRing,
 	})
 	if err != nil {
 		return err
 	}
 	if opts.cacheMax > 0 {
-		fmt.Printf("result cache enabled: %d byte budget\n", opts.cacheMax)
+		logger.Info("result cache enabled", "byte_budget", opts.cacheMax)
 	}
 	if opts.inflight > 0 {
-		fmt.Printf("admission control enabled: %d in-flight, %d queued, then 429\n", opts.inflight, 2*opts.inflight)
+		logger.Info("admission control enabled", "max_inflight", opts.inflight, "max_queued", 2*opts.inflight)
+	}
+	if opts.slowQuery > 0 {
+		logger.Info("slow-query log enabled", "threshold", opts.slowQuery.String())
 	}
 	if catalogMaxBytes := opts.catalogMaxBytes; catalogMaxBytes > 0 && indexDir != "" {
 		// Prune after the warm start so the freshly touched (or written)
@@ -133,11 +161,31 @@ func run(opts options) error {
 		// server that just hydrated successfully: the cache being over
 		// budget is an operational nuisance, not a serving failure.
 		if rep, err := catalog.Prune(indexDir, catalogMaxBytes); err != nil {
-			fmt.Printf("catalog prune failed (serving continues): %v\n", err)
+			logger.Warn("catalog prune failed (serving continues)", "error", err.Error())
 		} else {
-			fmt.Printf("catalog pruned: removed %d entries (%d bytes), kept %d (%d bytes) within %d\n",
-				rep.Removed, rep.FreedBytes, rep.Kept, rep.KeptBytes, catalogMaxBytes)
+			logger.Info("catalog pruned", "removed", rep.Removed, "freed_bytes", rep.FreedBytes,
+				"kept", rep.Kept, "kept_bytes", rep.KeptBytes, "budget_bytes", catalogMaxBytes)
 		}
+	}
+
+	if opts.pprofAddr != "" {
+		// pprof gets its own mux on its own listener: profiling endpoints
+		// never share the query port, so they can stay unexposed (bind to
+		// localhost) while the service itself is reachable.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: opts.pprofAddr, Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "addr", opts.pprofAddr, "error", err.Error())
+			}
+		}()
+		defer pprofSrv.Close()
+		logger.Info("pprof listening on "+opts.pprofAddr, "addr", opts.pprofAddr)
 	}
 
 	handler := srv.Handler()
@@ -163,11 +211,11 @@ func run(opts options) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("serving on %s (boot %.3fs)\n", addr, time.Since(start).Seconds())
+	logger.Info("serving on "+addr, "boot_seconds", time.Since(start).Seconds())
 
 	select {
 	case sig := <-stop:
-		fmt.Printf("received %s: draining (deadline %s)\n", sig, drainWait)
+		logger.Info(fmt.Sprintf("received %s: draining", sig), "deadline", drainWait.String())
 		srv.BeginShutdown()
 		if opts.drainGrace > 0 {
 			// http.Server.Shutdown closes the listeners immediately, so
@@ -181,7 +229,7 @@ func run(opts options) error {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		fmt.Println("drained cleanly")
+		logger.Info("drained cleanly")
 		return nil
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {

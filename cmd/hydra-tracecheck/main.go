@@ -1,0 +1,64 @@
+// Command hydra-tracecheck validates a traced /v1/query response from
+// stdin: the JSON body must carry a "trace" block whose top-level stage
+// durations sum to within -max-frac of the trace's total — i.e. the
+// server decomposed the request's latency without losing a meaningful
+// untraced gap. The obs-smoke Makefile target pipes live responses
+// through it, turning the tracing acceptance criterion into a CI check.
+//
+// Usage:
+//
+//	curl -s -X POST localhost:8080/v1/query -d '{"method":"DSTree","k":5,"trace":true,"query":[...]}' \
+//	    | hydra-tracecheck
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hydra/internal/obs"
+)
+
+func main() {
+	maxFrac := flag.Float64("max-frac", 0.05, "largest tolerated untraced fraction of the trace total")
+	slackMS := flag.Float64("slack-ms", 0, "absolute untraced-gap grace in milliseconds, added to the relative bound (for sub-millisecond requests where scheduler jitter alone exceeds the fraction)")
+	flag.Parse()
+	if err := run(os.Stdin, *maxFrac, *slackMS); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(r *os.File, maxFrac, slackMS float64) error {
+	var resp struct {
+		Trace *obs.TraceJSON `json:"trace"`
+	}
+	if err := json.NewDecoder(r).Decode(&resp); err != nil {
+		return fmt.Errorf("decoding response body: %w", err)
+	}
+	tj := resp.Trace
+	if tj == nil {
+		return fmt.Errorf("response has no \"trace\" block (request it with \"trace\": true; tracing must not be disabled)")
+	}
+	if tj.ID == "" {
+		return fmt.Errorf("trace has an empty id")
+	}
+	if tj.TotalMS <= 0 {
+		return fmt.Errorf("trace total %.4fms is not positive", tj.TotalMS)
+	}
+	if len(tj.Spans) == 0 {
+		return fmt.Errorf("trace %s has no spans", tj.ID)
+	}
+	sum := tj.StageSumMS()
+	if sum > tj.TotalMS {
+		return fmt.Errorf("trace %s: stages sum to %.4fms, above the total %.4fms", tj.ID, sum, tj.TotalMS)
+	}
+	if gap := tj.TotalMS - sum; gap > maxFrac*tj.TotalMS+slackMS {
+		return fmt.Errorf("trace %s: untraced gap %.4fms is %.1f%% of total %.4fms (max %.1f%% + %.3fms slack)",
+			tj.ID, gap, 100*gap/tj.TotalMS, tj.TotalMS, 100*maxFrac, slackMS)
+	}
+	fmt.Printf("trace %s ok: total %.3fms, stages cover %.1f%% across %d spans\n",
+		tj.ID, tj.TotalMS, 100*sum/tj.TotalMS, len(tj.Spans))
+	return nil
+}

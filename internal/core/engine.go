@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"time"
 )
 
 // TreeCursor is the per-query view of a hierarchical index that the generic
@@ -120,10 +121,17 @@ func SearchTree(cur TreeCursor, q Query, hist *DistanceHistogram, datasetSize in
 			return
 		}
 		visited[n] = struct{}{}
+		var began time.Time
+		if q.Obs != nil {
+			began = time.Now()
+		}
 		cur.ScanLeaf(n, kset.Worst, func(id int, dist float64) {
 			res.DistCalcs++
 			kset.Offer(id, dist)
 		})
+		if q.Obs != nil {
+			q.Obs.ObserveRefine(time.Since(began))
+		}
 		res.LeavesVisited++
 	}
 

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hydra/internal/series"
 	"hydra/internal/storage"
@@ -53,6 +54,20 @@ func (m Mode) String() string {
 	}
 }
 
+// SearchObserver receives timing attributions from inside a search, letting
+// the serve path decompose a request's latency into per-shard and
+// kernel-refinement time without the methods knowing anything about tracing.
+// Implementations must be safe for concurrent use: sharded searches call
+// from fan-out worker goroutines.
+type SearchObserver interface {
+	// ObserveShard reports that shard spent d of wall-clock time answering
+	// its slice of the query.
+	ObserveShard(shard int, d time.Duration)
+	// ObserveRefine reports d spent in kernel-facing refinement (raw-series
+	// distance computation), summed across however many batches ran.
+	ObserveRefine(d time.Duration)
+}
+
 // Query is a k-NN whole-matching similarity query.
 type Query struct {
 	Series  series.Series
@@ -61,6 +76,11 @@ type Query struct {
 	Epsilon float64 // relative error bound ε >= 0 (ModeEpsilon / ModeDeltaEpsilon)
 	Delta   float64 // probability δ in [0,1] (ModeDeltaEpsilon)
 	NProbe  int     // leaves/lists/candidates to probe (ModeNG); method-specific unit
+
+	// Obs, when non-nil, receives per-shard and refinement timing from the
+	// layers that can measure it. It is ignored by Validate and by cache
+	// keys; a nil Obs costs searches a single pointer test.
+	Obs SearchObserver
 }
 
 // Validate checks parameter sanity for the selected mode.

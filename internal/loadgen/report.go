@@ -164,6 +164,9 @@ func (r *Report) WriteSummary(w io.Writer) {
 		if st.FirstError != "" {
 			fmt.Fprintf(w, "class %s: first error: %s\n", st.Class.Name, st.FirstError)
 		}
+		for _, s := range st.Slowest {
+			fmt.Fprintf(w, "class %s: slow trace %s %.4fs\n", st.Class.Name, s.TraceID, s.Seconds)
+		}
 	}
 	fmt.Fprintf(w, "total: requests=%d ok=%d cached=%d shed=%d draining=%d errors=%d\n",
 		requests, ok, cached, shed, draining, errors)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,18 @@ type Options struct {
 	// Client overrides the HTTP client (tests); nil builds one sized for
 	// the run's concurrency.
 	Client *http.Client
+	// SlowTraces keeps the N slowest successful requests per class together
+	// with their X-Hydra-Trace-Id, so a tail-latency report points straight
+	// at the server-side traces behind it (GET /debug/requests). 0 defaults
+	// to 3; negative disables.
+	SlowTraces int
+}
+
+// SlowRequest is one retained slow request: its measured latency and the
+// server-assigned trace ID from the X-Hydra-Trace-Id response header.
+type SlowRequest struct {
+	Seconds float64
+	TraceID string
 }
 
 // ClassStats accumulates one request class's replay outcome. OK counts
@@ -62,6 +75,26 @@ type ClassStats struct {
 	Draining   int64
 	Errors     int64
 	FirstError string
+	// Slowest holds the class's slowest successful requests, descending,
+	// capped at Options.SlowTraces.
+	Slowest []SlowRequest
+}
+
+// noteSlow offers one successful request to the slowest-N list.
+func (st *ClassStats) noteSlow(seconds float64, traceID string, keep int) {
+	if keep <= 0 || traceID == "" {
+		return
+	}
+	i := sort.Search(len(st.Slowest), func(i int) bool { return st.Slowest[i].Seconds < seconds })
+	if i >= keep {
+		return
+	}
+	st.Slowest = append(st.Slowest, SlowRequest{})
+	copy(st.Slowest[i+1:], st.Slowest[i:])
+	st.Slowest[i] = SlowRequest{Seconds: seconds, TraceID: traceID}
+	if len(st.Slowest) > keep {
+		st.Slowest = st.Slowest[:keep]
+	}
 }
 
 // Report is one replay's full outcome, per class plus run-level facts.
@@ -138,6 +171,9 @@ func Run(p Profile, reqs []Request, queries *series.Dataset, opts Options) (*Rep
 		} else {
 			opts.Clients = 8
 		}
+	}
+	if opts.SlowTraces == 0 {
+		opts.SlowTraces = 3
 	}
 	r := &runner{
 		profile: p,
@@ -247,11 +283,11 @@ func (r *runner) do(rq Request, measureFrom time.Time) {
 		Query:  []float32(r.queries.At(rq.QueryID)),
 	})
 	var out outcome
-	var detail string
+	var detail, traceID string
 	if err != nil {
 		out, detail = outcomeError, err.Error()
 	} else {
-		out, detail = r.post(body)
+		out, detail, traceID = r.post(body)
 	}
 	elapsed := time.Since(measureFrom).Seconds()
 
@@ -266,6 +302,7 @@ func (r *runner) do(rq Request, measureFrom time.Time) {
 			st.Cached++
 		}
 		st.Hist.Record(elapsed)
+		st.noteSlow(elapsed, traceID, r.opts.SlowTraces)
 	case outcomeShed:
 		st.Shed++
 	case outcomeDraining:
@@ -278,22 +315,24 @@ func (r *runner) do(rq Request, measureFrom time.Time) {
 	}
 }
 
-// post sends one query body and classifies the response.
-func (r *runner) post(body []byte) (outcome, string) {
+// post sends one query body and classifies the response; the third return
+// is the server's X-Hydra-Trace-Id (empty when tracing is disabled).
+func (r *runner) post(body []byte) (outcome, string, string) {
 	resp, err := r.client.Post(r.opts.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return outcomeError, err.Error()
+		return outcomeError, err.Error(), ""
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Hydra-Trace-Id")
 	// Drain (bounded) so the connection is reusable; error bodies are
 	// small JSON, answers can be larger but still worth reading fully for
 	// keep-alive.
 	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if resp.StatusCode == http.StatusOK {
 		if resp.Header.Get("X-Hydra-Cached") == "true" {
-			return outcomeCached, ""
+			return outcomeCached, "", traceID
 		}
-		return outcomeOK, ""
+		return outcomeOK, "", traceID
 	}
 	var shape struct {
 		Error struct {
@@ -304,9 +343,9 @@ func (r *runner) post(body []byte) (outcome, string) {
 	_ = json.Unmarshal(blob, &shape)
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests && shape.Error.Code == "overloaded":
-		return outcomeShed, ""
+		return outcomeShed, "", traceID
 	case resp.StatusCode == http.StatusServiceUnavailable && shape.Error.Code == "shutting_down":
-		return outcomeDraining, ""
+		return outcomeDraining, "", traceID
 	}
-	return outcomeError, fmt.Sprintf("status %d code %q: %s", resp.StatusCode, shape.Error.Code, shape.Error.Message)
+	return outcomeError, fmt.Sprintf("status %d code %q: %s", resp.StatusCode, shape.Error.Code, shape.Error.Message), traceID
 }

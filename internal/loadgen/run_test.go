@@ -92,6 +92,50 @@ func TestClosedLoopCountsShedAsShed(t *testing.T) {
 	if cached == 0 {
 		t.Fatalf("zipf reuse over %d queries produced no cache hits", p.QueryPool)
 	}
+	// Tracing is on by default server-side, so every class with successes
+	// must have retained its slowest requests with server trace IDs.
+	for i := range rep.Classes {
+		st := &rep.Classes[i]
+		if st.OK == 0 {
+			continue
+		}
+		if len(st.Slowest) == 0 {
+			t.Errorf("class %s: %d ok requests but no slowest traces retained", st.Class.Name, st.OK)
+		}
+		for j, s := range st.Slowest {
+			if s.TraceID == "" || s.Seconds <= 0 {
+				t.Errorf("class %s: slowest[%d] = %+v lacks a trace ID or latency", st.Class.Name, j, s)
+			}
+			if j > 0 && s.Seconds > st.Slowest[j-1].Seconds {
+				t.Errorf("class %s: slowest not descending at %d: %v", st.Class.Name, j, st.Slowest)
+			}
+		}
+	}
+}
+
+// TestNoteSlowKeepsDescendingTopN pins the slowest-N retention: inserts in
+// arbitrary order keep only the N largest, descending, and an empty trace
+// ID (tracing disabled server-side) is never retained.
+func TestNoteSlowKeepsDescendingTopN(t *testing.T) {
+	var st ClassStats
+	for _, s := range []float64{0.3, 0.1, 0.9, 0.2, 0.5, 0.4} {
+		st.noteSlow(s, "id", 3)
+	}
+	want := []float64{0.9, 0.5, 0.4}
+	if len(st.Slowest) != len(want) {
+		t.Fatalf("kept %d, want %d: %v", len(st.Slowest), len(want), st.Slowest)
+	}
+	for i, s := range st.Slowest {
+		if s.Seconds != want[i] {
+			t.Fatalf("slowest = %v, want seconds %v", st.Slowest, want)
+		}
+	}
+	st = ClassStats{}
+	st.noteSlow(1.0, "", 3)
+	st.noteSlow(1.0, "id", -1)
+	if len(st.Slowest) != 0 {
+		t.Fatalf("retained %v without a trace ID or with retention disabled", st.Slowest)
+	}
 }
 
 // TestOpenLoopMeasuresFromScheduledArrival pins the coordinated-omission

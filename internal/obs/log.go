@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger (the -log-format flag values).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds the structured logger the serving binaries share: a
+// log/slog logger writing either human-readable text (the default) or
+// one-JSON-object-per-line to w. Messages keep their grep-stable phrases
+// ("warm start: catalog hit: DSTree", "drained cleanly", ...) while
+// machine-read facts — durations, counts, trace IDs — travel as attrs.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	if w == nil {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", LogText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s|%s)", format, LogText, LogJSON)
+	}
+}
+
+// Discard is a logger that drops everything — the nil-configuration
+// default, so callers never need a nil check before logging.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

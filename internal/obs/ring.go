@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// maxFamilies bounds the slowest-per-family table so a client inventing
+// family names (e.g. probing unknown methods) cannot grow it without bound.
+const maxFamilies = 64
+
+// Ring is the bounded trace retention behind GET /debug/requests: a
+// circular buffer of the most recent traces plus, per family, the slowest
+// trace seen since boot (x/net/trace's "recent + longest" idiom). A nil
+// *Ring is valid and retains nothing.
+//
+// Add holds the ring mutex only for a few pointer writes and Snapshot only
+// long enough to copy pointers; trace export (JSON assembly) happens
+// outside the lock. An in-flight Add therefore can never stall a
+// /debug/requests read for longer than those pointer writes — the
+// never-blocks guarantee the stalled-hydration regression test pins at the
+// server layer.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []*Trace // circular; recent[next] is the oldest once full
+	next    int
+	added   uint64
+	slowest map[string]*Trace
+}
+
+// NewRing returns a ring retaining the last capacity traces, or nil
+// (retention disabled) when capacity is not positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{
+		recent:  make([]*Trace, 0, capacity),
+		slowest: make(map[string]*Trace, 16),
+	}
+}
+
+// Add retains a finished trace. Nil rings and nil traces no-op.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	total, family := t.Total(), t.Family()
+	r.mu.Lock()
+	r.added++
+	if len(r.recent) < cap(r.recent) {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.next] = t
+		r.next = (r.next + 1) % cap(r.recent)
+	}
+	if cur, ok := r.slowest[family]; ok {
+		if total > cur.Total() {
+			r.slowest[family] = t
+		}
+	} else if len(r.slowest) < maxFamilies {
+		r.slowest[family] = t
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot is the exported ring state: every retained trace in wire form.
+type Snapshot struct {
+	// Added counts every trace ever offered to the ring, retained or since
+	// overwritten.
+	Added uint64 `json:"added"`
+	// Recent holds the newest traces, newest first.
+	Recent []TraceJSON `json:"recent"`
+	// Slowest holds each family's slowest trace since boot, slowest first.
+	Slowest []TraceJSON `json:"slowest"`
+}
+
+// Snapshot exports the ring for /debug/requests. The lock is held only to
+// copy trace pointers; the per-trace JSON assembly runs unlocked.
+func (r *Ring) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	added := r.added
+	recent := make([]*Trace, 0, len(r.recent))
+	// Newest first: walk backwards from the slot before next.
+	n := len(r.recent)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + 2*n) % n
+		recent = append(recent, r.recent[idx])
+	}
+	slow := make([]*Trace, 0, len(r.slowest))
+	for _, t := range r.slowest {
+		slow = append(slow, t)
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Added: added, Recent: make([]TraceJSON, 0, len(recent)), Slowest: make([]TraceJSON, 0, len(slow))}
+	for _, t := range recent {
+		snap.Recent = append(snap.Recent, t.Export())
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Total() > slow[j].Total() })
+	for _, t := range slow {
+		snap.Slowest = append(snap.Slowest, t.Export())
+	}
+	return snap
+}

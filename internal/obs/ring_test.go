@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finished returns a finished trace under family with at least one span.
+func finished(family string) *Trace {
+	tr := New(family)
+	sp := tr.Start("query")
+	sp.End()
+	tr.Finish()
+	return tr
+}
+
+func TestNilRingNoOps(t *testing.T) {
+	var r *Ring
+	r.Add(finished("f")) // must not panic
+	snap := r.Snapshot()
+	if snap.Added != 0 || len(snap.Recent) != 0 || len(snap.Slowest) != 0 {
+		t.Fatalf("nil ring retained something: %+v", snap)
+	}
+	if NewRing(0) != nil || NewRing(-1) != nil {
+		t.Fatal("non-positive capacity should disable the ring")
+	}
+}
+
+func TestRingRecentNewestFirst(t *testing.T) {
+	r := NewRing(3)
+	ids := make([]string, 5)
+	for i := range ids {
+		tr := finished("f")
+		tr.Annotate("seq", fmt.Sprint(i))
+		ids[i] = tr.ID()
+		r.Add(tr)
+	}
+	snap := r.Snapshot()
+	if snap.Added != 5 {
+		t.Fatalf("added = %d, want 5", snap.Added)
+	}
+	if len(snap.Recent) != 3 {
+		t.Fatalf("recent holds %d traces, want 3 (capacity)", len(snap.Recent))
+	}
+	// Capacity 3 after 5 adds: traces 4, 3, 2 newest first.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if snap.Recent[i].ID != want {
+			t.Fatalf("recent[%d] = %s, want %s (snapshot %+v)", i, snap.Recent[i].ID, want, snap.Recent)
+		}
+	}
+}
+
+func TestRingSlowestPerFamily(t *testing.T) {
+	r := NewRing(2) // tiny recent window: slowest retention must outlive it
+
+	slow := New("DSTree")
+	sp := slow.Start("query")
+	time.Sleep(3 * time.Millisecond)
+	sp.End()
+	slow.Finish()
+	r.Add(slow)
+
+	for i := 0; i < 5; i++ {
+		r.Add(finished("DSTree"))
+		r.Add(finished("VAfile"))
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Slowest) != 2 {
+		t.Fatalf("slowest holds %d families, want 2: %+v", len(snap.Slowest), snap.Slowest)
+	}
+	// Sorted slowest first, and the slow DSTree trace survived being
+	// overwritten in the recent window.
+	if snap.Slowest[0].ID != slow.ID() || snap.Slowest[0].Family != "DSTree" {
+		t.Fatalf("slowest[0] = %+v, want the slow DSTree trace %s", snap.Slowest[0], slow.ID())
+	}
+	if snap.Slowest[1].Family != "VAfile" {
+		t.Fatalf("slowest[1] family = %s, want VAfile", snap.Slowest[1].Family)
+	}
+	for _, rec := range snap.Recent {
+		if rec.ID == slow.ID() {
+			t.Fatal("slow trace should have been overwritten in the recent window")
+		}
+	}
+}
+
+func TestRingFamilyCap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 2*maxFamilies; i++ {
+		r.Add(finished(fmt.Sprintf("fam-%d", i)))
+	}
+	if got := len(r.Snapshot().Slowest); got != maxFamilies {
+		t.Fatalf("slowest table grew to %d families, want cap %d", got, maxFamilies)
+	}
+}
+
+// TestRingHammer is the satellite race test: concurrent writers (request
+// completions) and snapshot readers (/debug/requests) against one ring.
+// Run under -race it pins that ring ingestion and export never race, and
+// that snapshots taken mid-write are internally consistent.
+func TestRingHammer(t *testing.T) {
+	r := NewRing(32)
+	const writers, readers, perWriter = 8, 4, 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := New(fmt.Sprintf("fam-%d", w%3))
+				sp := tr.Start("query")
+				sp.AddChild("shard.0", time.Microsecond)
+				sp.End()
+				tr.Annotate("writer", fmt.Sprint(w))
+				tr.Finish()
+				r.Add(tr)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap.Recent) > 32 {
+					t.Errorf("snapshot recent grew past capacity: %d", len(snap.Recent))
+					return
+				}
+				for _, tr := range snap.Recent {
+					if tr.ID == "" {
+						t.Error("snapshot contains a trace without an ID")
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let readers overlap the writers, then wind down.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	snap := r.Snapshot()
+	if snap.Added != writers*perWriter {
+		t.Fatalf("added = %d, want %d", snap.Added, writers*perWriter)
+	}
+	if len(snap.Recent) != 32 {
+		t.Fatalf("recent holds %d, want full capacity 32", len(snap.Recent))
+	}
+}

@@ -1,0 +1,320 @@
+// Package obs is hydra's zero-dependency observability layer: request-
+// scoped traces (an ordered span tree per request, in the x/net/trace
+// idiom), a bounded ring buffer of recent and slowest-per-family traces
+// behind GET /debug/requests, and the structured-logging constructor the
+// serving binaries share.
+//
+// The design constraint is that the *untraced* hot path pays nothing: every
+// method on a nil *Trace and on the zero Span is a no-op that performs zero
+// allocations (pinned by TestNilTraceAllocs), so code threads trace handles
+// unconditionally and a server with tracing disabled runs the same
+// instruction stream minus one pointer test. When tracing is on, a trace
+// costs one ID, one spans slice and a handful of monotonic clock reads —
+// cheap enough to leave on for every request, which is what makes
+// /debug/requests useful for the request you did NOT know you would need
+// to debug (the whole point of the slowest-per-family retention).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bootID is a per-process random tag mixed into every trace ID so IDs from
+// different server incarnations don't collide in logs aggregated across
+// restarts. Falling back to the clock keeps IDs unique-per-process even if
+// the random source is unavailable.
+var bootID = func() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint32(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint32(b[:])
+}()
+
+var idCounter atomic.Uint64
+
+const hexDigits = "0123456789abcdef"
+
+// newID returns a 16-hex-char trace ID: 8 chars of per-process randomness
+// and 8 of a monotonic counter. It is not cryptographic — it only needs to
+// be grep-ably unique across the traces an operator will ever hold at once.
+func newID() string {
+	n := uint32(idCounter.Add(1))
+	var b [16]byte
+	v := uint64(bootID)<<32 | uint64(n)
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// span is one timed region. Spans form a tree through parent indexes into
+// the trace's flat slice; top-level spans have parent -1.
+type span struct {
+	name   string
+	parent int
+	start  time.Duration // offset from the trace start
+	dur    time.Duration
+	done   bool
+}
+
+// Attr is one key=value annotation on a trace.
+type Attr struct {
+	Key, Value string
+}
+
+// Trace is one request's span tree. A nil *Trace is valid everywhere and
+// records nothing; that nil path is the "tracing disabled" fast path and is
+// guaranteed allocation-free. All methods are safe for concurrent use —
+// span starts/ends from worker goroutines interleave under one short-held
+// mutex — though the usual pattern is one goroutine driving top-level
+// stages and fan-out workers adding completed children.
+type Trace struct {
+	id     string
+	family string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []span
+	attrs []Attr
+	total time.Duration
+	done  bool
+}
+
+// New starts a trace under the given family (the grouping key the ring's
+// slowest-per-family retention uses; hydra-serve uses the requested method
+// name). The trace clock starts now.
+func New(family string) *Trace {
+	return &Trace{
+		id:     newID(),
+		family: family,
+		start:  time.Now(),
+		spans:  make([]span, 0, 8),
+	}
+}
+
+// ID returns the trace ID ("" for nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Family returns the trace's family ("" for nil).
+func (t *Trace) Family() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.family
+}
+
+// SetFamily renames the trace's family (a request routed by "auto" refines
+// its family to the resolved method).
+func (t *Trace) SetFamily(family string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.family = family
+	t.mu.Unlock()
+}
+
+// Annotate attaches a key=value fact to the trace (method, cache outcome,
+// error code, ...). Later duplicates of a key are kept in order, so an
+// annotation history reads top to bottom.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// Span is a handle on one span of a trace. The zero Span is valid and
+// inert, which is what the nil-trace paths hand back.
+type Span struct {
+	t   *Trace
+	idx int
+}
+
+// Start opens a new top-level span.
+func (t *Trace) Start(name string) Span {
+	return t.add(name, -1)
+}
+
+// add appends a span under parent (-1 = top level).
+func (t *Trace) add(name string, parent int) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, span{name: name, parent: parent, start: time.Since(t.start)})
+	t.mu.Unlock()
+	return Span{t: t, idx: idx}
+}
+
+// End closes the span. Ending a span twice keeps the first duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.idx]
+	if !sp.done {
+		sp.done = true
+		sp.dur = time.Since(s.t.start) - sp.start
+	}
+	s.t.mu.Unlock()
+}
+
+// Child opens a span nested under s.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.add(name, s.idx)
+}
+
+// AddChild records an already-completed child span of duration d under s.
+// It is how externally measured time (per-shard search time, kernel-facing
+// refinement) is attributed into the tree: the child's start offset is
+// s's own start, marking it as a duration attribution rather than a
+// wall-clock interval.
+func (s Span) AddChild(name string, d time.Duration) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, span{
+		name:   name,
+		parent: s.idx,
+		start:  s.t.spans[s.idx].start,
+		dur:    d,
+		done:   true,
+	})
+	s.t.mu.Unlock()
+}
+
+// Finish closes the trace: open spans are ended and the total is fixed.
+// Further span/annotation calls are still safe but traces are conventionally
+// immutable after Finish (the ring snapshots them concurrently).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	t.total = time.Since(t.start)
+	for i := range t.spans {
+		if !t.spans[i].done {
+			t.spans[i].done = true
+			t.spans[i].dur = t.total - t.spans[i].start
+		}
+	}
+}
+
+// Total returns the finished trace's end-to-end duration (0 before Finish
+// and for nil).
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// TraceJSON is the wire form of a trace, shared by the opt-in "trace"
+// block of POST /v1/query responses and GET /debug/requests.
+type TraceJSON struct {
+	ID      string            `json:"id"`
+	Family  string            `json:"family"`
+	Start   time.Time         `json:"start"`
+	TotalMS float64           `json:"total_ms"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Spans   []SpanJSON        `json:"spans"`
+}
+
+// SpanJSON is one exported span. StartMS is the offset from the trace
+// start; duration-attributed children (AddChild) share their parent's
+// offset.
+type SpanJSON struct {
+	Name       string     `json:"name"`
+	StartMS    float64    `json:"start_ms"`
+	DurationMS float64    `json:"duration_ms"`
+	Children   []SpanJSON `json:"children,omitempty"`
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Export snapshots the trace as its wire form. Safe to call concurrently
+// with span recording (the snapshot is taken under the trace mutex); the
+// ring calls it outside its own lock so a slow JSON render can never block
+// trace ingestion.
+func (t *Trace) Export() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	spans := append([]span(nil), t.spans...)
+	attrs := append([]Attr(nil), t.attrs...)
+	out := TraceJSON{
+		ID:      t.id,
+		Family:  t.family,
+		Start:   t.start,
+		TotalMS: ms(t.total),
+	}
+	t.mu.Unlock()
+
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	// Assemble the tree bottom-up: children attach in recording order, so
+	// the exported order is the order the request actually executed.
+	nodes := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		nodes[i] = SpanJSON{Name: sp.name, StartMS: ms(sp.start), DurationMS: ms(sp.dur)}
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		p := spans[i].parent
+		if p < 0 {
+			continue
+		}
+		nodes[p].Children = append([]SpanJSON{nodes[i]}, nodes[p].Children...)
+	}
+	for i, sp := range spans {
+		if sp.parent < 0 {
+			out.Spans = append(out.Spans, nodes[i])
+		}
+	}
+	return out
+}
+
+// StageSumMS sums the exported top-level span durations — the quantity the
+// acceptance test holds within 5% of TotalMS, and what hydra-tracecheck
+// re-verifies end-to-end in the obs-smoke.
+func (tj TraceJSON) StageSumMS() float64 {
+	var sum float64
+	for _, sp := range tj.Spans {
+		sum += sp.DurationMS
+	}
+	return sum
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTraceAllocs pins the tentpole's zero-overhead guarantee: every
+// operation on a nil *Trace and the zero Span — the exact calls the serve
+// path makes per request when tracing is disabled — performs zero
+// allocations. A regression here taxes every untraced query.
+func TestNilTraceAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("gate.wait")
+		sp.End()
+		child := sp.Child("refine")
+		child.End()
+		sp.AddChild("shard.0", time.Millisecond)
+		tr.Annotate("method", "DSTree")
+		tr.SetFamily("DSTree")
+		tr.Finish()
+		_ = tr.ID()
+		_ = tr.Total()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace operations allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTraceIDsUnique checks IDs are non-empty, fixed-width hex and unique.
+func TestTraceIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := New("f").ID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("trace ID %q is not lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanTreeExport builds a small tree and checks the exported structure:
+// nesting, ordering, annotation merging and the stage sum.
+func TestSpanTreeExport(t *testing.T) {
+	tr := New("DSTree")
+	tr.Annotate("mode", "exact")
+	tr.Annotate("cached", "false")
+
+	gate := tr.Start("gate.wait")
+	gate.End()
+	query := tr.Start("query")
+	ref := query.Child("refine")
+	ref.End()
+	query.AddChild("shard.0", 2*time.Millisecond)
+	query.AddChild("shard.1", 3*time.Millisecond)
+	query.End()
+	tr.Finish()
+
+	ex := tr.Export()
+	if ex.ID != tr.ID() || ex.Family != "DSTree" {
+		t.Fatalf("export identity mismatch: %+v", ex)
+	}
+	if ex.TotalMS <= 0 {
+		t.Fatalf("finished trace exported TotalMS %v", ex.TotalMS)
+	}
+	if ex.Attrs["mode"] != "exact" || ex.Attrs["cached"] != "false" {
+		t.Fatalf("attrs not exported: %v", ex.Attrs)
+	}
+	if len(ex.Spans) != 2 || ex.Spans[0].Name != "gate.wait" || ex.Spans[1].Name != "query" {
+		t.Fatalf("top-level spans wrong: %+v", ex.Spans)
+	}
+	kids := ex.Spans[1].Children
+	if len(kids) != 3 || kids[0].Name != "refine" || kids[1].Name != "shard.0" || kids[2].Name != "shard.1" {
+		t.Fatalf("query children wrong: %+v", kids)
+	}
+	if kids[1].DurationMS != 2 || kids[2].DurationMS != 3 {
+		t.Fatalf("duration-attributed children wrong: %+v", kids)
+	}
+	if sum := ex.StageSumMS(); sum <= 0 || sum > ex.TotalMS {
+		t.Fatalf("stage sum %v outside (0, total %v]", sum, ex.TotalMS)
+	}
+}
+
+// TestContiguousStagesSumToTotal pins the decomposition property the serve
+// path relies on: stages that tile the trace (each starting where the
+// previous ended) sum to within 5% of the trace total.
+func TestContiguousStagesSumToTotal(t *testing.T) {
+	tr := New("f")
+	for _, stage := range []string{"parse", "gate.wait", "gather", "cache.lookup", "query"} {
+		sp := tr.Start(stage)
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+	}
+	tr.Finish()
+	ex := tr.Export()
+	sum := ex.StageSumMS()
+	if diff := ex.TotalMS - sum; diff < 0 || diff > 0.05*ex.TotalMS {
+		t.Fatalf("stage sum %.3fms vs total %.3fms: gap over 5%%", sum, ex.TotalMS)
+	}
+}
+
+// TestFinishClosesOpenSpans checks an unclosed span is ended at Finish and
+// that double End keeps the first duration.
+func TestFinishClosesOpenSpans(t *testing.T) {
+	tr := New("f")
+	open := tr.Start("query")
+	closed := tr.Start("gate.wait")
+	closed.End()
+	d := tr.Export().Spans[1].DurationMS
+	time.Sleep(time.Millisecond)
+	closed.End() // second End must not restate the duration
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	ex := tr.Export()
+	if got := ex.Spans[1].DurationMS; got != d {
+		t.Fatalf("double End changed duration: %v -> %v", d, got)
+	}
+	if ex.Spans[0].DurationMS <= 0 {
+		t.Fatalf("open span not closed by Finish: %+v", ex.Spans[0])
+	}
+	_ = open
+	if ex.TotalMS < ex.Spans[0].DurationMS {
+		t.Fatalf("span outlived trace: span %v total %v", ex.Spans[0].DurationMS, ex.TotalMS)
+	}
+}

@@ -3,6 +3,7 @@ package router
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Gate is the admission controller on the serve boundary: at most
@@ -18,6 +19,7 @@ type Gate struct {
 	maxQueue  int64
 	queued    atomic.Int64
 	shed      atomic.Int64
+	waitNanos atomic.Int64
 	workerCap int
 }
 
@@ -28,6 +30,10 @@ type GateStats struct {
 	Shed      int64
 	MaxQueue  int64
 	WorkerCap int
+	// WaitSeconds is cumulative time requests spent queued for a slot.
+	// Admissions through the uncontended fast path contribute zero, so the
+	// counter only grows while the gate is actually saturated.
+	WaitSeconds float64
 }
 
 // NewGate returns a gate admitting maxInflight concurrent requests, or nil
@@ -72,7 +78,9 @@ func (g *Gate) Acquire() bool {
 		g.shed.Add(1)
 		return false
 	}
+	began := time.Now()
 	g.slots <- struct{}{}
+	g.waitNanos.Add(int64(time.Since(began)))
 	g.queued.Add(-1)
 	return true
 }
@@ -100,10 +108,11 @@ func (g *Gate) Stats() GateStats {
 		return GateStats{}
 	}
 	return GateStats{
-		Inflight:  len(g.slots),
-		Queued:    g.queued.Load(),
-		Shed:      g.shed.Load(),
-		MaxQueue:  g.maxQueue,
-		WorkerCap: g.workerCap,
+		Inflight:    len(g.slots),
+		Queued:      g.queued.Load(),
+		Shed:        g.shed.Load(),
+		MaxQueue:    g.maxQueue,
+		WorkerCap:   g.workerCap,
+		WaitSeconds: float64(g.waitNanos.Load()) / 1e9,
 	}
 }

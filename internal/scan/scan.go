@@ -10,6 +10,7 @@ package scan
 
 import (
 	"fmt"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/kernel"
@@ -65,6 +66,10 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 	const chunk = 4096
 	dim := len(q.Series)
 	var d2s [scoreBlock]float64
+	var began time.Time
+	if q.Obs != nil {
+		began = time.Now()
+	}
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -86,6 +91,10 @@ func (s *Scan) Search(q core.Query) (core.Result, error) {
 				}
 			}
 		}
+	}
+	if q.Obs != nil {
+		// The whole scoring pass IS the refinement step for a serial scan.
+		q.Obs.ObserveRefine(time.Since(began))
 	}
 	res.Neighbors = kset.Sorted()
 	res.IO = st.Accountant().Snapshot()

@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/eval"
 	"hydra/internal/kernel"
+	"hydra/internal/obs"
 	"hydra/internal/router"
 	"hydra/internal/series"
 	"hydra/internal/shard"
@@ -48,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.guard("GET", false, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.guard("GET", false, s.handleMetrics))
+	mux.HandleFunc("/debug/requests", s.guard("GET", false, s.handleDebugRequests))
 	mux.HandleFunc("/v1/methods", s.guard("GET", true, s.handleMethods))
 	mux.HandleFunc("/v1/datasets", s.guard("GET", true, s.handleDatasets))
 	mux.HandleFunc("/v1/query", s.guard("POST", true, s.handleQuery))
@@ -105,7 +109,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, time.Since(s.start).Seconds(), s.shardUsage(), s.cache.Stats(), s.gate.Stats())
+	info := buildInfo{
+		GoVersion:   runtime.Version(),
+		Kernel:      kernel.Active().String(),
+		Shards:      s.shardTotal(),
+		Dataset:     s.datasetName,
+		Fingerprint: s.fingerprint,
+	}
+	s.metrics.render(w, time.Since(s.start).Seconds(), s.shardUsage(), s.cache.Stats(), s.gate.Stats(), info, runtime.NumGoroutine())
+}
+
+// handleDebugRequests serves the trace ring (x/net/trace idiom): the most
+// recent requests plus the slowest request seen per family since boot, as
+// JSON. Like /healthz it must stay responsive no matter what the serve path
+// is doing: the ring snapshot copies pointers under a mutex held for
+// nanoseconds and never touches the hydration locks, which the
+// stalled-hydration regression test pins.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	if s.ring == nil {
+		writeError(w, http.StatusNotFound, "tracing_disabled", "request tracing is disabled (start hydra-serve with -trace-ring > 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ring.Snapshot())
 }
 
 // shardUsage gathers cumulative per-shard query counters from every
@@ -136,6 +161,7 @@ func (s *Server) shardUsage() []ShardUsage {
 				Queries:   st.Queries,
 				DistCalcs: st.DistCalcs,
 				IO:        st.IO,
+				Seconds:   st.Seconds,
 			})
 		}
 	}
@@ -240,6 +266,10 @@ type queryRequest struct {
 	// Format selects the response body: "json" (default) or "text" (the
 	// CLI's per-query answer lines, byte-identical to hydra-query).
 	Format string `json:"format"`
+	// Trace opts into the response's "trace" block: the request's full span
+	// tree. The X-Hydra-Trace-Id header is sent regardless (when tracing is
+	// enabled), so the block is only needed to see the decomposition inline.
+	Trace bool `json:"trace"`
 }
 
 // neighborJSON is one answer of one query.
@@ -281,6 +311,11 @@ type queryResponse struct {
 	} `json:"io"`
 	DistCalcs int64          `json:"dist_calcs"`
 	CostModel map[string]any `json:"cost_model"`
+	// Trace is the request's span tree, present only when the request set
+	// "trace": true. It is attached to the outgoing response after the
+	// cache stores its copy, so cached replays stay byte-identical to the
+	// miss that populated them and each replay reports its own trace.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // responseBytes estimates a response's cache footprint: the struct and its
@@ -311,41 +346,125 @@ func (s *Server) cacheKey(methodField string, mode core.Mode, k int, epsilon, de
 // of length-128 series in JSON; anything bigger belongs in a workload file.
 const maxRequestBytes = 64 << 20
 
+// traceObserver aggregates core.SearchObserver callbacks for one request:
+// per-shard wall time and kernel-refinement time, each summed across the
+// request's queries. It is attached to the request's query template, so the
+// per-query copies eval.ParallelRun fans out all feed one collector, from
+// however many worker goroutines the run uses.
+type traceObserver struct {
+	mu     sync.Mutex
+	shards map[int]time.Duration
+	refine time.Duration
+}
+
+func (o *traceObserver) ObserveShard(shard int, d time.Duration) {
+	o.mu.Lock()
+	if o.shards == nil {
+		o.shards = map[int]time.Duration{}
+	}
+	o.shards[shard] += d
+	o.mu.Unlock()
+}
+
+func (o *traceObserver) ObserveRefine(d time.Duration) {
+	o.mu.Lock()
+	o.refine += d
+	o.mu.Unlock()
+}
+
+// attach records the collected attributions as children of the query span.
+// Shards answer concurrently and refinement happens inside them, so child
+// durations are work time that may sum past the parent's wall time; the
+// per-shard spread is the straggler signal.
+func (o *traceObserver) attach(sp obs.Span) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	shards := make([]int, 0, len(o.shards))
+	for i := range o.shards {
+		shards = append(shards, i)
+	}
+	sort.Ints(shards)
+	for _, i := range shards {
+		sp.AddChild(fmt.Sprintf("shard.%d", i), o.shards[i])
+	}
+	if o.refine > 0 {
+		sp.AddChild("refine", o.refine)
+	}
+}
+
+// finishTrace closes out a request trace: ends it, feeds the stage
+// histograms, retains it in the ring and applies the slow-query log.
+// errCode annotates failed requests ("" for success). Nil-safe; every
+// handleQuery exit path calls it exactly once.
+func (s *Server) finishTrace(tr *obs.Trace, errCode string) {
+	if tr == nil {
+		return
+	}
+	if errCode != "" {
+		tr.Annotate("error", errCode)
+	}
+	tr.Finish()
+	for _, sp := range tr.Export().Spans {
+		s.metrics.recordStage(sp.Name, sp.DurationMS/1e3)
+	}
+	s.ring.Add(tr)
+	if s.slowQuery > 0 && tr.Total() >= s.slowQuery {
+		s.logger.Warn("slow query", "trace_id", tr.ID(), "family", tr.Family(),
+			"seconds", tr.Total().Seconds(), "threshold_seconds", s.slowQuery.Seconds())
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Tracing is on whenever the ring is (the default): the request you end
+	// up debugging is rarely one you thought to trace in advance. The
+	// response "trace" block stays opt-in; the header always carries the ID.
+	var tr *obs.Trace
+	if s.ring != nil {
+		tr = obs.New("query")
+		w.Header().Set("X-Hydra-Trace-Id", tr.ID())
+	}
+	fail := func(status int, code, format string, args ...any) {
+		s.finishTrace(tr, code)
+		writeError(w, status, code, format, args...)
+	}
+
+	parse := tr.Start("parse")
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+			fail(http.StatusRequestEntityTooLarge, "request_too_large",
 				"request body exceeds %d bytes; use workload_file for large batches", tooBig.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "invalid_json", "decoding request body: %v", err)
+		fail(http.StatusBadRequest, "invalid_json", "decoding request body: %v", err)
 		return
 	}
 	if req.Method == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", "\"method\" is required (see GET /v1/methods)")
+		fail(http.StatusBadRequest, "bad_request", "\"method\" is required (see GET /v1/methods)")
 		return
 	}
 	auto := strings.EqualFold(req.Method, "auto")
 	var spec core.MethodSpec
 	if auto {
 		if s.route == nil {
-			writeError(w, http.StatusBadRequest, "auto_disabled", "\"method\":\"auto\" is disabled (start hydra-serve with -auto)")
+			fail(http.StatusBadRequest, "auto_disabled", "\"method\":\"auto\" is disabled (start hydra-serve with -auto)")
 			return
 		}
+		tr.SetFamily("auto")
 	} else {
 		var ok bool
 		spec, ok = core.LookupMethod(req.Method)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown_method", "unknown method %q (see GET /v1/methods)", req.Method)
+			fail(http.StatusNotFound, "unknown_method", "unknown method %q (see GET /v1/methods)", req.Method)
 			return
 		}
+		tr.SetFamily(spec.Name)
 	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_mode", "%v", err)
+		fail(http.StatusBadRequest, "bad_mode", "%v", err)
 		return
 	}
 	if req.K == 0 {
@@ -357,26 +476,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.K < 0 {
-		writeError(w, http.StatusBadRequest, "bad_k", "k must be positive, got %d", req.K)
+		fail(http.StatusBadRequest, "bad_k", "k must be positive, got %d", req.K)
 		return
 	}
 	if req.K > s.data.Size() {
-		writeError(w, http.StatusBadRequest, "bad_k", "k=%d exceeds dataset size %d", req.K, s.data.Size())
+		fail(http.StatusBadRequest, "bad_k", "k=%d exceeds dataset size %d", req.K, s.data.Size())
 		return
 	}
+	tr.Annotate("mode", mode.String())
+	parse.End()
 	// Admission control sits on the serve boundary, before any query
 	// materialisation (a workload_file load is real work) — a shed request
 	// must cost almost nothing.
-	if !s.gate.Acquire() {
-		writeError(w, http.StatusTooManyRequests, "overloaded",
+	gateWait := tr.Start("gate.wait")
+	admitted := s.gate.Acquire()
+	gateWait.End()
+	if !admitted {
+		fail(http.StatusTooManyRequests, "overloaded",
 			"server is at -max-inflight capacity with a full queue; retry with backoff or against another replica")
 		return
 	}
 	defer s.gate.Release()
 
+	gather := tr.Start("gather")
 	queries, qerr := s.gatherQueries(req)
 	if qerr != nil {
-		writeError(w, qerr.Status, qerr.Code, "%s", qerr.Message)
+		gather.End()
+		fail(qerr.Status, qerr.Code, "%s", qerr.Message)
 		return
 	}
 
@@ -393,41 +519,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	probe.Series = queries.At(0)
 	probe.K = req.K
 	if err := probe.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_query", "%v", err)
+		gather.End()
+		fail(http.StatusBadRequest, "bad_query", "%v", err)
 		return
 	}
+	gather.End()
+	tr.Annotate("queries", fmt.Sprint(queries.Size()))
 
 	methodField := spec.Name
 	if auto {
 		methodField = "auto"
 	}
+	// The key computation fingerprints the query vectors, which is real
+	// work that belongs inside the lookup stage.
+	lookup := tr.Start("cache.lookup")
 	key := s.cacheKey(methodField, mode, req.K, req.Epsilon, delta, nprobe, queries)
-	if v, ok := s.cache.Get(key); ok {
+	v, cacheHit := s.cache.Get(key)
+	lookup.End()
+	if cacheHit {
 		// Replay the stored response: the answer identical to the original
 		// run, with zero index work, I/O or distance computations re-spent.
+		// The copy/annotation work is its own "respond" stage so the replay
+		// trace tiles the request like the fresh path's does.
+		respond := tr.Start("respond")
 		hit := *v.(*queryResponse)
 		hit.Cached = true
 		w.Header().Set("X-Hydra-Cached", "true")
+		tr.Annotate("cached", "true")
+		respond.End()
+		s.finishTrace(tr, "")
+		if req.Trace && tr != nil {
+			tj := tr.Export()
+			hit.Trace = &tj
+		}
 		s.writeQueryResponse(w, r, req, &hit)
 		return
 	}
 
 	if auto {
+		decide := tr.Start("route.decide")
 		dec, err := s.route.Pick(router.Request{Mode: mode, K: req.K, Epsilon: req.Epsilon, Delta: delta})
+		decide.End()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "unroutable", "%v", err)
+			fail(http.StatusBadRequest, "unroutable", "%v", err)
 			return
 		}
 		spec, _ = core.LookupMethod(dec.Method)
 		s.metrics.recordRouted(dec.Method)
 		w.Header().Set("X-Hydra-Routed-Method", dec.Method)
 		w.Header().Set("X-Hydra-Routed-Source", dec.Source)
+		tr.SetFamily(spec.Name)
+		tr.Annotate("routed_source", dec.Source)
 	}
+	tr.Annotate("method", spec.Name)
 
+	hydrate := tr.Start("hydrate")
 	m, fromCache, err := s.methodFor(spec.Name)
+	hydrate.End()
 	if err != nil {
 		s.metrics.recordError(spec.Name)
-		writeError(w, http.StatusInternalServerError, "method_unavailable", "hydrating %s: %v", spec.Name, err)
+		fail(http.StatusInternalServerError, "method_unavailable", "hydrating %s: %v", spec.Name, err)
 		return
 	}
 
@@ -439,15 +590,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workers = s.gate.ClampWorkers(workers)
+	var ob *traceObserver
+	if tr != nil {
+		ob = &traceObserver{}
+		template.Obs = ob
+	}
 	workload := eval.Workload{Data: s.data, Queries: queries, K: req.K}
+	querySpan := tr.Start("query")
 	start := time.Now()
 	outcome, err := eval.ParallelRun(m, workload, template, s.model, eval.RunOptions{Workers: workers})
 	elapsed := time.Since(start).Seconds()
+	if ob != nil {
+		ob.attach(querySpan)
+	}
+	querySpan.End()
 	if err != nil {
 		s.metrics.recordError(spec.Name)
-		writeError(w, http.StatusInternalServerError, "query_failed", "%v", err)
+		fail(http.StatusInternalServerError, "query_failed", "%v", err)
 		return
 	}
+	// Everything after the search — metrics, response assembly, the cache
+	// insert — is its own stage so the trace accounts for the full request,
+	// not just the index work.
+	respond := tr.Start("respond")
 	s.metrics.recordRequest(spec.Name, queries.Size(), elapsed, outcome.IO, outcome.DistCalcs)
 	if s.route != nil && queries.Size() > 0 {
 		// Per-query latency (not per-request) so batch size does not skew
@@ -478,8 +643,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Answers[qi] = answerJSON{Query: qi, Neighbors: nbs}
 	}
+	// The cache stores the trace-free response; the trace block (if asked
+	// for) goes only on this request's outgoing copy.
 	s.cache.Put(key, resp, responseBytes(resp))
-	s.writeQueryResponse(w, r, req, resp)
+	out := *resp
+	respond.End()
+	s.finishTrace(tr, "")
+	if req.Trace && tr != nil {
+		tj := tr.Export()
+		out.Trace = &tj
+	}
+	s.writeQueryResponse(w, r, req, &out)
 }
 
 // writeQueryResponse renders a query response in the requested format.

@@ -32,6 +32,14 @@ type methodMetrics struct {
 	distCalcs int64
 }
 
+// stageMetrics is one request stage's latency histogram (same bounds as the
+// per-method request histogram, so stage and total quantiles line up).
+type stageMetrics struct {
+	counts []int64
+	sum    float64
+	n      int64
+}
+
 // shardHydration counts per-(method, shard) catalog outcomes.
 type shardHydration struct {
 	hits, misses int64
@@ -45,6 +53,17 @@ type ShardUsage struct {
 	Queries   int64
 	DistCalcs int64
 	IO        storage.Stats
+	// Seconds is cumulative wall-clock time inside the shard's searches.
+	Seconds float64
+}
+
+// buildInfo carries the static identity labels of hydra_build_info.
+type buildInfo struct {
+	GoVersion   string
+	Kernel      string
+	Shards      int
+	Dataset     string
+	Fingerprint string
 }
 
 // metrics is the server-wide counter registry behind GET /metrics. All
@@ -53,6 +72,7 @@ type metrics struct {
 	mu            sync.Mutex
 	perMethod     map[string]*methodMetrics
 	perShard      map[string]map[int]*shardHydration
+	perStage      map[string]*stageMetrics
 	routed        map[string]int64 // "method":"auto" decisions per resolved method
 	catalogHits   int64
 	catalogMisses int64
@@ -62,6 +82,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		perMethod: map[string]*methodMetrics{},
 		perShard:  map[string]map[int]*shardHydration{},
+		perStage:  map[string]*stageMetrics{},
 		routed:    map[string]int64{},
 	}
 }
@@ -93,6 +114,28 @@ func (m *metrics) recordRequest(method string, queries int, seconds float64, io 
 	mm.latCounts[b]++
 	mm.io = mm.io.Add(io)
 	mm.distCalcs += distCalcs
+}
+
+// recordStage accumulates one request stage observation into the
+// hydra_stage_seconds histogram family.
+func (m *metrics) recordStage(stage string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm := m.perStage[stage]
+	if sm == nil {
+		sm = &stageMetrics{counts: make([]int64, len(latencyBounds)+1)}
+		m.perStage[stage] = sm
+	}
+	sm.n++
+	sm.sum += seconds
+	b := len(latencyBounds)
+	for i, ub := range latencyBounds {
+		if seconds <= ub {
+			b = i
+			break
+		}
+	}
+	sm.counts[b]++
 }
 
 // recordError counts one failed request attributed to a method.
@@ -148,7 +191,7 @@ func (m *metrics) recordShardCatalog(method string, shard int, hit bool) {
 // serve-path layer's counters, snapshotted by the handler at scrape time
 // (zero-valued when the feature is disabled, so the families stay stable
 // for scrapers either way).
-func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardUsage, cache router.CacheStats, gate router.GateStats) {
+func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardUsage, cache router.CacheStats, gate router.GateStats, info buildInfo, goroutines int) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.perMethod))
 	for name := range m.perMethod {
@@ -193,11 +236,37 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 	}
 	sort.Slice(routedRows, func(i, j int) bool { return routedRows[i].method < routedRows[j].method })
 	hits, misses := m.catalogHits, m.catalogMisses
+	stageNames := make([]string, 0, len(m.perStage))
+	for stage := range m.perStage {
+		stageNames = append(stageNames, stage)
+	}
+	sort.Strings(stageNames)
+	type stageRow struct {
+		stage string
+		sm    stageMetrics
+	}
+	stageRows := make([]stageRow, 0, len(stageNames))
+	for _, stage := range stageNames {
+		src := m.perStage[stage]
+		cp := *src
+		cp.counts = append([]int64(nil), src.counts...)
+		stageRows = append(stageRows, stageRow{stage, cp})
+	}
 	m.mu.Unlock()
 
+	fmt.Fprintf(w, "# HELP hydra_build_info Build and serving identity; value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE hydra_build_info gauge\n")
+	fmt.Fprintf(w, "hydra_build_info{go_version=%q,kernel=%q,shards=\"%d\",dataset=%q,fingerprint=%q} 1\n",
+		info.GoVersion, info.Kernel, info.Shards, info.Dataset, info.Fingerprint)
 	fmt.Fprintf(w, "# HELP hydra_uptime_seconds Seconds since the server booted.\n")
 	fmt.Fprintf(w, "# TYPE hydra_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "hydra_uptime_seconds %g\n", uptimeSeconds)
+	fmt.Fprintf(w, "# HELP hydra_process_uptime_seconds Seconds since the server booted (alias of hydra_uptime_seconds under the conventional name).\n")
+	fmt.Fprintf(w, "# TYPE hydra_process_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "hydra_process_uptime_seconds %g\n", uptimeSeconds)
+	fmt.Fprintf(w, "# HELP hydra_goroutines Goroutines currently live in the serving process.\n")
+	fmt.Fprintf(w, "# TYPE hydra_goroutines gauge\n")
+	fmt.Fprintf(w, "hydra_goroutines %d\n", goroutines)
 	fmt.Fprintf(w, "# HELP hydra_catalog_hits_total Index hydrations served warm from the catalog.\n")
 	fmt.Fprintf(w, "# TYPE hydra_catalog_hits_total counter\n")
 	fmt.Fprintf(w, "hydra_catalog_hits_total %d\n", hits)
@@ -223,6 +292,9 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 	fmt.Fprintf(w, "# HELP hydra_requests_shed_total Query requests shed with 429 overloaded at the admission gate.\n")
 	fmt.Fprintf(w, "# TYPE hydra_requests_shed_total counter\n")
 	fmt.Fprintf(w, "hydra_requests_shed_total %d\n", gate.Shed)
+	fmt.Fprintf(w, "# HELP hydra_gate_wait_seconds_total Cumulative time admitted requests spent queued for a gate slot.\n")
+	fmt.Fprintf(w, "# TYPE hydra_gate_wait_seconds_total counter\n")
+	fmt.Fprintf(w, "hydra_gate_wait_seconds_total %g\n", gate.WaitSeconds)
 	fmt.Fprintf(w, "# HELP hydra_router_decisions_total \"method\":\"auto\" requests routed to each method.\n")
 	fmt.Fprintf(w, "# TYPE hydra_router_decisions_total counter\n")
 	for _, r := range routedRows {
@@ -256,6 +328,19 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 		fmt.Fprintf(w, "hydra_query_latency_seconds_bucket{method=%q,le=\"+Inf\"} %d\n", r.name, cum)
 		fmt.Fprintf(w, "hydra_query_latency_seconds_sum{method=%q} %g\n", r.name, r.mm.latSum)
 		fmt.Fprintf(w, "hydra_query_latency_seconds_count{method=%q} %d\n", r.name, r.mm.requests)
+	}
+	fmt.Fprintf(w, "# HELP hydra_stage_seconds Per-stage request latency decomposition from request traces.\n")
+	fmt.Fprintf(w, "# TYPE hydra_stage_seconds histogram\n")
+	for _, r := range stageRows {
+		var cum int64
+		for i, ub := range latencyBounds {
+			cum += r.sm.counts[i]
+			fmt.Fprintf(w, "hydra_stage_seconds_bucket{stage=%q,le=%q} %d\n", r.stage, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += r.sm.counts[len(latencyBounds)]
+		fmt.Fprintf(w, "hydra_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", r.stage, cum)
+		fmt.Fprintf(w, "hydra_stage_seconds_sum{stage=%q} %g\n", r.stage, r.sm.sum)
+		fmt.Fprintf(w, "hydra_stage_seconds_count{stage=%q} %d\n", r.stage, r.sm.n)
 	}
 	fmt.Fprintf(w, "# HELP hydra_io_random_seeks_total Modelled random seeks charged per method.\n")
 	fmt.Fprintf(w, "# TYPE hydra_io_random_seeks_total counter\n")
@@ -315,6 +400,11 @@ func (m *metrics) render(w io.Writer, uptimeSeconds float64, shardUsage []ShardU
 		fmt.Fprintf(w, "# TYPE hydra_shard_io_bytes_read_total counter\n")
 		for _, r := range shardUsage {
 			fmt.Fprintf(w, "hydra_shard_io_bytes_read_total{method=%q,shard=\"%d\"} %d\n", r.Method, r.Shard, r.IO.BytesRead)
+		}
+		fmt.Fprintf(w, "# HELP hydra_shard_seconds_total Wall-clock seconds spent inside each shard's searches per method; the spread across shards exposes stragglers.\n")
+		fmt.Fprintf(w, "# TYPE hydra_shard_seconds_total counter\n")
+		for _, r := range shardUsage {
+			fmt.Fprintf(w, "hydra_shard_seconds_total{method=%q,shard=\"%d\"} %g\n", r.Method, r.Shard, r.Seconds)
 		}
 	}
 }

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/kernel"
+	"hydra/internal/obs"
+)
+
+// tracedResponse is the subset of a /v1/query JSON body the trace tests
+// decode.
+type tracedResponse struct {
+	Cached      bool           `json:"cached"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Trace       *obs.TraceJSON `json:"trace"`
+}
+
+// TestTraceStageSumWithinFivePercentOfTotal is the tentpole acceptance
+// check: a traced response must decompose its latency into spans whose
+// top-level durations sum to within 5% of the trace's measured total —
+// i.e. the serve path has no untraced segment big enough to hide in. The
+// workload is sized so the query span is milliseconds, not microseconds,
+// keeping the inter-span bookkeeping gaps far below the tolerance.
+func TestTraceStageSumWithinFivePercentOfTotal(t *testing.T) {
+	data := dataset.Generate(dataset.Config{Kind: dataset.KindWalk, Count: 20000, Length: 128, Seed: 11})
+	qs := dataset.Queries(data, dataset.KindWalk, 4, 13)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+
+	vectors := make([][]float32, qs.Size())
+	for i := range vectors {
+		vectors[i] = queryVec(qs, i)
+	}
+	began := time.Now()
+	rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 5, "queries": vectors, "trace": true})
+	wallMS := time.Since(began).Seconds() * 1e3
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp tracedResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.Trace == nil {
+		t.Fatalf("\"trace\": true returned no trace block: %s", rec.Body.String())
+	}
+	tj := resp.Trace
+	if tj.ID == "" || rec.Header().Get("X-Hydra-Trace-Id") != tj.ID {
+		t.Fatalf("trace id %q does not match X-Hydra-Trace-Id %q", tj.ID, rec.Header().Get("X-Hydra-Trace-Id"))
+	}
+	if tj.TotalMS <= 0 {
+		t.Fatalf("trace total %.4fms not positive", tj.TotalMS)
+	}
+	// The trace is finished before the response body is encoded, so its
+	// total must sit inside the externally measured request wall time.
+	if tj.TotalMS > wallMS {
+		t.Fatalf("trace total %.4fms exceeds measured request wall %.4fms", tj.TotalMS, wallMS)
+	}
+
+	names := map[string]float64{}
+	for _, sp := range tj.Spans {
+		names[sp.Name] += sp.DurationMS
+	}
+	for _, want := range []string{"parse", "gate.wait", "gather", "cache.lookup", "hydrate", "query", "respond"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("trace is missing the %q stage: %+v", want, tj.Spans)
+		}
+	}
+	if names["query"] <= 0 {
+		t.Errorf("query stage duration %.4fms not positive", names["query"])
+	}
+
+	sum := tj.StageSumMS()
+	if sum > tj.TotalMS {
+		t.Fatalf("top-level stages sum to %.4fms, above the trace total %.4fms", sum, tj.TotalMS)
+	}
+	if gap := tj.TotalMS - sum; gap > 0.05*tj.TotalMS {
+		t.Fatalf("untraced gap %.4fms is %.1f%% of total %.4fms (want <= 5%%); stages: %+v",
+			gap, 100*gap/tj.TotalMS, tj.TotalMS, tj.Spans)
+	}
+}
+
+// TestTraceOptInAndDisabled pins the two trace surfaces' gating: the
+// response block appears only when the request asks for it (the header is
+// always present while tracing is on), a cached replay carries its own
+// trace, and a server with tracing disabled sends neither surface and
+// 404s /debug/requests.
+func TestTraceOptInAndDisabled(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data, CacheMaxBytes: 1 << 20})
+	h := s.Handler()
+	body := map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)}
+
+	rec := postQuery(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Hydra-Trace-Id") == "" {
+		t.Fatalf("untraced request is missing the X-Hydra-Trace-Id header")
+	}
+	var resp tracedResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Fatalf("trace block present without \"trace\": true")
+	}
+
+	// The replay of the same request must be served from the cache and still
+	// carry a fresh trace of its own (the cached copy stays trace-free).
+	traced := map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0), "trace": true}
+	rec = postQuery(t, h, traced)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replay: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatalf("identical replay was not served from the result cache")
+	}
+	if resp.Trace == nil || resp.Trace.ID != rec.Header().Get("X-Hydra-Trace-Id") {
+		t.Fatalf("cached replay lacks its own trace block: %s", rec.Body.String())
+	}
+	if resp.Trace.Attrs["cached"] != "true" {
+		t.Fatalf("cached replay's trace not annotated cached=true: %+v", resp.Trace.Attrs)
+	}
+
+	off := newTestServer(t, Config{Data: data, TraceRing: -1})
+	hOff := off.Handler()
+	rec = postQuery(t, hOff, traced)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("untraced server query: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Hydra-Trace-Id"); got != "" {
+		t.Fatalf("tracing disabled but X-Hydra-Trace-Id = %q", got)
+	}
+	resp = tracedResponse{} // Unmarshal leaves absent fields untouched
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Fatalf("tracing disabled but the response carries a trace block")
+	}
+	recD := httptest.NewRecorder()
+	hOff.ServeHTTP(recD, httptest.NewRequest("GET", "/debug/requests", nil))
+	if code := decodeError(t, recD, http.StatusNotFound); code != "tracing_disabled" {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+// TestDebugRequestsServesRing drives a few traced queries and checks the
+// ring endpoint reports them: the add counter, newest-first recents and a
+// slowest entry per family.
+func TestDebugRequestsServesRing(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 2)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		body := map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, i%qs.Size())}
+		if rec := postQuery(t, h, body); rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/requests: %d %s", rec.Code, rec.Body.String())
+	}
+	var snap struct {
+		Added   int64            `json:"added"`
+		Recent  []*obs.TraceJSON `json:"recent"`
+		Slowest []*obs.TraceJSON `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding snapshot: %v (body %s)", err, rec.Body.String())
+	}
+	if snap.Added != 3 || len(snap.Recent) != 3 {
+		t.Fatalf("added=%d recent=%d, want 3 and 3", snap.Added, len(snap.Recent))
+	}
+	for i, tr := range snap.Recent {
+		if tr.Family != "SerialScan" || tr.ID == "" || tr.TotalMS <= 0 {
+			t.Errorf("recent[%d] malformed: %+v", i, tr)
+		}
+	}
+	if len(snap.Slowest) != 1 || snap.Slowest[0].Family != "SerialScan" {
+		t.Fatalf("slowest = %+v, want one SerialScan entry", snap.Slowest)
+	}
+}
+
+// TestStageAndBuildInfoMetrics pins the observability /metrics families: the
+// hydra_stage_seconds histogram fed from request traces, the
+// hydra_build_info identity gauge and the process gauges — and re-runs the
+// exposition-format validator over the enlarged body.
+func TestStageAndBuildInfoMetrics(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+	if rec := postQuery(t, h, map[string]any{"method": "SerialScan", "k": 3, "query": queryVec(qs, 0)}); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+
+	body := scrapeMetrics(t, h)
+	// One uncached request: every serve-path stage observed exactly once.
+	for _, stage := range []string{"parse", "gate.wait", "gather", "cache.lookup", "hydrate", "query", "respond"} {
+		requireMetric(t, body, fmt.Sprintf("hydra_stage_seconds_count{stage=%q} 1", stage))
+		if !strings.Contains(body, fmt.Sprintf("hydra_stage_seconds_bucket{stage=%q,le=\"+Inf\"} 1", stage)) {
+			t.Errorf("stage %q missing its +Inf bucket", stage)
+		}
+	}
+	requireMetric(t, body, fmt.Sprintf(
+		"hydra_build_info{go_version=%q,kernel=%q,shards=\"1\",dataset=%q,fingerprint=%q} 1",
+		runtime.Version(), kernel.Active().String(), s.datasetName, s.fingerprint))
+	requireMetric(t, body, "hydra_gate_wait_seconds_total 0")
+	for _, prefix := range []string{"hydra_process_uptime_seconds ", "hydra_goroutines "} {
+		if !strings.Contains(body, "\n"+prefix) {
+			t.Errorf("metrics missing %q gauge", strings.TrimSpace(prefix))
+		}
+	}
+	validatePromText(t, body)
+}
+
+// stallGate and stallStarted are the coordination points of the StallTest
+// method below: the stalled-hydration regression test installs channels,
+// every other test leaves them nil and the method builds instantly.
+var (
+	stallGate    atomic.Value // chan struct{}: Build blocks until it closes
+	stallStarted atomic.Value // chan struct{} (cap 1): Build signals entry
+)
+
+// StallTest is a test-only registered method whose Build can be made to
+// block, simulating a method whose lazy hydration takes arbitrarily long
+// (a big disk-resident index on first touch). It delegates to SerialScan
+// once released so the blocked request still answers correctly.
+func init() {
+	core.RegisterMethod(core.MethodSpec{
+		Name:  "StallTest",
+		Rank:  999,
+		Exact: true,
+		Build: func(ctx *core.BuildContext) (core.BuildResult, error) {
+			if ch, _ := stallStarted.Load().(chan struct{}); ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+			if ch, _ := stallGate.Load().(chan struct{}); ch != nil {
+				<-ch
+			}
+			spec, _ := core.LookupMethod("SerialScan")
+			return spec.Build(ctx)
+		},
+	})
+}
+
+// TestHealthAndDebugNeverBlockBehindStalledHydration is the regression test
+// for the handle's two-mutex split: while a lazy hydration holds hydrateMu
+// indefinitely, /healthz, /debug/requests and /v1/methods must keep
+// answering, because they only ever take the short state mutex (and the
+// ring snapshot's pointer-copy lock).
+func TestHealthAndDebugNeverBlockBehindStalledHydration(t *testing.T) {
+	data, qs := testWorkload(t, 240, 32, 1)
+	s := newTestServer(t, Config{Data: data})
+	h := s.Handler()
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	stallStarted.Store(started)
+	stallGate.Store(release)
+	t.Cleanup(func() {
+		stallStarted.Store((chan struct{})(nil))
+		stallGate.Store((chan struct{})(nil))
+	})
+
+	queryDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		queryDone <- postQuery(t, h, map[string]any{"method": "StallTest", "k": 3, "query": queryVec(qs, 0)})
+	}()
+	select {
+	case <-started: // Build is in flight, holding the handle's hydrateMu
+	case <-time.After(10 * time.Second):
+		t.Fatalf("StallTest build never started")
+	}
+
+	for _, path := range []string{"/healthz", "/debug/requests", "/v1/methods"} {
+		done := make(chan int, 1)
+		go func() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			done <- rec.Code
+		}()
+		select {
+		case code := <-done:
+			if code != http.StatusOK {
+				t.Errorf("%s during stalled hydration: status %d", path, code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Errorf("%s blocked behind a stalled hydration", path)
+		}
+	}
+
+	close(release)
+	select {
+	case rec := <-queryDone:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("released StallTest query failed: %d %s", rec.Code, rec.Body.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("released StallTest query never completed")
+	}
+}

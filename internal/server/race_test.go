@@ -72,8 +72,9 @@ func TestConcurrentIndependentRequests(t *testing.T) {
 			}(m, c)
 		}
 	}
-	// Introspection traffic concurrent with queries.
-	for _, path := range []string{"/v1/methods", "/metrics"} {
+	// Introspection traffic concurrent with queries; /debug/requests makes
+	// the trace ring's writers race its snapshot readers under -race.
+	for _, path := range []string{"/v1/methods", "/metrics", "/healthz", "/debug/requests"} {
 		wg.Add(1)
 		go func(path string) {
 			defer wg.Done()

@@ -9,13 +9,16 @@
 // concurrent use) that the rest of the repo pins under the race detector.
 //
 // Endpoints (documented in docs/API.md): POST /v1/query, GET /v1/methods,
-// GET /v1/datasets, GET /healthz and GET /metrics. Every error response
-// shares one JSON shape; /metrics is Prometheus text exposition.
+// GET /v1/datasets, GET /healthz, GET /metrics and GET /debug/requests.
+// Every error response shares one JSON shape; /metrics is Prometheus text
+// exposition; /debug/requests serves the request-trace ring (see
+// docs/OBSERVABILITY.md).
 package server
 
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -25,6 +28,7 @@ import (
 	"hydra/internal/catalog"
 	"hydra/internal/core"
 	"hydra/internal/eval"
+	"hydra/internal/obs"
 	"hydra/internal/router"
 	"hydra/internal/series"
 	"hydra/internal/shard"
@@ -87,9 +91,23 @@ type Config struct {
 	// DisableAuto turns off the adaptive method router; "method":"auto"
 	// requests are then refused with the documented 400 error.
 	DisableAuto bool
-	// Log receives boot and hydration log lines; nil discards them.
+	// Log receives boot and hydration log lines; nil discards them. When
+	// Logger is unset, a text-format slog logger is derived from it.
 	Log io.Writer
+	// Logger, when set, receives all structured log output and takes
+	// precedence over Log. cmd/hydra-serve builds it from -log-format.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any /v1/query request whose traced
+	// end-to-end latency meets the threshold, with its trace ID.
+	SlowQuery time.Duration
+	// TraceRing sizes the request-trace ring behind GET /debug/requests.
+	// 0 selects the default (256); negative disables tracing entirely,
+	// which also removes the per-request trace block and header.
+	TraceRing int
 }
+
+// defaultTraceRing is the retained-trace count when Config.TraceRing is 0.
+const defaultTraceRing = 256
 
 // WarmupStatus reports one method's boot-time hydration, surfaced by
 // GET /healthz and the boot log. Shard counters replace the old single
@@ -169,8 +187,9 @@ type Server struct {
 	model       storage.CostModel
 	defWorkers  int
 	warmWorkers int
-	log         io.Writer
-	logMu       sync.Mutex
+	logger      *slog.Logger
+	slowQuery   time.Duration
+	ring        *obs.Ring // nil when tracing is disabled
 
 	handles map[string]*handle // one slot per registered method
 
@@ -206,6 +225,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DatasetPath != "" {
 		name = filepath.Base(cfg.DatasetPath)
 	}
+	ringSize := cfg.TraceRing
+	if ringSize == 0 {
+		ringSize = defaultTraceRing
+	}
 	s := &Server{
 		data:        cfg.Data,
 		datasetName: name,
@@ -213,12 +236,21 @@ func New(cfg Config) (*Server, error) {
 		buildCtx:    eval.NewBuildContext(eval.Workload{Data: cfg.Data}, suite),
 		model:       storage.DefaultCostModel(),
 		defWorkers:  cfg.DefaultWorkers,
-		log:         cfg.Log,
+		logger:      cfg.Logger,
+		slowQuery:   cfg.SlowQuery,
+		ring:        obs.NewRing(ringSize), // nil when ringSize < 0
 		handles:     map[string]*handle{},
 		cache:       router.NewCache(cfg.CacheMaxBytes),
 		gate:        router.NewGate(cfg.MaxInflight, 0, 0),
 		metrics:     newMetrics(),
 		start:       time.Now(),
+	}
+	if s.logger == nil {
+		if cfg.Log != nil {
+			s.logger, _ = obs.NewLogger(cfg.Log, obs.LogText, slog.LevelInfo)
+		} else {
+			s.logger = obs.Discard()
+		}
 	}
 	if !cfg.DisableAuto {
 		// Seed the router's Fig. 9 scenario from the dataset's actual
@@ -230,9 +262,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Model != nil {
 		s.model = *cfg.Model
-	}
-	if s.log == nil {
-		s.log = io.Discard
 	}
 	if cfg.WorkloadDir != "" {
 		abs, err := filepath.Abs(cfg.WorkloadDir)
@@ -272,12 +301,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// logf serialises log lines across warmup workers and request handlers.
-func (s *Server) logf(format string, args ...any) {
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	fmt.Fprintf(s.log, format, args...)
-}
+// Logger exposes the server's structured logger so the serving binary can
+// share it for its own boot/drain lines.
+func (s *Server) Logger() *slog.Logger { return s.logger }
 
 // shardTotal returns the serving shard count (1 when unsharded).
 func (s *Server) shardTotal() int {
@@ -319,24 +345,26 @@ func (s *Server) warmStart(names []string, workers int) {
 	for _, st := range s.warmup {
 		switch st.Source {
 		case "error":
-			s.logf("warm start: %s failed: %s\n", st.Method, st.Error)
+			s.logger.Error("warm start: "+st.Method+" failed", "method", st.Method, "error", st.Error)
 		case "catalog":
 			ready++
 			if s.plan == nil {
-				s.logf("warm start: catalog hit: %s (load %.3fs)\n", st.Method, st.Seconds)
+				s.logger.Info("warm start: catalog hit: "+st.Method, "method", st.Method, "load_seconds", st.Seconds)
 			}
 		default:
 			ready++
 			if s.plan == nil {
-				s.logf("warm start: catalog miss: %s (build %.3fs)\n", st.Method, st.Seconds)
+				s.logger.Info("warm start: catalog miss: "+st.Method, "method", st.Method, "build_seconds", st.Seconds)
 			}
 		}
 		if s.plan != nil && st.Source != "error" {
-			s.logf("warm start: %s ready: %d/%d shards, %d from catalog (%.3fs)\n",
-				st.Method, st.ShardsLoaded, st.ShardsTotal, st.ShardsFromCatalog, st.Seconds)
+			s.logger.Info("warm start: "+st.Method+" ready",
+				"method", st.Method, "shards_loaded", st.ShardsLoaded, "shards_total", st.ShardsTotal,
+				"shards_from_catalog", st.ShardsFromCatalog, "seconds", st.Seconds)
 		}
 	}
-	s.logf("warm start: %d/%d methods ready in %.3fs\n", ready, len(names), time.Since(start).Seconds())
+	s.logger.Info(fmt.Sprintf("warm start: %d/%d methods ready", ready, len(names)),
+		"ready", ready, "requested", len(names), "seconds", time.Since(start).Seconds())
 }
 
 // adoptWarmup installs one catalog Warmup outcome (the unsharded path)
@@ -363,7 +391,8 @@ func (s *Server) adoptWarmup(e catalog.WarmupEntry) WarmupStatus {
 		shardsTotal:  1,
 	})
 	if e.Result.SaveErr != nil {
-		s.logf("catalog save failed (index served from memory): %s: %v\n", e.Name, e.Result.SaveErr)
+		s.logger.Warn("catalog save failed (index served from memory): "+e.Name,
+			"method", e.Name, "error", e.Result.SaveErr.Error())
 	}
 	// Only catalog-routed hydrations count: a non-persistable method's
 	// in-memory build is a pass-through, not a catalog miss. The sharded
@@ -404,12 +433,15 @@ func (s *Server) hydrateSharded(name string, workers int, logPrefix string) Warm
 		label := s.plan.Label(sb.Shard)
 		if sb.Hit {
 			hits++
-			s.logf("%s: catalog hit: %s shard %s (load %.3fs)\n", logPrefix, name, label, sb.Seconds)
+			s.logger.Info(logPrefix+": catalog hit: "+name+" shard "+label,
+				"method", name, "shard", label, "load_seconds", sb.Seconds)
 		} else {
-			s.logf("%s: catalog miss: %s shard %s (build %.3fs)\n", logPrefix, name, label, sb.Seconds)
+			s.logger.Info(logPrefix+": catalog miss: "+name+" shard "+label,
+				"method", name, "shard", label, "build_seconds", sb.Seconds)
 		}
 		if sb.SaveErr != nil {
-			s.logf("catalog save failed (index served from memory): %s shard %s: %v\n", name, label, sb.SaveErr)
+			s.logger.Warn("catalog save failed (index served from memory): "+name+" shard "+label,
+				"method", name, "shard", label, "error", sb.SaveErr.Error())
 		}
 		if s.cat != nil && spec.Persistable() {
 			s.metrics.recordCatalog(sb.Hit)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/storage"
@@ -49,6 +50,10 @@ type ShardStat struct {
 	Queries   int64
 	DistCalcs int64
 	IO        storage.Stats
+	// Seconds is wall-clock time spent inside this shard's Search calls.
+	// Shards answer concurrently, so the per-shard sums can exceed the
+	// query wall time; their spread is what exposes a straggler shard.
+	Seconds float64
 }
 
 // NewMethod assembles a scatter-gather method from per-shard indexes.
@@ -136,6 +141,7 @@ func (m *Method) Search(q core.Query) (core.Result, error) {
 	n := len(m.parts)
 	results := make([]core.Result, n)
 	errs := make([]error, n)
+	elapsed := make([]time.Duration, n)
 	run := func(i int) {
 		sq := q
 		// A shard smaller than k answers with everything it holds; the
@@ -143,7 +149,15 @@ func (m *Method) Search(q core.Query) (core.Result, error) {
 		if size := m.plan.Range(i).Len(); sq.K > size {
 			sq.K = size
 		}
+		// sq keeps q.Obs, so refinement time observed inside the shard's
+		// engine sums across shards; the shard wall time itself is measured
+		// here, where the scatter boundary is.
+		began := time.Now()
 		r, err := m.parts[i].Search(sq)
+		elapsed[i] = time.Since(began)
+		if q.Obs != nil {
+			q.Obs.ObserveShard(i, elapsed[i])
+		}
 		if err != nil {
 			errs[i] = fmt.Errorf("shard %s: %w", m.plan.Label(i), err)
 			return
@@ -174,6 +188,7 @@ func (m *Method) Search(q core.Query) (core.Result, error) {
 		m.cum[i].Queries++
 		m.cum[i].DistCalcs += r.DistCalcs
 		m.cum[i].IO = m.cum[i].IO.Add(r.IO)
+		m.cum[i].Seconds += elapsed[i].Seconds()
 	}
 	m.mu.Unlock()
 	return out, nil

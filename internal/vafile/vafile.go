@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/kernel"
@@ -320,7 +321,14 @@ func (f *File) Search(q core.Query) (core.Result, error) {
 			break
 		}
 		lim := kset.Worst()
+		var began time.Time
+		if q.Obs != nil {
+			began = time.Now()
+		}
 		kernel.SquaredDistsGather(q.Series, views, lim*lim, sc.d2s[:len(ids)])
+		if q.Obs != nil {
+			q.Obs.ObserveRefine(time.Since(began))
+		}
 		res.DistCalcs += int64(len(ids))
 		stopped := false
 		for j, d2 := range sc.d2s[:len(ids)] {
